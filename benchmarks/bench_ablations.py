@@ -1,0 +1,117 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* vectorized vs loop cross-tab engine;
+* EASY backfill on vs off in the scheduler;
+* Wilson (analytic) vs bootstrap proportion CIs;
+* pipeline artifact caching on vs off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import crosstab, crosstab_loop
+from repro.cluster import WorkloadModel, WorkloadParams, simulate_schedule
+from repro.core import ArtifactCache, Pipeline, PipelineStep
+from repro.stats import bootstrap_ci, wilson_interval
+
+
+# -- cross-tab engine ---------------------------------------------------------
+
+
+def bench_ablation_crosstab_vectorized(benchmark, study):
+    ct = benchmark(crosstab, study.responses, "field")
+    assert ct.n > 0
+
+
+def bench_ablation_crosstab_loop(benchmark, study):
+    ct = benchmark(crosstab_loop, study.responses, "field")
+    assert ct.n > 0
+
+
+# -- scheduler backfill ----------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def submission_stream():
+    params = WorkloadParams(months=1, jobs_per_day=400)
+    return WorkloadModel(params).generate(np.random.default_rng(42))
+
+
+def bench_ablation_backfill_on(benchmark, submission_stream):
+    result = benchmark.pedantic(
+        simulate_schedule,
+        args=(submission_stream,),
+        kwargs={"rng": np.random.default_rng(0), "backfill": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.backfilled > 0
+
+
+def bench_ablation_backfill_off(benchmark, submission_stream):
+    result = benchmark.pedantic(
+        simulate_schedule,
+        args=(submission_stream,),
+        kwargs={"rng": np.random.default_rng(0), "backfill": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.backfilled == 0
+
+
+# -- CI method -----------------------------------------------------------------
+
+
+def bench_ablation_ci_wilson(benchmark):
+    result = benchmark(wilson_interval, 42, 150)
+    assert result.low < result.high
+
+
+def bench_ablation_ci_bootstrap(benchmark):
+    data = np.zeros(150)
+    data[:42] = 1.0
+
+    def run():
+        return bootstrap_ci(data, np.mean, n_resamples=2000, rng=np.random.default_rng(0))
+
+    result = benchmark(run)
+    assert result.low < result.high
+
+
+# -- pipeline caching ----------------------------------------------------------------
+
+
+def _expensive_pipeline(cache):
+    def generate(context, n):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=n)
+
+    def analyze(context):
+        return float(np.mean(context["generate"]))
+
+    return Pipeline(
+        [
+            PipelineStep(name="generate", fn=generate, params={"n": 2_000_000}),
+            PipelineStep(name="analyze", fn=analyze, depends_on=("generate",)),
+        ],
+        cache,
+    )
+
+
+def bench_ablation_cache_cold(benchmark):
+    def run():
+        return _expensive_pipeline(ArtifactCache()).run()
+
+    out = benchmark(run)
+    assert "analyze" in out
+
+
+def bench_ablation_cache_warm(benchmark):
+    cache = ArtifactCache()
+    _expensive_pipeline(cache).run()  # warm it once
+
+    def run():
+        return _expensive_pipeline(cache).run()
+
+    out = benchmark(run)
+    assert "analyze" in out

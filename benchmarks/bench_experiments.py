@@ -1,0 +1,87 @@
+"""One benchmark per table and figure (see DESIGN.md experiment index).
+
+Each bench regenerates the complete artifact — analysis plus formatting —
+from the shared study, i.e. exactly what ``run_experiment(id, study)`` does.
+"""
+
+from repro.report import run_experiment
+
+
+def bench_t1_demographics(benchmark, study):
+    table = benchmark(run_experiment, "T1", study)
+    assert table.rows
+
+
+def bench_t2_languages(benchmark, study):
+    table = benchmark(run_experiment, "T2", study)
+    assert table.rows[0][0] == "python"
+
+
+def bench_f1_language_trend(benchmark, study):
+    figure = benchmark(run_experiment, "F1", study)
+    assert "2024" in figure.series
+
+
+def bench_t3_parallelism(benchmark, study):
+    table = benchmark(run_experiment, "T3", study)
+    assert any(r[0] == "uses_gpu" for r in table.rows)
+
+
+def bench_f2_gpu_by_field(benchmark, study):
+    figure = benchmark(run_experiment, "F2", study)
+    assert "estimate" in figure.series
+
+
+def bench_t4_ml_frameworks(benchmark, study):
+    table = benchmark(run_experiment, "T4", study)
+    assert table.rows
+
+
+def bench_f3_cpu_hours(benchmark, study):
+    figure = benchmark(run_experiment, "F3", study)
+    assert "total" in figure.series
+
+
+def bench_f4_job_width_cdf(benchmark, study):
+    figure = benchmark(run_experiment, "F4", study)
+    assert set(figure.series) == {"cpu", "gpu"}
+
+
+def bench_t5_queue_wait(benchmark, study):
+    table = benchmark(run_experiment, "T5", study)
+    assert "partition" in table.columns
+
+
+def bench_f5_gpu_growth(benchmark, study):
+    figure = benchmark(run_experiment, "F5", study)
+    assert "gpu_hours" in figure.series
+
+
+def bench_t6_practices(benchmark, study):
+    table = benchmark(run_experiment, "T6", study)
+    assert len(table.rows) == 5
+
+
+def bench_t7_training(benchmark, study):
+    table = benchmark(run_experiment, "T7", study)
+    assert table.rows
+
+
+def bench_f6_tool_network(benchmark, study):
+    table = benchmark(run_experiment, "F6", study)
+    assert table.rows
+
+
+def bench_f7_runtime_dist(benchmark, study):
+    figure = benchmark(run_experiment, "F7", study)
+    assert figure.series
+
+
+def bench_t8_storage(benchmark, study):
+    table = benchmark(run_experiment, "T8", study)
+    assert table.rows
+
+
+def bench_f8_concordance(benchmark, study):
+    figure = benchmark(run_experiment, "F8", study)
+    assert "fields" in figure.series

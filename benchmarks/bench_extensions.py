@@ -1,0 +1,103 @@
+"""Benchmarks for extension experiments (X1-X5) and the new substrates."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import WorkloadModel, WorkloadParams, simulate_schedule
+from repro.core import build_instrument, profile_2011, profile_2024
+from repro.report import run_experiment
+from repro.report.document import build_report
+from repro.synth import generate_panel
+
+
+def bench_x1_wait_vs_load(benchmark, study):
+    figure = benchmark(run_experiment, "X1", study)
+    assert "cpu" in figure.series
+
+
+def bench_x2_panel_adoption(benchmark, study):
+    table = benchmark.pedantic(run_experiment, args=("X2", study), rounds=3, iterations=1)
+    assert table.rows
+
+
+def bench_x3_weighted_vs_raw(benchmark, study):
+    table = benchmark(run_experiment, "X3", study)
+    assert len(table.rows) == 5
+
+
+def bench_x4_arrival_rhythm(benchmark, study):
+    figure = benchmark(run_experiment, "X4", study)
+    assert "hourly" in figure.series
+
+
+def bench_x5_walltime_accuracy(benchmark, study):
+    table = benchmark(run_experiment, "X5", study)
+    assert table.rows
+
+
+def bench_panel_generation_100(benchmark):
+    questionnaire = build_instrument()
+    a, b = profile_2011(), profile_2024()
+
+    def run():
+        return generate_panel(a, b, questionnaire, 100, np.random.default_rng(0))
+
+    panel = benchmark(run)
+    assert len(panel) == 100
+
+
+@pytest.fixture(scope="module")
+def contended_stream():
+    params = WorkloadParams(months=1, jobs_per_day=450)
+    return WorkloadModel(params).generate(np.random.default_rng(9))
+
+
+def bench_ablation_node_granular(benchmark, contended_stream):
+    result = benchmark.pedantic(
+        simulate_schedule,
+        args=(contended_stream,),
+        kwargs={"rng": np.random.default_rng(0), "node_granular": True},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.table) == len(contended_stream)
+
+
+def bench_ablation_fairshare(benchmark, contended_stream):
+    result = benchmark.pedantic(
+        simulate_schedule,
+        args=(contended_stream,),
+        kwargs={"rng": np.random.default_rng(0), "priority": "fairshare"},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.table) == len(contended_stream)
+
+
+def bench_full_report(benchmark, study):
+    text = benchmark.pedantic(build_report, args=(study,), rounds=2, iterations=1)
+    assert "## Results" in text
+
+
+def bench_x7_challenge_topics(benchmark, study):
+    table = benchmark(run_experiment, "X7", study)
+    assert table.rows
+
+
+def bench_x8_waste_failures(benchmark, study):
+    table = benchmark(run_experiment, "X8", study)
+    assert table.rows
+
+
+def bench_audit_table(benchmark, study):
+    from repro.cluster import audit_table
+
+    report = benchmark(audit_table, study.telemetry, study.cluster)
+    assert report.ok
+
+
+def bench_failure_bursts(benchmark, study):
+    from repro.cluster import failure_bursts
+
+    bursts = benchmark(failure_bursts, study.telemetry)
+    assert isinstance(bursts, list)

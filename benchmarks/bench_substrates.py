@@ -1,0 +1,106 @@
+"""Substrate throughput benchmarks: generation, scheduling, I/O, stats.
+
+These quantify the cost of the expensive pipeline stages so regressions in
+the simulator or generator show up even when per-experiment benches (which
+reuse a prebuilt study) stay flat.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    WorkloadModel,
+    WorkloadParams,
+    parse_sacct,
+    simulate_schedule,
+    write_sacct,
+)
+from repro.core import build_instrument, profile_2024
+from repro.io import read_responses_jsonl, write_responses_jsonl
+from repro.stats import holm_bonferroni, rake_weights
+from repro.synth import generate_cohort
+from repro.text import extract_mentions
+
+
+def bench_survey_generation_200(benchmark):
+    questionnaire = build_instrument()
+    profile = profile_2024()
+
+    def run():
+        return generate_cohort(profile, questionnaire, 200, np.random.default_rng(0))
+
+    result = benchmark(run)
+    assert len(result) == 200
+
+
+def bench_workload_generation_1month(benchmark):
+    params = WorkloadParams(months=1, jobs_per_day=400)
+
+    def run():
+        return WorkloadModel(params).generate(np.random.default_rng(0))
+
+    jobs = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(jobs) > 5000
+
+
+def bench_scheduler_1month(benchmark):
+    params = WorkloadParams(months=1, jobs_per_day=400)
+    jobs = WorkloadModel(params).generate(np.random.default_rng(0))
+
+    def run():
+        return simulate_schedule(jobs, rng=np.random.default_rng(0))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(result.table) == len(jobs)
+
+
+def bench_sacct_round_trip(benchmark, study):
+    def run():
+        buf = io.StringIO()
+        write_sacct(study.telemetry, buf)
+        return parse_sacct(buf.getvalue())
+
+    table = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(table) == len(study.telemetry)
+
+
+def bench_jsonl_round_trip(benchmark, study):
+    questionnaire = study.responses.questionnaire
+
+    def run():
+        buf = io.StringIO()
+        write_responses_jsonl(study.responses, buf)
+        return read_responses_jsonl(questionnaire, buf.getvalue())
+
+    result = benchmark(run)
+    assert len(result) == len(study.responses)
+
+
+def bench_mention_extraction(benchmark, study):
+    result = benchmark(extract_mentions, study.current, "stack_description")
+    assert result.n_documents > 0
+
+
+def bench_holm_1000(benchmark):
+    rng = np.random.default_rng(0)
+    p = rng.uniform(size=1000)
+    adjusted = benchmark(holm_bonferroni, p)
+    assert adjusted.shape == (1000,)
+
+
+def bench_raking_two_margins(benchmark):
+    rng = np.random.default_rng(0)
+    fields = rng.choice(["a", "b", "c", "d"], size=5000).tolist()
+    stages = rng.choice(["x", "y", "z"], size=5000).tolist()
+    targets = [
+        {"a": 0.3, "b": 0.3, "c": 0.2, "d": 0.2},
+        {"x": 0.5, "y": 0.3, "z": 0.2},
+    ]
+
+    def run():
+        return rake_weights([fields, stages], targets)
+
+    weights = benchmark(run)
+    assert weights.shape == (5000,)

@@ -1,0 +1,18 @@
+"""Shared benchmark fixtures.
+
+The study is generated once per session (generation itself is benchmarked
+separately in bench_substrates); per-experiment benches then measure pure
+analysis/render cost, which is what a user regenerating one table pays.
+"""
+
+import pytest
+
+from repro.core import build_default_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """Benchmark-scale study: both cohorts + a 6-month telemetry window."""
+    return build_default_study(
+        seed=2024, n_baseline=150, n_current=200, months=6, jobs_per_day=200
+    )

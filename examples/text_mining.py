@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Text mining walkthrough: free-text answers -> tool co-mention network.
+
+Run:
+    python examples/text_mining.py
+
+Mines the 2024 cohort's "describe your software stack" answers for tool
+mentions, compares mention rates across cohorts, and builds the co-mention
+network behind figure F6 — including its community structure ("the Python
+data stack travels together").
+"""
+
+from repro.core import build_instrument, profile_2011, profile_2024
+from repro.report import ascii_bar_chart
+from repro.synth import generate_study
+from repro.text import (
+    ToolEntry,
+    DEFAULT_LEXICON,
+    build_cooccurrence_graph,
+    cooccurrence_summary,
+    extract_mentions,
+)
+
+
+def main() -> None:
+    responses = generate_study(
+        {"2011": (profile_2011(), 250), "2024": (profile_2024(), 250)},
+        build_instrument(),
+        seed=33,
+    )
+
+    # Sites can extend the lexicon for local tools; alias resolution is
+    # automatic ("torch" -> pytorch, "sklearn" -> scikit-learn, ...).
+    lexicon = DEFAULT_LEXICON.extended(
+        [ToolEntry("paraview", "environment"), ToolEntry("dask", "hpc")]
+    )
+
+    by_cohort = {
+        cohort: extract_mentions(responses.by_cohort(cohort), "stack_description", lexicon)
+        for cohort in ("2011", "2024")
+    }
+
+    print("top mentioned tools per cohort:")
+    for cohort, summary in by_cohort.items():
+        top = summary.top(6)
+        print(f"  {cohort} ({summary.n_documents} answers): "
+              + ", ".join(f"{tool} ({count})" for tool, count in top))
+    print()
+
+    # Tools whose mention rate moved the most between waves.
+    tools = set(by_cohort["2011"].counts) | set(by_cohort["2024"].counts)
+    deltas = {
+        tool: by_cohort["2024"].share(tool) - by_cohort["2011"].share(tool)
+        for tool in tools
+    }
+    movers = sorted(deltas.items(), key=lambda kv: -abs(kv[1]))[:8]
+    print("biggest movers (mention-rate change, 2011 -> 2024):")
+    for tool, delta in movers:
+        print(f"  {tool:<14} {delta:+.1%}")
+    print()
+
+    # F6: the co-mention network for the 2024 wave.
+    graph = build_cooccurrence_graph(by_cohort["2024"], min_count=3)
+    summary = cooccurrence_summary(graph, top_k=8)
+    print(f"co-mention network: {summary.n_tools} tools, {summary.n_edges} edges")
+    print("strongest pairs:")
+    print(ascii_bar_chart(
+        [f"{a}+{b}" for a, b, _ in summary.top_pairs],
+        [w for _, _, w in summary.top_pairs],
+        value_fmt=lambda v: f"{v:.0f}",
+    ))
+    print()
+    print("communities (stacks that travel together):")
+    for i, community in enumerate(summary.communities):
+        print(f"  group {i}: {', '.join(sorted(community))}")
+
+
+if __name__ == "__main__":
+    main()

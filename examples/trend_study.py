@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Trend study walkthrough: the survey side of the reproduction, in depth.
+
+Run:
+    python examples/trend_study.py
+
+Demonstrates the survey workflow a research-computing group would follow on
+real data: build the instrument, collect (here: synthesize) both waves,
+validate and anonymize, post-stratify to the campus population, and compute
+the trend families with corrected significance.
+"""
+
+import numpy as np
+
+from repro.core import (
+    TrendEngine,
+    build_instrument,
+    population_field_shares,
+    profile_2011,
+    profile_2024,
+)
+from repro.report import ascii_bar_chart, fmt_pct
+from repro.stats import effective_sample_size, post_stratify, weighted_proportion
+from repro.survey import anonymize_ids, build_codebook, validate_response_set
+from repro.synth import generate_study
+
+
+def main() -> None:
+    questionnaire = build_instrument()
+
+    # 1. Collect both waves. On real data you would read a CSV/JSONL export
+    #    (repro.io) instead of generating.
+    responses = generate_study(
+        {"2011": (profile_2011(), 200), "2024": (profile_2024(), 260)},
+        questionnaire,
+        seed=7,
+    )
+
+    # 2. QA: validate against the instrument, then pseudonymize for analysis.
+    report = validate_response_set(responses)
+    print(f"validation: ok={report.ok}, issues={len(report.issues)} "
+          f"(missing answers etc.), completion={responses.completion_rate():.1%}")
+    responses = anonymize_ids(responses, salt="example-release")
+
+    # 3. Codebook for the released dataset.
+    codebook = build_codebook(questionnaire, responses)
+    print(f"codebook: {len(codebook)} variables; first entry:\n{codebook.entries[0].render()}\n")
+
+    # 4. Post-stratify the 2024 wave to the campus field distribution and
+    #    compare weighted vs unweighted GPU adoption.
+    current = responses.by_cohort("2024")
+    fields = [r.get("field") for r in current if r.answered("field")]
+    weights = post_stratify(fields, population_field_shares())
+    gpu_flags = [
+        r.get("uses_gpu") == "yes" for r in current if r.answered("field")
+    ]
+    raw = float(np.mean(gpu_flags))
+    weighted = weighted_proportion(gpu_flags, weights)
+    print(f"2024 GPU adoption: raw {fmt_pct(raw)}, "
+          f"post-stratified {fmt_pct(weighted)} "
+          f"(effective n = {effective_sample_size(weights):.0f})")
+    print()
+
+    # 5. Trend families with Holm correction.
+    engine = TrendEngine(responses)
+    languages = engine.multi_choice_trend("languages").corrected("holm").sorted_by_delta()
+    print("language trends (2011 -> 2024), Holm-corrected:")
+    for row in languages:
+        marker = " *" if row.significant() else ""
+        print(f"  {row.label:<12} {fmt_pct(row.baseline.estimate):>6} -> "
+              f"{fmt_pct(row.current.estimate):>6}  ({row.delta:+.1%}){marker}")
+    print()
+
+    # 6. A bar chart of the 2024 language landscape.
+    shares = {
+        row.label: row.current.estimate for row in languages
+    }
+    top = sorted(shares.items(), key=lambda kv: -kv[1])[:8]
+    print("2024 language use:")
+    print(ascii_bar_chart([k for k, _ in top], [v for _, v in top],
+                          value_fmt=lambda v: fmt_pct(v)))
+
+
+if __name__ == "__main__":
+    main()

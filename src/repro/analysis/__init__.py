@@ -1,0 +1,97 @@
+"""Analysis layer: turns study data into the numbers the tables report.
+
+One module per experiment family:
+
+* :mod:`repro.analysis.crosstab` — vectorized cross-tabulation engine (and a
+  reference loop implementation for the ablation bench);
+* :mod:`repro.analysis.demographics` — T1;
+* :mod:`repro.analysis.languages` — T2 / F1;
+* :mod:`repro.analysis.parallelism` — T3 / F2;
+* :mod:`repro.analysis.ml_adoption` — T4;
+* :mod:`repro.analysis.practices` — T6;
+* :mod:`repro.analysis.training` — T7;
+* :mod:`repro.analysis.storage` — T8;
+* :mod:`repro.analysis.telemetry` — F3/F4/F5/F7/T5 over the job table;
+* :mod:`repro.analysis.concordance` — F8, the survey-vs-telemetry join.
+"""
+
+from repro.analysis.crosstab import CrossTab, crosstab, crosstab_loop
+from repro.analysis.demographics import DemographicsResult, demographics_table
+from repro.analysis.languages import (
+    LanguageShare,
+    language_shares,
+    language_trend_series,
+    primary_language_table,
+)
+from repro.analysis.parallelism import (
+    gpu_adoption_by_field,
+    parallel_mode_trends,
+    parallelism_rates,
+)
+from repro.analysis.ml_adoption import ml_adoption_summary
+from repro.analysis.practices import practices_trends
+from repro.analysis.training import training_summary
+from repro.analysis.storage import storage_summary
+from repro.analysis.telemetry import (
+    cpu_hours_figure,
+    gpu_growth_figure,
+    job_width_figure,
+    queue_wait_table,
+    runtime_figure,
+)
+from repro.analysis.concordance import gpu_concordance
+from repro.analysis.panel import (
+    PairedChange,
+    paired_multi_change,
+    paired_yes_no_change,
+)
+from repro.analysis.quality import ItemNonresponse, QualityReport, quality_report
+from repro.analysis.environment import EnvironmentSummary, environment_summary
+from repro.analysis.balance import BalanceReport, BalanceRow, cohort_balance
+from repro.analysis.field_profiles import FieldProfile, field_profiles
+from repro.analysis.robustness import (
+    HEADLINE_CLAIMS,
+    ClaimResult,
+    headline_robustness,
+)
+
+__all__ = [
+    "CrossTab",
+    "crosstab",
+    "crosstab_loop",
+    "DemographicsResult",
+    "demographics_table",
+    "LanguageShare",
+    "language_shares",
+    "language_trend_series",
+    "primary_language_table",
+    "parallelism_rates",
+    "parallel_mode_trends",
+    "gpu_adoption_by_field",
+    "ml_adoption_summary",
+    "practices_trends",
+    "training_summary",
+    "storage_summary",
+    "cpu_hours_figure",
+    "job_width_figure",
+    "queue_wait_table",
+    "gpu_growth_figure",
+    "runtime_figure",
+    "gpu_concordance",
+    "PairedChange",
+    "paired_yes_no_change",
+    "paired_multi_change",
+    "ItemNonresponse",
+    "QualityReport",
+    "quality_report",
+    "EnvironmentSummary",
+    "environment_summary",
+    "BalanceRow",
+    "BalanceReport",
+    "cohort_balance",
+    "FieldProfile",
+    "field_profiles",
+    "ClaimResult",
+    "HEADLINE_CLAIMS",
+    "headline_robustness",
+]

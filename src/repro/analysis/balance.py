@@ -1,0 +1,116 @@
+"""Cohort covariate balance (the methods-section companion to T1).
+
+Before attributing differences to time, the study must show the two waves
+sample comparable populations. This module computes standardized differences
+for the demographic covariates; |d| < 0.1 is the conventional "balanced"
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.survey.responses import ResponseSet
+
+__all__ = ["BalanceRow", "BalanceReport", "cohort_balance"]
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceRow:
+    """Standardized difference for one covariate (or category indicator)."""
+
+    covariate: str
+    mean_a: float
+    mean_b: float
+    std_diff: float
+
+    @property
+    def balanced(self) -> bool:
+        return abs(self.std_diff) < 0.1
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """All balance rows for a cohort pair, worst first."""
+
+    cohort_a: str
+    cohort_b: str
+    rows: tuple[BalanceRow, ...]
+
+    @property
+    def max_abs_std_diff(self) -> float:
+        return max(abs(r.std_diff) for r in self.rows)
+
+    @property
+    def balanced(self) -> bool:
+        return all(r.balanced for r in self.rows)
+
+    def imbalanced(self) -> tuple[BalanceRow, ...]:
+        return tuple(r for r in self.rows if not r.balanced)
+
+
+def _std_diff(a: np.ndarray, b: np.ndarray) -> float:
+    mean_a, mean_b = a.mean(), b.mean()
+    var = (a.var(ddof=1) + b.var(ddof=1)) / 2.0 if a.size > 1 and b.size > 1 else 0.0
+    if var <= 0:
+        return 0.0 if mean_a == mean_b else math.inf
+    return float((mean_b - mean_a) / math.sqrt(var))
+
+
+def cohort_balance(
+    responses: ResponseSet,
+    cohort_a: str = "2011",
+    cohort_b: str = "2024",
+    categorical: tuple[str, ...] = ("field", "career_stage"),
+    numeric: tuple[str, ...] = ("years_programming",),
+) -> BalanceReport:
+    """Standardized differences between two cohorts' demographics.
+
+    Categorical covariates contribute one indicator row per category;
+    numeric covariates one row each. Missing answers are excluded per
+    covariate.
+    """
+    sub_a = responses.by_cohort(cohort_a)
+    sub_b = responses.by_cohort(cohort_b)
+    if len(sub_a) == 0 or len(sub_b) == 0:
+        raise ValueError("both cohorts must be non-empty")
+
+    rows: list[BalanceRow] = []
+    for key in categorical:
+        col_a = [v for v in sub_a.column(key) if v is not None]
+        col_b = [v for v in sub_b.column(key) if v is not None]
+        if not col_a or not col_b:
+            continue
+        for category in sorted(set(col_a) | set(col_b)):
+            ind_a = np.array([v == category for v in col_a], dtype=float)
+            ind_b = np.array([v == category for v in col_b], dtype=float)
+            rows.append(
+                BalanceRow(
+                    covariate=f"{key}={category}",
+                    mean_a=float(ind_a.mean()),
+                    mean_b=float(ind_b.mean()),
+                    std_diff=_std_diff(ind_a, ind_b),
+                )
+            )
+    for key in numeric:
+        values_a = sub_a.numeric_column(key)
+        values_b = sub_b.numeric_column(key)
+        values_a = values_a[~np.isnan(values_a)]
+        values_b = values_b[~np.isnan(values_b)]
+        if values_a.size == 0 or values_b.size == 0:
+            continue
+        rows.append(
+            BalanceRow(
+                covariate=key,
+                mean_a=float(values_a.mean()),
+                mean_b=float(values_b.mean()),
+                std_diff=_std_diff(values_a, values_b),
+            )
+        )
+    if not rows:
+        raise ValueError("no covariates could be compared")
+    rows.sort(key=lambda r: -abs(r.std_diff))
+    return BalanceReport(cohort_a=cohort_a, cohort_b=cohort_b, rows=tuple(rows))

@@ -1,0 +1,51 @@
+"""T1: respondent demographics by field and career stage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.crosstab import COHORT, CrossTab, crosstab
+from repro.stats.descriptive import Summary, summarize
+from repro.survey.responses import ResponseSet
+
+__all__ = ["DemographicsResult", "demographics_table"]
+
+
+@dataclass(frozen=True)
+class DemographicsResult:
+    """Demographic composition of the study's cohorts.
+
+    Attributes
+    ----------
+    field_by_cohort, stage_by_cohort:
+        Cross-tabs of field / career stage against cohort.
+    years_programming:
+        Per-cohort summary of programming experience.
+    response_counts:
+        Respondents per cohort.
+    """
+
+    field_by_cohort: CrossTab
+    stage_by_cohort: CrossTab
+    years_programming: dict[str, Summary]
+    response_counts: dict[str, int]
+
+
+def demographics_table(responses: ResponseSet) -> DemographicsResult:
+    """Compute T1 over a multi-cohort response set."""
+    years: dict[str, Summary] = {}
+    counts: dict[str, int] = {}
+    for cohort, subset in responses.split_cohorts().items():
+        counts[cohort] = len(subset)
+        values = subset.numeric_column("years_programming")
+        values = values[~np.isnan(values)]
+        if values.size:
+            years[cohort] = summarize(values)
+    return DemographicsResult(
+        field_by_cohort=crosstab(responses, "field", COHORT),
+        stage_by_cohort=crosstab(responses, "career_stage", COHORT),
+        years_programming=years,
+        response_counts=counts,
+    )

@@ -1,0 +1,65 @@
+"""X6: work-environment practices (OS, editors, hours, training, OSS)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.crosstab import COHORT, CrossTab, crosstab
+from repro.core.trends import TrendEngine, TrendRow, TrendTable
+from repro.stats.descriptive import Summary, summarize
+from repro.survey.responses import ResponseSet
+
+__all__ = ["EnvironmentSummary", "environment_summary"]
+
+
+@dataclass(frozen=True)
+class EnvironmentSummary:
+    """Work-environment panel.
+
+    Attributes
+    ----------
+    os_by_cohort:
+        Primary development OS cross-tab.
+    editor_trends:
+        Editor/IDE multi-select trend family (Holm-corrected).
+    hours_per_week:
+        Per-cohort summaries of weekly computational hours.
+    hpc_training:
+        Trend among cluster users (the item is gated on cluster use).
+    open_source:
+        Open-source contribution trend.
+    """
+
+    os_by_cohort: CrossTab
+    editor_trends: TrendTable
+    hours_per_week: dict[str, Summary]
+    hpc_training: TrendRow
+    open_source: TrendRow
+
+
+def environment_summary(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> EnvironmentSummary:
+    """Compute the work-environment panel."""
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    hours: dict[str, Summary] = {}
+    for cohort, subset in responses.split_cohorts().items():
+        values = subset.numeric_column("hours_per_week")
+        values = values[~np.isnan(values)]
+        if values.size:
+            hours[cohort] = summarize(values)
+    return EnvironmentSummary(
+        os_by_cohort=crosstab(responses, "primary_os", COHORT),
+        editor_trends=engine.multi_choice_trend(
+            "editors", title="editor/IDE use"
+        ).corrected("holm"),
+        hours_per_week=hours,
+        hpc_training=engine.yes_no_trend("hpc_training", label="HPC training"),
+        open_source=engine.yes_no_trend(
+            "contributes_open_source", label="open-source contribution"
+        ),
+    )

@@ -1,0 +1,119 @@
+"""Per-field practice portraits.
+
+The paper's discussion walks through fields one at a time ("astrophysicists
+are MPI-and-Fortran people; neuroscientists are GPU-and-Python people").
+This module computes those portraits from the current wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.survey.responses import ResponseSet
+
+__all__ = ["FieldProfile", "field_profiles"]
+
+
+@dataclass(frozen=True)
+class FieldProfile:
+    """One field's practice portrait (current wave).
+
+    Attributes
+    ----------
+    field, n:
+        Field name and answerer count.
+    top_languages:
+        Up to three most-used languages with shares.
+    gpu_share, cluster_share, ml_share:
+        Adoption shares among answerers of the respective items.
+    distinguishing:
+        The practice whose share most exceeds the wave-wide share
+        (what makes this field different), as (label, field share, overall
+        share).
+    """
+
+    field: str
+    n: int
+    top_languages: tuple[tuple[str, float], ...]
+    gpu_share: float
+    cluster_share: float
+    ml_share: float
+    distinguishing: tuple[str, float, float]
+
+
+def _yes_share(subset: ResponseSet, key: str) -> float:
+    col = subset.column(key)
+    answered = [v for v in col if v is not None]
+    if not answered:
+        return float("nan")
+    return sum(1 for v in answered if v == "yes") / len(answered)
+
+
+def _language_shares(subset: ResponseSet) -> dict[str, float]:
+    question = subset.questionnaire["languages"]
+    matrix = subset.selection_matrix("languages")
+    answered = subset.answered_mask("languages")
+    n = int(answered.sum())
+    if n == 0:
+        return {}
+    return {
+        option: float(matrix[answered, j].mean())
+        for j, option in enumerate(question.options)
+    }
+
+
+def field_profiles(
+    responses: ResponseSet, cohort: str = "2024", min_n: int = 8
+) -> list[FieldProfile]:
+    """Portraits for every field with at least ``min_n`` respondents."""
+    wave = responses.by_cohort(cohort)
+    if len(wave) == 0:
+        raise ValueError(f"no responses in cohort {cohort!r}")
+    overall = {
+        "GPU use": _yes_share(wave, "uses_gpu"),
+        "cluster use": _yes_share(wave, "uses_cluster"),
+        "ML use": _yes_share(wave, "uses_ml"),
+        "parallelism": _yes_share(wave, "uses_parallelism"),
+    }
+
+    profiles: list[FieldProfile] = []
+    fields = sorted({r.get("field") for r in wave if r.answered("field")})
+    for field_name in fields:
+        subset = wave.filter(lambda r: r.get("field") == field_name)
+        if len(subset) < min_n:
+            continue
+        lang_shares = _language_shares(subset)
+        top_languages = tuple(
+            sorted(lang_shares.items(), key=lambda kv: -kv[1])[:3]
+        )
+        shares = {
+            "GPU use": _yes_share(subset, "uses_gpu"),
+            "cluster use": _yes_share(subset, "uses_cluster"),
+            "ML use": _yes_share(subset, "uses_ml"),
+            "parallelism": _yes_share(subset, "uses_parallelism"),
+        }
+        # Most-distinguishing practice: largest excess over the wave share.
+        label, excess = max(
+            (
+                (name, shares[name] - overall[name])
+                for name in shares
+                if not (np.isnan(shares[name]) or np.isnan(overall[name]))
+            ),
+            key=lambda kv: kv[1],
+            default=("GPU use", 0.0),
+        )
+        profiles.append(
+            FieldProfile(
+                field=str(field_name),
+                n=len(subset),
+                top_languages=top_languages,
+                gpu_share=shares["GPU use"],
+                cluster_share=shares["cluster use"],
+                ml_share=shares["ML use"],
+                distinguishing=(label, shares[label], overall[label]),
+            )
+        )
+    profiles.sort(key=lambda p: -p.n)
+    return profiles

@@ -1,0 +1,77 @@
+"""T2 / F1: programming-language use by cohort."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.crosstab import COHORT, CrossTab, crosstab
+from repro.core.trends import TrendEngine, TrendTable
+from repro.stats.intervals import BinomialInterval, wilson_interval
+from repro.survey.responses import ResponseSet
+
+__all__ = [
+    "LanguageShare",
+    "language_shares",
+    "language_trend_series",
+    "primary_language_table",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class LanguageShare:
+    """One language's multi-select share within one cohort."""
+
+    language: str
+    cohort: str
+    interval: BinomialInterval
+    count: int
+    n: int
+
+
+def language_shares(
+    responses: ResponseSet, confidence: float = 0.95
+) -> dict[str, list[LanguageShare]]:
+    """Per-cohort language shares with Wilson intervals (table T2).
+
+    Denominator per cohort: respondents who answered the languages item.
+    """
+    question = responses.questionnaire["languages"]
+    out: dict[str, list[LanguageShare]] = {}
+    for cohort, subset in responses.split_cohorts().items():
+        matrix = subset.selection_matrix("languages")
+        answered = subset.answered_mask("languages")
+        n = int(answered.sum())
+        if n == 0:
+            out[cohort] = []
+            continue
+        shares = []
+        for j, language in enumerate(question.options):
+            count = int(matrix[answered, j].sum())
+            shares.append(
+                LanguageShare(
+                    language=language,
+                    cohort=cohort,
+                    interval=wilson_interval(count, n, confidence),
+                    count=count,
+                    n=n,
+                )
+            )
+        out[cohort] = shares
+    return out
+
+
+def language_trend_series(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> TrendTable:
+    """F1: the language trend family, Holm-corrected and delta-sorted."""
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    return engine.multi_choice_trend("languages", title="F1: language trend").corrected(
+        "holm"
+    ).sorted_by_delta()
+
+
+def primary_language_table(responses: ResponseSet) -> CrossTab:
+    """Primary-language x cohort cross-tab (T2's companion panel)."""
+    return crosstab(responses, "primary_language", COHORT)

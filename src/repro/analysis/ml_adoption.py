@@ -1,0 +1,57 @@
+"""T4: machine-learning adoption and framework use."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trends import TrendEngine, TrendRow
+from repro.stats.intervals import BinomialInterval, wilson_interval
+from repro.survey.responses import ResponseSet
+
+__all__ = ["MLAdoptionSummary", "ml_adoption_summary"]
+
+
+@dataclass(frozen=True)
+class MLAdoptionSummary:
+    """T4: ML adoption trend plus framework shares among 2024 ML users.
+
+    Attributes
+    ----------
+    adoption:
+        uses_ml trend row between cohorts.
+    framework_shares:
+        Mapping framework -> Wilson interval of its share among current-
+        cohort ML users who listed frameworks.
+    n_ml_users:
+        Number of current-cohort respondents who answered the framework
+        item (the denominators).
+    """
+
+    adoption: TrendRow
+    framework_shares: dict[str, BinomialInterval]
+    n_ml_users: int
+
+
+def ml_adoption_summary(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+    confidence: float = 0.95,
+) -> MLAdoptionSummary:
+    """Compute T4."""
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    adoption = engine.yes_no_trend("uses_ml")
+
+    current = responses.by_cohort(current_cohort)
+    question = current.questionnaire["ml_frameworks"]
+    matrix = current.selection_matrix("ml_frameworks")
+    answered = current.answered_mask("ml_frameworks")
+    n = int(answered.sum())
+    shares: dict[str, BinomialInterval] = {}
+    if n > 0:
+        for j, framework in enumerate(question.options):
+            count = int(matrix[answered, j].sum())
+            shares[framework] = wilson_interval(count, n, confidence)
+    return MLAdoptionSummary(
+        adoption=adoption, framework_shares=shares, n_ml_users=n
+    )

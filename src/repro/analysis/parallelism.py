@@ -1,0 +1,99 @@
+"""T3 / F2: parallelism modality use and GPU adoption by field."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trends import TrendEngine, TrendRow, TrendTable
+from repro.stats.intervals import BinomialInterval, wilson_interval
+from repro.survey.responses import ResponseSet
+
+__all__ = ["parallelism_rates", "parallel_mode_trends", "gpu_adoption_by_field"]
+
+
+@dataclass(frozen=True)
+class ParallelismRates:
+    """Headline parallelism adoption rows (T3 top panel)."""
+
+    uses_parallelism: TrendRow
+    uses_cluster: TrendRow
+    uses_gpu: TrendRow
+
+
+def parallelism_rates(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> ParallelismRates:
+    """Overall parallelism/cluster/GPU adoption trends."""
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    return ParallelismRates(
+        uses_parallelism=engine.yes_no_trend("uses_parallelism"),
+        uses_cluster=engine.yes_no_trend("uses_cluster"),
+        uses_gpu=engine.yes_no_trend("uses_gpu"),
+    )
+
+
+def parallel_mode_trends(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> TrendTable:
+    """T3 bottom panel: per-modality trends among *parallel users*.
+
+    Denominators are respondents shown the parallel-modes item (skip logic
+    restricts it to parallelism users), matching how the paper reports
+    "share of parallel users employing MPI".
+    """
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    return engine.multi_choice_trend(
+        "parallel_modes", title="T3: parallel modes among parallel users"
+    ).corrected("holm")
+
+
+@dataclass(frozen=True, slots=True)
+class FieldAdoption:
+    """GPU adoption within one field (one F2 bar)."""
+
+    field: str
+    interval: BinomialInterval
+    count: int
+    n: int
+
+
+def gpu_adoption_by_field(
+    responses: ResponseSet,
+    cohort: str = "2024",
+    min_n: int = 5,
+    confidence: float = 0.95,
+) -> list[FieldAdoption]:
+    """F2: share of each field's respondents reporting GPU use.
+
+    Fields with fewer than ``min_n`` answerers are omitted (their intervals
+    would span most of [0, 1] and the paper suppresses them too). Sorted by
+    adoption, descending.
+    """
+    subset = responses.by_cohort(cohort)
+    fields = subset.column("field")
+    gpu = subset.column("uses_gpu")
+    out: list[FieldAdoption] = []
+    for field_name in sorted({f for f in fields if f is not None}):
+        mask = np.array(
+            [f == field_name and g is not None for f, g in zip(fields, gpu)]
+        )
+        n = int(mask.sum())
+        if n < min_n:
+            continue
+        count = int(sum(1 for f, g in zip(fields, gpu) if f == field_name and g == "yes"))
+        out.append(
+            FieldAdoption(
+                field=str(field_name),
+                interval=wilson_interval(count, n, confidence),
+                count=count,
+                n=n,
+            )
+        )
+    out.sort(key=lambda a: -a.interval.estimate)
+    return out

@@ -1,0 +1,57 @@
+"""T6: software-engineering practice adoption by cohort."""
+
+from __future__ import annotations
+
+from repro.core.trends import TrendEngine, TrendRow, TrendTable
+
+from repro.survey.responses import ResponseSet
+
+__all__ = ["practices_trends"]
+
+
+def practices_trends(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> TrendTable:
+    """T6: VCS, testing, and container practice trends as one family.
+
+    Rows: git use, any version control, unit testing (with or without CI),
+    CI specifically, and containers — the five practices the study tracks.
+    All five are tested together and Holm-corrected.
+    """
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+
+    rows: list[TrendRow] = [
+        engine.single_choice_trend("vcs", "git", label="uses git"),
+    ]
+
+    # "any VCS" needs a custom count: every answer except 'none'.
+    def any_vcs_counts(cohort):
+        col = cohort.column("vcs")
+        answered = [v for v in col if v is not None]
+        return sum(1 for v in answered if v != "none"), len(answered)
+
+    s_a, n_a = any_vcs_counts(engine.baseline)
+    s_b, n_b = any_vcs_counts(engine.current)
+    rows.append(engine._row("any version control", s_a, n_a, s_b, n_b))
+
+    def testing_counts(cohort, values):
+        col = cohort.column("testing")
+        answered = [v for v in col if v is not None]
+        return sum(1 for v in answered if v in values), len(answered)
+
+    unit_values = ("unit_tests", "unit_tests_and_ci")
+    s_a, n_a = testing_counts(engine.baseline, unit_values)
+    s_b, n_b = testing_counts(engine.current, unit_values)
+    rows.append(engine._row("unit testing", s_a, n_a, s_b, n_b))
+
+    s_a, n_a = testing_counts(engine.baseline, ("unit_tests_and_ci",))
+    s_b, n_b = testing_counts(engine.current, ("unit_tests_and_ci",))
+    rows.append(engine._row("continuous integration", s_a, n_a, s_b, n_b))
+
+    rows.append(engine.yes_no_trend("uses_containers", label="containers"))
+
+    return TrendTable(
+        title="T6: engineering practices", rows=tuple(rows)
+    ).corrected("holm")

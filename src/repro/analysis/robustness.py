@@ -1,0 +1,109 @@
+"""Seed-sweep robustness of the headline claims.
+
+EXPERIMENTS.md asserts the shape claims hold across seeds; this module
+automates that assertion: regenerate the survey under many seeds and report,
+per headline claim, how often its direction and its significance held.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.calibration import profile_2011, profile_2024
+from repro.core.instrument import build_instrument
+from repro.core.trends import TrendEngine, TrendRow
+
+__all__ = ["ClaimResult", "headline_robustness", "HEADLINE_CLAIMS"]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """How one claim fared across the sweep.
+
+    Attributes
+    ----------
+    claim:
+        Claim label.
+    n_seeds:
+        Sweep size.
+    direction_held, significant:
+        How many seeds the expected direction held / the row was significant
+        at the given alpha.
+    mean_delta:
+        Mean observed change across seeds.
+    """
+
+    claim: str
+    n_seeds: int
+    direction_held: int
+    significant: int
+    mean_delta: float
+
+    @property
+    def direction_rate(self) -> float:
+        return self.direction_held / self.n_seeds
+
+    @property
+    def significance_rate(self) -> float:
+        return self.significant / self.n_seeds
+
+
+# (label, row extractor, expected sign)
+HEADLINE_CLAIMS: tuple[tuple[str, Callable[[TrendEngine], TrendRow], int], ...] = (
+    ("python use rises", lambda e: e.multi_choice_trend("languages")["python"], +1),
+    ("matlab use falls", lambda e: e.multi_choice_trend("languages")["matlab"], -1),
+    ("fortran use falls", lambda e: e.multi_choice_trend("languages")["fortran"], -1),
+    ("GPU use rises", lambda e: e.yes_no_trend("uses_gpu"), +1),
+    ("ML use rises", lambda e: e.yes_no_trend("uses_ml"), +1),
+    ("git becomes default", lambda e: e.single_choice_trend("vcs", "git"), +1),
+    ("containers appear", lambda e: e.yes_no_trend("uses_containers"), +1),
+    ("parallelism rises", lambda e: e.yes_no_trend("uses_parallelism"), +1),
+)
+
+
+def headline_robustness(
+    seeds: Sequence[int],
+    n_baseline: int = 120,
+    n_current: int = 200,
+    alpha: float = 0.05,
+    claims=HEADLINE_CLAIMS,
+) -> list[ClaimResult]:
+    """Sweep the survey generator over ``seeds`` and score each claim."""
+    from repro.synth.generator import generate_study
+
+    if not seeds:
+        raise ValueError("need at least one seed")
+    questionnaire = build_instrument()
+    tallies = {
+        label: {"direction": 0, "significant": 0, "delta_sum": 0.0}
+        for label, _, _ in claims
+    }
+    for seed in seeds:
+        responses = generate_study(
+            {
+                "2011": (profile_2011(), n_baseline),
+                "2024": (profile_2024(), n_current),
+            },
+            questionnaire,
+            seed=int(seed),
+        )
+        engine = TrendEngine(responses)
+        for label, extract, sign in claims:
+            row = extract(engine)
+            tally = tallies[label]
+            if row.delta * sign > 0:
+                tally["direction"] += 1
+            if row.significant(alpha) and row.delta * sign > 0:
+                tally["significant"] += 1
+            tally["delta_sum"] += row.delta
+    return [
+        ClaimResult(
+            claim=label,
+            n_seeds=len(seeds),
+            direction_held=tallies[label]["direction"],
+            significant=tallies[label]["significant"],
+            mean_delta=tallies[label]["delta_sum"] / len(seeds),
+        )
+        for label, _, _ in claims
+    ]

@@ -1,0 +1,65 @@
+"""T8: data scale and storage locations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.crosstab import COHORT, CrossTab, crosstab
+from repro.core.instrument import DATA_SCALES
+from repro.core.trends import TrendEngine, TrendTable
+from repro.stats.effects import rank_biserial
+from repro.stats.tests import TestResult, mann_whitney_u
+from repro.survey.responses import ResponseSet
+
+__all__ = ["StorageSummary", "storage_summary"]
+
+
+@dataclass(frozen=True)
+class StorageSummary:
+    """T8 contents.
+
+    Attributes
+    ----------
+    scale_by_cohort:
+        Cross-tab of the ordinal data-scale answer by cohort.
+    scale_shift_test:
+        Mann-Whitney on the ordinal scale codes (did data get bigger?).
+    scale_shift_effect:
+        Rank-biserial (positive = current cohort reports larger data).
+    locations:
+        Storage-location trend family (multi-select), Holm-corrected.
+    """
+
+    scale_by_cohort: CrossTab
+    scale_shift_test: TestResult
+    scale_shift_effect: float
+    locations: TrendTable
+
+
+def _ordinal_codes(responses: ResponseSet, cohort: str) -> np.ndarray:
+    order = {scale: i for i, scale in enumerate(DATA_SCALES)}
+    col = responses.by_cohort(cohort).column("data_scale")
+    return np.array([order[v] for v in col if v is not None], dtype=float)
+
+
+def storage_summary(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> StorageSummary:
+    """Compute T8."""
+    baseline = _ordinal_codes(responses, baseline_cohort)
+    current = _ordinal_codes(responses, current_cohort)
+    if baseline.size == 0 or current.size == 0:
+        raise ValueError("both cohorts need data_scale answers")
+    engine = TrendEngine(responses, baseline_cohort, current_cohort)
+    return StorageSummary(
+        scale_by_cohort=crosstab(responses, "data_scale", COHORT),
+        scale_shift_test=mann_whitney_u(current, baseline),
+        scale_shift_effect=rank_biserial(current, baseline),
+        locations=engine.multi_choice_trend(
+            "storage_locations", title="T8: storage locations"
+        ).corrected("holm"),
+    )

@@ -1,0 +1,130 @@
+"""Telemetry experiments (F3, F4, F5, F7, T5) bound to a Study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.records import JobTable
+from repro.cluster.usage import (
+    WidthDistribution,
+    cpu_hours_by_field_month,
+    gpu_hours_monthly,
+    job_width_distribution,
+    monthly_growth_rate,
+    runtime_distribution_by_field,
+    wait_stats_by_partition,
+)
+from repro.core.study import Study
+from repro.stats.bootstrap import BootstrapResult, bootstrap_ci
+
+__all__ = [
+    "cpu_hours_figure",
+    "job_width_figure",
+    "queue_wait_table",
+    "gpu_growth_figure",
+    "runtime_figure",
+]
+
+
+def cpu_hours_figure(study: Study, top_fields: int = 6) -> dict[str, np.ndarray]:
+    """F3: monthly CPU-hours for the top consuming fields.
+
+    Remaining fields are folded into an "other" series so the figure stays
+    readable; includes the total as ``"__total__"``.
+    """
+    if top_fields < 1:
+        raise ValueError("top_fields must be >= 1")
+    per_field = cpu_hours_by_field_month(study.telemetry)
+    if not per_field:
+        raise ValueError("telemetry is empty")
+    ranked = sorted(per_field.items(), key=lambda kv: -kv[1].sum())
+    keep = ranked[:top_fields]
+    rest = ranked[top_fields:]
+    out = {name: series for name, series in keep}
+    if rest:
+        out["other"] = np.sum([series for _, series in rest], axis=0)
+    out["__total__"] = np.sum(list(per_field.values()), axis=0)
+    return out
+
+
+def job_width_figure(study: Study) -> dict[str, WidthDistribution]:
+    """F4: job-width CDFs for CPU vs GPU partitions."""
+    cpu = study.telemetry.mask(study.telemetry.gpus == 0)
+    gpu = study.telemetry.gpu_jobs()
+    out: dict[str, WidthDistribution] = {}
+    if len(cpu):
+        out["cpu"] = job_width_distribution(cpu)
+    if len(gpu):
+        out["gpu"] = job_width_distribution(gpu)
+    if not out:
+        raise ValueError("telemetry is empty")
+    return out
+
+
+def queue_wait_table(study: Study) -> dict[str, dict[str, float]]:
+    """T5: queue-wait statistics per partition and width class."""
+    if len(study.telemetry) == 0:
+        raise ValueError("telemetry is empty")
+    return wait_stats_by_partition(study.telemetry)
+
+
+@dataclass(frozen=True)
+class GpuGrowthFigure:
+    """F5 contents: the monthly series, fitted growth, and a bootstrap CI.
+
+    The CI is over months: monthly totals are resampled and the growth rate
+    refitted, giving a (conservative) spread for the fitted rate.
+    """
+
+    monthly_gpu_hours: np.ndarray
+    growth_per_month: float
+    growth_ci: BootstrapResult
+
+
+def gpu_growth_figure(study: Study, n_resamples: int = 500) -> GpuGrowthFigure:
+    """F5: GPU-hours growth over the study window."""
+    series = gpu_hours_monthly(study.telemetry.gpu_jobs())
+    # Drop a trailing partial month (jobs starting in the last days spill
+    # into an extra bucket with little accumulation).
+    expected_months = int(round(study.window_seconds / (30.0 * 86400.0)))
+    series = series[:expected_months]
+    if series.size < 3:
+        raise ValueError("need at least 3 months of telemetry for F5")
+    growth = monthly_growth_rate(series)
+
+    months = np.arange(series.size)
+
+    def refit(idx_sample) -> float:
+        idx = np.sort(np.asarray(idx_sample, dtype=int))
+        x, y = months[idx], series[idx]
+        good = y > 0
+        if good.sum() < 2 or np.unique(x[good]).size < 2:
+            return growth
+        slope = np.polyfit(x[good], np.log(y[good]), 1)[0]
+        return float(np.expm1(slope))
+
+    ci = bootstrap_ci(
+        months,
+        statistic=lambda sample, axis=None: refit(sample)
+        if axis is None
+        else np.apply_along_axis(refit, 1, sample),
+        n_resamples=n_resamples,
+        rng=np.random.default_rng(0),
+    )
+    return GpuGrowthFigure(
+        monthly_gpu_hours=series, growth_per_month=growth, growth_ci=ci
+    )
+
+
+def runtime_figure(study: Study, top_fields: int = 6) -> dict[str, np.ndarray]:
+    """F7: log-runtime histograms for the top fields (shared bins)."""
+    if len(study.telemetry) == 0:
+        raise ValueError("telemetry is empty")
+    hist = runtime_distribution_by_field(study.telemetry)
+    bins = hist.pop("__bins__")
+    ranked = sorted(hist.items(), key=lambda kv: -kv[1].sum())[:top_fields]
+    out = dict(ranked)
+    out["__bins__"] = bins
+    return out

@@ -1,0 +1,64 @@
+"""T7: training background and self-rated expertise."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.crosstab import COHORT, CrossTab, crosstab
+from repro.stats.effects import rank_biserial
+from repro.stats.tests import TestResult, mann_whitney_u
+from repro.survey.responses import ResponseSet
+
+__all__ = ["TrainingSummary", "training_summary"]
+
+
+@dataclass(frozen=True)
+class TrainingSummary:
+    """T7 contents.
+
+    Attributes
+    ----------
+    training_by_cohort:
+        Cross-tab of how respondents learned to program, by cohort.
+    expertise_means:
+        Per-cohort mean self-rated expertise (1-5).
+    expertise_test:
+        Mann-Whitney comparison of the two cohorts' expertise ratings.
+    expertise_effect:
+        Rank-biserial correlation (positive = current cohort rates higher).
+    """
+
+    training_by_cohort: CrossTab
+    expertise_means: dict[str, float]
+    expertise_test: TestResult
+    expertise_effect: float
+
+
+def training_summary(
+    responses: ResponseSet,
+    baseline_cohort: str = "2011",
+    current_cohort: str = "2024",
+) -> TrainingSummary:
+    """Compute T7."""
+    table = crosstab(responses, "training", COHORT)
+
+    def ratings(cohort_label: str) -> np.ndarray:
+        values = responses.by_cohort(cohort_label).numeric_column("expertise")
+        return values[~np.isnan(values)]
+
+    baseline = ratings(baseline_cohort)
+    current = ratings(current_cohort)
+    if baseline.size == 0 or current.size == 0:
+        raise ValueError("both cohorts need expertise ratings")
+    means = {
+        baseline_cohort: float(baseline.mean()),
+        current_cohort: float(current.mean()),
+    }
+    return TrainingSummary(
+        training_by_cohort=table,
+        expertise_means=means,
+        expertise_test=mann_whitney_u(current, baseline),
+        expertise_effect=rank_biserial(current, baseline),
+    )

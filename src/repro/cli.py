@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Subcommands mirror the workflows a research-computing group runs:
+
+* ``generate``   — synthesize the study's raw data (responses + accounting);
+* ``validate``   — QA a JSONL response export against the instrument;
+* ``codebook``   — print the instrument codebook;
+* ``experiment`` — regenerate one table/figure by id;
+* ``report``     — render the full markdown report;
+* ``power``      — design-stage power calculations.
+
+All randomness flows from ``--seed``; every command is deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Computation-for-research practice study toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesize survey + telemetry data")
+    gen.add_argument("--seed", type=int, default=2024)
+    gen.add_argument("--baseline", type=int, default=120, help="2011 cohort size")
+    gen.add_argument("--current", type=int, default=200, help="2024 cohort size")
+    gen.add_argument("--months", type=int, default=6, help="telemetry window")
+    gen.add_argument("--jobs-per-day", type=float, default=200.0)
+    gen.add_argument("--out", type=Path, default=Path("study-data"))
+
+    val = sub.add_parser("validate", help="validate a JSONL response export")
+    val.add_argument("path", type=Path)
+
+    aud = sub.add_parser("audit", help="audit a sacct accounting export")
+    aud.add_argument("path", type=Path)
+
+    sub.add_parser("codebook", help="print the instrument codebook")
+
+    sub.add_parser("experiments", help="list registered experiments")
+
+    exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp.add_argument("id", help="experiment id (T1..T8, F1..F8)")
+    exp.add_argument("--seed", type=int, default=2024)
+    exp.add_argument("--baseline", type=int, default=120)
+    exp.add_argument("--current", type=int, default=200)
+    exp.add_argument("--months", type=int, default=6)
+    exp.add_argument("--jobs-per-day", type=float, default=200.0)
+
+    rep = sub.add_parser("report", help="render the full markdown report")
+    rep.add_argument("--seed", type=int, default=2024)
+    rep.add_argument("--baseline", type=int, default=120)
+    rep.add_argument("--current", type=int, default=200)
+    rep.add_argument("--months", type=int, default=6)
+    rep.add_argument("--jobs-per-day", type=float, default=200.0)
+    rep.add_argument("--out", type=Path, default=None, help="write to file instead of stdout")
+
+    rob = sub.add_parser(
+        "robustness", help="seed-sweep the headline claims (EXPERIMENTS.md check)"
+    )
+    rob.add_argument("--seeds", type=int, default=5, help="number of seeds to sweep")
+    rob.add_argument("--baseline", type=int, default=120)
+    rob.add_argument("--current", type=int, default=200)
+    rob.add_argument("--alpha", type=float, default=0.05)
+
+    pwr = sub.add_parser("power", help="two-proportion power calculations")
+    pwr.add_argument("--p1", type=float, required=True, help="baseline proportion")
+    pwr.add_argument("--p2", type=float, required=True, help="expected proportion")
+    pwr.add_argument("--n1", type=int, default=None)
+    pwr.add_argument("--n2", type=int, default=None)
+    pwr.add_argument("--power", type=float, default=0.8)
+    pwr.add_argument("--alpha", type=float, default=0.05)
+    return parser
+
+
+def _build_study(args):
+    from repro.core import build_default_study
+
+    return build_default_study(
+        seed=args.seed,
+        n_baseline=args.baseline,
+        n_current=args.current,
+        months=args.months,
+        jobs_per_day=args.jobs_per_day,
+    )
+
+
+def _cmd_generate(args, out) -> int:
+    from repro.cluster import write_sacct
+    from repro.io import write_responses_jsonl
+
+    study = _build_study(args)
+    args.out.mkdir(parents=True, exist_ok=True)
+    responses_path = args.out / "responses.jsonl"
+    accounting_path = args.out / "accounting.sacct"
+    write_responses_jsonl(study.responses, responses_path)
+    write_sacct(study.telemetry, accounting_path)
+    print(f"wrote {len(study.responses)} responses to {responses_path}", file=out)
+    print(f"wrote {len(study.telemetry)} job records to {accounting_path}", file=out)
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    from repro.core import build_instrument
+    from repro.io import ResponseIOError, read_responses_jsonl
+    from repro.survey import validate_response_set
+
+    questionnaire = build_instrument()
+    try:
+        responses = read_responses_jsonl(questionnaire, Path(args.path))
+    except (ResponseIOError, OSError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    report = validate_response_set(responses)
+    print(f"{len(responses)} responses; {len(report.issues)} issues", file=out)
+    for issue in report.issues[:20]:
+        print(
+            f"  [{issue.kind.value}] {issue.respondent_id} / {issue.question_key}: "
+            f"{issue.message}",
+            file=out,
+        )
+    if len(report.issues) > 20:
+        print(f"  ... and {len(report.issues) - 20} more", file=out)
+    print("ingest ok" if report.ok else "FATAL issues present", file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_audit(args, out) -> int:
+    from repro.cluster import audit_table, parse_sacct
+    from repro.cluster.partitions import DEFAULT_CLUSTER
+    from repro.cluster.sacct import SacctFormatError
+
+    try:
+        table = parse_sacct(Path(args.path))
+    except (SacctFormatError, OSError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    report = audit_table(table, DEFAULT_CLUSTER)
+    print(f"{report.n_jobs} jobs audited; {len(report.issues)} issues", file=out)
+    for kind, count in sorted(report.summary().items()):
+        print(f"  {kind}: {count}", file=out)
+    for issue in report.issues[:20]:
+        print(f"  job {issue.job_id}: {issue.message}", file=out)
+    print("accounting ok" if report.ok else "accounting has issues", file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_codebook(args, out) -> int:
+    from repro.core import build_instrument
+    from repro.survey import build_codebook
+
+    print(build_codebook(build_instrument()).render(), file=out)
+    return 0
+
+
+def _cmd_experiments(args, out) -> int:
+    from repro.report import EXPERIMENTS
+
+    def sort_key(eid: str):
+        return (eid[0], int(eid[1:]))
+
+    for eid in sorted(EXPERIMENTS, key=sort_key):
+        experiment = EXPERIMENTS[eid]
+        print(f"{eid:<4} [{experiment.kind:<6}] {experiment.title}: "
+              f"{experiment.description}", file=out)
+    return 0
+
+
+def _cmd_experiment(args, out) -> int:
+    from repro.report import EXPERIMENTS, run_experiment
+
+    eid = args.id.upper()
+    if eid not in EXPERIMENTS:
+        print(f"error: unknown experiment {args.id!r}; known: "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=out)
+        return 2
+    study = _build_study(args)
+    print(run_experiment(eid, study).render_ascii(), file=out)
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    from repro.report.document import build_report
+
+    study = _build_study(args)
+    text = build_report(study)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote report to {args.out}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def _cmd_robustness(args, out) -> int:
+    from repro.analysis import headline_robustness
+
+    results = headline_robustness(
+        seeds=list(range(1, args.seeds + 1)),
+        n_baseline=args.baseline,
+        n_current=args.current,
+        alpha=args.alpha,
+    )
+    print(
+        f"headline claims over {args.seeds} seeds "
+        f"(n={args.baseline}/{args.current}, alpha={args.alpha}):",
+        file=out,
+    )
+    for r in results:
+        print(
+            f"  {r.claim:<22} direction {r.direction_held}/{r.n_seeds}  "
+            f"significant {r.significant}/{r.n_seeds}  "
+            f"mean change {r.mean_delta:+.1%}",
+            file=out,
+        )
+    weakest = min(results, key=lambda r: (r.direction_rate, r.significance_rate))
+    print(
+        f"weakest claim: {weakest.claim} "
+        f"({weakest.direction_rate:.0%} direction, "
+        f"{weakest.significance_rate:.0%} significant)",
+        file=out,
+    )
+    return 0
+
+
+def _cmd_power(args, out) -> int:
+    from repro.stats import required_n_per_group, two_proportion_power
+
+    try:
+        if args.n1 is not None and args.n2 is not None:
+            power = two_proportion_power(args.p1, args.p2, args.n1, args.n2, args.alpha)
+            print(
+                f"power to detect {args.p1:.0%} -> {args.p2:.0%} at "
+                f"n={args.n1}/{args.n2}: {power:.1%}",
+                file=out,
+            )
+        else:
+            n = required_n_per_group(args.p1, args.p2, args.power, args.alpha)
+            print(
+                f"need n={n} per group for {args.power:.0%} power to detect "
+                f"{args.p1:.0%} -> {args.p2:.0%}",
+                file=out,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "validate": _cmd_validate,
+    "audit": _cmd_audit,
+    "experiments": _cmd_experiments,
+    "robustness": _cmd_robustness,
+    "codebook": _cmd_codebook,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+    "power": _cmd_power,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Resource allocators for the scheduler simulator.
+
+Two allocation models:
+
+* :class:`PooledAllocator` — resources are fungible partition-wide counters
+  (the original model; fast, optimistic about placement);
+* :class:`NodeGranularAllocator` — per-node bookkeeping: multi-node jobs
+  need *whole free nodes*, sub-node jobs first-fit onto a node with enough
+  free cores/GPUs. This captures the fragmentation real wide jobs suffer —
+  a partition can have thousands of free cores yet no full node.
+
+Allocation returns an opaque token that must be passed back to
+:meth:`release`; the simulator stores it with the running job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PooledAllocator", "NodeGranularAllocator"]
+
+
+class PooledAllocator:
+    """Fungible partition-wide core/GPU counters."""
+
+    def __init__(self, total_cores: int, total_gpus: int) -> None:
+        if total_cores < 1 or total_gpus < 0:
+            raise ValueError("invalid partition capacity")
+        self.free_cores = total_cores
+        self.free_gpus = total_gpus
+
+    def fits(self, cores: int, gpus: int) -> bool:
+        return cores <= self.free_cores and gpus <= self.free_gpus
+
+    def allocate(self, cores: int, gpus: int):
+        if not self.fits(cores, gpus):
+            raise RuntimeError("allocation does not fit")
+        self.free_cores -= cores
+        self.free_gpus -= gpus
+        return (cores, gpus)
+
+    def release(self, token) -> None:
+        cores, gpus = token
+        self.free_cores += cores
+        self.free_gpus += gpus
+
+
+class NodeGranularAllocator:
+    """Per-node allocation with whole-node placement for multi-node jobs.
+
+    Placement rules (mirroring common Slurm configurations):
+
+    * a job requesting more cores than one node holds gets
+      ``ceil(cores / cores_per_node)`` *exclusive* nodes;
+    * a sub-node job is placed first-fit on a single node with enough free
+      cores and GPUs (GPU jobs never span nodes below node size).
+    """
+
+    def __init__(self, nodes: int, cores_per_node: int, gpus_per_node: int) -> None:
+        if nodes < 1 or cores_per_node < 1 or gpus_per_node < 0:
+            raise ValueError("invalid node configuration")
+        self.cores_per_node = cores_per_node
+        self.gpus_per_node = gpus_per_node
+        self.node_free_cores = np.full(nodes, cores_per_node, dtype=np.int64)
+        self.node_free_gpus = np.full(nodes, gpus_per_node, dtype=np.int64)
+
+    @property
+    def free_cores(self) -> int:
+        return int(self.node_free_cores.sum())
+
+    @property
+    def free_gpus(self) -> int:
+        return int(self.node_free_gpus.sum())
+
+    def _whole_nodes_needed(self, cores: int, gpus: int) -> int | None:
+        """Node count for an exclusive placement, or None for sub-node jobs."""
+        if cores > self.cores_per_node or (
+            self.gpus_per_node and gpus > self.gpus_per_node
+        ):
+            by_cores = -(-cores // self.cores_per_node)
+            by_gpus = (
+                -(-gpus // self.gpus_per_node) if self.gpus_per_node and gpus else 0
+            )
+            return max(by_cores, by_gpus)
+        return None
+
+    def _full_nodes(self) -> np.ndarray:
+        full = self.node_free_cores == self.cores_per_node
+        if self.gpus_per_node:
+            full &= self.node_free_gpus == self.gpus_per_node
+        return np.flatnonzero(full)
+
+    def fits(self, cores: int, gpus: int) -> bool:
+        needed = self._whole_nodes_needed(cores, gpus)
+        if needed is not None:
+            return self._full_nodes().size >= needed
+        ok = self.node_free_cores >= cores
+        if gpus:
+            ok &= self.node_free_gpus >= gpus
+        return bool(ok.any())
+
+    def allocate(self, cores: int, gpus: int):
+        needed = self._whole_nodes_needed(cores, gpus)
+        if needed is not None:
+            nodes = self._full_nodes()
+            if nodes.size < needed:
+                raise RuntimeError("allocation does not fit")
+            chosen = nodes[:needed]
+            taken_cores = self.node_free_cores[chosen].copy()
+            taken_gpus = self.node_free_gpus[chosen].copy()
+            self.node_free_cores[chosen] = 0
+            self.node_free_gpus[chosen] = 0
+            return ("whole", chosen, taken_cores, taken_gpus)
+        ok = self.node_free_cores >= cores
+        if gpus:
+            ok &= self.node_free_gpus >= gpus
+        candidates = np.flatnonzero(ok)
+        if candidates.size == 0:
+            raise RuntimeError("allocation does not fit")
+        # Best-fit: tightest node that still fits, to limit fragmentation.
+        node = candidates[np.argmin(self.node_free_cores[candidates])]
+        self.node_free_cores[node] -= cores
+        self.node_free_gpus[node] -= gpus
+        return ("part", int(node), cores, gpus)
+
+    def release(self, token) -> None:
+        kind = token[0]
+        if kind == "whole":
+            _, chosen, taken_cores, taken_gpus = token
+            self.node_free_cores[chosen] += taken_cores
+            self.node_free_gpus[chosen] += taken_gpus
+        else:
+            _, node, cores, gpus = token
+            self.node_free_cores[node] += cores
+            self.node_free_gpus[node] += gpus

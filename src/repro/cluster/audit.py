@@ -1,0 +1,130 @@
+"""Accounting-data audit: sanity checks before analysis.
+
+Real ``sacct`` exports arrive with warts — jobs on partitions the capacity
+model doesn't know, allocations exceeding any node, walltime overruns.
+:func:`audit_table` surfaces them so ingest pipelines fail loudly instead of
+producing quietly-wrong utilization numbers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.partitions import ClusterConfig
+from repro.cluster.records import JobTable
+
+__all__ = ["AuditIssueKind", "AuditIssue", "AuditReport", "audit_table"]
+
+
+class AuditIssueKind(enum.Enum):
+    UNKNOWN_PARTITION = "unknown_partition"
+    OVERSIZED_ALLOCATION = "oversized_allocation"
+    WALLTIME_OVERRUN = "walltime_overrun"
+    GPU_ON_CPU_PARTITION = "gpu_on_cpu_partition"
+    IMPLAUSIBLE_RUNTIME = "implausible_runtime"
+
+
+@dataclass(frozen=True, slots=True)
+class AuditIssue:
+    """One problem with one job record."""
+
+    job_id: int
+    kind: AuditIssueKind
+    message: str
+
+
+@dataclass(frozen=True)
+class AuditReport:
+    """All audit findings for a table."""
+
+    issues: tuple[AuditIssue, ...]
+    n_jobs: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def of_kind(self, kind: AuditIssueKind) -> tuple[AuditIssue, ...]:
+        return tuple(i for i in self.issues if i.kind == kind)
+
+    def summary(self) -> dict[str, int]:
+        """Issue counts by kind (only kinds that occurred)."""
+        out: dict[str, int] = {}
+        for issue in self.issues:
+            out[issue.kind.value] = out.get(issue.kind.value, 0) + 1
+        return out
+
+
+def audit_table(
+    table: JobTable,
+    cluster: ClusterConfig,
+    max_reasonable_runtime: float = 30 * 86400.0,
+    walltime_slack: float = 60.0,
+) -> AuditReport:
+    """Audit a job table against a capacity model.
+
+    Parameters
+    ----------
+    max_reasonable_runtime:
+        Runtimes above this are flagged as implausible (clock skew or
+        parser damage in real exports).
+    walltime_slack:
+        Grace (seconds) before an end-past-limit counts as an overrun
+        (schedulers grant a grace period on kill).
+    """
+    issues: list[AuditIssue] = []
+    runtime = table.runtime
+    for i in range(len(table)):
+        job_id = int(table.job_id[i])
+        partition_name = str(table.partition[i])
+        cores = int(table.cores[i])
+        gpus = int(table.gpus[i])
+
+        if partition_name not in cluster:
+            issues.append(
+                AuditIssue(
+                    job_id,
+                    AuditIssueKind.UNKNOWN_PARTITION,
+                    f"partition {partition_name!r} not in cluster {cluster.name!r}",
+                )
+            )
+            continue  # capacity checks below need a known partition
+        partition = cluster[partition_name]
+        if not partition.fits(cores, gpus):
+            issues.append(
+                AuditIssue(
+                    job_id,
+                    AuditIssueKind.OVERSIZED_ALLOCATION,
+                    f"({cores} cores, {gpus} gpus) exceeds partition "
+                    f"{partition_name!r} capacity",
+                )
+            )
+        if gpus > 0 and partition.gpus_per_node == 0:
+            issues.append(
+                AuditIssue(
+                    job_id,
+                    AuditIssueKind.GPU_ON_CPU_PARTITION,
+                    f"{gpus} gpus recorded on gpu-less partition {partition_name!r}",
+                )
+            )
+        limit = float(table.req_walltime[i])
+        if limit > 0 and runtime[i] > limit + walltime_slack:
+            issues.append(
+                AuditIssue(
+                    job_id,
+                    AuditIssueKind.WALLTIME_OVERRUN,
+                    f"ran {runtime[i]:.0f}s against a {limit:.0f}s limit",
+                )
+            )
+        if runtime[i] > max_reasonable_runtime:
+            issues.append(
+                AuditIssue(
+                    job_id,
+                    AuditIssueKind.IMPLAUSIBLE_RUNTIME,
+                    f"runtime {runtime[i] / 86400.0:.1f} days",
+                )
+            )
+    return AuditReport(issues=tuple(issues), n_jobs=len(table))

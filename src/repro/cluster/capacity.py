@@ -1,0 +1,110 @@
+"""Capacity outlook: when does demand outgrow the machine?
+
+The "Trends" punchline for the research-computing co-authors: GPU demand is
+growing exponentially against fixed capacity. This module projects the
+fitted growth forward and answers "months until saturation" and "how much
+capacity buys how much time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.partitions import Partition
+from repro.cluster.records import JobTable
+from repro.cluster.usage import MONTH_SECONDS, gpu_hours_monthly, monthly_growth_rate
+
+__all__ = ["CapacityOutlook", "months_to_saturation", "gpu_capacity_outlook"]
+
+
+def months_to_saturation(
+    current_monthly: float, capacity_monthly: float, growth_per_month: float
+) -> float:
+    """Months until exponential demand reaches capacity.
+
+    Returns 0.0 when already saturated and ``inf`` when growth is
+    non-positive and demand is below capacity.
+    """
+    if current_monthly <= 0:
+        raise ValueError("current_monthly must be positive")
+    if capacity_monthly <= 0:
+        raise ValueError("capacity_monthly must be positive")
+    if current_monthly >= capacity_monthly:
+        return 0.0
+    if growth_per_month <= 0:
+        return float("inf")
+    return float(
+        np.log(capacity_monthly / current_monthly) / np.log1p(growth_per_month)
+    )
+
+
+@dataclass(frozen=True)
+class CapacityOutlook:
+    """GPU capacity projection.
+
+    Attributes
+    ----------
+    current_monthly_gpu_hours:
+        Demand in the last full month of the window.
+    capacity_monthly_gpu_hours:
+        GPU-hours the partition can deliver per month (at 100% utilization).
+    growth_per_month:
+        Fitted exponential growth rate.
+    months_to_saturation:
+        Projection from the end of the window.
+    months_bought_by_doubling:
+        Additional months a 2x capacity expansion buys (constant at
+        ``log 2 / log(1+g)`` for exponential growth — the punchline that
+        expansion alone cannot keep up).
+    """
+
+    current_monthly_gpu_hours: float
+    capacity_monthly_gpu_hours: float
+    growth_per_month: float
+    months_to_saturation: float
+    months_bought_by_doubling: float
+
+
+def _monthly_demand(table: JobTable) -> np.ndarray:
+    """GPU-hours of *offered demand*, binned by submission month.
+
+    Unlike delivered hours (binned by start month), demand keeps growing
+    even once the partition saturates and jobs queue — which is exactly the
+    quantity capacity planning must extrapolate.
+    """
+    months = np.floor_divide(table.submit, MONTH_SECONDS).astype(np.int64)
+    return np.bincount(months, weights=table.gpu_hours)
+
+
+def gpu_capacity_outlook(table: JobTable, gpu_partition: Partition) -> CapacityOutlook:
+    """Project the GPU partition's time-to-saturation from telemetry."""
+    if gpu_partition.total_gpus == 0:
+        raise ValueError(f"partition {gpu_partition.name!r} has no GPUs")
+    gpu_jobs = table.gpu_jobs()
+    if len(gpu_jobs) == 0:
+        raise ValueError("no GPU jobs in telemetry")
+    series = _monthly_demand(gpu_jobs)
+    # Drop a trailing partial month (it under-accumulates and would bias
+    # the growth fit downward).
+    if series.size >= 2 and series[-1] < 0.5 * series[-2]:
+        series = series[:-1]
+    if series.size < 3:
+        raise ValueError("need at least 3 months of GPU telemetry")
+    current = float(series[-1])
+    if current <= 0:
+        raise ValueError("no recent GPU consumption to project from")
+    growth = monthly_growth_rate(series)
+    capacity = gpu_partition.total_gpus * MONTH_SECONDS / 3600.0
+    to_saturation = months_to_saturation(current, capacity, growth)
+    doubling_buys = (
+        float(np.log(2.0) / np.log1p(growth)) if growth > 0 else float("inf")
+    )
+    return CapacityOutlook(
+        current_monthly_gpu_hours=current,
+        capacity_monthly_gpu_hours=capacity,
+        growth_per_month=growth,
+        months_to_saturation=to_saturation,
+        months_bought_by_doubling=doubling_buys,
+    )

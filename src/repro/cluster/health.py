@@ -1,0 +1,140 @@
+"""Cluster health analysis: failures and wasted capacity.
+
+Center reports track not just delivered core-hours but *wasted* ones:
+cycles burned by jobs that failed, timed out, or were cancelled. This
+module computes the waste breakdown and per-group failure rates, plus a
+rolling-window failure-burst detector (a node going bad shows up as a
+cluster of failures in time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.records import JobState, JobTable
+from repro.stats.intervals import BinomialInterval, wilson_interval
+
+__all__ = ["WasteSummary", "waste_summary", "failure_rates_by", "failure_bursts"]
+
+_BAD_STATES = (JobState.FAILED.value, JobState.TIMEOUT.value, JobState.CANCELLED.value)
+
+
+@dataclass(frozen=True)
+class WasteSummary:
+    """Core-hour waste breakdown.
+
+    Attributes
+    ----------
+    total_core_hours:
+        All core-hours consumed in the table.
+    wasted_core_hours:
+        Core-hours consumed by non-COMPLETED jobs, by state.
+    waste_fraction:
+        Total wasted / total.
+    """
+
+    total_core_hours: float
+    wasted_core_hours: dict[str, float]
+    waste_fraction: float
+
+
+def waste_summary(table: JobTable) -> WasteSummary:
+    """Compute the waste breakdown for a job table."""
+    if len(table) == 0:
+        raise ValueError("empty job table")
+    hours = table.cpu_hours
+    total = float(hours.sum())
+    wasted: dict[str, float] = {}
+    for state in _BAD_STATES:
+        mask = table.state == state
+        if mask.any():
+            wasted[state] = float(hours[mask].sum())
+    waste_total = sum(wasted.values())
+    return WasteSummary(
+        total_core_hours=total,
+        wasted_core_hours=wasted,
+        waste_fraction=waste_total / total if total > 0 else 0.0,
+    )
+
+
+def failure_rates_by(
+    table: JobTable, column: str = "partition", min_jobs: int = 20
+) -> dict[str, BinomialInterval]:
+    """Failure rate (FAILED + TIMEOUT) per group with Wilson intervals.
+
+    Parameters
+    ----------
+    column:
+        Grouping column: "partition", "field", or "user".
+    min_jobs:
+        Groups with fewer jobs are omitted.
+    """
+    if column not in ("partition", "field", "user"):
+        raise ValueError(f"cannot group failures by {column!r}")
+    if len(table) == 0:
+        raise ValueError("empty job table")
+    values = getattr(table, column)
+    bad = (table.state == JobState.FAILED.value) | (
+        table.state == JobState.TIMEOUT.value
+    )
+    out: dict[str, BinomialInterval] = {}
+    for group in sorted(set(values.tolist())):
+        mask = values == group
+        n = int(mask.sum())
+        if n < min_jobs:
+            continue
+        out[str(group)] = wilson_interval(int(bad[mask].sum()), n)
+    return out
+
+
+def failure_bursts(
+    table: JobTable,
+    window_seconds: float = 6 * 3600.0,
+    threshold: float = 3.0,
+    min_failures: int = 5,
+) -> list[tuple[float, float, int]]:
+    """Detect failure bursts: windows where failures far exceed their base rate.
+
+    Slides a window over job end times and flags maximal runs of windows
+    whose failure count exceeds ``threshold`` times the expected count
+    (overall failure rate x jobs ending in the window), with at least
+    ``min_failures`` failures.
+
+    Returns ``[(start_time, end_time, n_failures), ...]`` sorted by start.
+    """
+    if window_seconds <= 0 or threshold <= 0:
+        raise ValueError("window_seconds and threshold must be positive")
+    if len(table) == 0:
+        return []
+    failed_mask = table.state == JobState.FAILED.value
+    n_failed = int(failed_mask.sum())
+    if n_failed == 0:
+        return []
+    base_rate = n_failed / len(table)
+
+    order = np.argsort(table.end)
+    ends = table.end[order]
+    failed = failed_mask[order]
+
+    # Evaluate windows anchored at each failure for sensitivity.
+    bursts: list[tuple[float, float, int]] = []
+    fail_times = ends[failed]
+    total_jobs = ends.size
+    i = 0
+    while i < fail_times.size:
+        start = fail_times[i]
+        stop = start + window_seconds
+        in_window = (ends >= start) & (ends < stop)
+        jobs_in_window = int(in_window.sum())
+        failures_in_window = int((in_window & failed).sum())
+        expected = max(base_rate * jobs_in_window, 1e-9)
+        if failures_in_window >= min_failures and failures_in_window > threshold * expected:
+            bursts.append((float(start), float(stop), failures_in_window))
+            # Skip past this window to report maximal, non-overlapping bursts.
+            while i < fail_times.size and fail_times[i] < stop:
+                i += 1
+        else:
+            i += 1
+    return bursts

@@ -1,0 +1,111 @@
+"""Cluster capacity model: partitions of homogeneous nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Partition", "ClusterConfig", "DEFAULT_CLUSTER"]
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A scheduling partition of identical nodes.
+
+    Attributes
+    ----------
+    name:
+        Partition label ("cpu", "gpu", "bigmem", "serial").
+    nodes:
+        Node count.
+    cores_per_node:
+        Cores per node.
+    gpus_per_node:
+        GPUs per node (0 for CPU partitions).
+    max_walltime:
+        Longest requestable walltime in seconds.
+    """
+
+    name: str
+    nodes: int
+    cores_per_node: int
+    gpus_per_node: int = 0
+    max_walltime: float = 72 * 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("partition name is empty")
+        if self.nodes < 1:
+            raise ValueError(f"partition {self.name!r}: nodes must be >= 1")
+        if self.cores_per_node < 1:
+            raise ValueError(f"partition {self.name!r}: cores_per_node must be >= 1")
+        if self.gpus_per_node < 0:
+            raise ValueError(f"partition {self.name!r}: gpus_per_node must be >= 0")
+        if self.max_walltime <= 0:
+            raise ValueError(f"partition {self.name!r}: max_walltime must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    @property
+    def total_gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    def fits(self, cores: int, gpus: int) -> bool:
+        """Whether a request can ever run on this partition."""
+        return 1 <= cores <= self.total_cores and 0 <= gpus <= self.total_gpus
+
+
+class ClusterConfig:
+    """A named cluster: a set of partitions with unique names."""
+
+    def __init__(self, name: str, partitions: tuple[Partition, ...] | list[Partition]) -> None:
+        if not name:
+            raise ValueError("cluster name is empty")
+        partitions = tuple(partitions)
+        if not partitions:
+            raise ValueError("cluster has no partitions")
+        names = [p.name for p in partitions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate partition names: {names}")
+        self.name = name
+        self.partitions = partitions
+        self._by_name = {p.name: p for p in partitions}
+
+    def __getitem__(self, name: str) -> Partition:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no partition {name!r} in cluster {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.partitions)
+
+    @property
+    def partition_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.partitions)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(p.total_cores for p in self.partitions)
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(p.total_gpus for p in self.partitions)
+
+
+# A campus-scale default roughly shaped like a mid-size university system:
+# a large CPU partition, a contended GPU partition, a serial/shared partition
+# for small jobs, and a small big-memory partition.
+DEFAULT_CLUSTER = ClusterConfig(
+    "campus",
+    (
+        Partition("cpu", nodes=160, cores_per_node=64),
+        Partition("gpu", nodes=24, cores_per_node=48, gpus_per_node=4, max_walltime=48 * 3600.0),
+        Partition("serial", nodes=16, cores_per_node=96, max_walltime=24 * 3600.0),
+        Partition("bigmem", nodes=8, cores_per_node=96, max_walltime=96 * 3600.0),
+    ),
+)

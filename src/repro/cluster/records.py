@@ -1,0 +1,277 @@
+"""Job records and the columnar :class:`JobTable`.
+
+Telemetry analyses aggregate over tens of thousands of jobs; iterating
+Python objects per job would dominate runtime. :class:`JobTable` therefore
+stores one contiguous numpy array per column (struct-of-arrays). Derived
+quantities (wait, runtime, CPU-hours) are computed vectorized and cached.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["JobState", "JobRecord", "JobTable"]
+
+
+class JobState(enum.Enum):
+    """Terminal accounting state of a job."""
+
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+
+
+@dataclass(frozen=True, slots=True)
+class JobRecord:
+    """One accounting record (times in seconds from window start).
+
+    Attributes
+    ----------
+    job_id:
+        Unique integer id.
+    user:
+        Opaque user label.
+    field:
+        Research field of the owning group (the join key to the survey).
+    partition:
+        Partition the job ran in.
+    submit, start, end:
+        Submission, start, and end times; ``submit <= start <= end``.
+    cores:
+        Total cores allocated.
+    gpus:
+        Total GPUs allocated (0 for CPU jobs).
+    state:
+        Terminal :class:`JobState`.
+    req_walltime:
+        Requested walltime in seconds (0.0 when the accounting source did
+        not record it); drives the walltime-accuracy analysis.
+    """
+
+    job_id: int
+    user: str
+    field: str
+    partition: str
+    submit: float
+    start: float
+    end: float
+    cores: int
+    gpus: int
+    state: JobState
+    req_walltime: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.submit <= self.start <= self.end):
+            raise ValueError(
+                f"job {self.job_id}: times out of order "
+                f"(submit={self.submit}, start={self.start}, end={self.end})"
+            )
+        if self.cores < 1:
+            raise ValueError(f"job {self.job_id}: cores must be >= 1")
+        if self.gpus < 0:
+            raise ValueError(f"job {self.job_id}: gpus must be >= 0")
+        if self.req_walltime < 0:
+            raise ValueError(f"job {self.job_id}: req_walltime must be >= 0")
+
+    @property
+    def wait(self) -> float:
+        """Queue wait in seconds."""
+        return self.start - self.submit
+
+    @property
+    def runtime(self) -> float:
+        """Execution time in seconds."""
+        return self.end - self.start
+
+    @property
+    def cpu_hours(self) -> float:
+        return self.cores * self.runtime / 3600.0
+
+    @property
+    def gpu_hours(self) -> float:
+        return self.gpus * self.runtime / 3600.0
+
+
+class JobTable:
+    """Columnar container of job records.
+
+    Construct from records via :meth:`from_records` or directly from columns
+    (all arrays same length). Columns are read-only views; filtering returns
+    a new table sharing no mutable state.
+    """
+
+    _FLOAT_COLS = ("submit", "start", "end", "req_walltime")
+    _INT_COLS = ("job_id", "cores", "gpus")
+    _STR_COLS = ("user", "field", "partition", "state")
+
+    def __init__(
+        self,
+        job_id: np.ndarray,
+        user: np.ndarray,
+        field: np.ndarray,
+        partition: np.ndarray,
+        submit: np.ndarray,
+        start: np.ndarray,
+        end: np.ndarray,
+        cores: np.ndarray,
+        gpus: np.ndarray,
+        state: np.ndarray,
+        req_walltime: np.ndarray | None = None,
+    ) -> None:
+        self.job_id = np.ascontiguousarray(job_id, dtype=np.int64)
+        self.user = np.asarray(user, dtype=object)
+        self.field = np.asarray(field, dtype=object)
+        self.partition = np.asarray(partition, dtype=object)
+        self.submit = np.ascontiguousarray(submit, dtype=float)
+        self.start = np.ascontiguousarray(start, dtype=float)
+        self.end = np.ascontiguousarray(end, dtype=float)
+        self.cores = np.ascontiguousarray(cores, dtype=np.int64)
+        self.gpus = np.ascontiguousarray(gpus, dtype=np.int64)
+        self.state = np.asarray(state, dtype=object)
+        if req_walltime is None:
+            req_walltime = np.zeros(self.job_id.size, dtype=float)
+        self.req_walltime = np.ascontiguousarray(req_walltime, dtype=float)
+
+        n = self.job_id.size
+        for name in self._FLOAT_COLS + self._INT_COLS + self._STR_COLS:
+            col = getattr(self, name)
+            if col.size != n:
+                raise ValueError(f"column {name!r} length {col.size} != {n}")
+        if n:
+            if (self.submit > self.start).any() or (self.start > self.end).any():
+                bad = int(np.argmax((self.submit > self.start) | (self.start > self.end)))
+                raise ValueError(f"times out of order at row {bad}")
+            if (self.cores < 1).any():
+                raise ValueError("cores must be >= 1")
+            if (self.gpus < 0).any():
+                raise ValueError("gpus must be >= 0")
+            if np.unique(self.job_id).size != n:
+                raise ValueError("duplicate job ids")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Iterable[JobRecord]) -> "JobTable":
+        records = list(records)
+        return cls(
+            job_id=np.array([r.job_id for r in records], dtype=np.int64),
+            user=np.array([r.user for r in records], dtype=object),
+            field=np.array([r.field for r in records], dtype=object),
+            partition=np.array([r.partition for r in records], dtype=object),
+            submit=np.array([r.submit for r in records], dtype=float),
+            start=np.array([r.start for r in records], dtype=float),
+            end=np.array([r.end for r in records], dtype=float),
+            cores=np.array([r.cores for r in records], dtype=np.int64),
+            gpus=np.array([r.gpus for r in records], dtype=np.int64),
+            state=np.array([r.state.value for r in records], dtype=object),
+            req_walltime=np.array([r.req_walltime for r in records], dtype=float),
+        )
+
+    @classmethod
+    def empty(cls) -> "JobTable":
+        return cls.from_records([])
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.job_id.size)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    def record(self, i: int) -> JobRecord:
+        """Materialize row ``i`` as a :class:`JobRecord`."""
+        return JobRecord(
+            job_id=int(self.job_id[i]),
+            user=str(self.user[i]),
+            field=str(self.field[i]),
+            partition=str(self.partition[i]),
+            submit=float(self.submit[i]),
+            start=float(self.start[i]),
+            end=float(self.end[i]),
+            cores=int(self.cores[i]),
+            gpus=int(self.gpus[i]),
+            state=JobState(self.state[i]),
+            req_walltime=float(self.req_walltime[i]),
+        )
+
+    # -- derived columns --------------------------------------------------------
+
+    @property
+    def wait(self) -> np.ndarray:
+        """Queue waits in seconds (vectorized)."""
+        return self.start - self.submit
+
+    @property
+    def runtime(self) -> np.ndarray:
+        return self.end - self.start
+
+    @property
+    def cpu_hours(self) -> np.ndarray:
+        return self.cores * self.runtime / 3600.0
+
+    @property
+    def gpu_hours(self) -> np.ndarray:
+        return self.gpus * self.runtime / 3600.0
+
+    # -- filtering ---------------------------------------------------------------
+
+    def mask(self, m: np.ndarray) -> "JobTable":
+        """New table with rows where boolean mask ``m`` is True."""
+        m = np.asarray(m, dtype=bool)
+        if m.shape != (len(self),):
+            raise ValueError(f"mask shape {m.shape} != ({len(self)},)")
+        return JobTable(
+            job_id=self.job_id[m],
+            user=self.user[m],
+            field=self.field[m],
+            partition=self.partition[m],
+            submit=self.submit[m],
+            start=self.start[m],
+            end=self.end[m],
+            cores=self.cores[m],
+            gpus=self.gpus[m],
+            state=self.state[m],
+            req_walltime=self.req_walltime[m],
+        )
+
+    def by_partition(self, name: str) -> "JobTable":
+        return self.mask(self.partition == name)
+
+    def by_field(self, name: str) -> "JobTable":
+        return self.mask(self.field == name)
+
+    def gpu_jobs(self) -> "JobTable":
+        return self.mask(self.gpus > 0)
+
+    def completed(self) -> "JobTable":
+        return self.mask(self.state == JobState.COMPLETED.value)
+
+    def partitions(self) -> tuple[str, ...]:
+        """Distinct partition names, sorted."""
+        return tuple(sorted(set(self.partition.tolist())))
+
+    def fields(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self.field.tolist())))
+
+    def concat(self, other: "JobTable") -> "JobTable":
+        """Row-wise concatenation (job ids must stay unique)."""
+        return JobTable(
+            job_id=np.concatenate([self.job_id, other.job_id]),
+            user=np.concatenate([self.user, other.user]),
+            field=np.concatenate([self.field, other.field]),
+            partition=np.concatenate([self.partition, other.partition]),
+            submit=np.concatenate([self.submit, other.submit]),
+            start=np.concatenate([self.start, other.start]),
+            end=np.concatenate([self.end, other.end]),
+            cores=np.concatenate([self.cores, other.cores]),
+            gpus=np.concatenate([self.gpus, other.gpus]),
+            state=np.concatenate([self.state, other.state]),
+            req_walltime=np.concatenate([self.req_walltime, other.req_walltime]),
+        )

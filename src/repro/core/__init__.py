@@ -1,0 +1,48 @@
+"""Core of the reproduction: the study itself.
+
+* :mod:`repro.core.instrument` — the reconstructed questionnaire both waves
+  answer;
+* :mod:`repro.core.calibration` — 2011/2024 cohort profiles encoding the
+  predecessor study's marginals and the 2024 "trends" targets;
+* :mod:`repro.core.study` — :class:`Study`, binding instrument, responses and
+  cluster telemetry for analysis;
+* :mod:`repro.core.trends` — cohort-over-cohort trend engine;
+* :mod:`repro.core.pipeline` — reproducible generate/validate/analyze
+  pipeline with content-addressed artifact caching.
+"""
+
+from repro.core.instrument import build_instrument
+from repro.core.calibration import (
+    BASELINE_2011,
+    TARGETS_2024,
+    population_field_shares,
+    profile_2011,
+    profile_2024,
+)
+from repro.core.study import Study, StudyError, build_default_study
+from repro.core.trends import TrendEngine, TrendRow, TrendTable
+from repro.core.weighting import WeightedTrendEngine, make_cohort_weights
+from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+from repro.core.study_pipeline import run_cached_study, study_pipeline
+
+__all__ = [
+    "build_instrument",
+    "profile_2011",
+    "profile_2024",
+    "BASELINE_2011",
+    "TARGETS_2024",
+    "population_field_shares",
+    "Study",
+    "StudyError",
+    "build_default_study",
+    "TrendEngine",
+    "TrendRow",
+    "TrendTable",
+    "WeightedTrendEngine",
+    "make_cohort_weights",
+    "Pipeline",
+    "PipelineStep",
+    "ArtifactCache",
+    "study_pipeline",
+    "run_cached_study",
+]

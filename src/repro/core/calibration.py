@@ -1,0 +1,621 @@
+"""Cohort calibration: 2011 baseline and 2024 targets.
+
+The 2011 numbers encode the predecessor study's headline marginals (languages
+dominated by MATLAB/C/Fortran, parallelism a minority practice, version
+control unusual); the 2024 numbers encode the "Trends" narrative the SC 2024
+title implies (Python near-universal, GPU/ML mainstream, Slurm monoculture,
+git default). Because the paper's exact tables were unavailable (see
+DESIGN.md), these are *calibration targets for the synthetic population*,
+not claimed paper values; EXPERIMENTS.md reports how the generated data
+lands against them.
+
+Marginal targets are expressed at trait midpoints; trait loadings then
+spread behaviour realistically across fields, so realized marginals can
+drift a few points from the targets. Tests pin them within tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.instrument import (
+    DATA_SCALES,
+    LANGUAGES,
+    ML_FRAMEWORKS,
+    PARALLEL_MODES,
+    SCHEDULERS,
+    STORAGE_LOCATIONS,
+    TESTING_OPTIONS,
+    TRAINING_OPTIONS,
+    VCS_OPTIONS,
+)
+from repro.synth.fields import field_shares
+from repro.synth.freetext import FreeTextTemplates
+from repro.synth.models import (
+    BernoulliYesNoModel,
+    CategoricalModel,
+    FreeTextModel,
+    LikertModel,
+    MultiChoiceModel,
+    NumericModel,
+    RespondentContext,
+    ResponseModel,
+)
+from repro.synth.profile import CohortProfile
+from repro.synth.traits import TraitModel, TraitSpec
+
+__all__ = [
+    "BASELINE_2011",
+    "TARGETS_2024",
+    "population_field_shares",
+    "profile_2011",
+    "profile_2024",
+]
+
+
+def population_field_shares() -> dict[str, float]:
+    """Registrar-style population shares used as weighting targets."""
+    return field_shares()
+
+
+# --------------------------------------------------------------------------
+# Reference marginals (cohort-level, at trait midpoints)
+# --------------------------------------------------------------------------
+
+BASELINE_2011: dict[str, float] = {
+    # languages (multi-select shares)
+    "languages.python": 0.35,
+    "languages.r": 0.25,
+    "languages.matlab": 0.42,
+    "languages.c": 0.45,
+    "languages.cpp": 0.40,
+    "languages.fortran": 0.28,
+    "languages.julia": 0.005,
+    "languages.java": 0.12,
+    "languages.shell": 0.30,
+    "languages.perl": 0.15,
+    "languages.javascript": 0.03,
+    # headline practice rates
+    "uses_parallelism.yes": 0.55,
+    "uses_cluster.yes": 0.60,
+    "uses_gpu.base": 0.04,
+    "uses_ml.yes": 0.08,
+    "uses_containers.yes": 0.01,
+    "vcs.git": 0.22,
+    "vcs.none": 0.45,
+    # parallel modes among parallel users
+    "parallel_modes.mpi": 0.35,
+    "parallel_modes.gpu": 0.10,
+    "parallel_modes.cloud": 0.04,
+}
+
+TARGETS_2024: dict[str, float] = {
+    "languages.python": 0.90,
+    "languages.r": 0.35,
+    "languages.matlab": 0.22,
+    "languages.c": 0.25,
+    "languages.cpp": 0.32,
+    "languages.fortran": 0.12,
+    "languages.julia": 0.08,
+    "languages.java": 0.06,
+    "languages.shell": 0.45,
+    "languages.perl": 0.03,
+    "languages.javascript": 0.08,
+    "uses_parallelism.yes": 0.70,
+    "uses_cluster.yes": 0.72,
+    "uses_gpu.base": 0.15,
+    "uses_ml.yes": 0.58,
+    "uses_containers.yes": 0.35,
+    "vcs.git": 0.84,
+    "vcs.none": 0.10,
+    "parallel_modes.mpi": 0.25,
+    "parallel_modes.gpu": 0.55,
+    "parallel_modes.cloud": 0.25,
+}
+
+
+# --------------------------------------------------------------------------
+# Derived models coupling related answers
+# --------------------------------------------------------------------------
+
+
+class PrimaryFromLanguagesModel(ResponseModel):
+    """Pick the primary language from the respondent's selected languages.
+
+    Weighted by cohort-level primacy weights so e.g. a 2024 respondent who
+    selected both python and fortran almost always names python primary.
+    Falls back to the highest-weight option if the languages answer is
+    missing (possible when the respondent skipped the multi-select).
+    """
+
+    def __init__(self, primacy_weights: Mapping[str, float]) -> None:
+        if not primacy_weights:
+            raise ValueError("primacy_weights is empty")
+        unknown = set(primacy_weights) - set(LANGUAGES)
+        if unknown:
+            raise ValueError(f"unknown languages: {sorted(unknown)}")
+        self.primacy_weights = dict(primacy_weights)
+
+    def sample(self, ctx, answers, rng):
+        selected = answers.get("languages")
+        if not selected:
+            candidates = list(self.primacy_weights)
+        else:
+            candidates = [l for l in selected if l in self.primacy_weights]
+            if not candidates:
+                candidates = list(selected)
+        weights = np.array(
+            [self.primacy_weights.get(l, 0.01) for l in candidates], dtype=float
+        )
+        weights = weights / weights.sum()
+        return candidates[rng.choice(len(candidates), p=weights)]
+
+
+class GpuFromModesModel(ResponseModel):
+    """Answer uses_gpu consistently with the parallel_modes selection.
+
+    Respondents who picked the "gpu" parallel mode say yes with ~0.95
+    probability; everyone else follows the cohort base rate with an ML-trait
+    link (ML practitioners use GPUs even without classic HPC parallelism).
+    """
+
+    def __init__(self, base: float, ml_loading: float = 2.0) -> None:
+        self._fallback = BernoulliYesNoModel(base=base, loadings={"ml": ml_loading})
+
+    def sample(self, ctx, answers, rng):
+        modes = answers.get("parallel_modes") or ()
+        if "gpu" in modes:
+            return "yes" if rng.random() < 0.95 else "no"
+        return self._fallback.sample(ctx, answers, rng)
+
+
+# --------------------------------------------------------------------------
+# Profile builders
+# --------------------------------------------------------------------------
+
+
+def _common_numeric_models() -> dict[str, ResponseModel]:
+    return {
+        "years_programming": NumericModel(
+            log_mean=1.8,
+            log_sd=0.7,
+            minimum=0,
+            maximum=60,
+            loadings={"programming": 1.0},
+        ),
+    }
+
+
+def _freetext_models(templates: FreeTextTemplates) -> dict[str, ResponseModel]:
+    return {
+        "stack_description": FreeTextModel(generate=templates.stack_description),
+        "biggest_challenge": FreeTextModel(generate=templates.challenge),
+    }
+
+
+def _multi(targets: Mapping[str, float], prefix: str, options, loadings=None):
+    probs = {opt: targets[f"{prefix}.{opt}"] for opt in options if f"{prefix}.{opt}" in targets}
+    missing = [opt for opt in options if opt not in probs]
+    if missing:
+        raise ValueError(f"no target for {prefix} options {missing}")
+    return MultiChoiceModel(option_probs=probs, loadings=loadings or {})
+
+
+_LANGUAGE_LOADINGS = {
+    "python": {"programming": 1.0, "ml": 1.5},
+    "c": {"hpc": 1.5, "programming": 1.0},
+    "cpp": {"hpc": 1.5, "programming": 1.0},
+    "fortran": {"hpc": 2.0},
+    "shell": {"hpc": 1.5, "rigor": 0.5},
+    "julia": {"programming": 1.0},
+    "r": {"ml": 0.5},
+}
+
+
+def profile_2011(seedless: bool = True) -> CohortProfile:
+    """The 2011 baseline cohort profile."""
+    traits = TraitModel(
+        {
+            "programming": TraitSpec(mean=0.45),
+            "hpc": TraitSpec(mean=0.35),
+            "ml": TraitSpec(mean=0.12, concentration=10.0),
+            "rigor": TraitSpec(mean=0.30),
+        }
+    )
+    templates = FreeTextTemplates(
+        tool_probs={
+            "matlab": 0.40,
+            "numpy": 0.18,
+            "scipy": 0.12,
+            "matplotlib": 0.12,
+            "gnuplot": 0.18,
+            "excel": 0.25,
+            "fortran": 0.22,
+            "mpi": 0.18,
+            "openmp": 0.12,
+            "svn": 0.18,
+            "git": 0.12,
+            "cuda": 0.04,
+            "perl": 0.12,
+            "latex": 0.30,
+            "emacs": 0.18,
+            "vim": 0.18,
+        },
+        tool_loadings={
+            "mpi": {"hpc": 3.0},
+            "openmp": {"hpc": 2.5},
+            "cuda": {"hpc": 2.0},
+            "numpy": {"programming": 2.0},
+            "git": {"rigor": 2.5},
+            "svn": {"rigor": 2.0},
+        },
+    )
+
+    models: dict[str, ResponseModel] = {}
+    models.update(_common_numeric_models())
+    models["training"] = CategoricalModel(
+        base_probs={
+            "self_taught": 0.55,
+            "university_courses": 0.25,
+            "formal_cs_degree": 0.12,
+            "workshops": 0.08,
+        },
+        loadings={"formal_cs_degree": {"programming": 2.0, "rigor": 1.0}},
+    )
+    models["expertise"] = LikertModel(
+        points=5, base_mean=3.0, loadings={"programming": 2.0}, sd=0.9
+    )
+    models["languages"] = _multi(
+        BASELINE_2011, "languages", LANGUAGES, _LANGUAGE_LOADINGS
+    )
+    models["primary_language"] = PrimaryFromLanguagesModel(
+        {
+            "matlab": 0.30,
+            "c": 0.18,
+            "cpp": 0.18,
+            "python": 0.15,
+            "fortran": 0.15,
+            "r": 0.12,
+            "java": 0.06,
+            "perl": 0.05,
+            "shell": 0.02,
+            "javascript": 0.01,
+            "julia": 0.01,
+        }
+    )
+    models["uses_parallelism"] = BernoulliYesNoModel(
+        base=BASELINE_2011["uses_parallelism.yes"], loadings={"hpc": 4.0}
+    )
+    models["parallel_modes"] = MultiChoiceModel(
+        option_probs={
+            "multicore": 0.55,
+            "openmp": 0.30,
+            "mpi": BASELINE_2011["parallel_modes.mpi"],
+            "gpu": BASELINE_2011["parallel_modes.gpu"],
+            "job_arrays": 0.25,
+            "big_data_framework": 0.03,
+            "cloud": BASELINE_2011["parallel_modes.cloud"],
+        },
+        loadings={
+            "mpi": {"hpc": 3.0},
+            "openmp": {"hpc": 2.0},
+            "gpu": {"hpc": 1.5, "ml": 1.0},
+        },
+    )
+    models["uses_cluster"] = BernoulliYesNoModel(
+        base=BASELINE_2011["uses_cluster.yes"], loadings={"hpc": 4.0}
+    )
+    models["scheduler"] = CategoricalModel(
+        base_probs={"pbs": 0.45, "sge": 0.20, "lsf": 0.15, "slurm": 0.12, "htcondor": 0.08}
+    )
+    models["uses_gpu"] = GpuFromModesModel(base=BASELINE_2011["uses_gpu.base"])
+    models["uses_ml"] = BernoulliYesNoModel(
+        base=BASELINE_2011["uses_ml.yes"], loadings={"ml": 3.0}
+    )
+    models["ml_frameworks"] = MultiChoiceModel(
+        option_probs={
+            "scikit-learn": 0.40,
+            "tensorflow": 0.01,
+            "pytorch": 0.01,
+            "keras": 0.01,
+            "xgboost": 0.02,
+            "jax": 0.005,
+            "huggingface": 0.005,
+        }
+    )
+    models["vcs"] = CategoricalModel(
+        base_probs={
+            "none": BASELINE_2011["vcs.none"],
+            "git": BASELINE_2011["vcs.git"],
+            "svn": 0.25,
+            "mercurial": 0.05,
+            "other": 0.03,
+        },
+        loadings={
+            "git": {"rigor": 2.5},
+            "svn": {"rigor": 1.0},
+            "none": {"rigor": -2.5},
+        },
+    )
+    models["testing"] = CategoricalModel(
+        base_probs={
+            "none": 0.40,
+            "ad_hoc": 0.45,
+            "unit_tests": 0.12,
+            "unit_tests_and_ci": 0.03,
+        },
+        loadings={
+            "unit_tests": {"rigor": 2.0},
+            "unit_tests_and_ci": {"rigor": 3.0},
+            "none": {"rigor": -2.0},
+        },
+    )
+    models["uses_containers"] = BernoulliYesNoModel(
+        base=BASELINE_2011["uses_containers.yes"], loadings={"rigor": 1.0}
+    )
+    models["data_scale"] = CategoricalModel(
+        base_probs={
+            "under_1gb": 0.35,
+            "1gb_to_100gb": 0.40,
+            "100gb_to_1tb": 0.18,
+            "1tb_to_10tb": 0.06,
+            "over_10tb": 0.01,
+        },
+        loadings={
+            "1tb_to_10tb": {"hpc": 1.5},
+            "over_10tb": {"hpc": 2.0},
+        },
+    )
+    models["storage_locations"] = MultiChoiceModel(
+        option_probs={
+            "laptop": 0.55,
+            "lab_server": 0.50,
+            "cluster_storage": 0.40,
+            "cloud_storage": 0.04,
+            "external_archive": 0.08,
+        },
+        loadings={"cluster_storage": {"hpc": 3.0}},
+    )
+    models["primary_os"] = CategoricalModel(
+        base_probs={"linux": 0.40, "macos": 0.18, "windows": 0.42},
+        loadings={"linux": {"hpc": 2.0, "programming": 1.0}},
+    )
+    models["editors"] = MultiChoiceModel(
+        option_probs={
+            "vscode": 0.001,
+            "vim": 0.35,
+            "emacs": 0.25,
+            "jupyter": 0.02,
+            "pycharm": 0.01,
+            "matlab_ide": 0.40,
+            "rstudio": 0.10,
+            "plain_text_editor": 0.25,
+        },
+        loadings={"vim": {"programming": 1.5}, "emacs": {"programming": 1.5}},
+    )
+    models["hours_per_week"] = NumericModel(
+        log_mean=3.0, log_sd=0.5, minimum=0, maximum=100, loadings={"programming": 0.7}
+    )
+    models["hpc_training"] = BernoulliYesNoModel(base=0.30, loadings={"hpc": 1.5})
+    models["contributes_open_source"] = BernoulliYesNoModel(
+        base=0.08, loadings={"rigor": 2.0, "programming": 1.0}
+    )
+    models.update(_freetext_models(templates))
+
+    return CohortProfile(
+        cohort="2011",
+        trait_model=traits,
+        question_models=models,
+        missing_rate=0.10,
+        required_missing_rate=0.03,
+    )
+
+
+def profile_2024() -> CohortProfile:
+    """The 2024 "revisited" cohort profile."""
+    traits = TraitModel(
+        {
+            "programming": TraitSpec(mean=0.55),
+            "hpc": TraitSpec(mean=0.45),
+            "ml": TraitSpec(mean=0.55),
+            "rigor": TraitSpec(mean=0.55),
+        }
+    )
+    templates = FreeTextTemplates(
+        tool_probs={
+            "numpy": 0.55,
+            "scipy": 0.30,
+            "pandas": 0.45,
+            "matplotlib": 0.40,
+            "jupyter": 0.45,
+            "pytorch": 0.35,
+            "tensorflow": 0.12,
+            "git": 0.45,
+            "github": 0.30,
+            "docker": 0.18,
+            "apptainer": 0.12,
+            "conda": 0.40,
+            "slurm": 0.35,
+            "mpi": 0.12,
+            "cuda": 0.22,
+            "matlab": 0.15,
+            "vscode": 0.35,
+            "excel": 0.10,
+            "aws": 0.12,
+            "spark": 0.06,
+            "latex": 0.25,
+        },
+        tool_loadings={
+            "pytorch": {"ml": 3.0},
+            "tensorflow": {"ml": 2.0},
+            "cuda": {"ml": 1.5, "hpc": 1.5},
+            "slurm": {"hpc": 3.0},
+            "mpi": {"hpc": 3.0},
+            "docker": {"rigor": 2.0},
+            "git": {"rigor": 2.0},
+            "jupyter": {"programming": 1.0},
+        },
+    )
+
+    models: dict[str, ResponseModel] = {}
+    models["years_programming"] = NumericModel(
+        log_mean=1.9, log_sd=0.7, minimum=0, maximum=60, loadings={"programming": 1.0}
+    )
+    models["training"] = CategoricalModel(
+        base_probs={
+            "self_taught": 0.40,
+            "university_courses": 0.28,
+            "formal_cs_degree": 0.15,
+            "workshops": 0.17,
+        },
+        loadings={"formal_cs_degree": {"programming": 2.0, "rigor": 1.0}},
+    )
+    models["expertise"] = LikertModel(
+        points=5, base_mean=3.3, loadings={"programming": 2.0}, sd=0.9
+    )
+    models["languages"] = _multi(TARGETS_2024, "languages", LANGUAGES, _LANGUAGE_LOADINGS)
+    models["primary_language"] = PrimaryFromLanguagesModel(
+        {
+            "python": 0.62,
+            "r": 0.15,
+            "cpp": 0.09,
+            "matlab": 0.07,
+            "julia": 0.05,
+            "c": 0.04,
+            "fortran": 0.03,
+            "java": 0.02,
+            "shell": 0.02,
+            "javascript": 0.01,
+            "perl": 0.01,
+        }
+    )
+    models["uses_parallelism"] = BernoulliYesNoModel(
+        base=TARGETS_2024["uses_parallelism.yes"], loadings={"hpc": 4.0}
+    )
+    models["parallel_modes"] = MultiChoiceModel(
+        option_probs={
+            "multicore": 0.70,
+            "openmp": 0.22,
+            "mpi": TARGETS_2024["parallel_modes.mpi"],
+            "gpu": TARGETS_2024["parallel_modes.gpu"],
+            "job_arrays": 0.45,
+            "big_data_framework": 0.12,
+            "cloud": TARGETS_2024["parallel_modes.cloud"],
+        },
+        loadings={
+            "mpi": {"hpc": 3.0},
+            "openmp": {"hpc": 2.0},
+            "gpu": {"ml": 2.5, "hpc": 1.0},
+            "big_data_framework": {"ml": 1.0},
+        },
+    )
+    models["uses_cluster"] = BernoulliYesNoModel(
+        base=TARGETS_2024["uses_cluster.yes"], loadings={"hpc": 4.0}
+    )
+    models["scheduler"] = CategoricalModel(
+        base_probs={"slurm": 0.88, "pbs": 0.05, "lsf": 0.03, "sge": 0.02, "htcondor": 0.02}
+    )
+    models["uses_gpu"] = GpuFromModesModel(base=TARGETS_2024["uses_gpu.base"])
+    models["uses_ml"] = BernoulliYesNoModel(
+        base=TARGETS_2024["uses_ml.yes"], loadings={"ml": 4.0}
+    )
+    models["ml_frameworks"] = MultiChoiceModel(
+        option_probs={
+            "pytorch": 0.68,
+            "scikit-learn": 0.60,
+            "tensorflow": 0.28,
+            "keras": 0.18,
+            "xgboost": 0.22,
+            "jax": 0.10,
+            "huggingface": 0.30,
+        },
+        loadings={"pytorch": {"ml": 2.0}, "jax": {"programming": 1.5}},
+    )
+    models["vcs"] = CategoricalModel(
+        base_probs={
+            "none": TARGETS_2024["vcs.none"],
+            "git": TARGETS_2024["vcs.git"],
+            "svn": 0.02,
+            "mercurial": 0.01,
+            "other": 0.03,
+        },
+        loadings={"git": {"rigor": 2.0}, "none": {"rigor": -3.0}},
+    )
+    models["testing"] = CategoricalModel(
+        base_probs={
+            "none": 0.18,
+            "ad_hoc": 0.42,
+            "unit_tests": 0.25,
+            "unit_tests_and_ci": 0.15,
+        },
+        loadings={
+            "unit_tests": {"rigor": 2.0},
+            "unit_tests_and_ci": {"rigor": 3.0},
+            "none": {"rigor": -2.0},
+        },
+    )
+    models["uses_containers"] = BernoulliYesNoModel(
+        base=TARGETS_2024["uses_containers.yes"], loadings={"rigor": 2.0, "hpc": 1.0}
+    )
+    models["data_scale"] = CategoricalModel(
+        base_probs={
+            "under_1gb": 0.15,
+            "1gb_to_100gb": 0.35,
+            "100gb_to_1tb": 0.27,
+            "1tb_to_10tb": 0.15,
+            "over_10tb": 0.08,
+        },
+        loadings={
+            "1tb_to_10tb": {"hpc": 1.0, "ml": 1.0},
+            "over_10tb": {"hpc": 1.5, "ml": 1.5},
+        },
+    )
+    models["storage_locations"] = MultiChoiceModel(
+        option_probs={
+            "laptop": 0.45,
+            "lab_server": 0.35,
+            "cluster_storage": 0.65,
+            "cloud_storage": 0.35,
+            "external_archive": 0.12,
+        },
+        loadings={"cluster_storage": {"hpc": 3.0}, "cloud_storage": {"ml": 1.0}},
+    )
+    models["primary_os"] = CategoricalModel(
+        base_probs={"linux": 0.38, "macos": 0.42, "windows": 0.20},
+        loadings={"linux": {"hpc": 2.0}},
+    )
+    models["editors"] = MultiChoiceModel(
+        option_probs={
+            "vscode": 0.55,
+            "vim": 0.25,
+            "emacs": 0.07,
+            "jupyter": 0.45,
+            "pycharm": 0.15,
+            "matlab_ide": 0.15,
+            "rstudio": 0.18,
+            "plain_text_editor": 0.08,
+        },
+        loadings={
+            "jupyter": {"ml": 1.5},
+            "vim": {"hpc": 1.0, "programming": 1.0},
+            "rstudio": {"ml": 0.5},
+        },
+    )
+    models["hours_per_week"] = NumericModel(
+        log_mean=3.2, log_sd=0.5, minimum=0, maximum=100, loadings={"programming": 0.7}
+    )
+    models["hpc_training"] = BernoulliYesNoModel(base=0.45, loadings={"hpc": 1.5})
+    models["contributes_open_source"] = BernoulliYesNoModel(
+        base=0.22, loadings={"rigor": 2.0, "programming": 1.5}
+    )
+    models.update(_freetext_models(templates))
+
+    return CohortProfile(
+        cohort="2024",
+        trait_model=traits,
+        question_models=models,
+        missing_rate=0.08,
+        required_missing_rate=0.02,
+    )

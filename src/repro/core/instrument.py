@@ -1,0 +1,318 @@
+"""The reconstructed study instrument.
+
+Both waves answer the same core items so trends are comparable; items that
+did not exist in 2011 (ML frameworks, containers) are simply asked of both
+waves — the 2011 profile answers them the way 2011 respondents would have
+("no", empty) rather than dropping the question, matching how the paper
+retro-codes its baseline.
+
+Option lists are module constants so analysis code and cohort profiles can
+share them without string drift.
+"""
+
+from __future__ import annotations
+
+from repro.survey import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    Questionnaire,
+    Section,
+    ShowIf,
+    SingleChoiceQuestion,
+)
+from repro.synth.fields import CAREER_STAGES, field_names
+
+__all__ = [
+    "LANGUAGES",
+    "PARALLEL_MODES",
+    "ML_FRAMEWORKS",
+    "SCHEDULERS",
+    "VCS_OPTIONS",
+    "TESTING_OPTIONS",
+    "TRAINING_OPTIONS",
+    "DATA_SCALES",
+    "STORAGE_LOCATIONS",
+    "OS_OPTIONS",
+    "EDITOR_OPTIONS",
+    "build_instrument",
+]
+
+LANGUAGES: tuple[str, ...] = (
+    "python",
+    "r",
+    "matlab",
+    "c",
+    "cpp",
+    "fortran",
+    "julia",
+    "java",
+    "shell",
+    "perl",
+    "javascript",
+)
+
+PARALLEL_MODES: tuple[str, ...] = (
+    "multicore",
+    "openmp",
+    "mpi",
+    "gpu",
+    "job_arrays",
+    "big_data_framework",
+    "cloud",
+)
+
+ML_FRAMEWORKS: tuple[str, ...] = (
+    "pytorch",
+    "tensorflow",
+    "scikit-learn",
+    "jax",
+    "keras",
+    "xgboost",
+    "huggingface",
+)
+
+SCHEDULERS: tuple[str, ...] = ("slurm", "pbs", "lsf", "sge", "htcondor")
+
+VCS_OPTIONS: tuple[str, ...] = ("none", "git", "svn", "mercurial", "other")
+
+TESTING_OPTIONS: tuple[str, ...] = (
+    "none",
+    "ad_hoc",
+    "unit_tests",
+    "unit_tests_and_ci",
+)
+
+TRAINING_OPTIONS: tuple[str, ...] = (
+    "self_taught",
+    "university_courses",
+    "formal_cs_degree",
+    "workshops",
+)
+
+DATA_SCALES: tuple[str, ...] = (
+    "under_1gb",
+    "1gb_to_100gb",
+    "100gb_to_1tb",
+    "1tb_to_10tb",
+    "over_10tb",
+)
+
+STORAGE_LOCATIONS: tuple[str, ...] = (
+    "laptop",
+    "lab_server",
+    "cluster_storage",
+    "cloud_storage",
+    "external_archive",
+)
+
+OS_OPTIONS: tuple[str, ...] = ("linux", "macos", "windows")
+
+EDITOR_OPTIONS: tuple[str, ...] = (
+    "vscode",
+    "vim",
+    "emacs",
+    "jupyter",
+    "pycharm",
+    "matlab_ide",
+    "rstudio",
+    "plain_text_editor",
+)
+
+
+def build_instrument() -> Questionnaire:
+    """Build the canonical practice-survey questionnaire.
+
+    Returns a fresh :class:`~repro.survey.Questionnaire`; the object is
+    cheap to construct and immutable in practice, so callers build their own
+    rather than sharing module state.
+    """
+    questions = [
+        # -- background -----------------------------------------------------
+        SingleChoiceQuestion(
+            key="field",
+            text="Which field best describes your research?",
+            options=field_names(),
+        ),
+        SingleChoiceQuestion(
+            key="career_stage",
+            text="What is your career stage?",
+            options=tuple(CAREER_STAGES),
+        ),
+        NumericQuestion(
+            key="years_programming",
+            text="For how many years have you written research software?",
+            minimum=0,
+            maximum=60,
+            integer_only=True,
+            unit="years",
+        ),
+        SingleChoiceQuestion(
+            key="training",
+            text="How did you primarily learn to program?",
+            options=TRAINING_OPTIONS,
+        ),
+        LikertQuestion(
+            key="expertise",
+            text="Rate your programming expertise.",
+            points=5,
+            low_label="novice",
+            high_label="expert",
+        ),
+        # -- languages -------------------------------------------------------
+        MultiChoiceQuestion(
+            key="languages",
+            text="Which programming languages do you use for research?",
+            options=LANGUAGES,
+            min_selected=1,
+        ),
+        SingleChoiceQuestion(
+            key="primary_language",
+            text="Which language do you use most?",
+            options=LANGUAGES,
+        ),
+        # -- parallelism and infrastructure ----------------------------------
+        SingleChoiceQuestion(
+            key="uses_parallelism",
+            text="Do you run parallel computations?",
+            options=("yes", "no"),
+        ),
+        MultiChoiceQuestion(
+            key="parallel_modes",
+            text="Which forms of parallelism do you use?",
+            options=PARALLEL_MODES,
+            min_selected=1,
+        ),
+        SingleChoiceQuestion(
+            key="uses_cluster",
+            text="Do you use a shared HPC cluster?",
+            options=("yes", "no"),
+        ),
+        SingleChoiceQuestion(
+            key="scheduler",
+            text="Which job scheduler do you submit to?",
+            options=SCHEDULERS,
+            allow_other=True,
+        ),
+        SingleChoiceQuestion(
+            key="uses_gpu",
+            text="Do you use GPUs for your research computing?",
+            options=("yes", "no"),
+        ),
+        # -- ML / AI ----------------------------------------------------------
+        SingleChoiceQuestion(
+            key="uses_ml",
+            text="Do you use machine-learning methods in your research?",
+            options=("yes", "no"),
+        ),
+        MultiChoiceQuestion(
+            key="ml_frameworks",
+            text="Which ML frameworks do you use?",
+            options=ML_FRAMEWORKS,
+            min_selected=1,
+        ),
+        # -- software-engineering practices ------------------------------------
+        SingleChoiceQuestion(
+            key="vcs",
+            text="Which version-control system do you use?",
+            options=VCS_OPTIONS,
+        ),
+        SingleChoiceQuestion(
+            key="testing",
+            text="How do you test your research code?",
+            options=TESTING_OPTIONS,
+        ),
+        SingleChoiceQuestion(
+            key="uses_containers",
+            text="Do you use containers (Docker/Apptainer) for your software?",
+            options=("yes", "no"),
+        ),
+        # -- data ---------------------------------------------------------------
+        SingleChoiceQuestion(
+            key="data_scale",
+            text="How large is the data for a typical project?",
+            options=DATA_SCALES,
+        ),
+        MultiChoiceQuestion(
+            key="storage_locations",
+            text="Where does your research data live?",
+            options=STORAGE_LOCATIONS,
+            min_selected=1,
+        ),
+        # -- work environment -----------------------------------------------------
+        SingleChoiceQuestion(
+            key="primary_os",
+            text="What operating system do you primarily develop on?",
+            options=OS_OPTIONS,
+        ),
+        MultiChoiceQuestion(
+            key="editors",
+            text="Which editors/IDEs do you use for research code?",
+            options=EDITOR_OPTIONS,
+            min_selected=1,
+        ),
+        NumericQuestion(
+            key="hours_per_week",
+            text="Hours per week spent on computational work?",
+            minimum=0,
+            maximum=100,
+            integer_only=True,
+            unit="hours",
+        ),
+        SingleChoiceQuestion(
+            key="hpc_training",
+            text="Have you attended formal HPC training (workshops, courses)?",
+            options=("yes", "no"),
+        ),
+        SingleChoiceQuestion(
+            key="contributes_open_source",
+            text="Do you contribute to open-source research software?",
+            options=("yes", "no"),
+        ),
+        # -- free text ------------------------------------------------------------
+        FreeTextQuestion(
+            key="stack_description",
+            text="Briefly describe your software stack.",
+            max_length=500,
+        ),
+        FreeTextQuestion(
+            key="biggest_challenge",
+            text="What is the biggest obstacle in your computational work?",
+            max_length=500,
+        ),
+    ]
+    sections = [
+        Section("Background", ("field", "career_stage", "years_programming", "training", "expertise")),
+        Section("Languages", ("languages", "primary_language")),
+        Section(
+            "Parallelism and infrastructure",
+            ("uses_parallelism", "parallel_modes", "uses_cluster", "scheduler", "uses_gpu"),
+        ),
+        Section("Machine learning", ("uses_ml", "ml_frameworks")),
+        Section("Engineering practices", ("vcs", "testing", "uses_containers")),
+        Section("Data", ("data_scale", "storage_locations")),
+        Section(
+            "Work environment",
+            (
+                "primary_os",
+                "editors",
+                "hours_per_week",
+                "hpc_training",
+                "contributes_open_source",
+            ),
+        ),
+        Section("Open questions", ("stack_description", "biggest_challenge")),
+    ]
+    skip_logic = {
+        "parallel_modes": ShowIf("uses_parallelism", ("yes",)),
+        "scheduler": ShowIf("uses_cluster", ("yes",)),
+        "ml_frameworks": ShowIf("uses_ml", ("yes",)),
+        "hpc_training": ShowIf("uses_cluster", ("yes",)),
+    }
+    return Questionnaire(
+        name="computation-for-research-practice-survey",
+        questions=questions,
+        sections=sections,
+        skip_logic=skip_logic,
+    )

@@ -1,0 +1,146 @@
+"""Reproducible analysis pipeline with content-addressed artifact caching.
+
+Regenerating every table from scratch re-runs the scheduler simulator each
+time; the pipeline caches each step's output keyed by the step's name, its
+parameters, and the cache keys of everything upstream, so editing a late
+analysis step never re-simulates the cluster. The ablation bench
+(`bench_ablation_cache`) measures exactly this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+__all__ = ["ArtifactCache", "PipelineStep", "Pipeline", "PipelineError"]
+
+
+class PipelineError(RuntimeError):
+    """Raised for misconfigured pipelines."""
+
+
+class ArtifactCache:
+    """Pickle-based content-addressed artifact store.
+
+    Parameters
+    ----------
+    root:
+        Directory for artifacts; created on first put. ``None`` gives an
+        in-memory cache (useful in tests and benches).
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.root is not None
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Cached value for ``key``, or None."""
+        if self.root is None:
+            blob = self._memory.get(key)
+        else:
+            path = self._path(key)
+            blob = path.read_bytes() if path.exists() else None
+        if blob is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: str, value: Any) -> None:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.root is None:
+            self._memory[key] = blob
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._path(key).write_bytes(blob)
+
+    def clear(self) -> None:
+        if self.root is None:
+            self._memory.clear()
+        else:
+            for path in self.root.glob("*.pkl"):
+                path.unlink()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass(frozen=True)
+class PipelineStep:
+    """One named step.
+
+    Attributes
+    ----------
+    name:
+        Unique step name; also the context key its output is stored under.
+    fn:
+        ``fn(context, **params) -> value`` where ``context`` maps earlier
+        step names to their outputs.
+    params:
+        Declarative parameters hashed into the cache key. Must be
+        repr-stable (plain ints/floats/strings/tuples).
+    depends_on:
+        Names of earlier steps whose outputs this step reads; part of the
+        cache key so upstream changes invalidate downstream artifacts.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    params: Mapping[str, Any] = field(default_factory=dict)
+    depends_on: tuple[str, ...] = ()
+
+
+class Pipeline:
+    """An ordered list of steps with cache-aware execution."""
+
+    def __init__(self, steps: list[PipelineStep], cache: ArtifactCache | None = None) -> None:
+        if not steps:
+            raise PipelineError("pipeline has no steps")
+        names = [s.name for s in steps]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate step names: {names}")
+        seen: set[str] = set()
+        for step in steps:
+            unknown = set(step.depends_on) - seen
+            if unknown:
+                raise PipelineError(
+                    f"step {step.name!r} depends on undefined/later steps: {sorted(unknown)}"
+                )
+            seen.add(step.name)
+        self.steps = list(steps)
+        self.cache = cache if cache is not None else ArtifactCache()
+
+    def _key(self, step: PipelineStep, upstream_keys: Mapping[str, str]) -> str:
+        h = hashlib.sha256()
+        h.update(step.name.encode())
+        h.update(repr(sorted(step.params.items())).encode())
+        for dep in step.depends_on:
+            h.update(upstream_keys[dep].encode())
+        return h.hexdigest()[:24]
+
+    def run(self, force: bool = False) -> dict[str, Any]:
+        """Execute all steps, returning {step name: output}.
+
+        With ``force=True`` the cache is bypassed (but still written).
+        """
+        context: dict[str, Any] = {}
+        keys: dict[str, str] = {}
+        for step in self.steps:
+            key = self._key(step, keys)
+            keys[step.name] = key
+            value = None if force else self.cache.get(key)
+            if value is None:
+                value = step.fn(context, **dict(step.params))
+                if value is None:
+                    raise PipelineError(f"step {step.name!r} returned None")
+                self.cache.put(key, value)
+            context[step.name] = value
+        return context

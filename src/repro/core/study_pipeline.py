@@ -1,0 +1,113 @@
+"""The canonical cached study pipeline.
+
+Wires generation → scheduling → study assembly through the caching
+:class:`~repro.core.pipeline.Pipeline`, so iterating on analysis parameters
+never re-runs the expensive simulation stages. ``run`` returns the same
+:class:`~repro.core.study.Study` that :func:`build_default_study` builds,
+but each stage is independently cached and invalidated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.partitions import DEFAULT_CLUSTER
+from repro.cluster.scheduler import simulate_schedule
+from repro.cluster.workload import WorkloadModel, WorkloadParams
+from repro.core.calibration import profile_2011, profile_2024
+from repro.core.instrument import build_instrument
+from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+from repro.core.study import Study
+
+__all__ = ["study_pipeline", "run_cached_study"]
+
+
+def _survey_step(context, seed, n_baseline, n_current):
+    from repro.synth.generator import generate_study
+
+    return generate_study(
+        {
+            "2011": (profile_2011(), n_baseline),
+            "2024": (profile_2024(), n_current),
+        },
+        build_instrument(),
+        seed=seed,
+    )
+
+
+def _workload_step(context, seed, months, jobs_per_day, diurnal):
+    params = WorkloadParams(months=months, jobs_per_day=jobs_per_day, diurnal=diurnal)
+    jobs = WorkloadModel(params, DEFAULT_CLUSTER).generate(np.random.default_rng(seed))
+    return {"jobs": jobs, "window_seconds": params.window_seconds}
+
+
+def _schedule_step(context, seed, backfill):
+    workload = context["workload"]
+    result = simulate_schedule(
+        workload["jobs"],
+        DEFAULT_CLUSTER,
+        rng=np.random.default_rng(seed),
+        backfill=backfill,
+    )
+    return result.table
+
+
+def _study_step(context):
+    return Study(
+        responses=context["survey"],
+        telemetry=context["schedule"],
+        cluster=DEFAULT_CLUSTER,
+        window_seconds=context["workload"]["window_seconds"],
+    )
+
+
+def study_pipeline(
+    seed: int = 2024,
+    n_baseline: int = 120,
+    n_current: int = 200,
+    months: int = 6,
+    jobs_per_day: float = 200.0,
+    backfill: bool = True,
+    diurnal: bool = True,
+    cache: ArtifactCache | None = None,
+) -> Pipeline:
+    """Build the cached generate→schedule→study pipeline.
+
+    Step/param layout is the cache contract: changing ``n_current`` reruns
+    only the survey stage; changing ``backfill`` reruns only scheduling;
+    changing ``months`` reruns workload + scheduling (its dependent).
+    """
+    steps = [
+        PipelineStep(
+            name="survey",
+            fn=_survey_step,
+            params={"seed": seed, "n_baseline": n_baseline, "n_current": n_current},
+        ),
+        PipelineStep(
+            name="workload",
+            fn=_workload_step,
+            params={
+                "seed": seed + 1,
+                "months": months,
+                "jobs_per_day": jobs_per_day,
+                "diurnal": diurnal,
+            },
+        ),
+        PipelineStep(
+            name="schedule",
+            fn=_schedule_step,
+            params={"seed": seed + 2, "backfill": backfill},
+            depends_on=("workload",),
+        ),
+        PipelineStep(
+            name="study",
+            fn=_study_step,
+            depends_on=("survey", "workload", "schedule"),
+        ),
+    ]
+    return Pipeline(steps, cache)
+
+
+def run_cached_study(cache: ArtifactCache | None = None, **kwargs) -> Study:
+    """Convenience: build and run the pipeline, returning the Study."""
+    return study_pipeline(cache=cache, **kwargs).run()["study"]

@@ -1,0 +1,201 @@
+"""Cohort-over-cohort trend engine.
+
+Every "Trends" table in the study is a family of rows, each comparing one
+practice between the baseline and current cohorts: proportions with Wilson
+intervals, the absolute change, a two-proportion z-test, and Cohen's h. The
+engine computes rows from a multi-cohort :class:`~repro.survey.ResponseSet`
+and applies a family-wise correction across each table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.stats.corrections import benjamini_hochberg, bonferroni, holm_bonferroni
+from repro.stats.effects import cohens_h
+from repro.stats.intervals import BinomialInterval, wilson_interval
+from repro.stats.tests import TestResult, two_proportion_z_test
+from repro.survey.questions import MultiChoiceQuestion, SingleChoiceQuestion
+from repro.survey.responses import ResponseSet
+
+__all__ = ["TrendRow", "TrendTable", "TrendEngine"]
+
+_CORRECTIONS = {
+    "holm": holm_bonferroni,
+    "bonferroni": bonferroni,
+    "bh": benjamini_hochberg,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TrendRow:
+    """One practice compared across cohorts.
+
+    ``p_value`` is the raw two-proportion test p; ``adjusted_p`` is filled
+    by :meth:`TrendTable.corrected`.
+    """
+
+    label: str
+    baseline: BinomialInterval
+    current: BinomialInterval
+    n_baseline: int
+    n_current: int
+    delta: float
+    effect_h: float
+    test: TestResult
+    adjusted_p: float | None = None
+
+    @property
+    def p_value(self) -> float:
+        return self.test.p_value
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """Significance after correction when available, else raw."""
+        p = self.adjusted_p if self.adjusted_p is not None else self.p_value
+        return p < alpha
+
+
+@dataclass(frozen=True, slots=True)
+class TrendTable:
+    """A family of trend rows corrected together."""
+
+    title: str
+    rows: tuple[TrendRow, ...]
+    correction: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __getitem__(self, label: str) -> TrendRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"no trend row labeled {label!r}")
+
+    def corrected(self, method: str = "holm") -> "TrendTable":
+        """New table with family-wise adjusted p-values."""
+        if method not in _CORRECTIONS:
+            raise ValueError(
+                f"unknown correction {method!r}; choose from {sorted(_CORRECTIONS)}"
+            )
+        if not self.rows:
+            return TrendTable(self.title, self.rows, correction=method)
+        adjusted = _CORRECTIONS[method]([r.p_value for r in self.rows])
+        rows = tuple(
+            replace(row, adjusted_p=float(p)) for row, p in zip(self.rows, adjusted)
+        )
+        return TrendTable(self.title, rows, correction=method)
+
+    def sorted_by_delta(self) -> "TrendTable":
+        """Rows ordered by |change|, largest first (how the paper sorts)."""
+        rows = tuple(sorted(self.rows, key=lambda r: -abs(r.delta)))
+        return TrendTable(self.title, rows, correction=self.correction)
+
+
+class TrendEngine:
+    """Computes trend rows between two cohorts of one response set."""
+
+    def __init__(
+        self,
+        responses: ResponseSet,
+        baseline_cohort: str = "2011",
+        current_cohort: str = "2024",
+        confidence: float = 0.95,
+    ) -> None:
+        cohorts = set(responses.cohorts)
+        for label in (baseline_cohort, current_cohort):
+            if label not in cohorts:
+                raise ValueError(f"cohort {label!r} not present (have {sorted(cohorts)})")
+        self.responses = responses
+        self.baseline = responses.by_cohort(baseline_cohort)
+        self.current = responses.by_cohort(current_cohort)
+        self.baseline_cohort = baseline_cohort
+        self.current_cohort = current_cohort
+        self.confidence = confidence
+
+    # -- counting helpers ------------------------------------------------------
+
+    @staticmethod
+    def _single_counts(cohort: ResponseSet, key: str, option: str) -> tuple[int, int]:
+        col = cohort.column(key)
+        answered = np.array([v is not None for v in col])
+        hits = np.array([v == option for v in col])
+        return int(hits.sum()), int(answered.sum())
+
+    @staticmethod
+    def _multi_counts(cohort: ResponseSet, key: str, option: str) -> tuple[int, int]:
+        q = cohort.questionnaire[key]
+        if not isinstance(q, MultiChoiceQuestion):
+            raise TypeError(f"{key!r} is not multi-choice")
+        j = q.options.index(option)
+        mat = cohort.selection_matrix(key)
+        answered = cohort.answered_mask(key)
+        return int(mat[answered, j].sum()), int(answered.sum())
+
+    def _row(
+        self, label: str, s_a: int, n_a: int, s_b: int, n_b: int
+    ) -> TrendRow:
+        if n_a == 0 or n_b == 0:
+            raise ValueError(f"trend row {label!r} has an empty cohort")
+        ci_a = wilson_interval(s_a, n_a, self.confidence)
+        ci_b = wilson_interval(s_b, n_b, self.confidence)
+        test = two_proportion_z_test(s_b, n_b, s_a, n_a)  # current vs baseline
+        return TrendRow(
+            label=label,
+            baseline=ci_a,
+            current=ci_b,
+            n_baseline=n_a,
+            n_current=n_b,
+            delta=ci_b.estimate - ci_a.estimate,
+            effect_h=cohens_h(ci_b.estimate, ci_a.estimate),
+            test=test,
+        )
+
+    # -- public API ----------------------------------------------------------------
+
+    def single_choice_trend(self, key: str, option: str, label: str | None = None) -> TrendRow:
+        """Trend in the share answering ``option`` on a single-choice item.
+
+        Denominator: respondents who answered the item in that cohort.
+        """
+        q = self.responses.questionnaire[key]
+        if not isinstance(q, SingleChoiceQuestion):
+            raise TypeError(f"{key!r} is not single-choice")
+        if option not in q.options and not q.allow_other:
+            raise ValueError(f"{option!r} is not an option of {key!r}")
+        s_a, n_a = self._single_counts(self.baseline, key, option)
+        s_b, n_b = self._single_counts(self.current, key, option)
+        return self._row(label or f"{key}={option}", s_a, n_a, s_b, n_b)
+
+    def yes_no_trend(self, key: str, label: str | None = None) -> TrendRow:
+        """Trend in the 'yes' share of a yes/no item."""
+        return self.single_choice_trend(key, "yes", label=label or key)
+
+    def multi_choice_trend(self, key: str, title: str | None = None) -> TrendTable:
+        """One row per option of a multi-select item, as a family."""
+        q = self.responses.questionnaire[key]
+        if not isinstance(q, MultiChoiceQuestion):
+            raise TypeError(f"{key!r} is not multi-choice")
+        rows = []
+        for option in q.options:
+            s_a, n_a = self._multi_counts(self.baseline, key, option)
+            s_b, n_b = self._multi_counts(self.current, key, option)
+            rows.append(self._row(option, s_a, n_a, s_b, n_b))
+        return TrendTable(title or f"trend:{key}", tuple(rows))
+
+    def single_choice_table(self, key: str, title: str | None = None) -> TrendTable:
+        """One row per option of a single-choice item, as a family."""
+        q = self.responses.questionnaire[key]
+        if not isinstance(q, SingleChoiceQuestion):
+            raise TypeError(f"{key!r} is not single-choice")
+        rows = []
+        for option in q.options:
+            s_a, n_a = self._single_counts(self.baseline, key, option)
+            s_b, n_b = self._single_counts(self.current, key, option)
+            rows.append(self._row(option, s_a, n_a, s_b, n_b))
+        return TrendTable(title or f"trend:{key}", tuple(rows))

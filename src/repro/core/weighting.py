@@ -1,0 +1,130 @@
+"""Survey weighting integration for the trend engine.
+
+The campus population margins (registrar counts of researchers per field and
+career stage) are known, so the study reports *post-stratified* estimates
+alongside raw ones. This module builds per-cohort raking weights and a
+:class:`WeightedTrendEngine` whose rows use weighted proportions with
+Kish-effective-sample-size variance — the standard design-effect
+approximation for weighted survey comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.trends import TrendEngine
+from repro.stats.weights import effective_sample_size, rake_weights
+from repro.survey.responses import ResponseSet
+
+__all__ = ["make_cohort_weights", "WeightedTrendEngine"]
+
+
+def make_cohort_weights(
+    cohort: ResponseSet,
+    targets_by_key: Mapping[str, Mapping[str, float]],
+) -> np.ndarray:
+    """Raking weights for one cohort, aligned with its response order.
+
+    Parameters
+    ----------
+    cohort:
+        A single-cohort response set.
+    targets_by_key:
+        Mapping question key -> {answer label: population share}, one entry
+        per raking margin (e.g. ``{"field": shares, "career_stage": stages}``).
+
+    Respondents missing any margin answer are excluded from the raking
+    solve and receive weight 1.0 (neutral), so weighting never silently
+    drops their answers from downstream analyses.
+    """
+    if not targets_by_key:
+        raise ValueError("no raking margins given")
+    n = len(cohort)
+    if n == 0:
+        raise ValueError("empty cohort")
+    columns = {key: cohort.column(key) for key in targets_by_key}
+    usable = np.array(
+        [all(columns[key][i] is not None for key in targets_by_key) for i in range(n)]
+    )
+    weights = np.ones(n, dtype=float)
+    if usable.sum() == 0:
+        return weights
+    margins = [
+        [str(columns[key][i]) for i in range(n) if usable[i]]
+        for key in targets_by_key
+    ]
+    raked = rake_weights(margins, list(targets_by_key.values()))
+    weights[usable] = raked
+    # Keep mean weight 1 over the whole cohort.
+    return weights / weights.mean()
+
+
+class WeightedTrendEngine(TrendEngine):
+    """Trend engine whose proportions are post-stratification weighted.
+
+    Weighted counts enter the shared row machinery as *effective* counts:
+    ``successes = round(p_w * ESS)``, ``trials = round(ESS)`` where ESS is
+    the Kish effective sample size of the answering respondents' weights.
+    This shrinks the evidence exactly by the design effect, so intervals
+    widen and tests lose power in proportion to weighting variance.
+    """
+
+    def __init__(
+        self,
+        responses: ResponseSet,
+        targets_by_key: Mapping[str, Mapping[str, float]],
+        baseline_cohort: str = "2011",
+        current_cohort: str = "2024",
+        confidence: float = 0.95,
+    ) -> None:
+        super().__init__(responses, baseline_cohort, current_cohort, confidence)
+        self._weights = {
+            baseline_cohort: make_cohort_weights(self.baseline, targets_by_key),
+            current_cohort: make_cohort_weights(self.current, targets_by_key),
+        }
+
+    def weights_for(self, cohort_label: str) -> np.ndarray:
+        """The raking weights computed for one cohort."""
+        try:
+            return self._weights[cohort_label]
+        except KeyError:
+            raise KeyError(f"no weights for cohort {cohort_label!r}") from None
+
+    def _cohort_weights(self, cohort: ResponseSet) -> np.ndarray:
+        # Both stored subsets are the engine's own objects, so identity
+        # tells us which weight vector applies.
+        if cohort is self.baseline:
+            return self._weights[self.baseline_cohort]
+        if cohort is self.current:
+            return self._weights[self.current_cohort]
+        raise ValueError("unknown cohort subset")
+
+    def _weighted_effective_counts(
+        self, cohort: ResponseSet, hit_mask: np.ndarray, answered_mask: np.ndarray
+    ) -> tuple[int, int]:
+        weights = self._cohort_weights(cohort)
+        w_answered = weights[answered_mask]
+        if w_answered.size == 0:
+            return 0, 0
+        total = w_answered.sum()
+        p_w = float(weights[hit_mask].sum() / total) if total > 0 else 0.0
+        ess = effective_sample_size(w_answered)
+        successes = int(round(p_w * ess))
+        trials = max(1, int(round(ess)))
+        return min(successes, trials), trials
+
+    def _single_counts(self, cohort: ResponseSet, key: str, option: str):  # type: ignore[override]
+        col = cohort.column(key)
+        answered = np.array([v is not None for v in col])
+        hits = np.array([v == option for v in col])
+        return self._weighted_effective_counts(cohort, hits, answered)
+
+    def _multi_counts(self, cohort: ResponseSet, key: str, option: str):  # type: ignore[override]
+        question = cohort.questionnaire[key]
+        j = question.options.index(option)
+        matrix = cohort.selection_matrix(key)
+        answered = cohort.answered_mask(key)
+        hits = matrix[:, j] & answered
+        return self._weighted_effective_counts(cohort, hits, answered)

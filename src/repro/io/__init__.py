@@ -1,0 +1,25 @@
+"""Serialization for survey responses.
+
+Two interchange formats:
+
+* JSONL (:func:`write_responses_jsonl` / :func:`read_responses_jsonl`) —
+  the archival format: one JSON object per respondent, types preserved.
+* CSV (:func:`write_responses_csv` / :func:`read_responses_csv`) — the
+  spreadsheet-facing format: one column per question, multi-selects
+  semicolon-joined, with type coercion on read driven by the instrument.
+
+Both readers validate against the questionnaire and raise
+:class:`ResponseIOError` with row context on malformed input.
+"""
+
+from repro.io.jsonl import read_responses_jsonl, write_responses_jsonl
+from repro.io.csvio import read_responses_csv, write_responses_csv
+from repro.io.errors import ResponseIOError
+
+__all__ = [
+    "ResponseIOError",
+    "write_responses_jsonl",
+    "read_responses_jsonl",
+    "write_responses_csv",
+    "read_responses_csv",
+]

@@ -1,0 +1,127 @@
+"""CSV response serialization (the spreadsheet-facing format).
+
+Layout: ``respondent_id,cohort,<question keys in instrument order>``.
+Missing answers are empty cells; multi-selects are semicolon-joined (no
+instrument option contains a semicolon — enforced on write).
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import io
+from pathlib import Path
+from typing import TextIO
+
+
+def _open_text(path: str | Path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8", newline="")
+    return open(path, mode, encoding="utf-8", newline="")
+
+from repro.io.errors import ResponseIOError
+from repro.survey.questions import QuestionKind
+from repro.survey.responses import Response, ResponseSet
+from repro.survey.schema import Questionnaire
+
+__all__ = ["write_responses_csv", "read_responses_csv"]
+
+_SEP = ";"
+
+
+def write_responses_csv(
+    response_set: ResponseSet, destination: str | Path | TextIO
+) -> None:
+    """Write responses as a wide CSV with one column per question."""
+    if isinstance(destination, (str, Path)):
+        with _open_text(destination, "w") as fh:
+            write_responses_csv(response_set, fh)
+        return
+    questionnaire = response_set.questionnaire
+    writer = csv.writer(destination)
+    writer.writerow(["respondent_id", "cohort", *questionnaire.keys])
+    for r in response_set:
+        row = [r.respondent_id, r.cohort]
+        for key in questionnaire.keys:
+            value = r.get(key, None)
+            if value is None:
+                row.append("")
+            elif isinstance(value, (list, tuple, set, frozenset)):
+                items = sorted(str(v) for v in value)
+                bad = [v for v in items if _SEP in v]
+                if bad:
+                    raise ResponseIOError(
+                        f"multi-select value contains separator {_SEP!r}: {bad[0]!r}"
+                    )
+                row.append(_SEP.join(items))
+            else:
+                row.append(str(value))
+        writer.writerow(row)
+
+
+def _coerce_cell(questionnaire: Questionnaire, key: str, cell: str, rownum: int):
+    kind = questionnaire[key].kind
+    if kind == QuestionKind.MULTI_CHOICE:
+        return cell.split(_SEP) if cell else []
+    if kind == QuestionKind.LIKERT:
+        try:
+            return int(cell)
+        except ValueError:
+            raise ResponseIOError(f"row {rownum}: {key!r} must be an integer, got {cell!r}") from None
+    if kind == QuestionKind.NUMERIC:
+        try:
+            as_float = float(cell)
+        except ValueError:
+            raise ResponseIOError(f"row {rownum}: {key!r} must be numeric, got {cell!r}") from None
+        if questionnaire[key].integer_only and as_float == int(as_float):
+            return int(as_float)
+        return as_float
+    return cell
+
+
+def read_responses_csv(
+    questionnaire: Questionnaire, source: str | Path | TextIO
+) -> ResponseSet:
+    """Read a CSV export back into a :class:`ResponseSet`.
+
+    Empty cells become missing answers. An empty multi-select cell is
+    *missing*, not "selected nothing": the CSV format cannot distinguish
+    the two, and the study treats both as non-response.
+    """
+    if isinstance(source, Path):
+        with _open_text(source, "r") as fh:
+            return read_responses_csv(questionnaire, fh)
+    if isinstance(source, str):
+        if "\n" in source:
+            return read_responses_csv(questionnaire, io.StringIO(source))
+        with _open_text(source, "r") as fh:
+            return read_responses_csv(questionnaire, fh)
+
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ResponseIOError("empty CSV input") from None
+    expected = ["respondent_id", "cohort", *questionnaire.keys]
+    if header != expected:
+        raise ResponseIOError(
+            f"CSV header mismatch: got {header[:4]}..., expected {expected[:4]}..."
+        )
+    responses: list[Response] = []
+    for rownum, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(expected):
+            raise ResponseIOError(
+                f"row {rownum}: expected {len(expected)} cells, got {len(row)}"
+            )
+        answers = {}
+        for key, cell in zip(questionnaire.keys, row[2:]):
+            if cell == "":
+                continue
+            answers[key] = _coerce_cell(questionnaire, key, cell, rownum)
+        responses.append(
+            Response(respondent_id=row[0], cohort=row[1], answers=answers)
+        )
+    return ResponseSet(questionnaire, responses)

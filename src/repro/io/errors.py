@@ -1,0 +1,7 @@
+"""Shared I/O error type."""
+
+__all__ = ["ResponseIOError"]
+
+
+class ResponseIOError(ValueError):
+    """Raised on malformed response input, with row/line context."""

@@ -1,0 +1,121 @@
+"""JSONL response serialization (the archival format)."""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import TextIO
+
+
+def _open_text(path: str | Path, mode: str):
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+from repro.io.errors import ResponseIOError
+from repro.survey.questions import QuestionKind
+from repro.survey.responses import Response, ResponseSet
+from repro.survey.schema import Questionnaire
+
+__all__ = ["write_responses_jsonl", "read_responses_jsonl"]
+
+
+def write_responses_jsonl(
+    response_set: ResponseSet, destination: str | Path | TextIO
+) -> None:
+    """Write one JSON object per respondent.
+
+    Multi-select answers are serialized as sorted lists so output is stable
+    regardless of selection order.
+    """
+    if isinstance(destination, (str, Path)):
+        with _open_text(destination, "w") as fh:
+            write_responses_jsonl(response_set, fh)
+        return
+    for r in response_set:
+        answers = {}
+        for key, value in r.answers.items():
+            if isinstance(value, (list, tuple, set, frozenset)):
+                answers[key] = sorted(value)
+            else:
+                answers[key] = value
+        obj = {
+            "respondent_id": r.respondent_id,
+            "cohort": r.cohort,
+            "answers": answers,
+        }
+        destination.write(json.dumps(obj, sort_keys=True) + "\n")
+
+
+def _coerce(questionnaire: Questionnaire, key: str, value, lineno: int):
+    """Coerce a JSON value to the type the question expects."""
+    if key not in questionnaire:
+        raise ResponseIOError(f"line {lineno}: unknown question key {key!r}")
+    kind = questionnaire[key].kind
+    if kind == QuestionKind.MULTI_CHOICE:
+        if not isinstance(value, list):
+            raise ResponseIOError(
+                f"line {lineno}: {key!r} must be a list, got {type(value).__name__}"
+            )
+        return list(value)
+    if kind == QuestionKind.LIKERT:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ResponseIOError(f"line {lineno}: {key!r} must be an integer")
+        return value
+    if kind == QuestionKind.NUMERIC:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ResponseIOError(f"line {lineno}: {key!r} must be numeric")
+        return value
+    if not isinstance(value, str):
+        raise ResponseIOError(f"line {lineno}: {key!r} must be a string")
+    return value
+
+
+def read_responses_jsonl(
+    questionnaire: Questionnaire, source: str | Path | TextIO
+) -> ResponseSet:
+    """Read a JSONL export back into a :class:`ResponseSet`.
+
+    A literal string containing newlines is treated as data, anything else
+    as a path.
+    """
+    if isinstance(source, Path):
+        with _open_text(source, "r") as fh:
+            return read_responses_jsonl(questionnaire, fh)
+    if isinstance(source, str):
+        if "\n" in source or source.lstrip().startswith("{"):
+            return read_responses_jsonl(questionnaire, io.StringIO(source))
+        with _open_text(source, "r") as fh:
+            return read_responses_jsonl(questionnaire, fh)
+
+    responses: list[Response] = []
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ResponseIOError(f"line {lineno}: invalid JSON ({exc})") from exc
+        if not isinstance(obj, dict):
+            raise ResponseIOError(f"line {lineno}: expected an object")
+        for required in ("respondent_id", "cohort", "answers"):
+            if required not in obj:
+                raise ResponseIOError(f"line {lineno}: missing {required!r}")
+        if not isinstance(obj["answers"], dict):
+            raise ResponseIOError(f"line {lineno}: 'answers' must be an object")
+        answers = {
+            key: _coerce(questionnaire, key, value, lineno)
+            for key, value in obj["answers"].items()
+        }
+        responses.append(
+            Response(
+                respondent_id=str(obj["respondent_id"]),
+                cohort=str(obj["cohort"]),
+                answers=answers,
+            )
+        )
+    return ResponseSet(questionnaire, responses)

@@ -1,0 +1,38 @@
+"""Report layer: tables, figure series, and the experiment registry.
+
+* :mod:`repro.report.tables` — :class:`Table` with ASCII/markdown renderers
+  and the formatting helpers the study's tables share;
+* :mod:`repro.report.figures` — :class:`FigureSeries`, a plot-ready data
+  container with an ASCII fallback renderer;
+* :mod:`repro.report.experiments` — the registry mapping every experiment id
+  (T1..T8, F1..F8) to the function regenerating it from a
+  :class:`~repro.core.Study`.
+"""
+
+from repro.report.tables import Table, fmt_ci, fmt_pct, fmt_p, significance_stars
+from repro.report.figures import FigureSeries, ascii_bar_chart
+from repro.report.experiments import (
+    EXPERIMENTS,
+    Experiment,
+    run_all_experiments,
+    run_experiment,
+)
+import repro.report.extensions  # noqa: F401  (registers X1-X10 on import)
+from repro.report.document import build_report
+from repro.report.svg import figure_to_svg
+
+__all__ = [
+    "Table",
+    "fmt_pct",
+    "fmt_ci",
+    "fmt_p",
+    "significance_stars",
+    "FigureSeries",
+    "ascii_bar_chart",
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all_experiments",
+    "build_report",
+    "figure_to_svg",
+]

@@ -1,0 +1,105 @@
+"""Whole-report assembly: every artifact in one markdown document.
+
+``build_report(study)`` renders the complete study report — front matter,
+methodology summary, every table and figure in registry order, and a data-
+quality appendix — as GitHub-flavored markdown, the format the repository's
+EXPERIMENTS.md workflow consumes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.quality import quality_report
+from repro.core.study import Study
+from repro.report.experiments import EXPERIMENTS, run_all_experiments
+from repro.report.figures import FigureSeries
+from repro.report.tables import Table, fmt_p, fmt_pct
+
+__all__ = ["build_report"]
+
+_ORDER = (
+    "T1", "T2", "F1", "T3", "F2", "T4", "T6", "T7", "T8",
+    "F3", "F4", "T5", "F5", "F7", "F6", "F8",
+    # extension experiments, when registered
+    "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10",
+)
+
+
+def _front_matter(study: Study) -> list[str]:
+    report = study.validation_report()
+    months = study.window_seconds / (30.0 * 86400.0)
+    return [
+        "# Computation for Research: Practices and Trends — study report",
+        "",
+        "## Study overview",
+        "",
+        f"* baseline cohort ({study.baseline_cohort}): {len(study.baseline)} respondents",
+        f"* current cohort ({study.current_cohort}): {len(study.current)} respondents",
+        f"* survey completion rate: {fmt_pct(study.responses.completion_rate())}",
+        f"* response validation: {'clean ingest' if report.ok else 'FATAL ISSUES'} "
+        f"({len(report.issues)} quality flags)",
+        f"* telemetry: {len(study.telemetry)} jobs over {months:.0f} months on "
+        f"cluster '{study.cluster.name}' "
+        f"({study.cluster.total_cores} cores, {study.cluster.total_gpus} GPUs)",
+        "",
+    ]
+
+
+def _figure_block(figure: FigureSeries) -> list[str]:
+    lines = [f"### {figure.title}", ""]
+    lines.append("```")
+    lines.append(figure.render_ascii(width=64, height=10))
+    lines.append("```")
+    lines.append("")
+    for note in figure.notes:
+        lines.append(f"_{note}_")
+    if figure.notes:
+        lines.append("")
+    return lines
+
+
+def _quality_appendix(study: Study) -> list[str]:
+    quality = quality_report(study.responses)
+    lines = ["## Appendix: data quality", ""]
+    lines.append("Worst item nonresponse (rate of applicable respondents skipping):")
+    lines.append("")
+    for row in quality.worst_items(5):
+        lines.append(
+            f"* `{row.key}` ({row.cohort}): {fmt_pct(row.rate.estimate)} "
+            f"of {row.n_applicable}"
+        )
+    lines.append("")
+    for cohort, (q25, q50, q75) in sorted(quality.completion_quartiles.items()):
+        lines.append(
+            f"* completion quartiles {cohort}: "
+            f"{fmt_pct(q25)} / {fmt_pct(q50)} / {fmt_pct(q75)}"
+        )
+    lines.append("")
+    test = quality.field_missingness_test
+    verdict = "differs" if test.significant() else "does not significantly differ"
+    lines.append(
+        f"Completion {verdict} across fields "
+        f"(Kruskal-Wallis p = {fmt_p(test.p_value)})."
+    )
+    lines.append("")
+    return lines
+
+
+def build_report(study: Study, include_quality_appendix: bool = True) -> str:
+    """Render the full study report as markdown."""
+    artifacts = run_all_experiments(study)
+    lines = _front_matter(study)
+    lines.append("## Results")
+    lines.append("")
+    for eid in _ORDER:
+        artifact = artifacts.get(eid)
+        if artifact is None:
+            continue
+        lines.append(f"<!-- experiment {eid}: {EXPERIMENTS[eid].description} -->")
+        if isinstance(artifact, Table):
+            lines.append(artifact.render_markdown())
+            lines.append("")
+        else:
+            lines.extend(_figure_block(artifact))
+    if include_quality_appendix:
+        lines.extend(_quality_appendix(study))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Figure-series model: plot-ready data with an ASCII fallback."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FigureSeries", "ascii_bar_chart"]
+
+
+def ascii_bar_chart(labels, values, width: int = 40, value_fmt=lambda v: f"{v:.2f}") -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    labels = list(labels)
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    if not labels:
+        raise ValueError("empty chart")
+    if any(v < 0 for v in values):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(values) or 1.0
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label.ljust(label_w)}  {bar} {value_fmt(value)}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One figure's data: named (x, y) series plus axis metadata.
+
+    ``kind`` is a rendering hint ("line", "bar", "cdf", "scatter",
+    "histogram"); exporters are free to ignore it.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, tuple[np.ndarray, np.ndarray]]
+    kind: str = "line"
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.series:
+            raise ValueError(f"figure {self.title!r} has no series")
+        for name, (x, y) in self.series.items():
+            x = np.asarray(x)
+            y = np.asarray(y)
+            if x.shape != y.shape:
+                raise ValueError(
+                    f"series {name!r}: x shape {x.shape} != y shape {y.shape}"
+                )
+            if x.size == 0:
+                raise ValueError(f"series {name!r} is empty")
+
+    @property
+    def series_names(self) -> tuple[str, ...]:
+        return tuple(self.series)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable export for external plotting."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "kind": self.kind,
+            "notes": list(self.notes),
+            "series": {
+                name: {"x": np.asarray(x).tolist(), "y": np.asarray(y).tolist()}
+                for name, (x, y) in self.series.items()
+            },
+        }
+
+    def render_ascii(self, width: int = 60, height: int = 12) -> str:
+        """Coarse ASCII plot: each series as its own mini-panel.
+
+        Good enough to see shapes in a terminal; real plots come from
+        :meth:`to_dict` + the user's plotting stack.
+        """
+        parts = [f"{self.title}  ({self.kind})", f"y: {self.y_label}   x: {self.x_label}"]
+        for name, (x, y) in self.series.items():
+            x = np.asarray(x, dtype=float)
+            y = np.asarray(y, dtype=float)
+            parts.append(f"-- {name} (n={x.size})")
+            if x.size == 1:
+                parts.append(f"   single point: ({x[0]:.3g}, {y[0]:.3g})")
+                continue
+            # Resample y onto `width` columns and draw one row per level.
+            cols = np.interp(
+                np.linspace(x.min(), x.max(), width), x, y
+            )
+            lo, hi = float(cols.min()), float(cols.max())
+            span = hi - lo or 1.0
+            levels = np.clip(((cols - lo) / span * (height - 1)).round(), 0, height - 1)
+            grid = [[" "] * width for _ in range(height)]
+            for col, level in enumerate(levels.astype(int)):
+                grid[height - 1 - level][col] = "*"
+            parts.append(f"   max {hi:.3g}")
+            parts.extend("   |" + "".join(row) for row in grid)
+            parts.append(f"   min {lo:.3g}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)

@@ -1,0 +1,187 @@
+"""Dependency-free SVG rendering of figure series.
+
+The artifact pipeline runs in offline environments without matplotlib, so
+this module renders :class:`~repro.report.FigureSeries` to standalone SVG:
+line/CDF plots as polylines, bar/histogram figures as grouped rects, and
+scatter figures as circles — with axes, tick labels, and a legend.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.report.figures import FigureSeries
+
+__all__ = ["figure_to_svg", "PALETTE"]
+
+PALETTE = (
+    "#4477aa",
+    "#ee6677",
+    "#228833",
+    "#ccbb44",
+    "#66ccee",
+    "#aa3377",
+    "#bbbbbb",
+    "#222222",
+)
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 36, 44
+
+
+def _bounds(figure: FigureSeries) -> tuple[float, float, float, float]:
+    xs = np.concatenate([np.asarray(x, dtype=float) for x, _ in figure.series.values()])
+    ys = np.concatenate([np.asarray(y, dtype=float) for _, y in figure.series.values()])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(min(ys.min(), 0.0)), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+class _Scale:
+    def __init__(self, figure: FigureSeries, width: int, height: int) -> None:
+        self.x_lo, self.x_hi, self.y_lo, self.y_hi = _bounds(figure)
+        self.plot_w = width - _MARGIN_L - _MARGIN_R
+        self.plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def x(self, value: float) -> float:
+        frac = (value - self.x_lo) / (self.x_hi - self.x_lo)
+        return _MARGIN_L + frac * self.plot_w
+
+    def y(self, value: float) -> float:
+        frac = (value - self.y_lo) / (self.y_hi - self.y_lo)
+        return _MARGIN_T + (1.0 - frac) * self.plot_h
+
+
+def _axes(figure: FigureSeries, scale: _Scale, width: int, height: int) -> list[str]:
+    x0, y0 = _MARGIN_L, _MARGIN_T
+    x1, y1 = width - _MARGIN_R, height - _MARGIN_B
+    parts = [
+        f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" height="{y1 - y0}" '
+        'fill="none" stroke="#888" stroke-width="1"/>',
+        f'<text x="{(x0 + x1) / 2:.0f}" y="{height - 8}" text-anchor="middle" '
+        f'class="lbl">{escape(figure.x_label[:80])}</text>',
+        f'<text x="14" y="{(y0 + y1) / 2:.0f}" text-anchor="middle" class="lbl" '
+        f'transform="rotate(-90 14 {(y0 + y1) / 2:.0f})">'
+        f"{escape(figure.y_label[:60])}</text>",
+        f'<text x="{x0}" y="{_MARGIN_T - 12}" class="title">'
+        f"{escape(figure.title)}</text>",
+    ]
+    # Min/max tick labels on both axes.
+    parts.append(
+        f'<text x="{x0}" y="{y1 + 16}" class="tick">{scale.x_lo:.3g}</text>'
+    )
+    parts.append(
+        f'<text x="{x1}" y="{y1 + 16}" text-anchor="end" class="tick">'
+        f"{scale.x_hi:.3g}</text>"
+    )
+    parts.append(
+        f'<text x="{x0 - 6}" y="{y1}" text-anchor="end" class="tick">'
+        f"{scale.y_lo:.3g}</text>"
+    )
+    parts.append(
+        f'<text x="{x0 - 6}" y="{y0 + 10}" text-anchor="end" class="tick">'
+        f"{scale.y_hi:.3g}</text>"
+    )
+    return parts
+
+
+def _legend(figure: FigureSeries) -> list[str]:
+    parts = []
+    x = _MARGIN_L + 8
+    y = _MARGIN_T + 14
+    for i, name in enumerate(figure.series_names):
+        color = PALETTE[i % len(PALETTE)]
+        parts.append(
+            f'<rect x="{x}" y="{y - 9 + i * 16}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 14}" y="{y + i * 16}" class="tick">'
+            f"{escape(str(name))}</text>"
+        )
+    return parts
+
+
+def _line_marks(figure: FigureSeries, scale: _Scale) -> list[str]:
+    parts = []
+    for i, (name, (xs, ys)) in enumerate(figure.series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = " ".join(
+            f"{scale.x(float(x)):.1f},{scale.y(float(y)):.1f}"
+            for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float))
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{color}" '
+            'stroke-width="1.8"/>'
+        )
+    return parts
+
+
+def _scatter_marks(figure: FigureSeries, scale: _Scale) -> list[str]:
+    parts = []
+    for i, (name, (xs, ys)) in enumerate(figure.series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)):
+            parts.append(
+                f'<circle cx="{scale.x(float(x)):.1f}" cy="{scale.y(float(y)):.1f}" '
+                f'r="3.5" fill="{color}" fill-opacity="0.8"/>'
+            )
+    return parts
+
+
+def _bar_marks(figure: FigureSeries, scale: _Scale) -> list[str]:
+    parts = []
+    n_series = len(figure.series)
+    # Bar width from the minimum x spacing of the first series.
+    first_x = np.asarray(next(iter(figure.series.values()))[0], dtype=float)
+    spacing = float(np.diff(np.sort(first_x)).min()) if first_x.size > 1 else 1.0
+    group_w = abs(scale.x(spacing) - scale.x(0.0)) * 0.8
+    bar_w = max(1.0, group_w / max(n_series, 1))
+    baseline = scale.y(max(0.0, scale.y_lo))
+    for i, (name, (xs, ys)) in enumerate(figure.series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        for x, y in zip(np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)):
+            top = scale.y(float(y))
+            left = scale.x(float(x)) - group_w / 2 + i * bar_w
+            height = abs(baseline - top)
+            parts.append(
+                f'<rect x="{left:.1f}" y="{min(top, baseline):.1f}" '
+                f'width="{bar_w:.1f}" height="{height:.1f}" fill="{color}" '
+                'fill-opacity="0.85"/>'
+            )
+    return parts
+
+
+def figure_to_svg(figure: FigureSeries, width: int = 640, height: int = 360) -> str:
+    """Render a figure to a standalone SVG document string."""
+    if width < 160 or height < 120:
+        raise ValueError("svg too small to draw axes")
+    scale = _Scale(figure, width, height)
+    if figure.kind in ("bar", "histogram"):
+        marks = _bar_marks(figure, scale)
+    elif figure.kind == "scatter":
+        marks = _scatter_marks(figure, scale)
+    else:  # line, cdf, anything else: polylines
+        marks = _line_marks(figure, scale)
+    notes = []
+    for i, note in enumerate(figure.notes[:2]):
+        notes.append(
+            f'<text x="{_MARGIN_L}" y="{height - 26 + i * 12}" class="tick">'
+            f"{escape(note[:110])}</text>"
+        )
+    body = "\n".join(_axes(figure, scale, width, height) + marks + _legend(figure) + notes)
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">\n'
+        "<style>"
+        ".title{font:bold 13px sans-serif} .lbl{font:11px sans-serif} "
+        ".tick{font:10px sans-serif; fill:#444}"
+        "</style>\n"
+        f'<rect width="{width}" height="{height}" fill="white"/>\n'
+        f"{body}\n</svg>\n"
+    )

@@ -1,0 +1,128 @@
+"""Table model and renderers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "fmt_pct", "fmt_ci", "fmt_p", "significance_stars"]
+
+
+def fmt_pct(value: float, digits: int = 1) -> str:
+    """Format a proportion as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def fmt_ci(low: float, high: float, digits: int = 1) -> str:
+    """Format a proportion CI as ``[lo%, hi%]``."""
+    return f"[{100.0 * low:.{digits}f}%, {100.0 * high:.{digits}f}%]"
+
+
+def fmt_p(p: float) -> str:
+    """Format a p-value the way the tables print them."""
+    if p < 0.001:
+        return "<0.001"
+    return f"{p:.3f}"
+
+
+def significance_stars(p: float) -> str:
+    """Conventional significance stars."""
+    if p < 0.001:
+        return "***"
+    if p < 0.01:
+        return "**"
+    if p < 0.05:
+        return "*"
+    return ""
+
+
+@dataclass(frozen=True)
+class Table:
+    """A rendered-table-in-waiting.
+
+    Attributes
+    ----------
+    title:
+        Experiment title ("T2: programming language use ...").
+    columns:
+        Column headers.
+    rows:
+        Row tuples of strings (pre-formatted by the experiment function).
+    notes:
+        Footnotes printed under the table.
+    """
+
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[str, ...], ...]
+    notes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("table has no columns")
+        for i, row in enumerate(self.rows):
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row {i} has {len(row)} cells, expected {len(self.columns)}"
+                )
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.rows), len(self.columns))
+
+    def column(self, name: str) -> tuple[str, ...]:
+        """All cells of one named column."""
+        try:
+            j = self.columns.index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r}") from None
+        return tuple(row[j] for row in self.rows)
+
+    def render_ascii(self) -> str:
+        """Monospace rendering with aligned columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+
+        def line(cells) -> str:
+            return "  ".join(cell.ljust(w) for cell, w in zip(cells, widths)).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, rule, line(self.columns), rule]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(rule)
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """CSV rendering (title and notes excluded; header row included)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def to_dict(self) -> dict:
+        """JSON-serializable export."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def render_markdown(self) -> str:
+        """GitHub-flavored markdown rendering."""
+        parts = [f"### {self.title}", ""]
+        parts.append("| " + " | ".join(self.columns) + " |")
+        parts.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            parts.append("| " + " | ".join(row) + " |")
+        if self.notes:
+            parts.append("")
+            parts.extend(f"_{note}_" for note in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,78 @@
+"""Inter-coder agreement for the qualitative coding steps.
+
+The challenge-topic coding (X7) is the kind of step that real studies
+double-code; Cohen's kappa quantifies how much two coders agree beyond
+chance. Also includes raw percent agreement and per-label kappa for
+multi-label codings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["cohens_kappa", "percent_agreement", "multilabel_kappa"]
+
+
+def percent_agreement(coder_a: Sequence, coder_b: Sequence) -> float:
+    """Raw fraction of items both coders labeled identically."""
+    a = list(coder_a)
+    b = list(coder_b)
+    if len(a) != len(b):
+        raise ValueError("coders labeled different numbers of items")
+    if not a:
+        raise ValueError("no items")
+    return sum(x == y for x, y in zip(a, b)) / len(a)
+
+
+def cohens_kappa(coder_a: Sequence, coder_b: Sequence) -> float:
+    """Cohen's kappa for two categorical codings of the same items.
+
+    Returns 1.0 for perfect agreement, ~0 for chance-level, negative for
+    worse-than-chance. When both coders use a single identical label
+    everywhere, chance agreement is 1 and kappa is defined as 1.0.
+    """
+    a = [str(x) for x in coder_a]
+    b = [str(x) for x in coder_b]
+    if len(a) != len(b):
+        raise ValueError("coders labeled different numbers of items")
+    n = len(a)
+    if n == 0:
+        raise ValueError("no items")
+    labels = sorted(set(a) | set(b))
+    index = {lab: i for i, lab in enumerate(labels)}
+    table = np.zeros((len(labels), len(labels)))
+    for x, y in zip(a, b):
+        table[index[x], index[y]] += 1
+    observed = np.trace(table) / n
+    marginal_a = table.sum(axis=1) / n
+    marginal_b = table.sum(axis=0) / n
+    expected = float((marginal_a * marginal_b).sum())
+    if expected >= 1.0 - 1e-12:
+        return 1.0 if observed >= 1.0 - 1e-12 else 0.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+def multilabel_kappa(
+    coder_a: Sequence[frozenset | set],
+    coder_b: Sequence[frozenset | set],
+    labels: Sequence[str],
+) -> dict[str, float]:
+    """Per-label Cohen's kappa for multi-label codings.
+
+    Each item carries a set of labels per coder; each label becomes a
+    binary present/absent coding and gets its own kappa.
+    """
+    a = list(coder_a)
+    b = list(coder_b)
+    if len(a) != len(b):
+        raise ValueError("coders labeled different numbers of items")
+    if not labels:
+        raise ValueError("no labels")
+    out: dict[str, float] = {}
+    for label in labels:
+        flags_a = [label in s for s in a]
+        flags_b = [label in s for s in b]
+        out[label] = cohens_kappa(flags_a, flags_b)
+    return out

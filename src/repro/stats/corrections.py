@@ -1,0 +1,62 @@
+"""Multiple-comparison corrections.
+
+Trend tables test one hypothesis per row (per language, per practice, ...),
+so each table's p-values are corrected as a family before stars are printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bonferroni", "holm_bonferroni", "benjamini_hochberg"]
+
+
+def _validate_pvalues(p_values) -> np.ndarray:
+    p = np.asarray(p_values, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"p-values must be 1-D, got shape {p.shape}")
+    if p.size == 0:
+        raise ValueError("empty p-value family")
+    if ((p < 0) | (p > 1)).any():
+        raise ValueError("p-values must lie in [0, 1]")
+    return p
+
+
+def bonferroni(p_values) -> np.ndarray:
+    """Bonferroni-adjusted p-values (min(m*p, 1))."""
+    p = _validate_pvalues(p_values)
+    return np.minimum(p * p.size, 1.0)
+
+
+def holm_bonferroni(p_values) -> np.ndarray:
+    """Holm step-down adjusted p-values.
+
+    Uniformly more powerful than Bonferroni while still controlling FWER;
+    this is the default correction for the study's trend tables.
+    """
+    p = _validate_pvalues(p_values)
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    adjusted_sorted = (m - np.arange(m)) * p[order]
+    # Enforce monotonicity of the step-down procedure.
+    adjusted_sorted = np.maximum.accumulate(adjusted_sorted)
+    adjusted = np.empty(m, dtype=float)
+    adjusted[order] = np.minimum(adjusted_sorted, 1.0)
+    return adjusted
+
+
+def benjamini_hochberg(p_values) -> np.ndarray:
+    """Benjamini-Hochberg FDR-adjusted p-values (q-values).
+
+    Used for the exploratory tool-mention families where dozens of tools are
+    compared at once and FWER control would be needlessly conservative.
+    """
+    p = _validate_pvalues(p_values)
+    m = p.size
+    order = np.argsort(p, kind="stable")
+    ranked = p[order] * m / (np.arange(m) + 1)
+    # Step-up: each q-value is the running minimum from the right.
+    ranked = np.minimum.accumulate(ranked[::-1])[::-1]
+    adjusted = np.empty(m, dtype=float)
+    adjusted[order] = np.minimum(ranked, 1.0)
+    return adjusted

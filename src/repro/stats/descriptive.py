@@ -1,0 +1,133 @@
+"""Descriptive statistics helpers shared by survey and telemetry analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ecdf",
+    "quantiles",
+    "Summary",
+    "summarize",
+    "geometric_mean",
+    "trimmed_mean",
+    "gini_coefficient",
+]
+
+
+def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as ``(sorted_values, cumulative_fraction)``.
+
+    The returned arrays are suitable for step-plotting a figure series
+    (e.g. F4, the job-width CDF).
+    """
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    x = np.sort(v)
+    y = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, y
+
+
+def quantiles(values, qs=(0.05, 0.25, 0.5, 0.75, 0.95)) -> dict[float, float]:
+    """Named quantiles as a mapping q -> value."""
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    out = np.quantile(v, list(qs))
+    return {float(q): float(x) for q, x in zip(qs, out)}
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-plus summary of a numeric sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "q25": self.q25,
+            "median": self.median,
+            "q75": self.q75,
+            "max": self.maximum,
+        }
+
+
+def summarize(values) -> Summary:
+    """Compute a :class:`Summary` of a numeric sample."""
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    q25, med, q75 = np.quantile(v, [0.25, 0.5, 0.75])
+    return Summary(
+        n=int(v.size),
+        mean=float(v.mean()),
+        std=float(v.std(ddof=1)) if v.size > 1 else 0.0,
+        minimum=float(v.min()),
+        q25=float(q25),
+        median=float(med),
+        q75=float(q75),
+        maximum=float(v.max()),
+    )
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean of strictly positive values.
+
+    Job runtimes and speedups are log-distributed, so the telemetry tables
+    report geometric rather than arithmetic means.
+    """
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    if (v <= 0).any():
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(v).mean()))
+
+
+def trimmed_mean(values, proportion: float = 0.05) -> float:
+    """Mean after symmetrically trimming ``proportion`` from each tail."""
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    if not 0.0 <= proportion < 0.5:
+        raise ValueError("trim proportion must be in [0, 0.5)")
+    k = int(np.floor(v.size * proportion))
+    if 2 * k >= v.size:
+        k = (v.size - 1) // 2
+    v = np.sort(v)
+    return float(v[k : v.size - k].mean())
+
+
+def gini_coefficient(values) -> float:
+    """Gini coefficient of non-negative values, in [0, 1).
+
+    Used to summarize how concentrated cluster consumption is across users
+    ("a few groups burn most of the GPU-hours").
+    """
+    v = np.asarray(values, dtype=float).ravel()
+    if v.size == 0:
+        raise ValueError("empty sample")
+    if (v < 0).any():
+        raise ValueError("gini requires non-negative values")
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    v = np.sort(v)
+    n = v.size
+    # Standard formula via the sorted cumulative sum.
+    index = np.arange(1, n + 1, dtype=float)
+    return float((2.0 * (index * v).sum() / (n * total)) - (n + 1.0) / n)

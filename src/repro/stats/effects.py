@@ -1,0 +1,116 @@
+"""Effect sizes accompanying significance tests.
+
+With cohort sizes in the low hundreds, the trend tables report effect sizes
+alongside p-values so readers can distinguish "significant but tiny" shifts
+from practice changes that actually matter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "cramers_v",
+    "cohens_h",
+    "cohens_w",
+    "odds_ratio",
+    "risk_difference",
+    "risk_ratio",
+    "rank_biserial",
+]
+
+
+def cramers_v(table) -> float:
+    """Cramér's V for an r x c contingency table, in [0, 1]."""
+    obs = np.asarray(table, dtype=float)
+    if obs.ndim != 2 or obs.shape[0] < 2 or obs.shape[1] < 2:
+        raise ValueError(f"need an r x c table with r,c >= 2, got {obs.shape}")
+    total = obs.sum()
+    if total == 0:
+        raise ValueError("table is all zeros")
+    exp = np.outer(obs.sum(axis=1), obs.sum(axis=0)) / total
+    with np.errstate(divide="ignore", invalid="ignore"):
+        chi2 = float(np.where(exp > 0, (obs - exp) ** 2 / exp, 0.0).sum())
+    k = min(obs.shape[0], obs.shape[1]) - 1
+    if k == 0:
+        return 0.0
+    return math.sqrt(chi2 / (total * k))
+
+
+def cohens_h(p1: float, p2: float) -> float:
+    """Cohen's h: arcsine-transformed difference of two proportions."""
+    for p in (p1, p2):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"proportion out of [0,1]: {p}")
+    return 2.0 * math.asin(math.sqrt(p1)) - 2.0 * math.asin(math.sqrt(p2))
+
+
+def cohens_w(observed, expected) -> float:
+    """Cohen's w for goodness-of-fit against expected cell probabilities."""
+    obs = np.asarray(observed, dtype=float)
+    exp = np.asarray(expected, dtype=float)
+    if obs.shape != exp.shape:
+        raise ValueError("observed and expected must have the same shape")
+    if obs.sum() <= 0 or exp.sum() <= 0:
+        raise ValueError("counts must sum to a positive value")
+    p_obs = obs / obs.sum()
+    p_exp = exp / exp.sum()
+    if (p_exp == 0).any():
+        raise ValueError("expected probabilities must be nonzero")
+    return float(np.sqrt(((p_obs - p_exp) ** 2 / p_exp).sum()))
+
+
+def _counts_2x2(a: float, b: float, c: float, d: float) -> None:
+    for x in (a, b, c, d):
+        if x < 0:
+            raise ValueError("2x2 cell counts must be non-negative")
+
+
+def odds_ratio(a: float, b: float, c: float, d: float, haldane: bool = True) -> float:
+    """Odds ratio for a 2x2 table ``[[a, b], [c, d]]``.
+
+    With ``haldane=True`` (default), adds 0.5 to every cell when any cell is
+    zero, the standard continuity correction for sparse survey cross-tabs.
+    """
+    _counts_2x2(a, b, c, d)
+    if haldane and 0 in (a, b, c, d):
+        a, b, c, d = a + 0.5, b + 0.5, c + 0.5, d + 0.5
+    if b == 0 or c == 0:
+        return math.inf
+    return (a * d) / (b * c)
+
+
+def risk_difference(successes_a: int, trials_a: int, successes_b: int, trials_b: int) -> float:
+    """Absolute difference in proportions, p_a - p_b."""
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("trials must be positive")
+    return successes_a / trials_a - successes_b / trials_b
+
+
+def risk_ratio(successes_a: int, trials_a: int, successes_b: int, trials_b: int) -> float:
+    """Ratio of proportions p_a / p_b; inf when p_b == 0 and p_a > 0, nan when both 0."""
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("trials must be positive")
+    p_a = successes_a / trials_a
+    p_b = successes_b / trials_b
+    if p_b == 0.0:
+        return math.nan if p_a == 0.0 else math.inf
+    return p_a / p_b
+
+
+def rank_biserial(sample_a, sample_b) -> float:
+    """Rank-biserial correlation from a Mann-Whitney comparison, in [-1, 1].
+
+    Positive values mean ``sample_a`` tends to exceed ``sample_b``.
+    """
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    # U1 via pairwise comparisons, vectorized; ties count half.
+    greater = (a[:, None] > b[None, :]).sum()
+    ties = (a[:, None] == b[None, :]).sum()
+    u1 = float(greater) + 0.5 * float(ties)
+    return 2.0 * u1 / (a.size * b.size) - 1.0

@@ -1,0 +1,169 @@
+"""Survey weighting: post-stratification and raking.
+
+The survey oversamples some departments (whoever answers email fastest), so
+cohort-level proportions are adjusted toward known population margins — the
+registrar's counts of researchers per field and per career stage — before
+being compared across cohorts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "PostStratificationError",
+    "post_stratify",
+    "rake_weights",
+    "weighted_mean",
+    "weighted_proportion",
+    "effective_sample_size",
+]
+
+
+class PostStratificationError(ValueError):
+    """Raised when weighting targets cannot be satisfied (empty cells etc.)."""
+
+
+def post_stratify(
+    strata: Sequence[str],
+    population_shares: Mapping[str, float],
+) -> np.ndarray:
+    """Weights making sample strata shares match population shares.
+
+    Parameters
+    ----------
+    strata:
+        Per-respondent stratum label (e.g. field of research).
+    population_shares:
+        Mapping stratum -> population share; shares must sum to ~1 over the
+        strata present in the sample (renormalized internally).
+
+    Returns
+    -------
+    Array of weights with mean 1.0 over the sample.
+    """
+    labels = np.asarray(list(strata), dtype=object)
+    n = labels.size
+    if n == 0:
+        raise PostStratificationError("empty sample")
+    unique, counts = np.unique(labels, return_counts=True)
+    missing = [u for u in unique if u not in population_shares]
+    if missing:
+        raise PostStratificationError(
+            f"no population share for sample strata: {sorted(map(str, missing))}"
+        )
+    shares = np.array([population_shares[u] for u in unique], dtype=float)
+    if (shares < 0).any():
+        raise PostStratificationError("population shares must be non-negative")
+    total_share = shares.sum()
+    if total_share <= 0:
+        raise PostStratificationError("population shares sum to zero over sample strata")
+    shares = shares / total_share
+    sample_shares = counts / n
+    per_stratum = shares / sample_shares
+    weight_of = dict(zip(unique.tolist(), per_stratum.tolist()))
+    weights = np.array([weight_of[lab] for lab in labels], dtype=float)
+    return weights / weights.mean()
+
+
+def rake_weights(
+    margins: Sequence[Sequence[str]],
+    targets: Sequence[Mapping[str, float]],
+    max_iter: int = 100,
+    tol: float = 1e-8,
+) -> np.ndarray:
+    """Iterative proportional fitting (raking) over several margins.
+
+    Parameters
+    ----------
+    margins:
+        One label sequence per margin, each of length n (e.g. field labels
+        and career-stage labels).
+    targets:
+        One mapping per margin: label -> target population share.
+    max_iter, tol:
+        IPF iteration controls; convergence is measured as the max absolute
+        gap between achieved and target shares across all margins.
+
+    Returns
+    -------
+    Weights with mean 1.0.
+    """
+    if len(margins) != len(targets):
+        raise PostStratificationError("margins and targets length mismatch")
+    if not margins:
+        raise PostStratificationError("need at least one margin")
+    label_arrays = [np.asarray(list(m), dtype=object) for m in margins]
+    n = label_arrays[0].size
+    if n == 0:
+        raise PostStratificationError("empty sample")
+    for arr in label_arrays:
+        if arr.size != n:
+            raise PostStratificationError("all margins must have the same length")
+
+    # Pre-index each margin's labels to integer codes for vectorized bincounts.
+    coded: list[tuple[np.ndarray, np.ndarray]] = []
+    for arr, target in zip(label_arrays, targets):
+        unique = np.unique(arr)
+        missing = [u for u in unique if u not in target]
+        if missing:
+            raise PostStratificationError(
+                f"no target share for labels: {sorted(map(str, missing))}"
+            )
+        shares = np.array([target[u] for u in unique], dtype=float)
+        if shares.sum() <= 0:
+            raise PostStratificationError("target shares sum to zero")
+        shares = shares / shares.sum()
+        code_of = {u: i for i, u in enumerate(unique)}
+        codes = np.array([code_of[x] for x in arr], dtype=np.intp)
+        coded.append((codes, shares))
+
+    weights = np.ones(n, dtype=float)
+    for _ in range(max_iter):
+        max_gap = 0.0
+        for codes, shares in coded:
+            achieved = np.bincount(codes, weights=weights, minlength=shares.size)
+            achieved_shares = achieved / weights.sum()
+            gap = float(np.abs(achieved_shares - shares).max())
+            max_gap = max(max_gap, gap)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                factor = np.where(achieved > 0, shares * weights.sum() / achieved, 1.0)
+            weights *= factor[codes]
+        if max_gap < tol:
+            break
+    return weights / weights.mean()
+
+
+def weighted_mean(values, weights) -> float:
+    """Weighted mean with validation."""
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError("values and weights must have identical shape")
+    if v.size == 0:
+        raise ValueError("empty sample")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return float((v * w).sum() / total)
+
+
+def weighted_proportion(indicator, weights) -> float:
+    """Weighted proportion of a boolean indicator."""
+    ind = np.asarray(indicator, dtype=bool).astype(float)
+    return weighted_mean(ind, weights)
+
+
+def effective_sample_size(weights) -> float:
+    """Kish effective sample size: (sum w)^2 / sum w^2."""
+    w = np.asarray(weights, dtype=float)
+    if w.size == 0:
+        raise ValueError("empty weights")
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    denom = (w**2).sum()
+    if denom == 0:
+        raise ValueError("all weights are zero")
+    return float(w.sum() ** 2 / denom)

@@ -1,0 +1,74 @@
+"""Survey instrument substrate.
+
+Models everything the study needs to define and hold a questionnaire wave:
+
+* question types (single choice, multi choice, Likert, numeric, free text);
+* a :class:`Questionnaire` schema with sections and skip logic;
+* response containers (:class:`Response`, :class:`ResponseSet`) with a
+  columnar view for vectorized analysis;
+* response validation against the instrument;
+* codebook generation;
+* anonymization utilities (id hashing, rare-category suppression).
+
+The paper's real instrument is private; :mod:`repro.core.calibration` builds
+the reconstructed instrument from this substrate.
+"""
+
+from repro.survey.questions import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    Question,
+    QuestionKind,
+    SingleChoiceQuestion,
+)
+from repro.survey.schema import Questionnaire, SchemaError, Section, ShowIf
+from repro.survey.responses import (
+    MISSING,
+    Missing,
+    Response,
+    ResponseSet,
+)
+from repro.survey.validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_response,
+    validate_response_set,
+)
+from repro.survey.codebook import Codebook, CodebookEntry, build_codebook
+from repro.survey.anonymize import (
+    anonymize_ids,
+    suppress_rare_categories,
+)
+from repro.survey.diff import InstrumentDiff, QuestionChange, diff_questionnaires
+
+__all__ = [
+    "QuestionKind",
+    "Question",
+    "SingleChoiceQuestion",
+    "MultiChoiceQuestion",
+    "LikertQuestion",
+    "NumericQuestion",
+    "FreeTextQuestion",
+    "Questionnaire",
+    "Section",
+    "ShowIf",
+    "SchemaError",
+    "Missing",
+    "MISSING",
+    "Response",
+    "ResponseSet",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_response",
+    "validate_response_set",
+    "Codebook",
+    "CodebookEntry",
+    "build_codebook",
+    "anonymize_ids",
+    "suppress_rare_categories",
+    "InstrumentDiff",
+    "QuestionChange",
+    "diff_questionnaires",
+]

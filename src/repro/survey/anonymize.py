@@ -1,0 +1,88 @@
+"""Anonymization utilities for releasing survey data.
+
+Two operations the study's data release needs:
+
+* :func:`anonymize_ids` — replace respondent identifiers with salted,
+  truncated SHA-256 digests so records cannot be joined back to emails while
+  remaining stable within a release (same salt -> same pseudonym).
+* :func:`suppress_rare_categories` — collapse categorical answers held by
+  fewer than ``k`` respondents into an "other" bucket, a k-anonymity-style
+  guard against identifying the lone researcher in a small department.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+from repro.survey.questions import SingleChoiceQuestion
+from repro.survey.responses import Response, ResponseSet
+
+__all__ = ["anonymize_ids", "suppress_rare_categories"]
+
+
+def _pseudonym(respondent_id: str, salt: str, length: int = 12) -> str:
+    digest = hashlib.sha256(f"{salt}:{respondent_id}".encode("utf-8")).hexdigest()
+    return f"anon-{digest[:length]}"
+
+
+def anonymize_ids(response_set: ResponseSet, salt: str) -> ResponseSet:
+    """Return a copy with every respondent id replaced by a pseudonym.
+
+    Raises if the pseudonymization collides (astronomically unlikely, but a
+    collision would silently merge two people's answers downstream).
+    """
+    if not salt:
+        raise ValueError("salt must be non-empty")
+    new_responses = []
+    seen: dict[str, str] = {}
+    for r in response_set:
+        pseud = _pseudonym(r.respondent_id, salt)
+        if pseud in seen and seen[pseud] != r.respondent_id:
+            raise RuntimeError(f"pseudonym collision for {pseud!r}")
+        seen[pseud] = r.respondent_id
+        new_responses.append(
+            Response(respondent_id=pseud, cohort=r.cohort, answers=dict(r.answers))
+        )
+    return ResponseSet(response_set.questionnaire, new_responses)
+
+
+def suppress_rare_categories(
+    response_set: ResponseSet,
+    key: str,
+    k: int = 5,
+    other_label: str = "other (suppressed)",
+) -> ResponseSet:
+    """Collapse values of a single-choice question held by < k respondents.
+
+    Only single-choice questions are supported: multi-choice selections are
+    reported as per-option proportions, which do not isolate individuals the
+    same way a unique single-choice cell does.
+
+    Note: the returned set's answers may include ``other_label``, which is
+    not one of the question's declared options; downstream tabulation treats
+    it as its own category. Validation should run *before* suppression.
+    """
+    question = response_set.questionnaire[key]
+    if not isinstance(question, SingleChoiceQuestion):
+        raise TypeError(f"question {key!r} is not single-choice")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+
+    counts: Counter[str] = Counter()
+    for r in response_set:
+        value = r.get(key, None)
+        if isinstance(value, str):
+            counts[value] += 1
+    rare = {value for value, c in counts.items() if c < k}
+
+    new_responses = []
+    for r in response_set:
+        answers = dict(r.answers)
+        value = answers.get(key)
+        if isinstance(value, str) and value in rare:
+            answers[key] = other_label
+        new_responses.append(
+            Response(respondent_id=r.respondent_id, cohort=r.cohort, answers=answers)
+        )
+    return ResponseSet(response_set.questionnaire, new_responses)

@@ -1,0 +1,118 @@
+"""Codebook generation.
+
+A codebook documents every exported variable: name, type, allowed values,
+gating, and (given data) response counts. The study ships one per wave so
+secondary analysts can interpret the released dataset without the instrument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.survey.questions import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    SingleChoiceQuestion,
+)
+from repro.survey.responses import ResponseSet
+from repro.survey.schema import Questionnaire
+
+__all__ = ["CodebookEntry", "Codebook", "build_codebook"]
+
+
+@dataclass(frozen=True, slots=True)
+class CodebookEntry:
+    """Documentation row for one variable."""
+
+    key: str
+    kind: str
+    text: str
+    required: bool
+    values: tuple[str, ...]
+    gated_by: str | None
+    n_answered: int | None = None
+
+    def render(self) -> str:
+        """Single human-readable line for text output."""
+        parts = [f"{self.key} [{self.kind}{'*' if self.required else ''}]: {self.text}"]
+        if self.values:
+            parts.append(f"  values: {', '.join(self.values)}")
+        if self.gated_by:
+            parts.append(f"  shown only if: {self.gated_by}")
+        if self.n_answered is not None:
+            parts.append(f"  answered by: {self.n_answered}")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True, slots=True)
+class Codebook:
+    """Ordered collection of codebook entries for one instrument."""
+
+    instrument: str
+    entries: tuple[CodebookEntry, ...]
+
+    def __getitem__(self, key: str) -> CodebookEntry:
+        for entry in self.entries:
+            if entry.key == key:
+                return entry
+        raise KeyError(f"no codebook entry for {key!r}")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def render(self) -> str:
+        """Full plain-text codebook."""
+        header = f"Codebook: {self.instrument} ({len(self.entries)} variables)"
+        rule = "=" * len(header)
+        body = "\n\n".join(entry.render() for entry in self.entries)
+        return f"{header}\n{rule}\n\n{body}\n"
+
+
+def _describe_values(question) -> tuple[str, ...]:
+    if isinstance(question, (SingleChoiceQuestion, MultiChoiceQuestion)):
+        return tuple(question.options)
+    if isinstance(question, LikertQuestion):
+        return (
+            f"1={question.low_label}",
+            f"...",
+            f"{question.points}={question.high_label}",
+        )
+    if isinstance(question, NumericQuestion):
+        lo = "-inf" if question.minimum is None else str(question.minimum)
+        hi = "+inf" if question.maximum is None else str(question.maximum)
+        unit = f" {question.unit}" if question.unit else ""
+        return (f"[{lo}, {hi}]{unit}",)
+    if isinstance(question, FreeTextQuestion):
+        return (f"free text, <= {question.max_length} chars",)
+    return ()
+
+
+def build_codebook(
+    questionnaire: Questionnaire, responses: ResponseSet | None = None
+) -> Codebook:
+    """Build a :class:`Codebook`, optionally annotated with answer counts."""
+    if responses is not None and responses.questionnaire.name != questionnaire.name:
+        raise ValueError("responses belong to a different questionnaire")
+    entries = []
+    for q in questionnaire.questions:
+        gate = questionnaire.skip_logic.get(q.key)
+        gated_by = (
+            f"{gate.question_key} in {{{', '.join(gate.values)}}}" if gate else None
+        )
+        n_answered = None
+        if responses is not None:
+            n_answered = int(responses.answered_mask(q.key).sum())
+        entries.append(
+            CodebookEntry(
+                key=q.key,
+                kind=q.kind.value,
+                text=q.text,
+                required=q.required,
+                values=_describe_values(q),
+                gated_by=gated_by,
+                n_answered=n_answered,
+            )
+        )
+    return Codebook(instrument=questionnaire.name, entries=tuple(entries))

@@ -1,0 +1,126 @@
+"""Instrument diffing: document comparability across waves.
+
+Longitudinal comparisons are only valid where the two waves asked the same
+thing. :func:`diff_questionnaires` produces the comparability record the
+methods section needs: which items are identical, which changed (text,
+options, gating), and which exist in only one wave.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.survey.questions import (
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    Question,
+    SingleChoiceQuestion,
+)
+from repro.survey.schema import Questionnaire
+
+__all__ = ["QuestionChange", "InstrumentDiff", "diff_questionnaires"]
+
+
+@dataclass(frozen=True, slots=True)
+class QuestionChange:
+    """One changed item: the key plus human-readable change descriptions."""
+
+    key: str
+    changes: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class InstrumentDiff:
+    """Comparison of two questionnaires.
+
+    Attributes
+    ----------
+    identical:
+        Keys asked identically in both waves (safe to trend).
+    changed:
+        Items present in both but altered, with descriptions.
+    only_in_a, only_in_b:
+        Keys unique to one wave (no trend possible).
+    """
+
+    identical: tuple[str, ...]
+    changed: tuple[QuestionChange, ...]
+    only_in_a: tuple[str, ...]
+    only_in_b: tuple[str, ...]
+
+    @property
+    def comparable(self) -> bool:
+        """Whether every shared item is identical."""
+        return not self.changed
+
+    def render(self) -> str:
+        """Plain-text comparability report."""
+        lines = [
+            f"identical items: {len(self.identical)}",
+            f"changed items:   {len(self.changed)}",
+            f"only in wave A:  {len(self.only_in_a)}",
+            f"only in wave B:  {len(self.only_in_b)}",
+        ]
+        for change in self.changed:
+            lines.append(f"  ~ {change.key}:")
+            lines.extend(f"      - {c}" for c in change.changes)
+        for key in self.only_in_a:
+            lines.append(f"  - {key} (dropped in wave B)")
+        for key in self.only_in_b:
+            lines.append(f"  + {key} (new in wave B)")
+        return "\n".join(lines)
+
+
+def _describe_changes(a: Question, b: Question) -> list[str]:
+    changes: list[str] = []
+    if type(a) is not type(b):
+        changes.append(f"kind changed: {a.kind.value} -> {b.kind.value}")
+        return changes  # finer comparisons are meaningless across kinds
+    if a.text != b.text:
+        changes.append("wording changed")
+    if a.required != b.required:
+        changes.append(f"required: {a.required} -> {b.required}")
+    if isinstance(a, (SingleChoiceQuestion, MultiChoiceQuestion)):
+        added = set(b.options) - set(a.options)
+        removed = set(a.options) - set(b.options)
+        if added:
+            changes.append(f"options added: {sorted(added)}")
+        if removed:
+            changes.append(f"options removed: {sorted(removed)}")
+        if not added and not removed and a.options != b.options:
+            changes.append("option order changed")
+    if isinstance(a, LikertQuestion) and a.points != b.points:
+        changes.append(f"scale points: {a.points} -> {b.points}")
+    if isinstance(a, NumericQuestion):
+        if (a.minimum, a.maximum) != (b.minimum, b.maximum):
+            changes.append(
+                f"range: [{a.minimum}, {a.maximum}] -> [{b.minimum}, {b.maximum}]"
+            )
+    return changes
+
+
+def diff_questionnaires(a: Questionnaire, b: Questionnaire) -> InstrumentDiff:
+    """Diff two instruments item by item (gating changes included)."""
+    keys_a = set(a.keys)
+    keys_b = set(b.keys)
+    shared = [key for key in a.keys if key in keys_b]  # wave-A order
+
+    identical: list[str] = []
+    changed: list[QuestionChange] = []
+    for key in shared:
+        changes = _describe_changes(a[key], b[key])
+        gate_a = a.skip_logic.get(key)
+        gate_b = b.skip_logic.get(key)
+        if gate_a != gate_b:
+            changes.append(f"gating changed: {gate_a} -> {gate_b}")
+        if changes:
+            changed.append(QuestionChange(key=key, changes=tuple(changes)))
+        else:
+            identical.append(key)
+    return InstrumentDiff(
+        identical=tuple(identical),
+        changed=tuple(changed),
+        only_in_a=tuple(k for k in a.keys if k not in keys_b),
+        only_in_b=tuple(k for k in b.keys if k not in keys_a),
+    )

@@ -1,0 +1,217 @@
+"""Question types for the study instrument.
+
+Each question is a frozen dataclass with an ``accepts`` method deciding
+whether a raw answer value is admissible, used both by the validator and by
+the synthetic respondent generator's self-checks.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+__all__ = [
+    "QuestionKind",
+    "Question",
+    "SingleChoiceQuestion",
+    "MultiChoiceQuestion",
+    "LikertQuestion",
+    "NumericQuestion",
+    "FreeTextQuestion",
+]
+
+_KEY_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+class QuestionKind(enum.Enum):
+    """Discriminator for question types, stable across serialization."""
+
+    SINGLE_CHOICE = "single_choice"
+    MULTI_CHOICE = "multi_choice"
+    LIKERT = "likert"
+    NUMERIC = "numeric"
+    FREE_TEXT = "free_text"
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """Base question: a stable key plus display text.
+
+    Attributes
+    ----------
+    key:
+        Snake-case variable name; becomes the column name in the codebook and
+        in exported datasets.
+    text:
+        The prompt shown to a respondent.
+    required:
+        Whether the validator flags a missing answer.
+    """
+
+    key: str
+    text: str
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if not _KEY_RE.match(self.key):
+            raise ValueError(f"question key {self.key!r} is not snake_case")
+        if not self.text.strip():
+            raise ValueError(f"question {self.key!r} has empty text")
+
+    @property
+    def kind(self) -> QuestionKind:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def accepts(self, value) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+def _check_options(key: str, options: tuple[str, ...]) -> None:
+    if len(options) < 2:
+        raise ValueError(f"question {key!r} needs at least 2 options")
+    if len(set(options)) != len(options):
+        raise ValueError(f"question {key!r} has duplicate options")
+    if any(not o.strip() for o in options):
+        raise ValueError(f"question {key!r} has a blank option")
+
+
+@dataclass(frozen=True, slots=True)
+class SingleChoiceQuestion(Question):
+    """Pick exactly one option; optionally allows a write-in 'other'."""
+
+    options: tuple[str, ...] = ()
+    allow_other: bool = False
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        _check_options(self.key, self.options)
+
+    @property
+    def kind(self) -> QuestionKind:
+        return QuestionKind.SINGLE_CHOICE
+
+    def accepts(self, value) -> bool:
+        if not isinstance(value, str):
+            return False
+        if value in self.options:
+            return True
+        return self.allow_other and bool(value.strip())
+
+
+@dataclass(frozen=True, slots=True)
+class MultiChoiceQuestion(Question):
+    """Pick any subset of options (language use, tool use, ...)."""
+
+    options: tuple[str, ...] = ()
+    min_selected: int = 0
+    max_selected: int | None = None
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        _check_options(self.key, self.options)
+        if self.min_selected < 0:
+            raise ValueError(f"question {self.key!r}: min_selected < 0")
+        if self.max_selected is not None and self.max_selected < self.min_selected:
+            raise ValueError(f"question {self.key!r}: max_selected < min_selected")
+
+    @property
+    def kind(self) -> QuestionKind:
+        return QuestionKind.MULTI_CHOICE
+
+    def accepts(self, value) -> bool:
+        if not isinstance(value, (list, tuple, frozenset, set)):
+            return False
+        items = list(value)
+        if len(set(items)) != len(items):
+            return False
+        if any(item not in self.options for item in items):
+            return False
+        if len(items) < self.min_selected:
+            return False
+        if self.max_selected is not None and len(items) > self.max_selected:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class LikertQuestion(Question):
+    """Ordered scale question, answered with an integer in [1, points]."""
+
+    points: int = 5
+    low_label: str = "strongly disagree"
+    high_label: str = "strongly agree"
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        if self.points < 2:
+            raise ValueError(f"question {self.key!r}: Likert needs >= 2 points")
+
+    @property
+    def kind(self) -> QuestionKind:
+        return QuestionKind.LIKERT
+
+    def accepts(self, value) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and 1 <= value <= self.points
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NumericQuestion(Question):
+    """Numeric answer with optional closed range (e.g. years of experience)."""
+
+    minimum: float | None = None
+    maximum: float | None = None
+    integer_only: bool = False
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        if (
+            self.minimum is not None
+            and self.maximum is not None
+            and self.minimum > self.maximum
+        ):
+            raise ValueError(f"question {self.key!r}: minimum > maximum")
+
+    @property
+    def kind(self) -> QuestionKind:
+        return QuestionKind.NUMERIC
+
+    def accepts(self, value) -> bool:
+        if isinstance(value, bool):
+            return False
+        if self.integer_only and not isinstance(value, int):
+            return False
+        if not isinstance(value, (int, float)):
+            return False
+        if value != value:  # NaN
+            return False
+        if self.minimum is not None and value < self.minimum:
+            return False
+        if self.maximum is not None and value > self.maximum:
+            return False
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class FreeTextQuestion(Question):
+    """Open-ended answer, mined later by :mod:`repro.text`."""
+
+    max_length: int = 2000
+    required: bool = False
+
+    def __post_init__(self) -> None:
+        Question.__post_init__(self)
+        if self.max_length <= 0:
+            raise ValueError(f"question {self.key!r}: max_length must be positive")
+
+    @property
+    def kind(self) -> QuestionKind:
+        return QuestionKind.FREE_TEXT
+
+    def accepts(self, value) -> bool:
+        return isinstance(value, str) and len(value) <= self.max_length

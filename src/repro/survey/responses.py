@@ -1,0 +1,210 @@
+"""Response containers.
+
+:class:`Response` is the per-respondent record; :class:`ResponseSet` is the
+analysis-facing container, which lazily materializes *columnar* views
+(struct-of-arrays) so cross-tab and proportion code runs vectorized instead
+of looping over respondent objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.survey.questions import MultiChoiceQuestion, QuestionKind
+from repro.survey.schema import Questionnaire
+
+__all__ = ["Missing", "MISSING", "Response", "ResponseSet"]
+
+
+class Missing:
+    """Singleton sentinel for 'question not answered / not applicable'."""
+
+    _instance: "Missing | None" = None
+
+    def __new__(cls) -> "Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+MISSING = Missing()
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One respondent's answers.
+
+    Attributes
+    ----------
+    respondent_id:
+        Opaque unique identifier (hashed by :mod:`repro.survey.anonymize`
+        before export).
+    cohort:
+        Study wave label, e.g. ``"2011"`` or ``"2024"``.
+    answers:
+        Mapping question key -> raw answer. Keys absent from the mapping are
+        treated as missing; the sentinel :data:`MISSING` may also be stored
+        explicitly.
+    """
+
+    respondent_id: str
+    cohort: str
+    answers: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.respondent_id:
+            raise ValueError("respondent_id is empty")
+        if not self.cohort:
+            raise ValueError("cohort is empty")
+
+    def get(self, key: str, default=MISSING):
+        """Answer for ``key``, or ``default`` if absent/missing."""
+        value = self.answers.get(key, default)
+        return default if value is MISSING else value
+
+    def answered(self, key: str) -> bool:
+        """Whether the respondent gave a non-missing answer for ``key``."""
+        value = self.answers.get(key, MISSING)
+        return value is not MISSING
+
+
+class ResponseSet:
+    """An immutable collection of responses to one questionnaire.
+
+    Provides vectorized accessors:
+
+    * :meth:`column` — object array of raw answers (``None`` for missing);
+    * :meth:`selection_matrix` — boolean (n_respondents, n_options) matrix
+      for a multi-choice question, the core input of every adoption table;
+    * :meth:`numeric_column` — float array with NaN for missing.
+    """
+
+    def __init__(self, questionnaire: Questionnaire, responses: Iterable[Response]) -> None:
+        self.questionnaire = questionnaire
+        self._responses: tuple[Response, ...] = tuple(responses)
+        ids = [r.respondent_id for r in self._responses]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate respondent ids: {dupes[:5]}")
+        self._column_cache: dict[str, np.ndarray] = {}
+        self._matrix_cache: dict[str, np.ndarray] = {}
+
+    # -- basics -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._responses)
+
+    def __iter__(self) -> Iterator[Response]:
+        return iter(self._responses)
+
+    def __getitem__(self, index: int) -> Response:
+        return self._responses[index]
+
+    @property
+    def responses(self) -> tuple[Response, ...]:
+        return self._responses
+
+    @property
+    def cohorts(self) -> tuple[str, ...]:
+        """Distinct cohort labels present, sorted."""
+        return tuple(sorted({r.cohort for r in self._responses}))
+
+    def filter(self, predicate) -> "ResponseSet":
+        """New ResponseSet keeping responses where ``predicate(r)`` is true."""
+        return ResponseSet(self.questionnaire, [r for r in self._responses if predicate(r)])
+
+    def by_cohort(self, cohort: str) -> "ResponseSet":
+        """Subset for a single cohort label."""
+        return self.filter(lambda r: r.cohort == cohort)
+
+    def split_cohorts(self) -> dict[str, "ResponseSet"]:
+        """Mapping cohort label -> subset, covering all responses."""
+        return {c: self.by_cohort(c) for c in self.cohorts}
+
+    def merge(self, other: "ResponseSet") -> "ResponseSet":
+        """Union of two response sets over the same questionnaire."""
+        if other.questionnaire.name != self.questionnaire.name:
+            raise ValueError(
+                "cannot merge response sets from different questionnaires: "
+                f"{self.questionnaire.name!r} vs {other.questionnaire.name!r}"
+            )
+        return ResponseSet(self.questionnaire, self._responses + other._responses)
+
+    # -- columnar views ----------------------------------------------------
+
+    def column(self, key: str) -> np.ndarray:
+        """Object array of raw answers for ``key`` (None where missing)."""
+        if key not in self.questionnaire:
+            raise KeyError(f"unknown question key {key!r}")
+        cached = self._column_cache.get(key)
+        if cached is not None:
+            return cached
+        out = np.empty(len(self._responses), dtype=object)
+        for i, r in enumerate(self._responses):
+            value = r.answers.get(key, MISSING)
+            out[i] = None if value is MISSING else value
+        self._column_cache[key] = out
+        return out
+
+    def answered_mask(self, key: str) -> np.ndarray:
+        """Boolean mask of respondents who answered ``key``."""
+        col = self.column(key)
+        return np.array([v is not None for v in col], dtype=bool)
+
+    def numeric_column(self, key: str) -> np.ndarray:
+        """Float array for a numeric/Likert question, NaN where missing."""
+        q = self.questionnaire[key]
+        if q.kind not in (QuestionKind.NUMERIC, QuestionKind.LIKERT):
+            raise TypeError(f"question {key!r} is {q.kind.value}, not numeric")
+        col = self.column(key)
+        return np.array(
+            [float(v) if v is not None else np.nan for v in col], dtype=float
+        )
+
+    def selection_matrix(self, key: str) -> np.ndarray:
+        """Boolean (n, n_options) matrix for a multi-choice question.
+
+        Rows for respondents who did not answer are all-False; use
+        :meth:`answered_mask` to restrict denominators to answerers.
+        """
+        q = self.questionnaire[key]
+        if not isinstance(q, MultiChoiceQuestion):
+            raise TypeError(f"question {key!r} is not multi-choice")
+        cached = self._matrix_cache.get(key)
+        if cached is not None:
+            return cached
+        option_index = {opt: j for j, opt in enumerate(q.options)}
+        mat = np.zeros((len(self._responses), len(q.options)), dtype=bool)
+        col = self.column(key)
+        for i, value in enumerate(col):
+            if value is None:
+                continue
+            for item in value:
+                j = option_index.get(item)
+                if j is not None:
+                    mat[i, j] = True
+        self._matrix_cache[key] = mat
+        return mat
+
+    def completion_rate(self) -> float:
+        """Mean fraction of *applicable* questions answered per respondent."""
+        if not self._responses:
+            raise ValueError("empty response set")
+        rates = []
+        for r in self._responses:
+            applicable = self.questionnaire.applicable_keys(r.answers)
+            if not applicable:
+                rates.append(1.0)
+                continue
+            answered = sum(1 for k in applicable if r.answered(k))
+            rates.append(answered / len(applicable))
+        return float(np.mean(rates))

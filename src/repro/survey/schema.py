@@ -1,0 +1,179 @@
+"""Questionnaire schema: sections, ordering, and skip logic.
+
+Skip logic is deliberately simple — a question may be gated on a single
+earlier answer via :class:`ShowIf` — which matches how the study's follow-up
+questions work ("if you use a cluster, which scheduler?") and keeps
+applicability decidable by a single pass over answers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.survey.questions import (
+    MultiChoiceQuestion,
+    Question,
+    SingleChoiceQuestion,
+)
+
+__all__ = ["SchemaError", "ShowIf", "Section", "Questionnaire"]
+
+
+class SchemaError(ValueError):
+    """Raised for structurally invalid questionnaires."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShowIf:
+    """Gate: show the question only if an earlier answer matches.
+
+    For a single-choice gate, matches when the answer equals any of
+    ``values``; for a multi-choice gate, matches when the selection
+    intersects ``values``.
+    """
+
+    question_key: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise SchemaError(f"ShowIf on {self.question_key!r} has no values")
+
+    def matches(self, answer) -> bool:
+        """Whether a concrete answer satisfies the gate."""
+        if answer is None:
+            return False
+        if isinstance(answer, (list, tuple, set, frozenset)):
+            return bool(set(answer) & set(self.values))
+        return answer in self.values
+
+
+@dataclass(frozen=True, slots=True)
+class Section:
+    """A titled group of questions, rendered together."""
+
+    title: str
+    question_keys: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.title.strip():
+            raise SchemaError("section title is empty")
+        if not self.question_keys:
+            raise SchemaError(f"section {self.title!r} has no questions")
+
+
+class Questionnaire:
+    """An ordered, validated survey instrument.
+
+    Parameters
+    ----------
+    name:
+        Instrument identifier (e.g. ``"practice-survey-2024"``).
+    questions:
+        Questions in presentation order; keys must be unique.
+    sections:
+        Optional grouping; every listed key must exist, and a question may
+        appear in at most one section.
+    skip_logic:
+        Mapping from a gated question's key to its :class:`ShowIf`. Gates must
+        reference *earlier* choice questions (no forward or self references),
+        so applicability is resolvable in one forward pass.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        questions: Iterable[Question],
+        sections: Iterable[Section] = (),
+        skip_logic: Mapping[str, ShowIf] | None = None,
+    ) -> None:
+        if not name.strip():
+            raise SchemaError("questionnaire name is empty")
+        self.name = name
+        self._questions: list[Question] = list(questions)
+        if not self._questions:
+            raise SchemaError("questionnaire has no questions")
+        keys = [q.key for q in self._questions]
+        dupes = {k for k in keys if keys.count(k) > 1}
+        if dupes:
+            raise SchemaError(f"duplicate question keys: {sorted(dupes)}")
+        self._by_key: dict[str, Question] = {q.key: q for q in self._questions}
+        self._order: dict[str, int] = {k: i for i, k in enumerate(keys)}
+
+        self.sections: tuple[Section, ...] = tuple(sections)
+        seen_in_section: set[str] = set()
+        for sec in self.sections:
+            for k in sec.question_keys:
+                if k not in self._by_key:
+                    raise SchemaError(f"section {sec.title!r} references unknown key {k!r}")
+                if k in seen_in_section:
+                    raise SchemaError(f"question {k!r} appears in multiple sections")
+                seen_in_section.add(k)
+
+        self.skip_logic: dict[str, ShowIf] = dict(skip_logic or {})
+        for gated, gate in self.skip_logic.items():
+            if gated not in self._by_key:
+                raise SchemaError(f"skip logic gates unknown question {gated!r}")
+            if gate.question_key not in self._by_key:
+                raise SchemaError(
+                    f"skip logic for {gated!r} references unknown question "
+                    f"{gate.question_key!r}"
+                )
+            if self._order[gate.question_key] >= self._order[gated]:
+                raise SchemaError(
+                    f"skip logic for {gated!r} must reference an earlier question"
+                )
+            gating_q = self._by_key[gate.question_key]
+            if not isinstance(gating_q, (SingleChoiceQuestion, MultiChoiceQuestion)):
+                raise SchemaError(
+                    f"skip logic for {gated!r} must gate on a choice question"
+                )
+            unknown = set(gate.values) - set(gating_q.options)
+            if unknown and not getattr(gating_q, "allow_other", False):
+                raise SchemaError(
+                    f"skip logic for {gated!r} references options {sorted(unknown)} "
+                    f"not offered by {gate.question_key!r}"
+                )
+
+    # -- look-ups ---------------------------------------------------------
+
+    @property
+    def questions(self) -> tuple[Question, ...]:
+        """Questions in presentation order."""
+        return tuple(self._questions)
+
+    @property
+    def keys(self) -> tuple[str, ...]:
+        return tuple(q.key for q in self._questions)
+
+    def __len__(self) -> int:
+        return len(self._questions)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._by_key
+
+    def __getitem__(self, key: str) -> Question:
+        try:
+            return self._by_key[key]
+        except KeyError:
+            raise KeyError(f"no question with key {key!r} in {self.name!r}") from None
+
+    def applicable_keys(self, answers: Mapping[str, object]) -> tuple[str, ...]:
+        """Keys of questions shown to a respondent with the given answers.
+
+        A gated question whose gate fails (or whose gating question was
+        itself not shown / unanswered) is omitted.
+        """
+        shown: list[str] = []
+        shown_set: set[str] = set()
+        for q in self._questions:
+            gate = self.skip_logic.get(q.key)
+            if gate is not None:
+                if gate.question_key not in shown_set:
+                    continue
+                if not gate.matches(answers.get(gate.question_key)):
+                    continue
+            shown.append(q.key)
+            shown_set.add(q.key)
+        return tuple(shown)

@@ -1,0 +1,126 @@
+"""Response validation against a questionnaire.
+
+The validator distinguishes four issue kinds so ingest pipelines can decide
+which are fatal (unknown keys, type errors) and which are quality signals
+(missing required answers, answers to questions skip logic hid).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.survey.responses import MISSING, Response, ResponseSet
+from repro.survey.schema import Questionnaire
+
+__all__ = [
+    "IssueKind",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_response",
+    "validate_response_set",
+]
+
+
+class IssueKind(enum.Enum):
+    UNKNOWN_KEY = "unknown_key"
+    INVALID_VALUE = "invalid_value"
+    MISSING_REQUIRED = "missing_required"
+    NOT_APPLICABLE = "not_applicable"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One problem found in one response."""
+
+    respondent_id: str
+    question_key: str
+    kind: IssueKind
+    message: str
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationReport:
+    """All issues for a response set, with convenience filters."""
+
+    issues: tuple[ValidationIssue, ...]
+    n_responses: int
+
+    @property
+    def ok(self) -> bool:
+        """True when no *fatal* issues (unknown keys / invalid values) exist."""
+        return not any(
+            i.kind in (IssueKind.UNKNOWN_KEY, IssueKind.INVALID_VALUE)
+            for i in self.issues
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when there are no issues of any kind."""
+        return not self.issues
+
+    def of_kind(self, kind: IssueKind) -> tuple[ValidationIssue, ...]:
+        return tuple(i for i in self.issues if i.kind == kind)
+
+    def by_respondent(self) -> dict[str, list[ValidationIssue]]:
+        out: dict[str, list[ValidationIssue]] = {}
+        for issue in self.issues:
+            out.setdefault(issue.respondent_id, []).append(issue)
+        return out
+
+
+def validate_response(
+    questionnaire: Questionnaire, response: Response
+) -> list[ValidationIssue]:
+    """Validate one response; returns its issues (possibly empty)."""
+    issues: list[ValidationIssue] = []
+    rid = response.respondent_id
+
+    known = set(questionnaire.keys)
+    for key in response.answers:
+        if key not in known:
+            issues.append(
+                ValidationIssue(rid, key, IssueKind.UNKNOWN_KEY, f"unknown key {key!r}")
+            )
+
+    applicable = set(questionnaire.applicable_keys(response.answers))
+    for q in questionnaire.questions:
+        raw = response.answers.get(q.key, MISSING)
+        answered = raw is not MISSING
+        if q.key not in applicable:
+            if answered:
+                issues.append(
+                    ValidationIssue(
+                        rid,
+                        q.key,
+                        IssueKind.NOT_APPLICABLE,
+                        "answered a question hidden by skip logic",
+                    )
+                )
+            continue
+        if not answered:
+            if q.required:
+                issues.append(
+                    ValidationIssue(
+                        rid, q.key, IssueKind.MISSING_REQUIRED, "required answer missing"
+                    )
+                )
+            continue
+        if not q.accepts(raw):
+            issues.append(
+                ValidationIssue(
+                    rid,
+                    q.key,
+                    IssueKind.INVALID_VALUE,
+                    f"value {raw!r} not admissible for {q.kind.value} question",
+                )
+            )
+    return issues
+
+
+def validate_response_set(response_set: ResponseSet) -> ValidationReport:
+    """Validate every response in the set against its questionnaire."""
+    issues: list[ValidationIssue] = []
+    for response in response_set:
+        issues.extend(validate_response(response_set.questionnaire, response))
+    return ValidationReport(issues=tuple(issues), n_responses=len(response_set))

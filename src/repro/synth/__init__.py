@@ -1,0 +1,77 @@
+"""Synthetic respondent population substrate.
+
+The paper's raw survey data is private human-subjects data, so this package
+generates a synthetic population that exercises every analysis code path:
+
+* :mod:`repro.synth.fields` — field-of-research taxonomy and career stages;
+* :mod:`repro.synth.traits` — latent trait model (computing intensity, HPC
+  adoption, ML adoption, software-engineering rigor) conditioned on field
+  and cohort;
+* :mod:`repro.synth.models` — per-question response models mapping latent
+  traits (and earlier answers) to concrete answers;
+* :mod:`repro.synth.profile` — :class:`CohortProfile`, the declarative bundle
+  of trait parameters + question models + missingness for one study wave;
+* :mod:`repro.synth.generator` — draws a :class:`~repro.survey.ResponseSet`
+  from a profile, honoring the questionnaire's skip logic;
+* :mod:`repro.synth.freetext` — template-based free-text answers with tool
+  mentions for the text-mining pipeline.
+
+Concrete 2011/2024 profiles live in :mod:`repro.core.calibration`.
+"""
+
+from repro.synth.fields import (
+    CAREER_STAGES,
+    FIELDS,
+    FieldInfo,
+    field_names,
+)
+from repro.synth.traits import TraitModel, TraitSpec, TRAIT_NAMES
+from repro.synth.models import (
+    BernoulliYesNoModel,
+    CategoricalModel,
+    DerivedMultiChoiceModel,
+    FreeTextModel,
+    LikertModel,
+    MultiChoiceModel,
+    NumericModel,
+    RespondentContext,
+    ResponseModel,
+)
+from repro.synth.profile import CohortProfile, ProfileError
+from repro.synth.generator import generate_cohort, generate_study
+from repro.synth.panel import PanelResponses, generate_panel
+from repro.synth.scenario import (
+    null_revisit_profile,
+    with_multi_rates,
+    with_yes_rate,
+)
+from repro.synth.freetext import FreeTextTemplates
+
+__all__ = [
+    "FIELDS",
+    "FieldInfo",
+    "field_names",
+    "CAREER_STAGES",
+    "TRAIT_NAMES",
+    "TraitSpec",
+    "TraitModel",
+    "RespondentContext",
+    "ResponseModel",
+    "CategoricalModel",
+    "BernoulliYesNoModel",
+    "MultiChoiceModel",
+    "DerivedMultiChoiceModel",
+    "LikertModel",
+    "NumericModel",
+    "FreeTextModel",
+    "CohortProfile",
+    "ProfileError",
+    "generate_cohort",
+    "generate_study",
+    "PanelResponses",
+    "generate_panel",
+    "with_yes_rate",
+    "with_multi_rates",
+    "null_revisit_profile",
+    "FreeTextTemplates",
+]

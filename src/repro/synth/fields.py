@@ -1,0 +1,127 @@
+"""Field-of-research taxonomy.
+
+The taxonomy follows the predecessor study's breakdown of computational
+researchers on a university campus. Each field carries *trait modifiers*:
+additive shifts applied to the cohort's base latent-trait means, encoding
+durable facts like "astronomers were already heavy cluster users in 2011"
+and "social scientists adopted ML later but fast".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FieldInfo", "FIELDS", "field_names", "CAREER_STAGES"]
+
+
+@dataclass(frozen=True, slots=True)
+class FieldInfo:
+    """One research field with population share and trait modifiers.
+
+    Attributes
+    ----------
+    name:
+        Short label used as the survey answer.
+    share:
+        Population share among campus computational researchers (sums to 1
+        across :data:`FIELDS`); also the sampling weight for synthesis and
+        the post-stratification target for weighting.
+    trait_shift:
+        Additive shifts to latent trait means, keyed by trait name
+        (missing keys mean no shift).
+    """
+
+    name: str
+    share: float
+    trait_shift: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name is empty")
+        if not 0.0 < self.share <= 1.0:
+            raise ValueError(f"field {self.name!r} share out of (0, 1]: {self.share}")
+
+
+# Shifts are kept approximately share-weighted zero-mean per trait so that a
+# cohort profile's base rates remain the cohort marginals; a test pins this.
+FIELDS: tuple[FieldInfo, ...] = (
+    FieldInfo(
+        "astrophysics",
+        0.10,
+        {"hpc": 0.20, "programming": 0.15, "ml": 0.00},
+    ),
+    FieldInfo(
+        "physics",
+        0.12,
+        {"hpc": 0.15, "programming": 0.10, "ml": -0.05},
+    ),
+    FieldInfo(
+        "chemistry",
+        0.11,
+        {"hpc": 0.10, "programming": -0.05, "ml": -0.05},
+    ),
+    FieldInfo(
+        "biology",
+        0.16,
+        {"hpc": -0.10, "programming": -0.10, "ml": 0.00},
+    ),
+    FieldInfo(
+        "neuroscience",
+        0.08,
+        {"ml": 0.10, "programming": 0.00},
+    ),
+    FieldInfo(
+        "engineering",
+        0.15,
+        {"hpc": 0.05, "programming": 0.10, "ml": 0.05},
+    ),
+    FieldInfo(
+        "earth_sciences",
+        0.07,
+        {"hpc": 0.10, "programming": -0.05, "ml": -0.10},
+    ),
+    FieldInfo(
+        "economics",
+        0.06,
+        {"hpc": -0.20, "programming": -0.05, "ml": -0.05, "rigor": -0.05},
+    ),
+    FieldInfo(
+        "social_sciences",
+        0.07,
+        {"hpc": -0.25, "programming": -0.15, "ml": 0.05},
+    ),
+    FieldInfo(
+        "mathematics",
+        0.05,
+        {"programming": 0.05, "hpc": -0.05, "ml": -0.10},
+    ),
+    FieldInfo(
+        "computer_science",
+        0.03,
+        {"programming": 0.30, "ml": 0.15, "rigor": 0.20},
+    ),
+)
+
+# Population shares must form a distribution; checked at import so a typo in
+# the table above fails loudly rather than skewing every generated cohort.
+_total = sum(f.share for f in FIELDS)
+if abs(_total - 1.0) > 1e-9:
+    raise RuntimeError(f"FIELDS shares sum to {_total}, expected 1.0")
+
+# Career-stage labels with population shares (graduate-heavy, as on campus).
+CAREER_STAGES: dict[str, float] = {
+    "graduate_student": 0.45,
+    "postdoc": 0.25,
+    "faculty": 0.18,
+    "research_staff": 0.12,
+}
+
+
+def field_names() -> tuple[str, ...]:
+    """Names of all fields, in canonical order."""
+    return tuple(f.name for f in FIELDS)
+
+
+def field_shares() -> dict[str, float]:
+    """Mapping field name -> population share."""
+    return {f.name: f.share for f in FIELDS}

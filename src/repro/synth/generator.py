@@ -1,0 +1,187 @@
+"""Respondent generation: profile + questionnaire -> ResponseSet.
+
+The generator walks the questionnaire in presentation order for each
+synthetic respondent, sampling only questions the skip logic shows (given
+the answers produced so far), exactly like a real survey platform would.
+Questions without a model in the profile are left unanswered, which the
+validation layer then reports — a deliberate path for testing ingest QA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.survey.questions import MultiChoiceQuestion, Question
+from repro.survey.responses import Response, ResponseSet
+from repro.survey.schema import Questionnaire
+from repro.synth.models import RespondentContext, ResponseModel
+from repro.synth.profile import CohortProfile
+
+__all__ = ["generate_cohort", "generate_study"]
+
+
+def _skip_probability(
+    base_rate: float, profile: CohortProfile, ctx: RespondentContext
+) -> float:
+    """Per-respondent skip probability with optional trait-linked shift."""
+    if not profile.missingness_loadings or base_rate <= 0.0:
+        return base_rate
+    import math
+
+    p = min(max(base_rate, 1e-9), 1 - 1e-9)
+    logit = math.log(p / (1 - p)) + sum(
+        w * ctx.centered_trait(t) for t, w in profile.missingness_loadings.items()
+    )
+    return 1.0 / (1.0 + math.exp(-logit))
+
+
+def _enforce_choice_bounds(
+    question: Question,
+    value,
+    model: ResponseModel,
+    ctx: RespondentContext,
+    answers,
+    rng: np.random.Generator,
+):
+    """Re-apply the survey platform's min/max-select enforcement.
+
+    A respondent cannot submit a multi-select outside its bounds, so the
+    generator resamples a few times and then tops up / trims, mirroring the
+    UI forcing a choice.
+    """
+    if not isinstance(question, MultiChoiceQuestion) or not isinstance(value, list):
+        return value
+    tries = 0
+    while len(value) < question.min_selected and tries < 10:
+        value = model.sample(ctx, answers, rng)
+        tries += 1
+    if len(value) < question.min_selected:
+        extras = [o for o in question.options if o not in value]
+        idx = rng.permutation(len(extras))
+        needed = question.min_selected - len(value)
+        value = list(value) + [extras[i] for i in idx[:needed]]
+    if question.max_selected is not None and len(value) > question.max_selected:
+        value = value[: question.max_selected]
+    return value
+
+
+def _sample_field(profile: CohortProfile, rng: np.random.Generator):
+    shares = np.array([f.share for f in profile.fields], dtype=float)
+    shares = shares / shares.sum()
+    return profile.fields[rng.choice(len(profile.fields), p=shares)]
+
+
+def _sample_stage(profile: CohortProfile, rng: np.random.Generator) -> str:
+    stages = list(profile.career_stages)
+    shares = np.array([profile.career_stages[s] for s in stages], dtype=float)
+    shares = shares / shares.sum()
+    return stages[rng.choice(len(stages), p=shares)]
+
+
+def generate_cohort(
+    profile: CohortProfile,
+    questionnaire: Questionnaire,
+    n: int,
+    rng: np.random.Generator,
+    id_prefix: str | None = None,
+) -> ResponseSet:
+    """Generate ``n`` synthetic responses for one cohort.
+
+    Parameters
+    ----------
+    profile:
+        The cohort's declarative generation parameters.
+    questionnaire:
+        Instrument whose ordering and skip logic drive sampling. The
+        profile's ``field`` / ``career_stage`` models (if present) are
+        overridden by the sampled demographics so trait conditioning and
+        the recorded answer always agree.
+    n:
+        Number of respondents.
+    rng:
+        Seeded generator; the only source of randomness.
+    id_prefix:
+        Respondent-id prefix, defaulting to the cohort label.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    prefix = id_prefix if id_prefix is not None else profile.cohort
+    responses = []
+    for i in range(n):
+        field_info = _sample_field(profile, rng)
+        stage = _sample_stage(profile, rng)
+        traits = profile.trait_model.sample(field_info, rng)
+        centers = {
+            name: spec.mean for name, spec in profile.trait_model.specs.items()
+        }
+        ctx = RespondentContext(
+            field_name=field_info.name,
+            career_stage=stage,
+            traits=traits,
+            cohort=profile.cohort,
+            centers=centers,
+        )
+        answers: dict[str, object] = {}
+        for question in questionnaire.questions:
+            key = question.key
+            gate = questionnaire.skip_logic.get(key)
+            if gate is not None and not gate.matches(answers.get(gate.question_key)):
+                continue
+            # Demographics are pinned to the sampled latent identity.
+            if key == "field":
+                answers[key] = field_info.name
+                continue
+            if key == "career_stage":
+                answers[key] = stage
+                continue
+            model = profile.question_models.get(key)
+            if model is None:
+                continue
+            base_rate = (
+                profile.required_missing_rate
+                if question.required
+                else profile.missing_rate
+            )
+            if rng.random() < _skip_probability(base_rate, profile, ctx):
+                continue
+            value = model.sample(ctx, answers, rng)
+            answers[key] = _enforce_choice_bounds(
+                question, value, model, ctx, answers, rng
+            )
+        responses.append(
+            Response(respondent_id=f"{prefix}-{i:05d}", cohort=profile.cohort, answers=answers)
+        )
+    return ResponseSet(questionnaire, responses)
+
+
+def generate_study(
+    profiles: dict[str, tuple[CohortProfile, int]],
+    questionnaire: Questionnaire,
+    seed: int,
+) -> ResponseSet:
+    """Generate a multi-cohort response set.
+
+    Parameters
+    ----------
+    profiles:
+        Mapping cohort label -> (profile, n). Each cohort gets an
+        independent child generator spawned from ``seed`` so adding a cohort
+        never perturbs another cohort's draws.
+    questionnaire:
+        Shared instrument (the study asks both waves the same core items).
+    seed:
+        Master seed.
+    """
+    if not profiles:
+        raise ValueError("no cohorts requested")
+    master = np.random.default_rng(seed)
+    children = master.spawn(len(profiles))
+    merged: ResponseSet | None = None
+    for (label, (profile, n)), child in zip(sorted(profiles.items()), children):
+        if profile.cohort != label:
+            raise ValueError(
+                f"profile cohort {profile.cohort!r} does not match key {label!r}"
+            )
+        cohort_set = generate_cohort(profile, questionnaire, n, child)
+        merged = cohort_set if merged is None else merged.merge(cohort_set)
+    return merged

@@ -1,0 +1,179 @@
+"""Panel respondents: the same researcher answering both waves.
+
+A fraction of the 2024 wave are people who also answered in 2011 (faculty
+and research staff stick around). Panel generation samples each person's
+identity once, then evolves their latent traits from the baseline cohort's
+distribution toward the current cohort's (partial regression toward the new
+cohort mean plus idiosyncratic drift), and has them answer both instruments.
+Paired analyses (McNemar) consume the resulting :class:`PanelResponses`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.survey.responses import Response, ResponseSet
+from repro.survey.schema import Questionnaire
+from repro.synth.generator import (
+    _enforce_choice_bounds,
+    _sample_field,
+    _sample_stage,
+    _skip_probability,
+)
+from repro.synth.models import RespondentContext
+from repro.synth.profile import CohortProfile
+from repro.synth.traits import TRAIT_NAMES
+
+__all__ = ["PanelResponses", "generate_panel"]
+
+
+@dataclass(frozen=True)
+class PanelResponses:
+    """Paired responses: wave A and wave B aligned by respondent.
+
+    ``wave_a[i]`` and ``wave_b[i]`` are the same person; ids share a base
+    (``panel-00042@2011`` / ``panel-00042@2024``).
+    """
+
+    wave_a: ResponseSet
+    wave_b: ResponseSet
+
+    def __post_init__(self) -> None:
+        if len(self.wave_a) != len(self.wave_b):
+            raise ValueError("panel waves must be the same length")
+        for ra, rb in zip(self.wave_a, self.wave_b):
+            if ra.respondent_id.split("@")[0] != rb.respondent_id.split("@")[0]:
+                raise ValueError(
+                    f"panel misaligned: {ra.respondent_id} vs {rb.respondent_id}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.wave_a)
+
+    def pairs(self):
+        """Iterate aligned (wave_a_response, wave_b_response) pairs."""
+        return zip(self.wave_a, self.wave_b)
+
+    def merged(self) -> ResponseSet:
+        """Both waves as one multi-cohort response set."""
+        return self.wave_a.merge(self.wave_b)
+
+
+def _answer_wave(
+    profile: CohortProfile,
+    questionnaire: Questionnaire,
+    ctx: RespondentContext,
+    rng: np.random.Generator,
+) -> dict[str, object]:
+    answers: dict[str, object] = {}
+    for question in questionnaire.questions:
+        key = question.key
+        gate = questionnaire.skip_logic.get(key)
+        if gate is not None and not gate.matches(answers.get(gate.question_key)):
+            continue
+        if key == "field":
+            answers[key] = ctx.field_name
+            continue
+        if key == "career_stage":
+            answers[key] = ctx.career_stage
+            continue
+        model = profile.question_models.get(key)
+        if model is None:
+            continue
+        base_rate = (
+            profile.required_missing_rate if question.required else profile.missing_rate
+        )
+        if rng.random() < _skip_probability(base_rate, profile, ctx):
+            continue
+        value = model.sample(ctx, answers, rng)
+        answers[key] = _enforce_choice_bounds(question, value, model, ctx, answers, rng)
+    return answers
+
+
+def generate_panel(
+    profile_a: CohortProfile,
+    profile_b: CohortProfile,
+    questionnaire: Questionnaire,
+    n: int,
+    rng: np.random.Generator,
+    persistence: float = 0.5,
+    drift_sd: float = 0.08,
+) -> PanelResponses:
+    """Generate ``n`` panel respondents answering both waves.
+
+    Parameters
+    ----------
+    profile_a, profile_b:
+        The baseline and current cohort profiles.
+    questionnaire:
+        Shared instrument.
+    n:
+        Panel size.
+    rng:
+        Seeded generator.
+    persistence:
+        How much of a person's deviation from the wave-A cohort mean
+        persists into wave B (0 = full regression to the new cohort mean,
+        1 = deviation fully preserved).
+    drift_sd:
+        Standard deviation of idiosyncratic trait drift between waves.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not 0.0 <= persistence <= 1.0:
+        raise ValueError("persistence must be in [0, 1]")
+    if drift_sd < 0:
+        raise ValueError("drift_sd must be non-negative")
+    responses_a: list[Response] = []
+    responses_b: list[Response] = []
+    centers_a = {name: spec.mean for name, spec in profile_a.trait_model.specs.items()}
+    centers_b = {name: spec.mean for name, spec in profile_b.trait_model.specs.items()}
+    for i in range(n):
+        # Identity drawn from the baseline wave's population.
+        field_info = _sample_field(profile_a, rng)
+        stage = _sample_stage(profile_a, rng)
+        traits_a = profile_a.trait_model.sample(field_info, rng)
+        traits_b = {}
+        for name in TRAIT_NAMES:
+            deviation = traits_a[name] - profile_a.trait_model.effective_mean(
+                name, field_info
+            )
+            target = profile_b.trait_model.effective_mean(name, field_info)
+            drifted = target + persistence * deviation + rng.normal(0.0, drift_sd)
+            traits_b[name] = float(np.clip(drifted, 0.0, 1.0))
+
+        ctx_a = RespondentContext(
+            field_name=field_info.name,
+            career_stage=stage,
+            traits=traits_a,
+            cohort=profile_a.cohort,
+            centers=centers_a,
+        )
+        ctx_b = RespondentContext(
+            field_name=field_info.name,
+            career_stage=stage,
+            traits=traits_b,
+            cohort=profile_b.cohort,
+            centers=centers_b,
+        )
+        base = f"panel-{i:05d}"
+        responses_a.append(
+            Response(
+                respondent_id=f"{base}@{profile_a.cohort}",
+                cohort=profile_a.cohort,
+                answers=_answer_wave(profile_a, questionnaire, ctx_a, rng),
+            )
+        )
+        responses_b.append(
+            Response(
+                respondent_id=f"{base}@{profile_b.cohort}",
+                cohort=profile_b.cohort,
+                answers=_answer_wave(profile_b, questionnaire, ctx_b, rng),
+            )
+        )
+    return PanelResponses(
+        wave_a=ResponseSet(questionnaire, responses_a),
+        wave_b=ResponseSet(questionnaire, responses_b),
+    )

@@ -1,0 +1,87 @@
+"""Cohort profiles: the declarative bundle describing one study wave."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.synth.fields import CAREER_STAGES, FIELDS, FieldInfo
+from repro.synth.models import ResponseModel
+from repro.synth.traits import TraitModel
+
+__all__ = ["ProfileError", "CohortProfile"]
+
+
+class ProfileError(ValueError):
+    """Raised when a cohort profile is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class CohortProfile:
+    """Everything needed to synthesize one cohort.
+
+    Attributes
+    ----------
+    cohort:
+        Wave label ("2011", "2024"); becomes ``Response.cohort``.
+    trait_model:
+        Cohort-level latent trait distributions.
+    question_models:
+        Mapping question key -> :class:`ResponseModel`. Keys here that carry
+        skip logic are only sampled when applicable.
+    missing_rate:
+        Probability that a respondent skips any given *optional* question.
+    required_missing_rate:
+        Probability of skipping a *required* question (real respondents do).
+    missingness_loadings:
+        Optional trait loadings making skipping *respondent-dependent*
+        (missing-at-random given traits): a respondent's skip odds are
+        shifted by ``sum(loading * centered_trait)``. Negative programming
+        loadings reproduce the real pattern where less-computational
+        respondents skip more, which the differential-nonresponse QA
+        analysis is designed to catch.
+    fields:
+        Field taxonomy to draw from (defaults to the shared campus taxonomy).
+    career_stages:
+        Mapping stage -> share.
+    """
+
+    cohort: str
+    trait_model: TraitModel
+    question_models: Mapping[str, ResponseModel]
+    missing_rate: float = 0.08
+    required_missing_rate: float = 0.02
+    missingness_loadings: Mapping[str, float] = field(default_factory=dict)
+    fields: tuple[FieldInfo, ...] = FIELDS
+    career_stages: Mapping[str, float] = field(default_factory=lambda: dict(CAREER_STAGES))
+
+    def __post_init__(self) -> None:
+        if not self.cohort:
+            raise ProfileError("cohort label is empty")
+        if not self.question_models:
+            raise ProfileError("profile has no question models")
+        for rate_name in ("missing_rate", "required_missing_rate"):
+            rate = getattr(self, rate_name)
+            if not 0.0 <= rate < 1.0:
+                raise ProfileError(f"{rate_name} out of [0, 1): {rate}")
+        from repro.synth.traits import TRAIT_NAMES
+
+        unknown = set(self.missingness_loadings) - set(TRAIT_NAMES)
+        if unknown:
+            raise ProfileError(f"unknown traits in missingness_loadings: {sorted(unknown)}")
+        if not self.fields:
+            raise ProfileError("profile has no fields")
+        total = sum(f.share for f in self.fields)
+        if abs(total - 1.0) > 1e-6:
+            raise ProfileError(f"field shares sum to {total}, expected 1.0")
+        if not self.career_stages:
+            raise ProfileError("profile has no career stages")
+        stage_total = sum(self.career_stages.values())
+        if abs(stage_total - 1.0) > 1e-6:
+            raise ProfileError(f"career-stage shares sum to {stage_total}")
+
+    def field_by_name(self, name: str) -> FieldInfo:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(f"no field named {name!r} in cohort {self.cohort!r}")

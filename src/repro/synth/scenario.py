@@ -1,0 +1,70 @@
+"""Scenario construction: controlled modifications of cohort profiles.
+
+The reproduction's validation story needs ground-truth checks: the pipeline
+must *find* effects that were planted and must *not* find effects in a null
+configuration. This module builds modified profiles for both:
+
+* :func:`with_yes_rate` / :func:`with_multi_rates` — plant a known effect by
+  overriding one question's base rate(s);
+* :func:`null_revisit_profile` — a "2024 wave" that behaves exactly like the
+  baseline (same trait distributions and question models, new cohort label):
+  every trend the engine reports against it is a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Mapping
+
+from repro.synth.models import BernoulliYesNoModel, MultiChoiceModel
+from repro.synth.profile import CohortProfile
+
+__all__ = ["with_yes_rate", "with_multi_rates", "null_revisit_profile"]
+
+
+def with_yes_rate(profile: CohortProfile, key: str, rate: float) -> CohortProfile:
+    """New profile with one yes/no question's base rate overridden.
+
+    Trait loadings are preserved, so the planted effect rides on the same
+    heterogeneity structure as everything else.
+    """
+    model = profile.question_models.get(key)
+    if not isinstance(model, BernoulliYesNoModel):
+        raise TypeError(f"{key!r} is not a yes/no model in cohort {profile.cohort!r}")
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate out of [0,1]: {rate}")
+    models = dict(profile.question_models)
+    models[key] = replace(model, base=rate)
+    return replace(profile, question_models=models)
+
+
+def with_multi_rates(
+    profile: CohortProfile, key: str, rates: Mapping[str, float]
+) -> CohortProfile:
+    """New profile with some options of a multi-select overridden."""
+    model = profile.question_models.get(key)
+    if not isinstance(model, MultiChoiceModel):
+        raise TypeError(f"{key!r} is not a multi-choice model in cohort {profile.cohort!r}")
+    unknown = set(rates) - set(model.option_probs)
+    if unknown:
+        raise ValueError(f"unknown options: {sorted(unknown)}")
+    for option, rate in rates.items():
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate for {option!r} out of [0,1]: {rate}")
+    new_probs = dict(model.option_probs)
+    new_probs.update(rates)
+    models = dict(profile.question_models)
+    models[key] = replace(model, option_probs=new_probs)
+    return replace(profile, question_models=models)
+
+
+def null_revisit_profile(baseline: CohortProfile, cohort_label: str) -> CohortProfile:
+    """A revisit wave with *identical* behaviour to the baseline.
+
+    Only the cohort label changes; any significant trend found against this
+    wave is a type-I error. Used by the validation tests to check that the
+    trend engine's false-positive rate matches its nominal alpha.
+    """
+    if cohort_label == baseline.cohort:
+        raise ValueError("null revisit needs a distinct cohort label")
+    return replace(baseline, cohort=cohort_label)

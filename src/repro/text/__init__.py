@@ -1,0 +1,43 @@
+"""Text mining for free-form survey answers.
+
+The study mines two open questions ("describe your stack", "biggest
+challenge") for tool mentions and co-adoption structure:
+
+* :mod:`repro.text.tokenize` — tokenizer + normalizer robust to the casing
+  and version-suffix noise real answers contain;
+* :mod:`repro.text.lexicon` — the tool lexicon with aliases and categories;
+* :mod:`repro.text.mentions` — extraction of per-respondent tool mentions;
+* :mod:`repro.text.cooccurrence` — mention co-occurrence graph (networkx)
+  and its centrality/community summaries (figure F6).
+"""
+
+from repro.text.tokenize import normalize_token, tokenize
+from repro.text.lexicon import DEFAULT_LEXICON, Lexicon, ToolEntry
+from repro.text.mentions import MentionExtractor, MentionSummary, extract_mentions
+from repro.text.cooccurrence import (
+    CooccurrenceResult,
+    build_cooccurrence_graph,
+    cooccurrence_summary,
+)
+from repro.text.topics import (
+    TOPIC_KEYWORDS,
+    ChallengeTopics,
+    code_challenges,
+)
+
+__all__ = [
+    "tokenize",
+    "normalize_token",
+    "ToolEntry",
+    "Lexicon",
+    "DEFAULT_LEXICON",
+    "extract_mentions",
+    "MentionExtractor",
+    "MentionSummary",
+    "build_cooccurrence_graph",
+    "cooccurrence_summary",
+    "CooccurrenceResult",
+    "TOPIC_KEYWORDS",
+    "ChallengeTopics",
+    "code_challenges",
+]

@@ -1,0 +1,109 @@
+"""Tool co-mention graph (figure F6).
+
+Nodes are tools; an edge's weight counts respondents mentioning both tools
+in the same answer. The summary reports degree centrality, the strongest
+pairs, and greedy modularity communities — "the Python data stack travels
+together; the classic HPC stack travels together".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.text.mentions import MentionSummary
+
+__all__ = ["build_cooccurrence_graph", "cooccurrence_summary", "CooccurrenceResult"]
+
+
+def build_cooccurrence_graph(
+    summary: MentionSummary, min_count: int = 2
+) -> nx.Graph:
+    """Weighted co-mention graph from a mention summary.
+
+    Parameters
+    ----------
+    summary:
+        Output of :func:`repro.text.extract_mentions`.
+    min_count:
+        Edges co-mentioned by fewer respondents are dropped (noise floor).
+    """
+    if min_count < 1:
+        raise ValueError("min_count must be >= 1")
+    graph = nx.Graph()
+    for tool, count in summary.counts.items():
+        graph.add_node(tool, count=count)
+    pair_counts: dict[tuple[str, str], int] = {}
+    for mentioned in summary.per_respondent.values():
+        tools = sorted(mentioned)
+        for i, a in enumerate(tools):
+            for b in tools[i + 1 :]:
+                pair_counts[(a, b)] = pair_counts.get((a, b), 0) + 1
+    for (a, b), weight in pair_counts.items():
+        if weight >= min_count:
+            graph.add_edge(a, b, weight=weight)
+    return graph
+
+
+@dataclass(frozen=True, slots=True)
+class CooccurrenceResult:
+    """Summary of the co-mention graph.
+
+    Attributes
+    ----------
+    n_tools, n_edges:
+        Graph size after thresholding.
+    top_pairs:
+        Strongest co-mention pairs as (tool_a, tool_b, weight).
+    centrality:
+        Weighted-degree centrality per tool (fraction of total weight).
+    communities:
+        Tool groups from greedy modularity maximization, largest first.
+    """
+
+    n_tools: int
+    n_edges: int
+    top_pairs: tuple[tuple[str, str, int], ...]
+    centrality: dict[str, float]
+    communities: tuple[frozenset[str], ...]
+
+
+def cooccurrence_summary(graph: nx.Graph, top_k: int = 10) -> CooccurrenceResult:
+    """Compute the F6 summary statistics for a co-mention graph."""
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    edges = sorted(
+        graph.edges(data="weight"),
+        key=lambda e: (-e[2], e[0], e[1]),
+    )
+    top_pairs = tuple((a, b, int(w)) for a, b, w in edges[:top_k])
+
+    total_weight = sum(w for _, _, w in graph.edges(data="weight"))
+    centrality: dict[str, float] = {}
+    for node in graph.nodes:
+        node_weight = sum(w for _, _, w in graph.edges(node, data="weight"))
+        centrality[node] = node_weight / (2.0 * total_weight) if total_weight else 0.0
+
+    # Communities over the thresholded graph; isolated nodes form singletons.
+    connected = [n for n in graph.nodes if graph.degree(n) > 0]
+    sub = graph.subgraph(connected)
+    if sub.number_of_edges() > 0:
+        communities = tuple(
+            frozenset(c)
+            for c in sorted(
+                nx.community.greedy_modularity_communities(sub, weight="weight"),
+                key=len,
+                reverse=True,
+            )
+        )
+    else:
+        communities = ()
+
+    return CooccurrenceResult(
+        n_tools=graph.number_of_nodes(),
+        n_edges=graph.number_of_edges(),
+        top_pairs=top_pairs,
+        centrality=centrality,
+        communities=communities,
+    )

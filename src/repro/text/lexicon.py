@@ -1,0 +1,118 @@
+"""Tool lexicon: canonical names, aliases, and categories.
+
+The default lexicon covers the tools the synthetic free-text generator can
+emit plus common aliases a real corpus would contain; a site running the
+study on its own answers extends it with :meth:`Lexicon.extended`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ToolEntry", "Lexicon", "DEFAULT_LEXICON"]
+
+
+@dataclass(frozen=True, slots=True)
+class ToolEntry:
+    """One tool: canonical name, match aliases, and a coarse category."""
+
+    name: str
+    category: str
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.category:
+            raise ValueError("tool name and category are required")
+
+    @property
+    def all_forms(self) -> tuple[str, ...]:
+        return (self.name, *self.aliases)
+
+
+class Lexicon:
+    """An alias-resolving tool dictionary."""
+
+    def __init__(self, entries: tuple[ToolEntry, ...] | list[ToolEntry]) -> None:
+        entries = tuple(entries)
+        if not entries:
+            raise ValueError("lexicon has no entries")
+        names = [e.name for e in entries]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate canonical tool names")
+        self.entries = entries
+        self._resolve: dict[str, str] = {}
+        for entry in entries:
+            for form in entry.all_forms:
+                form = form.lower()
+                existing = self._resolve.get(form)
+                if existing is not None and existing != entry.name:
+                    raise ValueError(
+                        f"alias {form!r} claimed by both {existing!r} and {entry.name!r}"
+                    )
+                self._resolve[form] = entry.name
+        self._category = {e.name: e.category for e in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, form: str) -> bool:
+        return form.lower() in self._resolve
+
+    def resolve(self, form: str) -> str | None:
+        """Canonical tool name for a surface form, or None."""
+        return self._resolve.get(form.lower())
+
+    def category(self, name: str) -> str:
+        try:
+            return self._category[name]
+        except KeyError:
+            raise KeyError(f"unknown tool {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(e.name for e in self.entries)
+
+    def extended(self, extra: list[ToolEntry]) -> "Lexicon":
+        """New lexicon with additional entries."""
+        return Lexicon(self.entries + tuple(extra))
+
+
+DEFAULT_LEXICON = Lexicon(
+    [
+        # scientific python
+        ToolEntry("numpy", "library"),
+        ToolEntry("scipy", "library"),
+        ToolEntry("pandas", "library"),
+        ToolEntry("matplotlib", "library", ("pyplot",)),
+        ToolEntry("jupyter", "environment", ("jupyterlab", "notebook")),
+        # ML
+        ToolEntry("pytorch", "ml", ("torch",)),
+        ToolEntry("tensorflow", "ml", ("tf",)),
+        ToolEntry("scikit-learn", "ml", ("sklearn",)),
+        ToolEntry("jax", "ml"),
+        ToolEntry("keras", "ml"),
+        ToolEntry("huggingface", "ml", ("transformers",)),
+        # HPC
+        ToolEntry("mpi", "hpc", ("openmpi", "mpich", "mpi4py")),
+        ToolEntry("openmp", "hpc"),
+        ToolEntry("cuda", "hpc", ("cudnn",)),
+        ToolEntry("slurm", "hpc", ("sbatch", "srun")),
+        ToolEntry("spark", "hpc", ("pyspark",)),
+        # engineering
+        ToolEntry("git", "engineering", ("github", "gitlab")),
+        ToolEntry("svn", "engineering", ("subversion",)),
+        ToolEntry("docker", "engineering"),
+        ToolEntry("apptainer", "engineering", ("singularity",)),
+        ToolEntry("conda", "engineering", ("anaconda", "miniconda", "mamba")),
+        # languages / environments
+        ToolEntry("matlab", "environment"),
+        ToolEntry("fortran", "language", ("f90", "f77")),
+        ToolEntry("perl", "language"),
+        ToolEntry("latex", "environment", ("tex", "overleaf")),
+        ToolEntry("excel", "environment"),
+        ToolEntry("gnuplot", "environment"),
+        ToolEntry("vscode", "environment", ("vs-code",)),
+        ToolEntry("emacs", "environment"),
+        ToolEntry("vim", "environment", ("neovim",)),
+        ToolEntry("aws", "cloud", ("ec2", "s3")),
+    ]
+)

@@ -1,0 +1,87 @@
+"""Tool-mention extraction from free-text answers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.survey.responses import ResponseSet
+from repro.text.lexicon import DEFAULT_LEXICON, Lexicon
+from repro.text.tokenize import normalize_token, tokenize
+
+__all__ = ["MentionExtractor", "MentionSummary", "extract_mentions"]
+
+
+@dataclass(frozen=True, slots=True)
+class MentionSummary:
+    """Corpus-level mention statistics.
+
+    Attributes
+    ----------
+    per_respondent:
+        Mapping respondent id -> frozenset of canonical tools mentioned.
+    counts:
+        Mapping tool -> number of respondents mentioning it (document
+        frequency, not raw token frequency).
+    n_documents:
+        Number of answers scanned (respondents who answered the question).
+    """
+
+    per_respondent: dict[str, frozenset[str]]
+    counts: dict[str, int]
+    n_documents: int
+
+    def share(self, tool: str) -> float:
+        """Fraction of answerers mentioning ``tool``."""
+        if self.n_documents == 0:
+            raise ValueError("no documents")
+        return self.counts.get(tool, 0) / self.n_documents
+
+    def top(self, k: int = 10) -> list[tuple[str, int]]:
+        """The k most-mentioned tools (ties broken alphabetically)."""
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+class MentionExtractor:
+    """Extracts canonical tool mentions from text via the lexicon."""
+
+    def __init__(self, lexicon: Lexicon | None = None) -> None:
+        self.lexicon = lexicon or DEFAULT_LEXICON
+
+    def mentions_in(self, text: str) -> frozenset[str]:
+        """Canonical tools mentioned in one answer."""
+        found = set()
+        for token in tokenize(text):
+            norm = normalize_token(token)
+            if norm is None:
+                continue
+            canonical = self.lexicon.resolve(norm)
+            if canonical is not None:
+                found.add(canonical)
+        return frozenset(found)
+
+    def summarize(self, response_set: ResponseSet, key: str) -> MentionSummary:
+        """Mention summary over one free-text question of a response set."""
+        per_respondent: dict[str, frozenset[str]] = {}
+        counts: Counter[str] = Counter()
+        n_documents = 0
+        for response in response_set:
+            text = response.get(key, None)
+            if not isinstance(text, str) or not text.strip():
+                continue
+            n_documents += 1
+            mentioned = self.mentions_in(text)
+            per_respondent[response.respondent_id] = mentioned
+            counts.update(mentioned)
+        return MentionSummary(
+            per_respondent=per_respondent,
+            counts=dict(counts),
+            n_documents=n_documents,
+        )
+
+
+def extract_mentions(
+    response_set: ResponseSet, key: str, lexicon: Lexicon | None = None
+) -> MentionSummary:
+    """Convenience wrapper: extract mentions for one question."""
+    return MentionExtractor(lexicon).summarize(response_set, key)

@@ -1,0 +1,42 @@
+"""Tokenization and normalization for free-text answers.
+
+Kept deliberately simple: lowercase word tokens with intra-word ``+``/``#``
+(c++, f#) and ``-``/``.`` handled, version suffixes stripped during
+normalization ("python3.11" -> "python3" is *not* what we want, so the
+normalizer peels trailing version digits only when separated: "pytorch 2.1"
+tokenizes as ["pytorch", "2.1"] and the bare version token is droppable by
+the caller).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize", "normalize_token"]
+
+# Words may contain letters, digits and internal + # . - characters
+# (c++, f#, scikit-learn, mpi4py, 2.1).
+_TOKEN_RE = re.compile(r"[a-zA-Z0-9](?:[a-zA-Z0-9+#.\-]*[a-zA-Z0-9+#])?|[a-zA-Z0-9]")
+
+_VERSION_RE = re.compile(r"^\d+(\.\d+)*$")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split text into lowercase tokens, preserving tool-ish punctuation."""
+    if not isinstance(text, str):
+        raise TypeError("text must be a string")
+    return [t.lower() for t in _TOKEN_RE.findall(text)]
+
+
+def normalize_token(token: str) -> str | None:
+    """Canonicalize one token; returns None for droppable tokens.
+
+    Drops bare version numbers ("2.1") and single punctuation leftovers;
+    strips trailing dots ("numpy." at sentence end).
+    """
+    t = token.strip().lower().rstrip(".")
+    if not t:
+        return None
+    if _VERSION_RE.match(t):
+        return None
+    return t

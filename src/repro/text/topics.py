@@ -1,0 +1,107 @@
+"""Topic coding for "biggest challenge" answers.
+
+The study hand-codes open challenge answers into a fixed codebook of
+categories; this module reproduces that coding with transparent keyword
+rules. Multi-label: an answer mentioning both queues and storage counts in
+both categories (as two human coders would tag it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.survey.responses import ResponseSet
+from repro.text.tokenize import tokenize
+
+__all__ = ["ChallengeTopics", "TOPIC_KEYWORDS", "code_challenges"]
+
+# Category -> keywords (matched on normalized tokens and bigrams).
+TOPIC_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "queue_contention": (
+        "queue", "wait", "allocation", "allocations", "backlog", "demand",
+    ),
+    "software_installation": (
+        "install", "installing", "dependency", "dependencies", "environment",
+        "reproducibly", "packages", "toolchains", "toolchain", "porting",
+    ),
+    "performance_scaling": (
+        "slow", "parallelize", "scaling", "performance", "optimize", "speed",
+    ),
+    "debugging": ("debug", "debugging", "crash", "segfault",),
+    "storage_data": (
+        "storage", "quota", "quotas", "datasets", "data", "disk",
+    ),
+    "skills_training": (
+        "learning", "taught", "training", "curve", "skills", "engineering",
+    ),
+    "provenance": ("track", "provenance", "result", "version",),
+}
+
+
+@dataclass(frozen=True)
+class ChallengeTopics:
+    """Coded challenge answers.
+
+    Attributes
+    ----------
+    counts:
+        Mapping topic -> number of answers tagged with it.
+    n_documents:
+        Answers coded.
+    n_uncoded:
+        Answers matching no topic (reported, never silently dropped).
+    per_respondent:
+        Mapping respondent id -> frozenset of topics.
+    """
+
+    counts: dict[str, int]
+    n_documents: int
+    n_uncoded: int
+    per_respondent: dict[str, frozenset[str]]
+
+    def share(self, topic: str) -> float:
+        if self.n_documents == 0:
+            raise ValueError("no documents coded")
+        return self.counts.get(topic, 0) / self.n_documents
+
+    def ranked(self) -> list[tuple[str, int]]:
+        """Topics by prevalence, ties alphabetical."""
+        return sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def topics_in(text: str) -> frozenset[str]:
+    """Topics whose keywords appear in one answer."""
+    tokens = set(tokenize(text))
+    found = {
+        topic
+        for topic, keywords in TOPIC_KEYWORDS.items()
+        if tokens & set(keywords)
+    }
+    return frozenset(found)
+
+
+def code_challenges(
+    response_set: ResponseSet, key: str = "biggest_challenge"
+) -> ChallengeTopics:
+    """Code every answered challenge question in a response set."""
+    counts: dict[str, int] = {topic: 0 for topic in TOPIC_KEYWORDS}
+    per_respondent: dict[str, frozenset[str]] = {}
+    n_documents = 0
+    n_uncoded = 0
+    for response in response_set:
+        text = response.get(key, None)
+        if not isinstance(text, str) or not text.strip():
+            continue
+        n_documents += 1
+        topics = topics_in(text)
+        per_respondent[response.respondent_id] = topics
+        if not topics:
+            n_uncoded += 1
+        for topic in topics:
+            counts[topic] += 1
+    return ChallengeTopics(
+        counts={t: c for t, c in counts.items() if c > 0},
+        n_documents=n_documents,
+        n_uncoded=n_uncoded,
+        per_respondent=per_respondent,
+    )

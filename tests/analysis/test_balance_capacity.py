@@ -1,0 +1,138 @@
+"""Tests for cohort balance and capacity outlook (X9/X10)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import cohort_balance
+from repro.cluster import (
+    JobRecord,
+    JobState,
+    JobTable,
+    Partition,
+    gpu_capacity_outlook,
+    months_to_saturation,
+)
+from repro.cluster.usage import MONTH_SECONDS
+from repro.core import build_instrument
+from repro.report import run_experiment
+from repro.survey import Response, ResponseSet
+
+
+class TestCohortBalance:
+    def test_generated_cohorts_roughly_balanced(self, study):
+        report = cohort_balance(study.responses)
+        # Same sampling frame in both waves: no extreme imbalance. The
+        # |d|<0.1 convention is tighter than sampling noise at n~150
+        # (sd of d is ~0.11), so only bound the mean and the max.
+        assert report.max_abs_std_diff < 0.45
+        mean_abs = np.mean([abs(r.std_diff) for r in report.rows])
+        assert mean_abs < 0.2
+
+    def test_rows_sorted_worst_first(self, study):
+        report = cohort_balance(study.responses)
+        diffs = [abs(r.std_diff) for r in report.rows]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_detects_planted_imbalance(self):
+        q = build_instrument()
+        responses = []
+        i = 0
+        for cohort, fields in (
+            ("2011", ["physics"] * 80 + ["biology"] * 20),
+            ("2024", ["physics"] * 20 + ["biology"] * 80),
+        ):
+            for f in fields:
+                responses.append(
+                    Response(f"r{i}", cohort, {"field": f, "career_stage": "postdoc",
+                                               "years_programming": 5})
+                )
+                i += 1
+        report = cohort_balance(ResponseSet(q, responses))
+        physics = next(r for r in report.rows if r.covariate == "field=physics")
+        assert not physics.balanced
+        assert physics.std_diff < -1.0  # share dropped sharply
+
+    def test_empty_cohort_rejected(self):
+        q = build_instrument()
+        rs = ResponseSet(q, [Response("a", "2011", {"field": "physics"})])
+        with pytest.raises(ValueError):
+            cohort_balance(rs)
+
+    def test_x10_experiment_renders(self, study):
+        table = run_experiment("X10", study)
+        assert "std diff" in table.columns
+        assert len(table.rows) > 10
+
+
+class TestMonthsToSaturation:
+    def test_basic_projection(self):
+        # 100 -> 200 capacity at 5%/month: log(2)/log(1.05) ~ 14.2 months.
+        months = months_to_saturation(100.0, 200.0, 0.05)
+        assert months == pytest.approx(math.log(2) / math.log(1.05))
+
+    def test_already_saturated(self):
+        assert months_to_saturation(250.0, 200.0, 0.05) == 0.0
+
+    def test_no_growth_never_saturates(self):
+        assert months_to_saturation(100.0, 200.0, 0.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            months_to_saturation(0.0, 100.0, 0.05)
+        with pytest.raises(ValueError):
+            months_to_saturation(10.0, 0.0, 0.05)
+
+
+def synthetic_gpu_table(months=8, base=1000.0, growth=0.10, gpus_per_job=2):
+    """GPU jobs whose monthly hours grow exponentially."""
+    records = []
+    jid = 0
+    for m in range(months):
+        hours_needed = base * (1 + growth) ** m
+        runtime = 10 * 3600.0
+        n_jobs = max(1, int(round(hours_needed / (gpus_per_job * runtime / 3600.0))))
+        for k in range(n_jobs):
+            start = m * MONTH_SECONDS + k * 60.0
+            records.append(
+                JobRecord(jid, f"u{k%7}", "neuroscience", "gpu", start, start,
+                          start + runtime, 8, gpus_per_job, JobState.COMPLETED,
+                          req_walltime=runtime * 2)
+            )
+            jid += 1
+    return JobTable.from_records(records)
+
+
+class TestGpuCapacityOutlook:
+    PART = Partition("gpu", nodes=10, cores_per_node=48, gpus_per_node=4)
+
+    def test_recovers_growth_and_projects(self):
+        table = synthetic_gpu_table(growth=0.10)
+        outlook = gpu_capacity_outlook(table, self.PART)
+        assert outlook.growth_per_month == pytest.approx(0.10, abs=0.02)
+        assert outlook.months_to_saturation > 0
+        # Doubling buys log2/log(1.1) ~ 7.3 months.
+        assert outlook.months_bought_by_doubling == pytest.approx(7.27, abs=1.0)
+
+    def test_saturated_now(self):
+        tiny = Partition("gpu", nodes=1, cores_per_node=8, gpus_per_node=1)
+        table = synthetic_gpu_table(growth=0.05)
+        outlook = gpu_capacity_outlook(table, tiny)
+        assert outlook.months_to_saturation == 0.0
+
+    def test_requires_gpus(self):
+        cpu_part = Partition("cpu", nodes=2, cores_per_node=8)
+        with pytest.raises(ValueError):
+            gpu_capacity_outlook(synthetic_gpu_table(), cpu_part)
+
+    def test_requires_enough_months(self):
+        table = synthetic_gpu_table(months=2)
+        with pytest.raises(ValueError):
+            gpu_capacity_outlook(table, self.PART)
+
+    def test_x9_experiment_renders(self, study):
+        table = run_experiment("X9", study)
+        quantities = table.column("quantity")
+        assert "projected saturation" in quantities
+        assert "fitted growth" in quantities

@@ -1,0 +1,103 @@
+"""Tests for the cross-tab engine, including vectorized == loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import crosstab, crosstab_loop
+from repro.analysis.crosstab import COHORT
+from repro.survey import Questionnaire, Response, ResponseSet, SingleChoiceQuestion
+
+
+def make_set(pairs, cohorts=None):
+    q = Questionnaire(
+        "t",
+        [
+            SingleChoiceQuestion(key="color", text="c", options=("red", "blue", "green")),
+            SingleChoiceQuestion(key="size", text="s", options=("small", "large")),
+        ],
+    )
+    responses = []
+    for i, (color, size) in enumerate(pairs):
+        answers = {}
+        if color is not None:
+            answers["color"] = color
+        if size is not None:
+            answers["size"] = size
+        cohort = cohorts[i] if cohorts else "2024"
+        responses.append(Response(f"r{i}", cohort, answers))
+    return ResponseSet(q, responses)
+
+
+class TestCrosstab:
+    def test_counts(self):
+        rs = make_set(
+            [("red", "small"), ("red", "small"), ("red", "large"), ("blue", "large")]
+        )
+        ct = crosstab(rs, "color", "size")
+        assert ct.row_labels == ("blue", "red")
+        assert ct.col_labels == ("large", "small")
+        assert ct.counts.tolist() == [[1, 0], [1, 2]]
+        assert ct.n == 4
+
+    def test_missing_either_excluded(self):
+        rs = make_set([("red", "small"), ("red", None), (None, "large")])
+        ct = crosstab(rs, "color", "size")
+        assert ct.n == 1
+
+    def test_cohort_pseudo_key(self):
+        rs = make_set(
+            [("red", "small"), ("blue", "small"), ("red", "small")],
+            cohorts=["2011", "2024", "2024"],
+        )
+        ct = crosstab(rs, "color", COHORT)
+        assert ct.col_labels == ("2011", "2024")
+        assert ct.row("red").tolist() == [1, 1]
+
+    def test_row_shares_normalize_columns(self):
+        rs = make_set([("red", "small"), ("blue", "small"), ("red", "large")])
+        shares = crosstab(rs, "color", "size").row_shares()
+        np.testing.assert_allclose(shares.sum(axis=0), [1.0, 1.0])
+
+    def test_unknown_row_lookup(self):
+        rs = make_set([("red", "small"), ("blue", "large")])
+        with pytest.raises(KeyError):
+            crosstab(rs, "color", "size").row("green")
+
+    def test_all_missing_raises(self):
+        rs = make_set([(None, None)])
+        with pytest.raises(ValueError):
+            crosstab(rs, "color", "size")
+
+    def test_non_single_choice_rejected(self, study):
+        with pytest.raises(TypeError):
+            crosstab(study.responses, "languages")
+
+    def test_degenerate_single_column(self):
+        rs = make_set([("red", "small"), ("blue", "small")])
+        ct = crosstab(rs, "color", "size")
+        assert ct.test.p_value == 1.0
+        assert ct.effect == 0.0
+
+
+class TestLoopEquivalence:
+    def test_equal_on_synthetic(self):
+        rs = make_set(
+            [("red", "small"), ("red", "large"), ("blue", "small"), ("green", "large")] * 5
+        )
+        fast = crosstab(rs, "color", "size")
+        slow = crosstab_loop(rs, "color", "size")
+        assert fast.row_labels == slow.row_labels
+        assert fast.col_labels == slow.col_labels
+        assert fast.counts.tolist() == slow.counts.tolist()
+        assert fast.test.p_value == pytest.approx(slow.test.p_value)
+
+    def test_equal_on_real_study(self, study):
+        for key in ("field", "vcs", "training", "data_scale"):
+            fast = crosstab(study.responses, key, COHORT)
+            slow = crosstab_loop(study.responses, key, COHORT)
+            assert fast.counts.tolist() == slow.counts.tolist(), key
+            assert fast.row_labels == slow.row_labels
+
+    def test_loop_rejects_non_single_choice(self, study):
+        with pytest.raises(TypeError):
+            crosstab_loop(study.responses, "languages")

@@ -1,0 +1,54 @@
+"""Tests for the work-environment analysis (X6)."""
+
+import pytest
+
+from repro.analysis import environment_summary
+from repro.report import Table, run_experiment
+
+
+class TestEnvironmentSummary:
+    @pytest.fixture(scope="class")
+    def summary(self, study):
+        return environment_summary(study.responses)
+
+    def test_os_crosstab(self, summary):
+        assert set(summary.os_by_cohort.row_labels) <= {"linux", "macos", "windows"}
+        assert summary.os_by_cohort.col_labels == ("2011", "2024")
+
+    def test_vscode_rises_emacs_falls(self, summary):
+        vscode = summary.editor_trends["vscode"]
+        emacs = summary.editor_trends["emacs"]
+        assert vscode.delta > 0.3
+        assert emacs.delta < 0.05
+
+    def test_editor_family_corrected(self, summary):
+        assert summary.editor_trends.correction == "holm"
+
+    def test_hours_summaries(self, summary):
+        assert set(summary.hours_per_week) == {"2011", "2024"}
+        for s in summary.hours_per_week.values():
+            assert 0 <= s.median <= 100
+
+    def test_hpc_training_denominator_is_cluster_users(self, summary, study):
+        cluster_users_2024 = sum(
+            1
+            for r in study.current
+            if r.answered("hpc_training")
+        )
+        assert summary.hpc_training.n_current == cluster_users_2024
+
+    def test_open_source_rises(self, summary):
+        assert summary.open_source.delta > 0.05
+
+
+class TestX6Experiment:
+    def test_renders(self, study):
+        table = run_experiment("X6", study)
+        assert isinstance(table, Table)
+        items = table.column("item")
+        assert any(i.startswith("os:") for i in items)
+        assert any(i.startswith("editor:") for i in items)
+        assert any(i.startswith("hours/week") for i in items)
+        assert "open-source contribution" in items
+        text = table.render_ascii()
+        assert "X6" in text

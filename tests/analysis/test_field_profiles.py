@@ -1,0 +1,80 @@
+"""Tests for per-field practice portraits and interarrival stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import field_profiles
+from repro.cluster import interarrival_stats
+
+
+class TestFieldProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self, study):
+        return field_profiles(study.responses, min_n=5)
+
+    def test_structure(self, profiles):
+        assert len(profiles) >= 5
+        for p in profiles:
+            assert p.n >= 5
+            assert 1 <= len(p.top_languages) <= 3
+            shares = [s for _, s in p.top_languages]
+            assert shares == sorted(shares, reverse=True)
+
+    def test_sorted_by_size(self, profiles):
+        sizes = [p.n for p in profiles]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_python_dominates_everywhere_in_2024(self, profiles):
+        python_top3 = sum(
+            any(lang == "python" for lang, _ in p.top_languages) for p in profiles
+        )
+        assert python_top3 >= len(profiles) - 1
+
+    def test_distinguishing_is_the_largest_excess(self, profiles):
+        """The flagged practice has the largest field-minus-overall excess
+        among the candidates (it may still be negative for a field that is
+        below average on everything)."""
+        for p in profiles:
+            label, field_share, overall_share = p.distinguishing
+            candidates = {
+                "GPU use": p.gpu_share,
+                "cluster use": p.cluster_share,
+                "ML use": p.ml_share,
+            }
+            if label in candidates:
+                assert candidates[label] == pytest.approx(field_share)
+
+    def test_min_n_filter(self, study):
+        strict = field_profiles(study.responses, min_n=50)
+        loose = field_profiles(study.responses, min_n=2)
+        assert len(strict) <= len(loose)
+
+    def test_empty_cohort_rejected(self, study):
+        with pytest.raises(ValueError):
+            field_profiles(study.responses, cohort="1999")
+
+
+class TestInterarrival:
+    def test_poisson_cv_near_one(self):
+        from repro.cluster.records import JobRecord, JobState, JobTable
+
+        rng = np.random.default_rng(0)
+        submits = np.sort(rng.uniform(0, 1e6, size=2000))
+        records = [
+            JobRecord(i, "u", "f", "cpu", float(s), float(s), float(s) + 60.0,
+                      1, 0, JobState.COMPLETED)
+            for i, s in enumerate(submits)
+        ]
+        stats = interarrival_stats(JobTable.from_records(records))
+        assert stats["cv"] == pytest.approx(1.0, abs=0.1)
+
+    def test_diurnal_traffic_is_bursty(self, study):
+        stats = interarrival_stats(study.telemetry)
+        assert stats["cv"] > 1.0  # rhythm makes arrivals over-dispersed
+        assert stats["mean_gap_s"] > 0
+
+    def test_validation(self):
+        from repro.cluster import JobTable
+
+        with pytest.raises(ValueError):
+            interarrival_stats(JobTable.empty())

@@ -1,0 +1,64 @@
+"""Tests for the data-quality (nonresponse) report."""
+
+import pytest
+
+from repro.analysis import quality_report
+from repro.core import build_instrument
+from repro.survey import Response, ResponseSet
+
+
+class TestQualityReport:
+    def test_on_generated_study(self, study):
+        report = quality_report(study.responses)
+        assert report.item_nonresponse
+        # Rates sorted worst-first.
+        rates = [r.rate.estimate for r in report.item_nonresponse]
+        assert rates == sorted(rates, reverse=True)
+        # Optional free-text questions skip most.
+        worst_keys = {r.key for r in report.worst_items(4)}
+        assert worst_keys & {"stack_description", "biggest_challenge"}
+
+    def test_completion_quartiles(self, study):
+        report = quality_report(study.responses)
+        for cohort, (q25, q50, q75) in report.completion_quartiles.items():
+            assert 0.0 <= q25 <= q50 <= q75 <= 1.0
+
+    def test_gated_items_use_applicability_denominator(self, study):
+        report = quality_report(study.responses)
+        scheduler_rows = [r for r in report.item_nonresponse if r.key == "scheduler"]
+        for row in scheduler_rows:
+            cluster_users = sum(
+                1
+                for r in study.responses.by_cohort(row.cohort)
+                if r.get("uses_cluster") == "yes"
+            )
+            assert row.n_applicable == cluster_users
+
+    def test_differential_missingness_detected(self):
+        q = build_instrument()
+        responses = []
+        i = 0
+        # Physicists answer everything they can; biologists skip years_programming.
+        for field_name, skips in (("physics", False), ("biology", True)):
+            for _ in range(40):
+                answers = {"field": field_name, "career_stage": "postdoc"}
+                if not skips:
+                    answers["years_programming"] = 5
+                responses.append(Response(f"r{i}", "2024", answers))
+                i += 1
+        report = quality_report(ResponseSet(q, responses))
+        assert report.field_missingness_test.significant(0.001)
+
+    def test_uniform_missingness_not_flagged(self):
+        q = build_instrument()
+        responses = [
+            Response(f"r{i}", "2024", {"field": f, "career_stage": "postdoc"})
+            for i, f in enumerate(["physics", "biology"] * 30)
+        ]
+        report = quality_report(ResponseSet(q, responses))
+        assert not report.field_missingness_test.significant(0.01)
+
+    def test_empty_rejected(self):
+        q = build_instrument()
+        with pytest.raises(ValueError):
+            quality_report(ResponseSet(q, []))

@@ -1,0 +1,154 @@
+"""Tests for the survey-side analysis modules (T1-T4, T6-T8, F1, F2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    demographics_table,
+    gpu_adoption_by_field,
+    language_shares,
+    language_trend_series,
+    ml_adoption_summary,
+    parallel_mode_trends,
+    parallelism_rates,
+    practices_trends,
+    primary_language_table,
+    storage_summary,
+    training_summary,
+)
+
+
+class TestDemographics(object):
+    def test_counts_match_cohorts(self, study):
+        result = demographics_table(study.responses)
+        assert result.response_counts == {"2011": 150, "2024": 180}
+        assert set(result.years_programming) == {"2011", "2024"}
+
+    def test_field_crosstab_covers_cohorts(self, study):
+        result = demographics_table(study.responses)
+        assert result.field_by_cohort.col_labels == ("2011", "2024")
+        assert result.field_by_cohort.n > 300
+
+    def test_stage_labels(self, study):
+        result = demographics_table(study.responses)
+        assert "graduate_student" in result.stage_by_cohort.row_labels
+
+
+class TestLanguages:
+    def test_shares_structure(self, study):
+        shares = language_shares(study.responses)
+        assert set(shares) == {"2011", "2024"}
+        assert len(shares["2024"]) == 11
+        for s in shares["2024"]:
+            assert 0 <= s.interval.low <= s.interval.estimate <= s.interval.high <= 1
+            assert s.count <= s.n
+
+    def test_python_dominates_2024(self, study):
+        shares = {s.language: s.interval.estimate for s in language_shares(study.responses)["2024"]}
+        assert shares["python"] > 0.8
+        assert shares["python"] > shares["fortran"]
+
+    def test_trend_series_sorted_and_corrected(self, study):
+        table = language_trend_series(study.responses)
+        deltas = [abs(r.delta) for r in table]
+        assert deltas == sorted(deltas, reverse=True)
+        assert table.correction == "holm"
+        assert table["python"].significant(0.001)
+
+    def test_primary_language_table(self, study):
+        ct = primary_language_table(study.responses)
+        assert "python" in ct.row_labels
+        assert ct.col_labels == ("2011", "2024")
+
+
+class TestParallelism:
+    def test_rates_directions(self, study):
+        rates = parallelism_rates(study.responses)
+        assert rates.uses_gpu.delta > 0.2
+        assert rates.uses_parallelism.current.estimate > 0.5
+
+    def test_mode_trends_denominator_is_parallel_users(self, study):
+        table = parallel_mode_trends(study.responses)
+        n_parallel_2024 = sum(
+            1
+            for r in study.current
+            if r.answered("parallel_modes")
+        )
+        assert table["mpi"].n_current == n_parallel_2024
+
+    def test_gpu_by_field_filters_small_fields(self, study):
+        full = gpu_adoption_by_field(study.responses, min_n=1)
+        filtered = gpu_adoption_by_field(study.responses, min_n=10)
+        assert len(filtered) <= len(full)
+        for a in filtered:
+            assert a.n >= 10
+
+    def test_gpu_by_field_sorted(self, study):
+        adoption = gpu_adoption_by_field(study.responses)
+        estimates = [a.interval.estimate for a in adoption]
+        assert estimates == sorted(estimates, reverse=True)
+
+
+class TestMLAdoption:
+    def test_adoption_rises(self, study):
+        summary = ml_adoption_summary(study.responses)
+        assert summary.adoption.delta > 0.3
+        assert summary.adoption.significant(0.001)
+
+    def test_framework_shares(self, study):
+        summary = ml_adoption_summary(study.responses)
+        assert summary.n_ml_users > 20
+        assert "pytorch" in summary.framework_shares
+        pytorch = summary.framework_shares["pytorch"]
+        tensorflow = summary.framework_shares["tensorflow"]
+        assert pytorch.estimate > tensorflow.estimate  # the 2024 story
+
+
+class TestPractices:
+    def test_family_contents(self, study):
+        table = practices_trends(study.responses)
+        labels = {r.label for r in table}
+        assert labels == {
+            "uses git",
+            "any version control",
+            "unit testing",
+            "continuous integration",
+            "containers",
+        }
+        assert table.correction == "holm"
+
+    def test_git_and_containers_rise(self, study):
+        table = practices_trends(study.responses)
+        assert table["uses git"].delta > 0.3
+        assert table["containers"].delta > 0.15
+
+    def test_any_vcs_geq_git(self, study):
+        table = practices_trends(study.responses)
+        assert (
+            table["any version control"].current.estimate
+            >= table["uses git"].current.estimate
+        )
+
+
+class TestTraining:
+    def test_summary(self, study):
+        summary = training_summary(study.responses)
+        assert set(summary.expertise_means) == {"2011", "2024"}
+        assert -1.0 <= summary.expertise_effect <= 1.0
+        assert 0.0 <= summary.expertise_test.p_value <= 1.0
+
+    def test_crosstab_rows(self, study):
+        summary = training_summary(study.responses)
+        assert "self_taught" in summary.training_by_cohort.row_labels
+
+
+class TestStorage:
+    def test_data_gets_bigger(self, study):
+        summary = storage_summary(study.responses)
+        # Positive rank-biserial = 2024 reports larger data scales.
+        assert summary.scale_shift_effect > 0.05
+        assert summary.scale_shift_test.p_value < 0.05
+
+    def test_locations_family(self, study):
+        summary = storage_summary(study.responses)
+        assert summary.locations["cloud_storage"].delta > 0.1

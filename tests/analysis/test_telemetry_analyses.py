@@ -1,0 +1,123 @@
+"""Tests for telemetry analyses (F3-F5, F7, T5) and concordance (F8)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cpu_hours_figure,
+    gpu_concordance,
+    gpu_growth_figure,
+    job_width_figure,
+    queue_wait_table,
+    runtime_figure,
+)
+from repro.core import Study
+from repro.cluster import JobTable
+
+
+class TestCpuHoursFigure:
+    def test_structure(self, study):
+        result = cpu_hours_figure(study, top_fields=4)
+        assert "__total__" in result
+        named = [k for k in result if k != "__total__"]
+        assert 4 <= len(named) <= 5  # top 4 + possibly "other"
+        months = result["__total__"].size
+        assert all(v.size == months for v in result.values())
+
+    def test_total_is_sum(self, study):
+        result = cpu_hours_figure(study, top_fields=3)
+        total = result.pop("__total__")
+        np.testing.assert_allclose(
+            np.sum(list(result.values()), axis=0), total, rtol=1e-9
+        )
+
+    def test_top_fields_validation(self, study):
+        with pytest.raises(ValueError):
+            cpu_hours_figure(study, top_fields=0)
+
+    def test_empty_telemetry_rejected(self, study):
+        empty = Study(
+            responses=study.responses,
+            telemetry=JobTable.empty(),
+            cluster=study.cluster,
+            window_seconds=study.window_seconds,
+        )
+        with pytest.raises(ValueError):
+            cpu_hours_figure(empty)
+
+
+class TestJobWidthFigure:
+    def test_both_partitions(self, study):
+        result = job_width_figure(study)
+        assert set(result) == {"cpu", "gpu"}
+        for dist in result.values():
+            assert dist.cdf[-1] == pytest.approx(1.0)
+            assert sum(dist.weighted_share.values()) == pytest.approx(1.0)
+
+    def test_wide_jobs_hold_most_cpu_hours(self, study):
+        cpu = job_width_figure(study)["cpu"]
+        assert cpu.weighted_share["65-512"] > cpu.weighted_share["1"]
+
+
+class TestQueueWaitTable:
+    def test_all_partitions_present(self, study):
+        stats = queue_wait_table(study)
+        assert set(stats) == set(study.telemetry.partitions())
+        for s in stats.values():
+            assert s["n"] > 0
+            assert s["p95_h"] >= s["median_h"] >= 0.0
+
+
+class TestGpuGrowthFigure:
+    def test_positive_growth(self, study):
+        result = gpu_growth_figure(study, n_resamples=100)
+        assert result.monthly_gpu_hours.size == 4
+        assert result.growth_ci.low <= result.growth_per_month <= result.growth_ci.high
+
+    def test_growth_matches_workload_parameter_at_scale(self):
+        # A longer window pins the fitted growth to the configured 4%/month.
+        from repro.core import build_default_study
+
+        long_study = build_default_study(
+            seed=77, n_baseline=10, n_current=10, months=18, jobs_per_day=120
+        )
+        result = gpu_growth_figure(long_study, n_resamples=50)
+        assert result.growth_per_month == pytest.approx(0.04, abs=0.02)
+
+
+class TestRuntimeFigure:
+    def test_shared_bins(self, study):
+        result = runtime_figure(study, top_fields=5)
+        bins = result.pop("__bins__")
+        assert len(result) <= 5
+        for counts in result.values():
+            assert counts.size == bins.size - 1
+            assert counts.sum() > 0
+
+
+class TestConcordance:
+    def test_positive_correlation_at_scale(self):
+        from repro.core import build_default_study
+
+        big = build_default_study(
+            seed=123, n_baseline=150, n_current=400, months=6, jobs_per_day=200
+        )
+        result = gpu_concordance(big)
+        assert len(result.fields) >= 5
+        assert result.spearman_rho > 0.0
+
+    def test_structure(self, study):
+        result = gpu_concordance(study)
+        assert result.survey_share.shape == result.telemetry_share.shape
+        assert result.telemetry_share.sum() <= 1.0 + 1e-9
+        assert -1.0 <= result.spearman_rho <= 1.0
+
+    def test_no_gpu_jobs_rejected(self, study):
+        cpu_only = Study(
+            responses=study.responses,
+            telemetry=study.telemetry.mask(study.telemetry.gpus == 0),
+            cluster=study.cluster,
+            window_seconds=study.window_seconds,
+        )
+        with pytest.raises(ValueError):
+            gpu_concordance(cpu_only)

@@ -1,0 +1,195 @@
+"""Tests for resource allocators and the scheduler options that use them."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    Partition,
+    SubmittedJob,
+    WorkloadModel,
+    WorkloadParams,
+    simulate_schedule,
+)
+from repro.cluster.allocation import NodeGranularAllocator, PooledAllocator
+
+
+class TestPooledAllocator:
+    def test_allocate_release_cycle(self):
+        alloc = PooledAllocator(64, 4)
+        assert alloc.fits(64, 4)
+        token = alloc.allocate(40, 2)
+        assert alloc.free_cores == 24 and alloc.free_gpus == 2
+        assert not alloc.fits(30, 0)
+        alloc.release(token)
+        assert alloc.free_cores == 64 and alloc.free_gpus == 4
+
+    def test_over_allocate_raises(self):
+        alloc = PooledAllocator(8, 0)
+        with pytest.raises(RuntimeError):
+            alloc.allocate(9, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PooledAllocator(0, 0)
+
+
+class TestNodeGranularAllocator:
+    def test_sub_node_first_fit(self):
+        alloc = NodeGranularAllocator(nodes=2, cores_per_node=8, gpus_per_node=0)
+        t1 = alloc.allocate(5, 0)
+        t2 = alloc.allocate(5, 0)  # must go to the second node
+        assert alloc.free_cores == 6
+        assert not alloc.fits(4, 0)  # 3+3 free, but no single node has 4
+        assert alloc.fits(3, 0)
+        alloc.release(t1)
+        assert alloc.fits(8, 0)
+        alloc.release(t2)
+
+    def test_whole_node_placement(self):
+        alloc = NodeGranularAllocator(nodes=4, cores_per_node=8, gpus_per_node=0)
+        token = alloc.allocate(16, 0)  # 2 whole nodes
+        assert alloc.free_cores == 16
+        # A 16-core job still fits (2 full nodes left); a 24-core one doesn't.
+        assert alloc.fits(16, 0)
+        assert not alloc.fits(24, 0)
+        alloc.release(token)
+        assert alloc.fits(32, 0)
+
+    def test_fragmentation_blocks_wide_jobs(self):
+        """The phenomenon the pooled model cannot express."""
+        alloc = NodeGranularAllocator(nodes=4, cores_per_node=8, gpus_per_node=0)
+        # 5-core jobs cannot share a node (3 left), so each takes its own.
+        tokens = [alloc.allocate(5, 0) for _ in range(4)]
+        assert alloc.free_cores == 12
+        assert not alloc.fits(16, 0)  # needs 2 *full* nodes; none exist
+        alloc.release(tokens[0])
+        alloc.release(tokens[1])
+        assert alloc.fits(16, 0)
+
+    def test_gpu_sub_node(self):
+        alloc = NodeGranularAllocator(nodes=2, cores_per_node=8, gpus_per_node=4)
+        alloc.allocate(2, 3)
+        # 1 GPU left on node 0, 4 on node 1: a 2-GPU job must use node 1.
+        token = alloc.allocate(2, 2)
+        assert token[1] == 1  # placed on node 1
+        assert not alloc.fits(1, 3)
+
+    def test_gpu_whole_node(self):
+        alloc = NodeGranularAllocator(nodes=2, cores_per_node=8, gpus_per_node=4)
+        alloc.allocate(8, 8)  # needs both nodes (8 GPUs)
+        assert alloc.free_gpus == 0
+        assert not alloc.fits(1, 0)
+
+    def test_best_fit_reduces_fragmentation(self):
+        alloc = NodeGranularAllocator(nodes=2, cores_per_node=8, gpus_per_node=0)
+        alloc.allocate(6, 0)  # node 0 has 2 free
+        alloc.allocate(2, 0)  # best-fit: should land on node 0, not node 1
+        assert alloc.node_free_cores.tolist() == [0, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeGranularAllocator(0, 8, 0)
+
+
+TINY = ClusterConfig(
+    "tiny",
+    (
+        Partition("cpu", nodes=4, cores_per_node=8),
+        Partition("gpu", nodes=1, cores_per_node=8, gpus_per_node=2),
+        Partition("serial", nodes=1, cores_per_node=8),
+    ),
+)
+
+
+def job(i, submit=0.0, cores=1, runtime=100.0, walltime=None, user=None):
+    return SubmittedJob(
+        job_id=i, user=user or f"u{i}", field="physics", partition="cpu",
+        submit=submit, cores=cores, gpus=0, runtime=runtime,
+        requested_walltime=walltime or runtime * 2,
+    )
+
+
+def run(jobs, **kw):
+    kw.setdefault("failure_rate", 0.0)
+    kw.setdefault("cancel_rate", 0.0)
+    kw.setdefault("timeout_rate", 0.0)
+    return simulate_schedule(jobs, TINY, rng=np.random.default_rng(0), **kw)
+
+
+class TestNodeGranularScheduling:
+    def test_wide_job_blocked_by_fragmentation(self):
+        # Three 5-core jobs occupy three nodes (5 > the 3 cores a shared
+        # node would have left), leaving 17 pooled-free cores but only ONE
+        # full node. Pooled scheduling starts the 16-core (2-node) job
+        # immediately; node-granular must wait for a node to drain.
+        jobs = [job(i, submit=0.0, cores=5, runtime=500.0) for i in range(3)]
+        jobs.append(job(3, submit=1.0, cores=16, runtime=100.0))
+        pooled = run(jobs, node_granular=False)
+        granular = run(jobs, node_granular=True)
+        assert pooled.table.record(3).start == pytest.approx(1.0)
+        assert granular.table.record(3).start >= 500.0
+
+    def test_all_jobs_complete(self):
+        params = WorkloadParams(months=1, jobs_per_day=80)
+        stream = WorkloadModel(params).generate(np.random.default_rng(2))
+        result = simulate_schedule(
+            stream, rng=np.random.default_rng(0), node_granular=True
+        )
+        assert len(result.table) == len(stream)
+        assert (result.table.wait >= 0).all()
+
+
+class TestFairshare:
+    def test_light_user_jumps_queue(self):
+        # Hog saturates the machine, then hog and newcomer queue together:
+        # fairshare must start the newcomer first once capacity frees.
+        jobs = [job(0, submit=0.0, cores=32, runtime=100.0, user="hog")]
+        jobs.append(job(1, submit=1.0, cores=32, runtime=100.0, user="hog"))
+        jobs.append(job(2, submit=2.0, cores=32, runtime=100.0, user="newcomer"))
+        fifo = run(jobs, priority="fifo", backfill=False)
+        fair = run(jobs, priority="fairshare", backfill=False)
+        # FIFO: hog's second job runs before the newcomer.
+        assert fifo.table.record(1).start < fifo.table.record(2).start
+        # Fairshare: newcomer overtakes.
+        assert fair.table.record(2).start < fair.table.record(1).start
+
+    def test_usage_decays(self):
+        from repro.cluster.scheduler import _FairshareLedger
+
+        ledger = _FairshareLedger(halflife=100.0)
+        ledger.charge("u", 1000.0, now=0.0)
+        assert ledger.usage("u", 0.0) == pytest.approx(1000.0)
+        assert ledger.usage("u", 100.0) == pytest.approx(500.0)
+        assert ledger.usage("u", 300.0) == pytest.approx(125.0)
+        assert ledger.usage("stranger", 50.0) == 0.0
+
+    def test_bad_priority_rejected(self):
+        with pytest.raises(ValueError):
+            run([job(0)], priority="random")
+
+    def test_bad_halflife_rejected(self):
+        with pytest.raises(ValueError):
+            run([job(0)], priority="fairshare", fairshare_halflife=0.0)
+
+    def test_fairshare_spreads_service(self):
+        """Under contention, fairshare narrows the wait gap between a heavy
+        user and light users."""
+        jobs = []
+        jid = 0
+        for k in range(30):
+            jobs.append(job(jid, submit=k * 10.0, cores=16, runtime=400.0, user="whale"))
+            jid += 1
+        for k in range(10):
+            jobs.append(job(jid, submit=50.0 + k * 30.0, cores=16, runtime=400.0, user=f"minnow{k}"))
+            jid += 1
+        fifo = run(jobs, priority="fifo", backfill=False)
+        fair = run(jobs, priority="fairshare", backfill=False)
+
+        def mean_wait(result, prefix):
+            mask = np.array([u.startswith(prefix) for u in result.table.user])
+            return result.table.wait[mask].mean()
+
+        gap_fifo = mean_wait(fifo, "minnow") - mean_wait(fifo, "whale")
+        gap_fair = mean_wait(fair, "minnow") - mean_wait(fair, "whale")
+        assert gap_fair < gap_fifo

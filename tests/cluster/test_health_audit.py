@@ -1,0 +1,166 @@
+"""Tests for cluster health analysis and accounting audit."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    AuditIssueKind,
+    ClusterConfig,
+    JobRecord,
+    JobState,
+    JobTable,
+    Partition,
+    audit_table,
+    failure_bursts,
+    failure_rates_by,
+    waste_summary,
+)
+
+
+def rec(i, state=JobState.COMPLETED, partition="cpu", cores=10, gpus=0,
+        runtime_h=1.0, end_at=None, user="u0", req_walltime=None):
+    start = (end_at - runtime_h * 3600.0) if end_at is not None else 1000.0
+    end = start + runtime_h * 3600.0
+    return JobRecord(
+        job_id=i, user=user, field="physics", partition=partition,
+        submit=start, start=start, end=end, cores=cores, gpus=gpus, state=state,
+        req_walltime=req_walltime if req_walltime is not None else runtime_h * 7200.0,
+    )
+
+
+class TestWasteSummary:
+    def test_no_waste(self):
+        table = JobTable.from_records([rec(0), rec(1)])
+        summary = waste_summary(table)
+        assert summary.waste_fraction == 0.0
+        assert summary.wasted_core_hours == {}
+
+    def test_waste_breakdown(self):
+        table = JobTable.from_records(
+            [
+                rec(0, runtime_h=2.0),                      # 20 good core-h
+                rec(1, state=JobState.FAILED, runtime_h=1.0),    # 10 wasted
+                rec(2, state=JobState.TIMEOUT, runtime_h=1.0),   # 10 wasted
+            ]
+        )
+        summary = waste_summary(table)
+        assert summary.total_core_hours == pytest.approx(40.0)
+        assert summary.wasted_core_hours["FAILED"] == pytest.approx(10.0)
+        assert summary.waste_fraction == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waste_summary(JobTable.empty())
+
+
+class TestFailureRates:
+    def test_rates_by_partition(self):
+        records = [rec(i, partition="cpu") for i in range(40)]
+        records += [rec(100 + i, partition="gpu", gpus=1,
+                        state=JobState.FAILED if i < 10 else JobState.COMPLETED)
+                    for i in range(40)]
+        rates = failure_rates_by(JobTable.from_records(records), "partition")
+        assert rates["cpu"].estimate == 0.0
+        assert rates["gpu"].estimate == pytest.approx(0.25)
+
+    def test_min_jobs_filter(self):
+        records = [rec(i) for i in range(5)]
+        rates = failure_rates_by(JobTable.from_records(records), "partition", min_jobs=10)
+        assert rates == {}
+
+    def test_bad_column(self):
+        with pytest.raises(ValueError):
+            failure_rates_by(JobTable.from_records([rec(0)]), "state")
+
+
+class TestFailureBursts:
+    def test_no_failures_no_bursts(self):
+        table = JobTable.from_records([rec(i, end_at=i * 600.0 + 3600) for i in range(50)])
+        assert failure_bursts(table) == []
+
+    def test_detects_concentrated_burst(self):
+        # Background: 200 jobs ending uniformly over ~14 days, 2% failures.
+        records = []
+        for i in range(200):
+            state = JobState.FAILED if i % 50 == 0 else JobState.COMPLETED
+            records.append(rec(i, state=state, end_at=1e4 + i * 6000.0))
+        # Burst: 8 failures within one hour (a node went bad).
+        for k in range(8):
+            records.append(
+                rec(1000 + k, state=JobState.FAILED, end_at=5e5 + k * 400.0)
+            )
+        bursts = failure_bursts(JobTable.from_records(records))
+        assert len(bursts) >= 1
+        start, stop, n = bursts[0]
+        assert n >= 5
+        assert 4.9e5 < start < 5.1e5
+
+    def test_uniform_failures_not_bursts(self):
+        # 10% failures spread evenly: no window should trip 3x the base rate.
+        records = [
+            rec(i, state=JobState.FAILED if i % 10 == 0 else JobState.COMPLETED,
+                end_at=1e4 + i * 3600.0)
+            for i in range(300)
+        ]
+        assert failure_bursts(JobTable.from_records(records)) == []
+
+    def test_validation(self):
+        table = JobTable.from_records([rec(0)])
+        with pytest.raises(ValueError):
+            failure_bursts(table, window_seconds=0)
+
+
+TINY = ClusterConfig(
+    "tiny",
+    (
+        Partition("cpu", nodes=2, cores_per_node=16),
+        Partition("gpu", nodes=1, cores_per_node=16, gpus_per_node=4),
+    ),
+)
+
+
+class TestAudit:
+    def test_clean_table(self):
+        table = JobTable.from_records([rec(0, cores=16), rec(1, partition="gpu", gpus=2)])
+        report = audit_table(table, TINY)
+        assert report.ok
+        assert report.summary() == {}
+
+    def test_unknown_partition(self):
+        table = JobTable.from_records([rec(0, partition="quantum")])
+        report = audit_table(table, TINY)
+        assert not report.ok
+        assert len(report.of_kind(AuditIssueKind.UNKNOWN_PARTITION)) == 1
+
+    def test_oversized_allocation(self):
+        table = JobTable.from_records([rec(0, cores=64)])
+        report = audit_table(table, TINY)
+        assert report.of_kind(AuditIssueKind.OVERSIZED_ALLOCATION)
+
+    def test_gpu_on_cpu_partition(self):
+        # 4 gpus on the gpu-less cpu partition: flagged as both oversized
+        # (capacity 0) and wrong-partition.
+        table = JobTable.from_records([rec(0, partition="cpu", gpus=4)])
+        report = audit_table(table, TINY)
+        assert report.of_kind(AuditIssueKind.GPU_ON_CPU_PARTITION)
+
+    def test_walltime_overrun(self):
+        table = JobTable.from_records([rec(0, runtime_h=2.0, req_walltime=3600.0)])
+        report = audit_table(table, TINY)
+        assert report.of_kind(AuditIssueKind.WALLTIME_OVERRUN)
+
+    def test_zero_limit_not_flagged(self):
+        table = JobTable.from_records([rec(0, runtime_h=2.0, req_walltime=0.0)])
+        report = audit_table(table, TINY)
+        assert not report.of_kind(AuditIssueKind.WALLTIME_OVERRUN)
+
+    def test_implausible_runtime(self):
+        table = JobTable.from_records(
+            [rec(0, runtime_h=31 * 24.0, req_walltime=32 * 24 * 3600.0)]
+        )
+        report = audit_table(table, TINY)
+        assert report.of_kind(AuditIssueKind.IMPLAUSIBLE_RUNTIME)
+
+    def test_simulated_output_is_clean(self, study):
+        report = audit_table(study.telemetry, study.cluster)
+        assert report.ok, report.summary()

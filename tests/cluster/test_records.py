@@ -1,0 +1,182 @@
+"""Tests for JobRecord and the columnar JobTable."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import JobRecord, JobState, JobTable
+
+
+def rec(i=0, **kw):
+    defaults = dict(
+        job_id=i,
+        user="astro001",
+        field="astrophysics",
+        partition="cpu",
+        submit=100.0,
+        start=200.0,
+        end=3800.0,
+        cores=64,
+        gpus=0,
+        state=JobState.COMPLETED,
+    )
+    defaults.update(kw)
+    return JobRecord(**defaults)
+
+
+class TestJobRecord:
+    def test_derived_quantities(self):
+        r = rec()
+        assert r.wait == pytest.approx(100.0)
+        assert r.runtime == pytest.approx(3600.0)
+        assert r.cpu_hours == pytest.approx(64.0)
+        assert r.gpu_hours == 0.0
+
+    def test_gpu_hours(self):
+        r = rec(gpus=4)
+        assert r.gpu_hours == pytest.approx(4.0)
+
+    def test_time_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            rec(start=50.0)
+        with pytest.raises(ValueError):
+            rec(end=150.0)
+
+    def test_resource_validation(self):
+        with pytest.raises(ValueError):
+            rec(cores=0)
+        with pytest.raises(ValueError):
+            rec(gpus=-1)
+
+
+class TestJobTable:
+    def make_table(self):
+        return JobTable.from_records(
+            [
+                rec(0),
+                rec(1, partition="gpu", gpus=2, field="neuroscience", user="neur001"),
+                rec(2, state=JobState.FAILED, cores=8),
+                rec(3, partition="gpu", gpus=1, user="neur001", field="neuroscience"),
+            ]
+        )
+
+    def test_len_and_roundtrip(self):
+        t = self.make_table()
+        assert len(t) == 4
+        r = t.record(1)
+        assert r.partition == "gpu" and r.gpus == 2
+
+    def test_iteration_yields_records(self):
+        t = self.make_table()
+        assert [r.job_id for r in t] == [0, 1, 2, 3]
+
+    def test_empty(self):
+        t = JobTable.empty()
+        assert len(t) == 0
+        assert t.partitions() == ()
+
+    def test_vectorized_derived_columns(self):
+        t = self.make_table()
+        assert t.wait.tolist() == [100.0] * 4
+        assert t.cpu_hours[0] == pytest.approx(64.0)
+        assert t.gpu_hours.tolist() == [0.0, 2.0, 0.0, 1.0]
+
+    def test_filters(self):
+        t = self.make_table()
+        assert len(t.by_partition("gpu")) == 2
+        assert len(t.by_field("neuroscience")) == 2
+        assert len(t.gpu_jobs()) == 2
+        assert len(t.completed()) == 3
+
+    def test_partitions_fields_sorted(self):
+        t = self.make_table()
+        assert t.partitions() == ("cpu", "gpu")
+        assert t.fields() == ("astrophysics", "neuroscience")
+
+    def test_mask_shape_checked(self):
+        t = self.make_table()
+        with pytest.raises(ValueError):
+            t.mask(np.array([True]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            JobTable.from_records([rec(0), rec(0)])
+
+    def test_column_length_mismatch_rejected(self):
+        t = self.make_table()
+        with pytest.raises(ValueError):
+            JobTable(
+                job_id=t.job_id[:2],
+                user=t.user,
+                field=t.field,
+                partition=t.partition,
+                submit=t.submit,
+                start=t.start,
+                end=t.end,
+                cores=t.cores,
+                gpus=t.gpus,
+                state=t.state,
+            )
+
+    def test_time_order_validated_columnwise(self):
+        with pytest.raises(ValueError):
+            JobTable(
+                job_id=np.array([0]),
+                user=np.array(["u"], dtype=object),
+                field=np.array(["f"], dtype=object),
+                partition=np.array(["p"], dtype=object),
+                submit=np.array([100.0]),
+                start=np.array([50.0]),
+                end=np.array([60.0]),
+                cores=np.array([1]),
+                gpus=np.array([0]),
+                state=np.array(["COMPLETED"], dtype=object),
+            )
+
+    def test_concat(self):
+        t = self.make_table()
+        other = JobTable.from_records([rec(10)])
+        merged = t.concat(other)
+        assert len(merged) == 5
+
+    def test_concat_duplicate_ids_rejected(self):
+        t = self.make_table()
+        with pytest.raises(ValueError):
+            t.concat(t)
+
+    def test_contiguous_numeric_columns(self):
+        """Numeric columns must be contiguous for fast aggregation."""
+        t = self.make_table()
+        for col in (t.submit, t.start, t.end, t.cores, t.gpus, t.job_id):
+            assert col.flags["C_CONTIGUOUS"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_roundtrip_from_records(n, seed):
+    rng = np.random.default_rng(seed)
+    records = []
+    for i in range(n):
+        submit = float(rng.uniform(0, 1e6))
+        start = submit + float(rng.uniform(0, 1e4))
+        end = start + float(rng.uniform(1, 1e5))
+        records.append(
+            rec(
+                i,
+                submit=submit,
+                start=start,
+                end=end,
+                cores=int(rng.integers(1, 512)),
+                gpus=int(rng.integers(0, 8)),
+            )
+        )
+    table = JobTable.from_records(records)
+    assert len(table) == n
+    for i in (0, n - 1):
+        back = table.record(i)
+        assert back == records[i]
+    assert (table.wait >= 0).all()
+    assert (table.runtime >= 0).all()

@@ -1,0 +1,88 @@
+"""Tests for what-if capacity replays."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    WorkloadModel,
+    WorkloadParams,
+    compare_what_if,
+    scaled_partition,
+)
+from repro.cluster.partitions import ClusterConfig, DEFAULT_CLUSTER, Partition
+
+
+class TestScaledPartition:
+    def test_scales_nodes_only(self):
+        doubled = scaled_partition(DEFAULT_CLUSTER, "gpu", 2.0)
+        assert doubled["gpu"].nodes == 2 * DEFAULT_CLUSTER["gpu"].nodes
+        assert doubled["gpu"].cores_per_node == DEFAULT_CLUSTER["gpu"].cores_per_node
+        assert doubled["cpu"].nodes == DEFAULT_CLUSTER["cpu"].nodes
+        assert "gpux2" in doubled.name
+
+    def test_rounds_to_at_least_one_node(self):
+        tiny = scaled_partition(DEFAULT_CLUSTER, "bigmem", 0.01)
+        assert tiny["bigmem"].nodes == 1
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            scaled_partition(DEFAULT_CLUSTER, "quantum", 2.0)
+        with pytest.raises(ValueError):
+            scaled_partition(DEFAULT_CLUSTER, "gpu", 0.0)
+
+
+@pytest.fixture(scope="module")
+def contended_jobs():
+    # Push the GPU partition hard so capacity changes matter.
+    params = WorkloadParams(
+        months=2, jobs_per_day=300, gpu_base_scale=3.5, gpu_growth_per_month=0.0
+    )
+    return WorkloadModel(params).generate(np.random.default_rng(3))
+
+
+class TestCompareWhatIf:
+    def test_doubling_gpu_reduces_gpu_waits(self, contended_jobs):
+        outcomes = compare_what_if(
+            contended_jobs,
+            {
+                "baseline": DEFAULT_CLUSTER,
+                "gpu x2": scaled_partition(DEFAULT_CLUSTER, "gpu", 2.0),
+            },
+        )
+        base = outcomes["baseline"]
+        doubled = outcomes["gpu x2"]
+        assert base.gpu_mean_wait_h > 0.05  # contention exists
+        assert doubled.gpu_mean_wait_h < base.gpu_mean_wait_h * 0.5
+
+    def test_scaling_cpu_leaves_gpu_waits_alone(self, contended_jobs):
+        outcomes = compare_what_if(
+            contended_jobs,
+            {
+                "baseline": DEFAULT_CLUSTER,
+                "cpu x2": scaled_partition(DEFAULT_CLUSTER, "cpu", 2.0),
+            },
+        )
+        assert outcomes["cpu x2"].gpu_mean_wait_h == pytest.approx(
+            outcomes["baseline"].gpu_mean_wait_h, rel=1e-6
+        )
+
+    def test_same_seed_same_outcome(self, contended_jobs):
+        a = compare_what_if(contended_jobs, {"b": DEFAULT_CLUSTER}, seed=1)
+        b = compare_what_if(contended_jobs, {"b": DEFAULT_CLUSTER}, seed=1)
+        assert a["b"] == b["b"]
+
+    def test_no_scenarios_rejected(self, contended_jobs):
+        with pytest.raises(ValueError):
+            compare_what_if(contended_jobs, {})
+
+    def test_scenario_without_gpu_jobs_gives_nan(self):
+        params = WorkloadParams(months=1, jobs_per_day=20)
+        jobs = [
+            j
+            for j in WorkloadModel(params).generate(np.random.default_rng(0))
+            if j.partition != "gpu"
+        ]
+        outcomes = compare_what_if(jobs, {"s": DEFAULT_CLUSTER})
+        assert math.isnan(outcomes["s"].gpu_mean_wait_h)

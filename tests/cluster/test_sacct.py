@@ -1,0 +1,125 @@
+"""Tests for sacct-format I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import JobRecord, JobState, JobTable, parse_sacct, write_sacct
+from repro.cluster.sacct import SacctFormatError
+
+
+def make_table():
+    return JobTable.from_records(
+        [
+            JobRecord(0, "astro001", "astrophysics", "cpu", 0.0, 10.0, 3610.0, 128, 0, JobState.COMPLETED),
+            JobRecord(1, "neur003", "neuroscience", "gpu", 5.0, 500.0, 7700.0, 16, 2, JobState.FAILED),
+            JobRecord(2, "bio0012", "biology", "serial", 9.0, 9.0, 100.0, 1, 0, JobState.CANCELLED),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        table = make_table()
+        buf = io.StringIO()
+        write_sacct(table, buf)
+        parsed = parse_sacct(buf.getvalue())
+        assert len(parsed) == 3
+        for i in range(3):
+            assert parsed.record(i) == table.record(i)
+
+    def test_file_round_trip(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "jobs.sacct"
+        write_sacct(table, path)
+        parsed = parse_sacct(path)
+        assert [r for r in parsed] == [r for r in table]
+
+    def test_gpu_tres_round_trip(self):
+        buf = io.StringIO()
+        write_sacct(make_table(), buf)
+        text = buf.getvalue()
+        assert "gres/gpu=2" in text
+        parsed = parse_sacct(text)
+        assert parsed.record(1).gpus == 2
+
+    def test_empty_table(self):
+        buf = io.StringIO()
+        write_sacct(JobTable.empty(), buf)
+        parsed = parse_sacct(buf.getvalue())
+        assert len(parsed) == 0
+
+    def test_large_round_trip(self):
+        rng = np.random.default_rng(0)
+        records = []
+        for i in range(500):
+            submit = float(rng.uniform(0, 1e6))
+            start = submit + float(rng.uniform(0, 1e3))
+            records.append(
+                JobRecord(
+                    i, f"u{i%17}", "physics", "cpu", submit, start,
+                    start + float(rng.uniform(60, 1e4)),
+                    int(rng.integers(1, 100)), int(rng.integers(0, 4)),
+                    JobState.COMPLETED,
+                )
+            )
+        table = JobTable.from_records(records)
+        parsed = parse_sacct_roundtrip(table)
+        assert len(parsed) == 500
+        np.testing.assert_allclose(parsed.cores, table.cores)
+        np.testing.assert_allclose(parsed.submit, table.submit, atol=1e-3)
+
+
+def parse_sacct_roundtrip(table):
+    buf = io.StringIO()
+    write_sacct(table, buf)
+    return parse_sacct(buf.getvalue())
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(SacctFormatError):
+            parse_sacct(io.StringIO(""))
+
+    def test_bad_header(self):
+        with pytest.raises(SacctFormatError):
+            parse_sacct("NotAHeader|x\n1|2\n")
+
+    def test_wrong_field_count(self):
+        text = "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n1|2|3\n"
+        with pytest.raises(SacctFormatError):
+            parse_sacct(text)
+
+    def test_bad_state(self):
+        text = (
+            "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n"
+            "1|u|f|cpu|0.0|1.0|2.0|4|cpu=4|100|EXPLODED\n"
+        )
+        with pytest.raises(SacctFormatError):
+            parse_sacct(text)
+
+    def test_bad_gpu_value(self):
+        text = (
+            "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n"
+            "1|u|f|gpu|0.0|1.0|2.0|4|cpu=4,gres/gpu=two|100|COMPLETED\n"
+        )
+        with pytest.raises(SacctFormatError):
+            parse_sacct(text)
+
+    def test_bad_times_surface_line_number(self):
+        text = (
+            "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n"
+            "1|u|f|cpu|5.0|1.0|2.0|4|cpu=4|100|COMPLETED\n"
+        )
+        with pytest.raises(SacctFormatError, match="line 2"):
+            parse_sacct(text)
+
+    def test_blank_lines_skipped(self):
+        text = (
+            "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n"
+            "\n"
+            "1|u|f|cpu|0.0|1.0|2.0|4|cpu=4|100|COMPLETED\n"
+            "\n"
+        )
+        assert len(parse_sacct(text)) == 1

@@ -1,0 +1,126 @@
+"""Property-based scheduler invariants over random small workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    ClusterConfig,
+    Partition,
+    SubmittedJob,
+    simulate_schedule,
+)
+
+TINY = ClusterConfig(
+    "tiny",
+    (
+        Partition("cpu", nodes=2, cores_per_node=8),
+        Partition("gpu", nodes=1, cores_per_node=8, gpus_per_node=2),
+        Partition("serial", nodes=1, cores_per_node=4),
+    ),
+)
+
+_PART_LIMITS = {"cpu": (16, 0), "gpu": (8, 2), "serial": (4, 0)}
+
+
+@st.composite
+def job_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    jobs = []
+    for i in range(n):
+        partition = draw(st.sampled_from(list(_PART_LIMITS)))
+        max_cores, max_gpus = _PART_LIMITS[partition]
+        cores = draw(st.integers(min_value=1, max_value=max_cores))
+        gpus = draw(st.integers(min_value=0, max_value=max_gpus))
+        runtime = draw(st.floats(min_value=1.0, max_value=5000.0))
+        submit = draw(st.floats(min_value=0.0, max_value=20000.0))
+        walltime_pad = draw(st.floats(min_value=1.0, max_value=3.0))
+        jobs.append(
+            SubmittedJob(
+                job_id=i,
+                user=f"u{i % 4}",
+                field="physics",
+                partition=partition,
+                submit=submit,
+                cores=cores,
+                gpus=gpus,
+                runtime=runtime,
+                requested_walltime=runtime * walltime_pad,
+            )
+        )
+    return jobs
+
+
+def _capacity_never_exceeded(table, cluster):
+    for pname in table.partitions():
+        part = table.by_partition(pname)
+        cap = cluster[pname].total_cores
+        gcap = cluster[pname].total_gpus
+        times = np.concatenate([part.start, part.end])
+        deltas = np.concatenate([part.cores, -part.cores]).astype(float)
+        gdeltas = np.concatenate([part.gpus, -part.gpus]).astype(float)
+        # Releases sort before starts at the same instant (the simulator
+        # frees completed jobs before starting new ones at an event time).
+        order = np.lexsort((deltas, times))
+        assert np.cumsum(deltas[order]).max() <= cap + 1e-6
+        if gcap or gdeltas.any():
+            assert np.cumsum(gdeltas[order]).max() <= gcap + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(jobs=job_lists(), backfill=st.booleans(), node_granular=st.booleans())
+def test_property_scheduler_invariants(jobs, backfill, node_granular):
+    """All jobs complete, waits are non-negative, capacity is conserved —
+    for every combination of backfill and allocation model."""
+    result = simulate_schedule(
+        jobs,
+        TINY,
+        rng=np.random.default_rng(0),
+        backfill=backfill,
+        node_granular=node_granular,
+        failure_rate=0.0,
+        cancel_rate=0.0,
+        timeout_rate=0.0,
+    )
+    table = result.table
+    assert len(table) == len(jobs)
+    assert (table.wait >= -1e-9).all()
+    assert (table.runtime > 0).all()
+    _capacity_never_exceeded(table, TINY)
+
+
+@settings(max_examples=25, deadline=None)
+@given(jobs=job_lists(), priority=st.sampled_from(["fifo", "fairshare"]))
+def test_property_priority_modes_complete(jobs, priority):
+    result = simulate_schedule(
+        jobs,
+        TINY,
+        rng=np.random.default_rng(1),
+        priority=priority,
+        failure_rate=0.0,
+        cancel_rate=0.0,
+        timeout_rate=0.0,
+    )
+    assert sorted(result.table.job_id.tolist()) == sorted(j.job_id for j in jobs)
+    _capacity_never_exceeded(result.table, TINY)
+
+
+@settings(max_examples=20, deadline=None)
+@given(jobs=job_lists())
+def test_property_no_backfill_is_fifo_per_partition(jobs):
+    """Without backfill, start order within a partition never inverts
+    submission order by more than ties allow."""
+    result = simulate_schedule(
+        jobs,
+        TINY,
+        rng=np.random.default_rng(2),
+        backfill=False,
+        failure_rate=0.0,
+        cancel_rate=0.0,
+        timeout_rate=0.0,
+    )
+    for pname in result.table.partitions():
+        part = result.table.by_partition(pname)
+        order_by_submit = np.lexsort((part.job_id, part.submit))
+        starts_in_submit_order = part.start[order_by_submit]
+        assert (np.diff(starts_in_submit_order) >= -1e-9).all()

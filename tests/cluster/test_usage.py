@@ -1,0 +1,219 @@
+"""Tests for usage aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    MONTH_SECONDS,
+    JobRecord,
+    JobState,
+    JobTable,
+    cpu_hours_by_field_month,
+    gpu_hours_monthly,
+    job_width_distribution,
+    monthly_growth_rate,
+    runtime_distribution_by_field,
+    user_concentration,
+    utilization_by_partition,
+    wait_stats_by_partition,
+)
+from repro.cluster.partitions import ClusterConfig, Partition
+from repro.cluster.usage import width_class
+
+
+def rec(i, field="physics", user="u0", partition="cpu", month=0, cores=10,
+        gpus=0, runtime_h=1.0, wait=0.0):
+    submit = month * MONTH_SECONDS + 1000.0
+    start = submit + wait
+    return JobRecord(
+        job_id=i, user=user, field=field, partition=partition,
+        submit=submit, start=start, end=start + runtime_h * 3600.0,
+        cores=cores, gpus=gpus, state=JobState.COMPLETED,
+    )
+
+
+class TestCpuHoursByFieldMonth:
+    def test_basic_attribution(self):
+        table = JobTable.from_records(
+            [
+                rec(0, field="physics", month=0, cores=10, runtime_h=2.0),
+                rec(1, field="physics", month=1, cores=5, runtime_h=1.0),
+                rec(2, field="biology", month=0, cores=2, runtime_h=3.0),
+            ]
+        )
+        result = cpu_hours_by_field_month(table)
+        assert result["physics"].tolist() == pytest.approx([20.0, 5.0])
+        assert result["biology"].tolist() == pytest.approx([6.0, 0.0])
+
+    def test_empty_table(self):
+        assert cpu_hours_by_field_month(JobTable.empty()) == {}
+
+    def test_arrays_cover_same_months(self):
+        table = JobTable.from_records([rec(0, month=0), rec(1, month=5)])
+        result = cpu_hours_by_field_month(table)
+        assert all(len(v) == 6 for v in result.values())
+
+
+class TestGpuHoursMonthly:
+    def test_attribution(self):
+        table = JobTable.from_records(
+            [
+                rec(0, partition="gpu", month=0, gpus=2, runtime_h=10.0),
+                rec(1, partition="gpu", month=2, gpus=4, runtime_h=1.0),
+            ]
+        )
+        series = gpu_hours_monthly(table)
+        assert series.tolist() == pytest.approx([20.0, 0.0, 4.0])
+
+    def test_empty(self):
+        assert gpu_hours_monthly(JobTable.empty()).size == 0
+
+
+class TestMonthlyGrowthRate:
+    def test_exact_exponential(self):
+        series = 100.0 * 1.05 ** np.arange(12)
+        assert monthly_growth_rate(series) == pytest.approx(0.05, abs=1e-9)
+
+    def test_flat_series(self):
+        assert monthly_growth_rate(np.full(10, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_months_excluded(self):
+        series = np.array([0.0, 100.0, 110.0, 0.0, 133.1])
+        rate = monthly_growth_rate(series)
+        assert rate > 0.0
+
+    def test_insufficient_data(self):
+        with pytest.raises(ValueError):
+            monthly_growth_rate(np.array([0.0, 5.0]))
+
+
+class TestWidthDistribution:
+    def test_width_class_labels(self):
+        assert width_class(1) == "1"
+        assert width_class(8) == "2-8"
+        assert width_class(64) == "9-64"
+        assert width_class(512) == "65-512"
+        assert width_class(4096) == ">512"
+        with pytest.raises(ValueError):
+            width_class(0)
+
+    def test_cdf_and_weighted_share(self):
+        table = JobTable.from_records(
+            [
+                rec(0, cores=1, runtime_h=1.0),   # 1 cpu-h
+                rec(1, cores=1, runtime_h=1.0),   # 1 cpu-h
+                rec(2, cores=512, runtime_h=1.0),  # 512 cpu-h
+            ]
+        )
+        dist = job_width_distribution(table)
+        assert dist.cdf[-1] == pytest.approx(1.0)
+        # Most *jobs* are width 1, but most *cycles* go to the wide job.
+        assert dist.weighted_share["1"] == pytest.approx(2.0 / 514.0)
+        assert dist.weighted_share["65-512"] == pytest.approx(512.0 / 514.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            job_width_distribution(JobTable.empty())
+
+
+class TestWaitStats:
+    def test_per_partition_medians(self):
+        table = JobTable.from_records(
+            [
+                rec(0, partition="cpu", wait=3600.0),
+                rec(1, partition="cpu", wait=7200.0),
+                rec(2, partition="gpu", gpus=1, wait=0.0),
+            ]
+        )
+        stats = wait_stats_by_partition(table)
+        assert stats["cpu"]["median_h"] == pytest.approx(1.5)
+        assert stats["gpu"]["median_h"] == 0.0
+        assert stats["cpu"]["n"] == 2
+
+    def test_width_class_breakdown_present(self):
+        table = JobTable.from_records(
+            [rec(0, cores=1, wait=100.0), rec(1, cores=256, wait=7200.0)]
+        )
+        stats = wait_stats_by_partition(table)["cpu"]
+        assert "median_h[1]" in stats
+        assert "median_h[65-512]" in stats
+        assert stats["median_h[65-512]"] > stats["median_h[1]"]
+
+
+class TestRuntimeDistribution:
+    def test_histograms_share_bins(self):
+        table = JobTable.from_records(
+            [rec(0, field="physics"), rec(1, field="biology", runtime_h=10.0)]
+        )
+        result = runtime_distribution_by_field(table)
+        bins = result.pop("__bins__")
+        for counts in result.values():
+            assert counts.sum() == 1
+            assert counts.size == bins.size - 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            runtime_distribution_by_field(JobTable.empty())
+
+
+class TestUtilization:
+    CLUSTER = ClusterConfig("t", (Partition("cpu", nodes=1, cores_per_node=10),))
+
+    def test_exact_utilization(self):
+        # One job using all 10 cores for half of a 2-hour window.
+        table = JobTable.from_records([
+            JobRecord(0, "u", "f", "cpu", 0.0, 0.0, 3600.0, 10, 0, JobState.COMPLETED)
+        ])
+        util = utilization_by_partition(table, self.CLUSTER, 7200.0)
+        assert util["cpu"] == pytest.approx(0.5)
+
+    def test_overhanging_job_clipped(self):
+        table = JobTable.from_records([
+            JobRecord(0, "u", "f", "cpu", 0.0, 0.0, 1e6, 10, 0, JobState.COMPLETED)
+        ])
+        util = utilization_by_partition(table, self.CLUSTER, 3600.0)
+        assert util["cpu"] == pytest.approx(1.0)
+
+    def test_empty_partition_zero(self):
+        util = utilization_by_partition(JobTable.empty(), self.CLUSTER, 3600.0)
+        assert util["cpu"] == 0.0
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            utilization_by_partition(JobTable.empty(), self.CLUSTER, 0.0)
+
+
+class TestUserConcentration:
+    def test_equal_users_low_gini(self):
+        table = JobTable.from_records(
+            [rec(i, user=f"u{i}", cores=10, runtime_h=1.0) for i in range(20)]
+        )
+        result = user_concentration(table)
+        assert result["gini"] == pytest.approx(0.0, abs=1e-9)
+        assert result["n_users"] == 20
+
+    def test_dominant_user_high_gini(self):
+        records = [rec(0, user="whale", cores=500, runtime_h=100.0)]
+        records += [rec(i, user=f"u{i}", cores=1, runtime_h=0.1) for i in range(1, 30)]
+        result = user_concentration(JobTable.from_records(records))
+        assert result["gini"] > 0.9
+        assert result["top10_share"] > 0.95
+
+    def test_gpu_resource(self):
+        table = JobTable.from_records(
+            [rec(0, user="a", gpus=2, runtime_h=1.0), rec(1, user="b", gpus=2, runtime_h=1.0)]
+        )
+        result = user_concentration(table, resource="gpu")
+        assert result["n_users"] == 2
+
+    def test_unknown_resource(self):
+        with pytest.raises(ValueError):
+            user_concentration(JobTable.from_records([rec(0)]), resource="ram")
+
+    def test_no_gpu_consumption(self):
+        with pytest.raises(ValueError):
+            user_concentration(JobTable.from_records([rec(0)]), resource="gpu")
+
+    def test_empty_table(self):
+        with pytest.raises(ValueError):
+            user_concentration(JobTable.empty())

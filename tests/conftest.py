@@ -1,0 +1,13 @@
+"""Shared fixtures: one small study reused across analysis/report tests."""
+
+import pytest
+
+from repro.core import build_default_study
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A compact but fully-featured study (both cohorts + telemetry)."""
+    return build_default_study(
+        seed=20240101, n_baseline=150, n_current=180, months=4, jobs_per_day=150
+    )

@@ -1,0 +1,66 @@
+"""Tests for the canonical instrument."""
+
+import pytest
+
+from repro.core import build_instrument
+from repro.core.instrument import LANGUAGES, ML_FRAMEWORKS, PARALLEL_MODES
+from repro.survey import MultiChoiceQuestion, SingleChoiceQuestion
+from repro.survey.codebook import build_codebook
+
+
+class TestBuildInstrument:
+    def test_constructs(self):
+        q = build_instrument()
+        assert len(q) == 26
+
+    def test_fresh_object_each_call(self):
+        assert build_instrument() is not build_instrument()
+
+    def test_core_items_present(self):
+        q = build_instrument()
+        for key in (
+            "field",
+            "languages",
+            "uses_parallelism",
+            "uses_gpu",
+            "uses_ml",
+            "vcs",
+            "data_scale",
+            "stack_description",
+        ):
+            assert key in q
+
+    def test_option_constants_wired(self):
+        q = build_instrument()
+        assert q["languages"].options == LANGUAGES
+        assert q["parallel_modes"].options == PARALLEL_MODES
+        assert q["ml_frameworks"].options == ML_FRAMEWORKS
+
+    def test_skip_logic_gates(self):
+        q = build_instrument()
+        shown = q.applicable_keys({"uses_parallelism": "no", "uses_cluster": "no", "uses_ml": "no"})
+        assert "parallel_modes" not in shown
+        assert "scheduler" not in shown
+        assert "ml_frameworks" not in shown
+
+    def test_all_questions_in_sections(self):
+        q = build_instrument()
+        in_sections = {k for s in q.sections for k in s.question_keys}
+        assert in_sections == set(q.keys)
+
+    def test_languages_require_at_least_one(self):
+        q = build_instrument()
+        lang = q["languages"]
+        assert isinstance(lang, MultiChoiceQuestion)
+        assert lang.min_selected == 1
+
+    def test_scheduler_allows_writein(self):
+        q = build_instrument()
+        sched = q["scheduler"]
+        assert isinstance(sched, SingleChoiceQuestion)
+        assert sched.allow_other
+
+    def test_codebook_builds(self):
+        cb = build_codebook(build_instrument())
+        assert len(cb) == 26
+        assert "gated_by" not in cb["field"].render()

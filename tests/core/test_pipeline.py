@@ -1,0 +1,132 @@
+"""Tests for the caching pipeline."""
+
+import pytest
+
+from repro.core import ArtifactCache, Pipeline, PipelineStep
+from repro.core.pipeline import PipelineError
+
+
+def counting_step(name, calls, value=1, params=None, depends_on=()):
+    def fn(context, **kw):
+        calls.append(name)
+        upstream = sum(context[d] for d in depends_on)
+        return value + upstream + sum(kw.values())
+
+    return PipelineStep(name=name, fn=fn, params=params or {}, depends_on=depends_on)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        calls = []
+        with pytest.raises(PipelineError):
+            Pipeline([counting_step("a", calls), counting_step("a", calls)])
+
+    def test_forward_dependency_rejected(self):
+        calls = []
+        with pytest.raises(PipelineError):
+            Pipeline(
+                [
+                    counting_step("a", calls, depends_on=("b",)),
+                    counting_step("b", calls),
+                ]
+            )
+
+
+class TestExecution:
+    def test_values_flow(self):
+        calls = []
+        p = Pipeline(
+            [
+                counting_step("gen", calls, value=10),
+                counting_step("analyze", calls, value=1, depends_on=("gen",)),
+            ]
+        )
+        out = p.run()
+        assert out["gen"] == 10
+        assert out["analyze"] == 11
+
+    def test_cache_prevents_recompute(self):
+        calls = []
+        cache = ArtifactCache()
+        steps = [counting_step("gen", calls, value=5)]
+        Pipeline(steps, cache).run()
+        Pipeline(steps, cache).run()
+        assert calls == ["gen"]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_force_bypasses_cache(self):
+        calls = []
+        cache = ArtifactCache()
+        steps = [counting_step("gen", calls)]
+        Pipeline(steps, cache).run()
+        Pipeline(steps, cache).run(force=True)
+        assert calls == ["gen", "gen"]
+
+    def test_param_change_invalidates(self):
+        calls = []
+        cache = ArtifactCache()
+        Pipeline([counting_step("gen", calls, params={"seed": 1})], cache).run()
+        Pipeline([counting_step("gen", calls, params={"seed": 2})], cache).run()
+        assert calls == ["gen", "gen"]
+
+    def test_upstream_change_invalidates_downstream(self):
+        calls = []
+        cache = ArtifactCache()
+
+        def build(seed):
+            return [
+                counting_step("gen", calls, params={"seed": seed}),
+                counting_step("analyze", calls, depends_on=("gen",)),
+            ]
+
+        Pipeline(build(1), cache).run()
+        Pipeline(build(2), cache).run()
+        assert calls.count("analyze") == 2
+
+    def test_downstream_change_keeps_upstream_cached(self):
+        calls = []
+        cache = ArtifactCache()
+
+        def build(k):
+            return [
+                counting_step("gen", calls),
+                counting_step("analyze", calls, params={"k": k}, depends_on=("gen",)),
+            ]
+
+        Pipeline(build(1), cache).run()
+        Pipeline(build(2), cache).run()
+        assert calls.count("gen") == 1
+        assert calls.count("analyze") == 2
+
+    def test_none_result_rejected(self):
+        step = PipelineStep(name="bad", fn=lambda context: None)
+        with pytest.raises(PipelineError):
+            Pipeline([step]).run()
+
+
+class TestDiskCache:
+    def test_persists_across_instances(self, tmp_path):
+        calls = []
+        steps = [counting_step("gen", calls, value=3)]
+        Pipeline(steps, ArtifactCache(tmp_path)).run()
+        out = Pipeline(steps, ArtifactCache(tmp_path)).run()
+        assert out["gen"] == 3
+        assert calls == ["gen"]
+
+    def test_clear(self, tmp_path):
+        calls = []
+        steps = [counting_step("gen", calls)]
+        cache = ArtifactCache(tmp_path)
+        Pipeline(steps, cache).run()
+        cache.clear()
+        Pipeline(steps, cache).run()
+        assert calls == ["gen", "gen"]
+
+    def test_get_miss_returns_none(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("nope") is None
+        assert cache.misses == 1

@@ -1,0 +1,71 @@
+"""Tests for Study and the default study builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import Study, StudyError, build_default_study, build_instrument
+from repro.core.calibration import profile_2024
+from repro.cluster import JobTable
+from repro.cluster.partitions import DEFAULT_CLUSTER
+from repro.synth import generate_cohort
+
+
+@pytest.fixture(scope="module")
+def small_study():
+    # Small window keeps the suite fast while exercising every component.
+    return build_default_study(seed=5, n_baseline=60, n_current=80, months=2, jobs_per_day=120)
+
+
+class TestBuildDefaultStudy:
+    def test_components_present(self, small_study):
+        assert len(small_study.baseline) == 60
+        assert len(small_study.current) == 80
+        assert len(small_study.telemetry) > 1000
+        assert small_study.window_seconds == pytest.approx(2 * 30 * 86400)
+
+    def test_deterministic(self):
+        a = build_default_study(seed=9, n_baseline=20, n_current=20, months=1, jobs_per_day=50)
+        b = build_default_study(seed=9, n_baseline=20, n_current=20, months=1, jobs_per_day=50)
+        assert [dict(r.answers) for r in a.responses] == [
+            dict(r.answers) for r in b.responses
+        ]
+        assert a.telemetry.start.tolist() == b.telemetry.start.tolist()
+
+    def test_seed_changes_data(self):
+        a = build_default_study(seed=1, n_baseline=20, n_current=20, months=1, jobs_per_day=50)
+        b = build_default_study(seed=2, n_baseline=20, n_current=20, months=1, jobs_per_day=50)
+        assert a.telemetry.start.tolist() != b.telemetry.start.tolist()
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(StudyError):
+            build_default_study(n_baseline=0)
+
+    def test_validation_report_ok(self, small_study):
+        assert small_study.validation_report().ok
+
+    def test_telemetry_fields_overlap_survey_fields(self, small_study):
+        survey_fields = {r.get("field") for r in small_study.responses}
+        telemetry_fields = set(small_study.telemetry.fields())
+        assert telemetry_fields <= survey_fields | {None}
+
+
+class TestStudyValidation:
+    def test_missing_cohort_rejected(self):
+        q = build_instrument()
+        only_2024 = generate_cohort(profile_2024(), q, 10, np.random.default_rng(0))
+        with pytest.raises(StudyError):
+            Study(
+                responses=only_2024,
+                telemetry=JobTable.empty(),
+                cluster=DEFAULT_CLUSTER,
+                window_seconds=100.0,
+            )
+
+    def test_bad_window_rejected(self, small_study):
+        with pytest.raises(StudyError):
+            Study(
+                responses=small_study.responses,
+                telemetry=small_study.telemetry,
+                cluster=small_study.cluster,
+                window_seconds=0.0,
+            )

@@ -1,0 +1,81 @@
+"""Tests for the cached study pipeline and the robustness harness."""
+
+import pytest
+
+from repro.analysis import HEADLINE_CLAIMS, headline_robustness
+from repro.core import ArtifactCache, Study, run_cached_study, study_pipeline
+
+FAST = dict(
+    seed=9, n_baseline=25, n_current=30, months=1, jobs_per_day=40
+)
+
+
+class TestStudyPipeline:
+    def test_produces_a_study(self):
+        study = run_cached_study(**FAST)
+        assert isinstance(study, Study)
+        assert len(study.baseline) == 25
+        assert len(study.telemetry) > 100
+
+    def test_matches_reruns(self):
+        cache = ArtifactCache()
+        a = study_pipeline(cache=cache, **FAST).run()["study"]
+        b = study_pipeline(cache=cache, **FAST).run()["study"]
+        assert a.telemetry.start.tolist() == b.telemetry.start.tolist()
+        assert cache.hits >= 4  # second run fully cached
+
+    def test_survey_change_keeps_schedule_cached(self):
+        cache = ArtifactCache()
+        study_pipeline(cache=cache, **FAST).run()
+        hits_before = cache.hits
+        params = dict(FAST, n_current=35)
+        study_pipeline(cache=cache, **params).run()
+        # workload + schedule cached; survey + study recomputed.
+        assert cache.hits == hits_before + 2
+
+    def test_backfill_change_keeps_survey_and_workload_cached(self):
+        cache = ArtifactCache()
+        study_pipeline(cache=cache, **FAST).run()
+        hits_before = cache.hits
+        study_pipeline(cache=cache, backfill=False, **FAST).run()
+        assert cache.hits == hits_before + 2  # survey + workload cached
+
+    def test_months_change_reruns_schedule(self):
+        cache = ArtifactCache()
+        study_pipeline(cache=cache, **FAST).run()
+        hits_before = cache.hits
+        params = dict(FAST, months=2)
+        study_pipeline(cache=cache, **params).run()
+        assert cache.hits == hits_before + 1  # only survey cached
+
+
+class TestHeadlineRobustness:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return headline_robustness(
+            seeds=[1, 2, 3], n_baseline=100, n_current=120
+        )
+
+    def test_all_claims_scored(self, results):
+        assert len(results) == len(HEADLINE_CLAIMS)
+        for r in results:
+            assert r.n_seeds == 3
+            assert 0 <= r.direction_held <= 3
+            assert r.significant <= r.direction_held
+
+    def test_strong_claims_always_hold(self, results):
+        by_claim = {r.claim: r for r in results}
+        for claim in ("python use rises", "GPU use rises", "ML use rises",
+                      "git becomes default"):
+            assert by_claim[claim].direction_rate == 1.0, claim
+            assert by_claim[claim].significance_rate == 1.0, claim
+
+    def test_directions_match_mean_deltas(self, results):
+        by_claim = {r.claim: r for r in results}
+        assert by_claim["python use rises"].mean_delta > 0.3
+        assert by_claim["matlab use falls"].mean_delta < 0.0
+        assert by_claim["fortran use falls"].mean_delta < 0.0
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            headline_robustness(seeds=[])

@@ -1,0 +1,71 @@
+"""Property tests: structural invariants of the trend engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TrendEngine, build_instrument
+from repro.survey import Response, ResponseSet
+
+
+def make_responses(flags_2011, flags_2024):
+    """Binary uses_gpu answers from two lists of booleans."""
+    q = build_instrument()
+    responses = []
+    i = 0
+    for cohort, flags in (("2011", flags_2011), ("2024", flags_2024)):
+        for flag in flags:
+            responses.append(
+                Response(f"r{i}", cohort, {"uses_gpu": "yes" if flag else "no"})
+            )
+            i += 1
+    return ResponseSet(q, responses)
+
+
+FLAGS = st.lists(st.booleans(), min_size=2, max_size=60)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=FLAGS, b=FLAGS)
+def test_property_delta_matches_proportions(a, b):
+    engine = TrendEngine(make_responses(a, b))
+    row = engine.yes_no_trend("uses_gpu")
+    p_a = sum(a) / len(a)
+    p_b = sum(b) / len(b)
+    assert row.baseline.estimate == pytest.approx(p_a)
+    assert row.current.estimate == pytest.approx(p_b)
+    assert row.delta == pytest.approx(p_b - p_a)
+    assert row.n_baseline == len(a) and row.n_current == len(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=FLAGS, b=FLAGS)
+def test_property_estimates_inside_intervals(a, b):
+    row = TrendEngine(make_responses(a, b)).yes_no_trend("uses_gpu")
+    assert row.baseline.low <= row.baseline.estimate <= row.baseline.high
+    assert row.current.low <= row.current.estimate <= row.current.high
+    assert 0.0 <= row.p_value <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=FLAGS, b=FLAGS)
+def test_property_swapping_cohorts_negates_delta(a, b):
+    rs = make_responses(a, b)
+    forward = TrendEngine(rs, "2011", "2024").yes_no_trend("uses_gpu")
+    backward = TrendEngine(rs, "2024", "2011").yes_no_trend("uses_gpu")
+    assert forward.delta == pytest.approx(-backward.delta)
+    assert forward.p_value == pytest.approx(backward.p_value)
+    assert forward.effect_h == pytest.approx(-backward.effect_h)
+
+
+@settings(max_examples=25, deadline=None)
+@given(a=FLAGS, b=FLAGS)
+def test_property_response_order_irrelevant(a, b):
+    rs = make_responses(a, b)
+    shuffled = ResponseSet(
+        rs.questionnaire, list(reversed(list(rs.responses)))
+    )
+    row_a = TrendEngine(rs).yes_no_trend("uses_gpu")
+    row_b = TrendEngine(shuffled).yes_no_trend("uses_gpu")
+    assert row_a.delta == pytest.approx(row_b.delta)
+    assert row_a.p_value == pytest.approx(row_b.p_value)

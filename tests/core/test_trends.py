@@ -1,0 +1,140 @@
+"""Tests for the trend engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrendEngine, build_instrument, profile_2011, profile_2024
+from repro.survey import Response, ResponseSet
+from repro.synth import generate_study
+
+
+@pytest.fixture(scope="module")
+def responses():
+    return generate_study(
+        {"2011": (profile_2011(), 250), "2024": (profile_2024(), 250)},
+        build_instrument(),
+        seed=17,
+    )
+
+
+@pytest.fixture(scope="module")
+def engine(responses):
+    return TrendEngine(responses)
+
+
+class TestConstruction:
+    def test_requires_cohorts(self, responses):
+        with pytest.raises(ValueError):
+            TrendEngine(responses, baseline_cohort="1999")
+
+    def test_cohort_split(self, engine):
+        assert len(engine.baseline) == 250
+        assert len(engine.current) == 250
+
+
+class TestYesNoTrend:
+    def test_ml_adoption_rises(self, engine):
+        row = engine.yes_no_trend("uses_ml")
+        assert row.delta > 0.3
+        assert row.significant(0.001)
+        assert row.current.estimate > row.baseline.estimate
+
+    def test_row_structure(self, engine):
+        row = engine.yes_no_trend("uses_gpu")
+        assert row.n_baseline > 0 and row.n_current > 0
+        assert row.baseline.low <= row.baseline.estimate <= row.baseline.high
+        assert row.effect_h != 0.0
+        assert row.adjusted_p is None
+
+    def test_label_override(self, engine):
+        assert engine.yes_no_trend("uses_ml", label="ML").label == "ML"
+
+
+class TestSingleChoiceTrend:
+    def test_git_rises(self, engine):
+        row = engine.single_choice_trend("vcs", "git")
+        assert row.delta > 0.4
+        assert row.significant(1e-6)
+
+    def test_unknown_option_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.single_choice_trend("vcs", "cvs")
+
+    def test_writein_allowed_for_other(self, engine):
+        # scheduler allows write-ins, so arbitrary option labels are legal.
+        row = engine.single_choice_trend("scheduler", "flux")
+        assert row.baseline.estimate == 0.0
+
+    def test_wrong_kind_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.single_choice_trend("languages", "python")
+
+
+class TestMultiChoiceTrend:
+    def test_language_table(self, engine):
+        table = engine.multi_choice_trend("languages")
+        assert len(table) == 11
+        python = table["python"]
+        fortran = table["fortran"]
+        assert python.delta > 0.35
+        assert fortran.delta < 0.0
+
+    def test_unknown_label_lookup(self, engine):
+        table = engine.multi_choice_trend("languages")
+        with pytest.raises(KeyError):
+            table["cobol"]
+
+    def test_wrong_kind_rejected(self, engine):
+        with pytest.raises(TypeError):
+            engine.multi_choice_trend("vcs")
+
+    def test_sorted_by_delta(self, engine):
+        table = engine.multi_choice_trend("languages").sorted_by_delta()
+        deltas = [abs(r.delta) for r in table]
+        assert deltas == sorted(deltas, reverse=True)
+
+
+class TestSingleChoiceTable:
+    def test_vcs_family(self, engine):
+        table = engine.single_choice_table("vcs")
+        assert {r.label for r in table} == {"none", "git", "svn", "mercurial", "other"}
+
+    def test_estimates_sum_to_one_per_cohort(self, engine):
+        table = engine.single_choice_table("training")
+        assert sum(r.baseline.estimate for r in table) == pytest.approx(1.0)
+        assert sum(r.current.estimate for r in table) == pytest.approx(1.0)
+
+
+class TestCorrection:
+    def test_adjusted_p_filled(self, engine):
+        table = engine.multi_choice_trend("languages").corrected("holm")
+        assert all(r.adjusted_p is not None for r in table)
+        assert all(r.adjusted_p >= r.p_value - 1e-12 for r in table)
+        assert table.correction == "holm"
+
+    def test_unknown_method(self, engine):
+        with pytest.raises(ValueError):
+            engine.multi_choice_trend("languages").corrected("xyz")
+
+    def test_significance_uses_adjusted(self, engine):
+        table = engine.multi_choice_trend("languages")
+        raw = table["javascript"]
+        adj = table.corrected("bonferroni")["javascript"]
+        # With 11 comparisons a borderline raw p should weaken.
+        if 0.004 < raw.p_value < 0.05:
+            assert not adj.significant(0.05) or adj.adjusted_p < 0.05
+
+
+class TestDegenerateCohorts:
+    def test_empty_answer_cohort_rejected(self):
+        q = build_instrument()
+        responses = ResponseSet(
+            q,
+            [
+                Response("a", "2011", {"uses_ml": "yes"}),
+                Response("b", "2024", {}),  # never answered uses_ml
+            ],
+        )
+        engine = TrendEngine(responses)
+        with pytest.raises(ValueError):
+            engine.yes_no_trend("uses_ml")

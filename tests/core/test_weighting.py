@@ -1,0 +1,137 @@
+"""Tests for post-stratified trend estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    TrendEngine,
+    WeightedTrendEngine,
+    build_instrument,
+    make_cohort_weights,
+    population_field_shares,
+    profile_2011,
+    profile_2024,
+)
+from repro.survey import Response, ResponseSet
+from repro.synth import generate_study
+
+
+@pytest.fixture(scope="module")
+def responses():
+    return generate_study(
+        {"2011": (profile_2011(), 200), "2024": (profile_2024(), 250)},
+        build_instrument(),
+        seed=31,
+    )
+
+
+TARGETS = {"field": population_field_shares()}
+
+
+class TestMakeCohortWeights:
+    def test_mean_one(self, responses):
+        weights = make_cohort_weights(responses.by_cohort("2024"), TARGETS)
+        assert weights.mean() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_hits_population_margins(self, responses):
+        cohort = responses.by_cohort("2024")
+        weights = make_cohort_weights(cohort, TARGETS)
+        fields = cohort.column("field")
+        targets = population_field_shares()
+        total = weights.sum()
+        for field_name, share in targets.items():
+            mask = np.array([f == field_name for f in fields])
+            if mask.any():
+                achieved = weights[mask].sum() / total
+                assert achieved == pytest.approx(share, abs=0.02)
+
+    def test_missing_margin_respondents_get_unit_weight(self):
+        q = build_instrument()
+        rs = ResponseSet(
+            q,
+            [
+                Response("a", "2024", {"field": "physics"}),
+                Response("b", "2024", {"field": "biology"}),
+                Response("c", "2024", {}),  # no field answer
+            ],
+        )
+        weights = make_cohort_weights(rs, {"field": {"physics": 0.5, "biology": 0.5}})
+        assert weights.shape == (3,)
+        assert weights[2] == pytest.approx(weights.mean() / weights.mean())
+
+    def test_empty_cohort_rejected(self):
+        q = build_instrument()
+        with pytest.raises(ValueError):
+            make_cohort_weights(ResponseSet(q, []), TARGETS)
+
+    def test_no_margins_rejected(self, responses):
+        with pytest.raises(ValueError):
+            make_cohort_weights(responses.by_cohort("2024"), {})
+
+
+class TestWeightedTrendEngine:
+    def test_weighted_close_to_raw_for_balanced_sample(self, responses):
+        # The generator samples fields at population shares, so weighting
+        # should barely move the estimates.
+        raw = TrendEngine(responses).yes_no_trend("uses_gpu")
+        weighted = WeightedTrendEngine(responses, TARGETS).yes_no_trend("uses_gpu")
+        assert weighted.current.estimate == pytest.approx(raw.current.estimate, abs=0.06)
+        assert weighted.baseline.estimate == pytest.approx(raw.baseline.estimate, abs=0.06)
+
+    def test_weighting_corrects_oversampled_field(self):
+        """Oversampling a GPU-heavy field inflates the raw estimate; the
+        weighted estimate must pull it back toward the population value."""
+        q = build_instrument()
+        responses = []
+        i = 0
+        # Population: 50/50 physics/biology. Sample: 80 physics, 20 biology.
+        # Physics all use GPUs; biology none.
+        for field_name, n, gpu in (("physics", 80, "yes"), ("biology", 20, "no")):
+            for _ in range(n):
+                for cohort in ("2011", "2024"):
+                    responses.append(
+                        Response(
+                            f"r{i}", cohort, {"field": field_name, "uses_gpu": gpu}
+                        )
+                    )
+                    i += 1
+        rs = ResponseSet(q, responses)
+        targets = {"field": {"physics": 0.5, "biology": 0.5}}
+        raw = TrendEngine(rs).yes_no_trend("uses_gpu")
+        weighted = WeightedTrendEngine(rs, targets).yes_no_trend("uses_gpu")
+        assert raw.current.estimate == pytest.approx(0.8)
+        assert weighted.current.estimate == pytest.approx(0.5, abs=0.02)
+
+    def test_effective_sample_size_shrinks_trials(self):
+        """Weighted trials (ESS) never exceed raw n."""
+        q = build_instrument()
+        responses = []
+        for i, field_name in enumerate(["physics"] * 90 + ["biology"] * 10):
+            for cohort in ("2011", "2024"):
+                responses.append(
+                    Response(f"r{i}-{cohort}", cohort, {"field": field_name, "uses_gpu": "no"})
+                )
+        rs = ResponseSet(q, responses)
+        weighted = WeightedTrendEngine(
+            rs, {"field": {"physics": 0.5, "biology": 0.5}}
+        ).yes_no_trend("uses_gpu")
+        assert weighted.n_current < 100
+
+    def test_weights_for_lookup(self, responses):
+        engine = WeightedTrendEngine(responses, TARGETS)
+        assert engine.weights_for("2024").shape == (250,)
+        with pytest.raises(KeyError):
+            engine.weights_for("1999")
+
+    def test_multi_choice_weighted(self, responses):
+        engine = WeightedTrendEngine(responses, TARGETS)
+        table = engine.multi_choice_trend("languages")
+        python = table["python"]
+        assert python.delta > 0.35  # the headline survives weighting
+
+    def test_trend_direction_stable_under_weighting(self, responses):
+        raw = TrendEngine(responses).multi_choice_trend("languages")
+        weighted = WeightedTrendEngine(responses, TARGETS).multi_choice_trend("languages")
+        for label in ("python", "matlab", "fortran"):
+            assert np.sign(raw[label].delta) == np.sign(weighted[label].delta)

@@ -1,0 +1,74 @@
+"""Tests for transparent gzip I/O."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.cluster import parse_sacct, write_sacct
+from repro.core import build_instrument, profile_2024
+from repro.io import read_responses_jsonl, write_responses_jsonl
+from repro.synth import generate_cohort
+
+from tests.cluster.test_sacct import make_table
+
+
+class TestSacctGzip:
+    def test_round_trip(self, tmp_path):
+        table = make_table()
+        path = tmp_path / "jobs.sacct.gz"
+        write_sacct(table, path)
+        # Actually compressed on disk.
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        parsed = parse_sacct(path)
+        assert [r for r in parsed] == [r for r in table]
+
+    def test_smaller_than_plain(self, tmp_path):
+        table = make_table()
+        plain = tmp_path / "jobs.sacct"
+        packed = tmp_path / "jobs.sacct.gz"
+        write_sacct(table, plain)
+        write_sacct(table, packed)
+        parsed = parse_sacct(packed)
+        assert len(parsed) == len(table)
+
+
+class TestJsonlGzip:
+    def test_round_trip(self, tmp_path):
+        questionnaire = build_instrument()
+        responses = generate_cohort(
+            profile_2024(), questionnaire, 25, np.random.default_rng(0)
+        )
+        path = tmp_path / "responses.jsonl.gz"
+        write_responses_jsonl(responses, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        parsed = read_responses_jsonl(questionnaire, path)
+        assert len(parsed) == 25
+        assert parsed[0].respondent_id == responses[0].respondent_id
+
+    def test_manual_gzip_readable(self, tmp_path):
+        questionnaire = build_instrument()
+        responses = generate_cohort(
+            profile_2024(), questionnaire, 5, np.random.default_rng(1)
+        )
+        path = tmp_path / "responses.jsonl.gz"
+        write_responses_jsonl(responses, path)
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        assert len(lines) == 5
+
+
+class TestCsvGzip:
+    def test_round_trip(self, tmp_path):
+        from repro.io import read_responses_csv, write_responses_csv
+
+        questionnaire = build_instrument()
+        responses = generate_cohort(
+            profile_2024(), questionnaire, 15, np.random.default_rng(4)
+        )
+        path = tmp_path / "responses.csv.gz"
+        write_responses_csv(responses, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        parsed = read_responses_csv(questionnaire, path)
+        assert len(parsed) == 15

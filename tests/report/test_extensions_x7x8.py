@@ -1,0 +1,79 @@
+"""Tests for X7 (challenge topics) and X8 (waste/failures) experiments."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.report import Table, run_experiment
+
+
+class TestX7:
+    @pytest.fixture(scope="class")
+    def table(self, study):
+        return run_experiment("X7", study)
+
+    def test_structure(self, table, study):
+        assert isinstance(table, Table)
+        assert table.columns[0] == "topic"
+        assert set(table.columns[1:]) == set(study.responses.cohorts)
+        assert len(table.rows) >= 4
+
+    def test_rows_sorted_by_total_prevalence(self, table):
+        def total(row):
+            return sum(int(cell.split(" ")[0]) for cell in row[1:] if cell != "-")
+
+        totals = [total(r) for r in table.rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_coding_coverage_noted(self, table):
+        assert any("uncoded" in note for note in table.notes)
+
+
+class TestX8:
+    @pytest.fixture(scope="class")
+    def table(self, study):
+        return run_experiment("X8", study)
+
+    def test_structure(self, table):
+        quantities = table.column("quantity")
+        assert quantities[0].startswith("wasted core-hours")
+        assert any(q.startswith("failure rate:") for q in quantities)
+
+    def test_waste_fraction_sane(self, table):
+        # Terminal-state rates are 6+3+2 = 11% of jobs; waste in core-hours
+        # should land in the single digits to low tens of percent.
+        cell = table.rows[0][1]
+        pct = float(cell.split("(")[1].rstrip("%)"))
+        assert 1.0 < pct < 30.0
+
+
+class TestAuditCli:
+    def test_clean_accounting(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["generate", "--seed", "5", "--baseline", "10", "--current", "10",
+             "--months", "1", "--jobs-per-day", "30", "--out", str(tmp_path)],
+            out=out,
+        )
+        assert code == 0
+        out = io.StringIO()
+        code = main(["audit", str(tmp_path / "accounting.sacct")], out=out)
+        assert code == 0
+        assert "accounting ok" in out.getvalue()
+
+    def test_bad_accounting(self, tmp_path):
+        path = tmp_path / "bad.sacct"
+        path.write_text(
+            "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State\n"
+            "1|u|f|quantum|0.0|1.0|2.0|4|cpu=4|100|COMPLETED\n"
+        )
+        out = io.StringIO()
+        code = main(["audit", str(path)], out=out)
+        assert code == 1
+        assert "unknown_partition" in out.getvalue()
+
+    def test_missing_file(self, tmp_path):
+        out = io.StringIO()
+        code = main(["audit", str(tmp_path / "nope.sacct")], out=out)
+        assert code == 2

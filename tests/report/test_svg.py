@@ -1,0 +1,106 @@
+"""Tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.report import FigureSeries, figure_to_svg, run_experiment
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+def make_figure(kind="line", n_series=2, n_points=12):
+    x = np.arange(n_points, dtype=float)
+    series = {
+        f"s{i}": (x, (i + 1) * x + i) for i in range(n_series)
+    }
+    return FigureSeries(
+        title="F0: svg demo",
+        x_label="x axis",
+        y_label="y axis",
+        series=series,
+        kind=kind,
+        notes=("a note",),
+    )
+
+
+class TestFigureToSvg:
+    def test_well_formed_xml(self):
+        root = parse(figure_to_svg(make_figure()))
+        assert root.tag == f"{SVG_NS}svg"
+        assert root.get("width") == "640"
+
+    def test_line_figure_has_polylines(self):
+        root = parse(figure_to_svg(make_figure("line", n_series=3)))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 3
+        # Each polyline has one coordinate pair per point.
+        assert len(polylines[0].get("points").split()) == 12
+
+    def test_scatter_figure_has_circles(self):
+        root = parse(figure_to_svg(make_figure("scatter", n_series=2, n_points=7)))
+        circles = root.findall(f".//{SVG_NS}circle")
+        assert len(circles) == 14
+
+    def test_bar_figure_has_rects(self):
+        root = parse(figure_to_svg(make_figure("bar", n_series=2, n_points=5)))
+        rects = root.findall(f".//{SVG_NS}rect")
+        # background + plot frame + legend swatches (2) + 10 bars
+        assert len(rects) >= 12
+
+    def test_labels_and_notes_present(self):
+        text = figure_to_svg(make_figure())
+        assert "x axis" in text
+        assert "y axis" in text
+        assert "F0: svg demo" in text
+        assert "a note" in text
+
+    def test_escapes_special_characters(self):
+        fig = FigureSeries(
+            title="a < b & c",
+            x_label="x",
+            y_label="y",
+            series={"s": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))},
+        )
+        text = figure_to_svg(fig)
+        assert "a &lt; b &amp; c" in text
+        parse(text)  # still well-formed
+
+    def test_coordinates_inside_viewport(self):
+        root = parse(figure_to_svg(make_figure("scatter")))
+        for circle in root.findall(f".//{SVG_NS}circle"):
+            assert 0 <= float(circle.get("cx")) <= 640
+            assert 0 <= float(circle.get("cy")) <= 360
+
+    def test_constant_series_handled(self):
+        fig = FigureSeries(
+            title="flat", x_label="x", y_label="y",
+            series={"s": (np.array([0.0, 1.0]), np.array([5.0, 5.0]))},
+        )
+        parse(figure_to_svg(fig))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            figure_to_svg(make_figure(), width=100, height=50)
+
+    def test_custom_size(self):
+        root = parse(figure_to_svg(make_figure(), width=800, height=400))
+        assert root.get("height") == "400"
+
+
+class TestRealExperimentFigures:
+    @pytest.mark.parametrize("eid", ["F1", "F3", "F4", "F5", "F8", "X1", "X4"])
+    def test_every_figure_renders(self, study, eid):
+        artifact = run_experiment(eid, study)
+        root = parse(figure_to_svg(artifact))
+        marks = (
+            root.findall(f".//{SVG_NS}polyline")
+            + root.findall(f".//{SVG_NS}circle")
+            + root.findall(f".//{SVG_NS}rect")
+        )
+        assert len(marks) > 2

@@ -1,0 +1,179 @@
+"""Tests for the table and figure models."""
+
+import numpy as np
+import pytest
+
+from repro.report import (
+    FigureSeries,
+    Table,
+    ascii_bar_chart,
+    fmt_ci,
+    fmt_p,
+    fmt_pct,
+    significance_stars,
+)
+
+
+class TestFormatters:
+    def test_fmt_pct(self):
+        assert fmt_pct(0.1234) == "12.3%"
+        assert fmt_pct(1.0, digits=0) == "100%"
+
+    def test_fmt_ci(self):
+        assert fmt_ci(0.1, 0.2) == "[10.0%, 20.0%]"
+
+    def test_fmt_p(self):
+        assert fmt_p(0.0001) == "<0.001"
+        assert fmt_p(0.042) == "0.042"
+
+    def test_stars(self):
+        assert significance_stars(0.0001) == "***"
+        assert significance_stars(0.005) == "**"
+        assert significance_stars(0.03) == "*"
+        assert significance_stars(0.2) == ""
+
+
+class TestTable:
+    def make(self):
+        return Table(
+            title="T0: demo",
+            columns=("name", "value"),
+            rows=(("a", "1"), ("b", "2")),
+            notes=("a note",),
+        )
+
+    def test_shape_and_column(self):
+        t = self.make()
+        assert t.shape == (2, 2)
+        assert t.column("value") == ("1", "2")
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            Table(title="x", columns=("a", "b"), rows=(("only-one",),))
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(title="x", columns=(), rows=())
+
+    def test_render_ascii(self):
+        text = self.make().render_ascii()
+        assert "T0: demo" in text
+        assert "name" in text and "value" in text
+        assert "note: a note" in text
+        # Columns aligned: every data line same prefix width.
+        lines = [l for l in text.splitlines() if l.startswith(("a", "b"))]
+        assert len({l.index("1") for l in lines if "1" in l} | {l.index("2") for l in lines if "2" in l}) == 1
+
+    def test_render_markdown(self):
+        md = self.make().render_markdown()
+        assert md.startswith("### T0: demo")
+        assert "| name | value |" in md
+        assert "| a | 1 |" in md
+        assert "_a note_" in md
+
+
+class TestFigureSeries:
+    def make(self):
+        x = np.arange(10, dtype=float)
+        return FigureSeries(
+            title="F0: demo",
+            x_label="month",
+            y_label="hours",
+            series={"a": (x, x**2), "b": (x, x + 1)},
+            notes=("fit note",),
+        )
+
+    def test_series_names(self):
+        assert self.make().series_names == ("a", "b")
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries(title="x", x_label="x", y_label="y", series={})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries(
+                title="x",
+                x_label="x",
+                y_label="y",
+                series={"a": (np.arange(3), np.arange(4))},
+            )
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            FigureSeries(
+                title="x",
+                x_label="x",
+                y_label="y",
+                series={"a": (np.array([]), np.array([]))},
+            )
+
+    def test_to_dict_round_trips_json(self):
+        import json
+
+        d = self.make().to_dict()
+        parsed = json.loads(json.dumps(d))
+        assert parsed["title"] == "F0: demo"
+        assert parsed["series"]["a"]["y"][2] == 4.0
+
+    def test_render_ascii(self):
+        text = self.make().render_ascii(width=30, height=6)
+        assert "F0: demo" in text
+        assert "-- a" in text and "-- b" in text
+        assert "*" in text
+
+    def test_render_single_point(self):
+        fig = FigureSeries(
+            title="p",
+            x_label="x",
+            y_label="y",
+            series={"only": (np.array([1.0]), np.array([2.0]))},
+        )
+        assert "single point" in fig.render_ascii()
+
+
+class TestAsciiBarChart:
+    def test_basic(self):
+        chart = ascii_bar_chart(["py", "fortran"], [0.9, 0.3])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart([], [])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [-1.0])
+
+    def test_all_zero(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "a" in chart
+
+
+class TestTableExports:
+    def make(self):
+        return Table(
+            title="T0: demo",
+            columns=("name", "value"),
+            rows=(("a", "1"), ("b", "2")),
+        )
+
+    def test_to_csv(self):
+        import csv
+        import io
+
+        text = self.make().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["name", "value"], ["a", "1"], ["b", "2"]]
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        d = self.make().to_dict()
+        parsed = json.loads(json.dumps(d))
+        assert parsed["columns"] == ["name", "value"]
+        assert parsed["rows"][1] == ["b", "2"]

@@ -1,0 +1,88 @@
+"""Tests for inter-coder agreement measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import cohens_kappa, multilabel_kappa, percent_agreement
+
+
+class TestPercentAgreement:
+    def test_perfect(self):
+        assert percent_agreement(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_half(self):
+        assert percent_agreement(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percent_agreement(["a"], ["a", "b"])
+        with pytest.raises(ValueError):
+            percent_agreement([], [])
+
+
+class TestCohensKappa:
+    def test_perfect_agreement(self):
+        assert cohens_kappa(["x", "y", "x"], ["x", "y", "x"]) == pytest.approx(1.0)
+
+    def test_chance_level_near_zero(self):
+        # Coders independent: kappa ~ 0 over a balanced design.
+        a = ["x", "x", "y", "y"] * 25
+        b = ["x", "y", "x", "y"] * 25
+        assert abs(cohens_kappa(a, b)) < 0.05
+
+    def test_known_value(self):
+        # Classic 2x2 worked example: 45/15/25/15 -> kappa ~ 0.1304.
+        a = ["+"] * 60 + ["-"] * 40
+        b = ["+"] * 45 + ["-"] * 15 + ["+"] * 25 + ["-"] * 15
+        assert cohens_kappa(a, b) == pytest.approx(0.1304, abs=1e-3)
+
+    def test_worse_than_chance_negative(self):
+        a = ["x", "y"] * 30
+        b = ["y", "x"] * 30
+        assert cohens_kappa(a, b) < 0
+
+    def test_degenerate_single_label(self):
+        assert cohens_kappa(["x"] * 10, ["x"] * 10) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cohens_kappa(["a"], [])
+
+
+class TestMultilabelKappa:
+    def test_per_label_values(self):
+        a = [frozenset({"q"}), frozenset({"q", "s"}), frozenset()]
+        b = [frozenset({"q"}), frozenset({"s"}), frozenset()]
+        result = multilabel_kappa(a, b, ["q", "s"])
+        assert result["s"] == pytest.approx(1.0)
+        assert result["q"] < 1.0
+
+    def test_keyword_coder_self_agreement(self, study):
+        """The deterministic topic coder agrees with itself perfectly."""
+        from repro.text import TOPIC_KEYWORDS, code_challenges
+
+        coded_a = code_challenges(study.current)
+        coded_b = code_challenges(study.current)
+        ids = sorted(coded_a.per_respondent)
+        sets_a = [coded_a.per_respondent[i] for i in ids]
+        sets_b = [coded_b.per_respondent[i] for i in ids]
+        result = multilabel_kappa(sets_a, sets_b, list(TOPIC_KEYWORDS))
+        assert all(v == 1.0 for v in result.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multilabel_kappa([frozenset()], [frozenset()], [])
+
+
+@given(
+    labels=st.lists(st.sampled_from(["a", "b", "c"]), min_size=2, max_size=60),
+)
+def test_property_kappa_bounded_and_symmetric(labels):
+    import random
+
+    rng = random.Random(0)
+    other = [rng.choice(["a", "b", "c"]) for _ in labels]
+    k_ab = cohens_kappa(labels, other)
+    k_ba = cohens_kappa(other, labels)
+    assert -1.0 - 1e-9 <= k_ab <= 1.0 + 1e-9
+    assert k_ab == pytest.approx(k_ba)

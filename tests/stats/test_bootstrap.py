@@ -1,0 +1,117 @@
+"""Tests for the vectorized bootstrap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import bootstrap_ci, bootstrap_diff_ci, percentile_ci
+
+
+class TestBootstrapCI:
+    def test_mean_interval_brackets_sample_mean(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(10.0, 2.0, size=500)
+        result = bootstrap_ci(data, np.mean, rng=np.random.default_rng(1))
+        assert result.low < data.mean() < result.high
+        # Width should be near the analytic 2*1.96*sem for the mean.
+        sem = data.std(ddof=1) / np.sqrt(data.size)
+        assert result.width == pytest.approx(2 * 1.96 * sem, rel=0.2)
+        assert result.estimate == pytest.approx(data.mean())
+
+    def test_deterministic_default_rng(self):
+        data = np.arange(50, dtype=float)
+        a = bootstrap_ci(data)
+        b = bootstrap_ci(data)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_seed_changes_interval_slightly(self):
+        data = np.arange(50, dtype=float)
+        a = bootstrap_ci(data, rng=np.random.default_rng(1))
+        b = bootstrap_ci(data, rng=np.random.default_rng(2))
+        assert (a.low, a.high) != (b.low, b.high)
+        assert abs(a.low - b.low) < 2.0
+
+    def test_median_statistic(self):
+        data = np.concatenate([np.zeros(50), np.ones(50) * 100])
+        result = bootstrap_ci(data, np.median, n_resamples=500)
+        assert result.low <= result.estimate <= result.high
+
+    def test_non_axis_statistic_fallback(self):
+        # A plain Python callable without axis support exercises the fallback.
+        def spread(x):
+            return float(max(x) - min(x))
+
+        result = bootstrap_ci([1.0, 5.0, 9.0, 2.0], spread, n_resamples=100)
+        assert 0.0 <= result.low <= result.high <= 8.0
+
+    def test_interval_narrows_with_sample_size(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_ci(rng.normal(size=20), rng=np.random.default_rng(0))
+        large = bootstrap_ci(rng.normal(size=2000), rng=np.random.default_rng(0))
+        assert large.width < small.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], n_resamples=0)
+
+    def test_constant_data_degenerate_interval(self):
+        result = bootstrap_ci(np.full(30, 4.2))
+        assert result.low == pytest.approx(4.2)
+        assert result.high == pytest.approx(4.2)
+
+
+class TestBootstrapDiff:
+    def test_detects_shift(self):
+        rng = np.random.default_rng(11)
+        a = rng.normal(5.0, 1.0, 300)
+        b = rng.normal(3.0, 1.0, 300)
+        result = bootstrap_diff_ci(a, b, rng=np.random.default_rng(0))
+        assert result.low > 1.5
+        assert result.high < 2.5
+        assert result.estimate == pytest.approx(a.mean() - b.mean())
+
+    def test_no_shift_brackets_zero(self):
+        rng = np.random.default_rng(12)
+        a = rng.normal(0.0, 1.0, 400)
+        b = rng.normal(0.0, 1.0, 400)
+        result = bootstrap_diff_ci(a, b, rng=np.random.default_rng(0))
+        assert result.low < 0.0 < result.high
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_diff_ci([], [1.0])
+
+
+class TestPercentileCI:
+    def test_quantile_endpoints(self):
+        values = np.arange(1000, dtype=float)
+        low, high = percentile_ci(values, 0.9)
+        assert low == pytest.approx(np.quantile(values, 0.05))
+        assert high == pytest.approx(np.quantile(values, 0.95))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile_ci(np.array([]))
+        with pytest.raises(ValueError):
+            percentile_ci(np.array([1.0]), confidence=0.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_interval_contains_plugin_estimate_region(data, seed):
+    """Interval is ordered and lies within the sample's range for the mean."""
+    result = bootstrap_ci(
+        data, np.mean, n_resamples=200, rng=np.random.default_rng(seed)
+    )
+    assert result.low <= result.high
+    assert min(data) - 1e-9 <= result.low
+    assert result.high <= max(data) + 1e-9

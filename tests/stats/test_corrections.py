@@ -1,0 +1,103 @@
+"""Tests for multiple-comparison corrections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import benjamini_hochberg, bonferroni, holm_bonferroni
+
+
+PVALS = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestBonferroni:
+    def test_scales_by_family_size(self):
+        adjusted = bonferroni([0.01, 0.02, 0.03])
+        assert adjusted == pytest.approx([0.03, 0.06, 0.09])
+
+    def test_caps_at_one(self):
+        assert bonferroni([0.5, 0.9]).max() == 1.0
+
+    def test_single_test_unchanged(self):
+        assert bonferroni([0.04])[0] == pytest.approx(0.04)
+
+
+class TestHolm:
+    def test_known_example(self):
+        # Classic worked example: p = (0.01, 0.04, 0.03), m = 3.
+        adjusted = holm_bonferroni([0.01, 0.04, 0.03])
+        assert adjusted[0] == pytest.approx(0.03)
+        assert adjusted[2] == pytest.approx(0.06)
+        assert adjusted[1] == pytest.approx(0.06)
+
+    def test_never_less_powerful_than_bonferroni(self):
+        p = [0.001, 0.01, 0.02, 0.05, 0.2]
+        holm = holm_bonferroni(p)
+        bonf = bonferroni(p)
+        assert (holm <= bonf + 1e-12).all()
+
+    def test_monotone_in_input_order_of_sorted(self):
+        p = np.array([0.04, 0.001, 0.03, 0.2])
+        adjusted = holm_bonferroni(p)
+        order = np.argsort(p)
+        assert (np.diff(adjusted[order]) >= -1e-12).all()
+
+
+class TestBenjaminiHochberg:
+    def test_known_example(self):
+        p = [0.01, 0.02, 0.03, 0.04]
+        q = benjamini_hochberg(p)
+        assert q[0] == pytest.approx(0.04)
+        assert q[3] == pytest.approx(0.04)
+
+    def test_less_conservative_than_holm(self):
+        p = [0.001, 0.008, 0.04, 0.049]
+        q = benjamini_hochberg(p)
+        h = holm_bonferroni(p)
+        assert (q <= h + 1e-12).all()
+
+    def test_all_ones_stay_one(self):
+        assert benjamini_hochberg([1.0, 1.0]).tolist() == [1.0, 1.0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", [bonferroni, holm_bonferroni, benjamini_hochberg])
+    def test_rejects_empty(self, fn):
+        with pytest.raises(ValueError):
+            fn([])
+
+    @pytest.mark.parametrize("fn", [bonferroni, holm_bonferroni, benjamini_hochberg])
+    def test_rejects_out_of_range(self, fn):
+        with pytest.raises(ValueError):
+            fn([0.5, 1.5])
+        with pytest.raises(ValueError):
+            fn([-0.1])
+
+    @pytest.mark.parametrize("fn", [bonferroni, holm_bonferroni, benjamini_hochberg])
+    def test_rejects_2d(self, fn):
+        with pytest.raises(ValueError):
+            fn(np.zeros((2, 2)))
+
+
+@given(p=PVALS)
+def test_property_adjusted_never_below_raw(p):
+    raw = np.asarray(p)
+    for fn in (bonferroni, holm_bonferroni, benjamini_hochberg):
+        adjusted = fn(raw)
+        assert (adjusted >= raw - 1e-12).all()
+        assert (adjusted <= 1.0 + 1e-12).all()
+        assert adjusted.shape == raw.shape
+
+
+@given(p=PVALS)
+def test_property_order_is_preserved(p):
+    """Smaller raw p-values never get larger adjusted values than bigger ones."""
+    raw = np.asarray(p)
+    for fn in (holm_bonferroni, benjamini_hochberg):
+        adjusted = fn(raw)
+        order = np.argsort(raw, kind="stable")
+        assert (np.diff(adjusted[order]) >= -1e-9).all()

@@ -1,0 +1,139 @@
+"""Tests for descriptive statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    ecdf,
+    geometric_mean,
+    gini_coefficient,
+    quantiles,
+    summarize,
+    trimmed_mean,
+)
+
+
+class TestEcdf:
+    def test_shape_and_monotonicity(self):
+        x, y = ecdf([3.0, 1.0, 2.0])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert y.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_last_point_is_one(self):
+        _, y = ecdf(np.random.default_rng(0).normal(size=100))
+        assert y[-1] == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+
+class TestQuantiles:
+    def test_median_of_known(self):
+        q = quantiles(np.arange(101, dtype=float), qs=(0.5,))
+        assert q[0.5] == pytest.approx(50.0)
+
+    def test_keys_match_request(self):
+        q = quantiles([1.0, 2.0], qs=(0.1, 0.9))
+        assert set(q) == {0.1, 0.9}
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.minimum == 1.0 and s.maximum == 5.0
+
+    def test_single_value_zero_std(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_as_dict_round_trip(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert d["n"] == 2 and "median" in d
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_le_arithmetic_mean(self):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(size=200)
+        assert geometric_mean(data) <= data.mean()
+
+
+class TestTrimmedMean:
+    def test_outlier_resistance(self):
+        data = [1.0] * 18 + [1000.0, -1000.0]
+        assert trimmed_mean(data, 0.1) == pytest.approx(1.0)
+
+    def test_zero_trim_is_mean(self):
+        data = [1.0, 2.0, 3.0]
+        assert trimmed_mean(data, 0.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([], 0.1)
+        with pytest.raises(ValueError):
+            trimmed_mean([1.0], 0.5)
+
+
+class TestGini:
+    def test_perfect_equality(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfect_concentration(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini_coefficient(values) == pytest.approx(1.0, abs=2e-3)
+
+    def test_all_zero_is_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(4)
+        v = rng.exponential(size=300)
+        assert gini_coefficient(v) == pytest.approx(gini_coefficient(v * 1000))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            gini_coefficient([-1.0, 2.0])
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_gini_in_unit_interval(data):
+    g = gini_coefficient(data)
+    assert -1e-9 <= g < 1.0
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_summary_ordering(data):
+    s = summarize(data)
+    assert s.minimum <= s.q25 <= s.median <= s.q75 <= s.maximum
+    # Mean may fall an ulp outside [min, max] from float summation.
+    eps = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+    assert s.minimum - eps <= s.mean <= s.maximum + eps

@@ -1,0 +1,121 @@
+"""Tests for effect-size measures."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    cohens_h,
+    cohens_w,
+    cramers_v,
+    odds_ratio,
+    rank_biserial,
+    risk_difference,
+    risk_ratio,
+)
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        assert cramers_v([[50, 0], [0, 50]]) == pytest.approx(1.0)
+
+    def test_independence(self):
+        assert cramers_v([[10, 20], [30, 60]]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_range(self):
+        v = cramers_v([[12, 5, 9], [3, 14, 8]])
+        assert 0.0 <= v <= 1.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            cramers_v([[0, 0], [0, 0]])
+        with pytest.raises(ValueError):
+            cramers_v([[1, 2]])
+
+
+class TestCohens:
+    def test_h_zero_for_equal(self):
+        assert cohens_h(0.4, 0.4) == pytest.approx(0.0)
+
+    def test_h_antisymmetric(self):
+        assert cohens_h(0.7, 0.2) == pytest.approx(-cohens_h(0.2, 0.7))
+
+    def test_h_bounds(self):
+        assert cohens_h(1.0, 0.0) == pytest.approx(math.pi)
+
+    def test_h_rejects_bad_proportion(self):
+        with pytest.raises(ValueError):
+            cohens_h(1.2, 0.5)
+
+    def test_w_zero_when_matching(self):
+        assert cohens_w([10, 20, 30], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_w_positive_for_mismatch(self):
+        assert cohens_w([30, 10], [10, 30]) > 0
+
+    def test_w_validation(self):
+        with pytest.raises(ValueError):
+            cohens_w([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            cohens_w([1, 2], [1, 0])
+
+
+class TestRatios:
+    def test_odds_ratio_basic(self):
+        assert odds_ratio(20, 10, 5, 10) == pytest.approx(4.0)
+
+    def test_odds_ratio_haldane_on_zero(self):
+        # With a zero cell, the corrected OR is finite.
+        assert math.isfinite(odds_ratio(20, 0, 5, 10))
+
+    def test_odds_ratio_no_correction_inf(self):
+        assert odds_ratio(20, 0, 5, 10, haldane=False) == math.inf
+
+    def test_odds_ratio_rejects_negative(self):
+        with pytest.raises(ValueError):
+            odds_ratio(-1, 2, 3, 4)
+
+    def test_risk_difference(self):
+        assert risk_difference(30, 100, 10, 100) == pytest.approx(0.2)
+
+    def test_risk_ratio(self):
+        assert risk_ratio(30, 100, 10, 100) == pytest.approx(3.0)
+
+    def test_risk_ratio_zero_denominator(self):
+        assert risk_ratio(5, 10, 0, 10) == math.inf
+        assert math.isnan(risk_ratio(0, 10, 0, 10))
+
+
+class TestRankBiserial:
+    def test_complete_separation(self):
+        assert rank_biserial([10, 11, 12], [1, 2, 3]) == pytest.approx(1.0)
+        assert rank_biserial([1, 2, 3], [10, 11, 12]) == pytest.approx(-1.0)
+
+    def test_identical_distributions_near_zero(self):
+        assert rank_biserial([1, 2, 3, 4], [1, 2, 3, 4]) == pytest.approx(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_biserial([], [1])
+
+
+@given(
+    p1=st.floats(min_value=0.0, max_value=1.0),
+    p2=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_cohens_h_bounded(p1, p2):
+    h = cohens_h(p1, p2)
+    assert -math.pi - 1e-9 <= h <= math.pi + 1e-9
+
+
+@given(
+    a=st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=30),
+    b=st.lists(st.integers(min_value=1, max_value=7), min_size=1, max_size=30),
+)
+def test_property_rank_biserial_bounded_and_antisymmetric(a, b):
+    r_ab = rank_biserial(a, b)
+    r_ba = rank_biserial(b, a)
+    assert -1.0 - 1e-9 <= r_ab <= 1.0 + 1e-9
+    assert r_ab == pytest.approx(-r_ba)

@@ -1,0 +1,141 @@
+"""Tests for power analysis and McNemar's test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    mcnemar_test,
+    minimum_detectable_delta,
+    required_n_per_group,
+    two_proportion_power,
+)
+
+
+class TestMcNemar:
+    def test_balanced_discordance_not_significant(self):
+        result = mcnemar_test(10, 10)
+        assert result.p_value > 0.5
+
+    def test_lopsided_discordance_significant(self):
+        result = mcnemar_test(40, 5)
+        assert result.significant(0.001)
+
+    def test_no_discordant_pairs(self):
+        result = mcnemar_test(0, 0)
+        assert result.p_value == 1.0
+
+    def test_exact_small_sample(self):
+        result = mcnemar_test(8, 1)
+        assert result.details["exact"] is True
+        # Exact binomial: 2 * P(X <= 1 | n=9, p=0.5)
+        from scipy import stats as sps
+
+        expected = 2 * sps.binom.cdf(1, 9, 0.5)
+        assert result.p_value == pytest.approx(expected)
+
+    def test_asymptotic_large_sample(self):
+        result = mcnemar_test(80, 40)
+        assert result.details["exact"] is False
+        assert result.dof == 1
+
+    def test_force_exact(self):
+        a = mcnemar_test(80, 40, exact=True)
+        b = mcnemar_test(80, 40, exact=False)
+        assert a.details["exact"] and not b.details["exact"]
+        # Both must agree on significance for so clear a signal.
+        assert a.significant(0.01) and b.significant(0.01)
+
+    def test_symmetry(self):
+        assert mcnemar_test(30, 7).p_value == pytest.approx(mcnemar_test(7, 30).p_value)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mcnemar_test(-1, 5)
+
+
+class TestTwoProportionPower:
+    def test_null_effect_gives_alpha(self):
+        assert two_proportion_power(0.4, 0.4, 100, 100) == pytest.approx(0.05)
+
+    def test_power_grows_with_n(self):
+        small = two_proportion_power(0.5, 0.6, 50, 50)
+        large = two_proportion_power(0.5, 0.6, 500, 500)
+        assert large > small
+
+    def test_power_grows_with_effect(self):
+        weak = two_proportion_power(0.5, 0.55, 200, 200)
+        strong = two_proportion_power(0.5, 0.7, 200, 200)
+        assert strong > weak
+
+    def test_known_benchmark(self):
+        # Classic: p1=0.5, p2=0.65, n=170/group gives ~80% power.
+        power = two_proportion_power(0.5, 0.65, 170, 170)
+        assert power == pytest.approx(0.80, abs=0.03)
+
+    def test_monte_carlo_agreement(self):
+        """Analytic power tracks simulated rejection rate."""
+        from repro.stats import two_proportion_z_test
+
+        rng = np.random.default_rng(0)
+        p1, p2, n = 0.3, 0.45, 150
+        rejections = 0
+        trials = 400
+        for _ in range(trials):
+            s1 = rng.binomial(n, p1)
+            s2 = rng.binomial(n, p2)
+            if two_proportion_z_test(s1, n, s2, n).significant(0.05):
+                rejections += 1
+        simulated = rejections / trials
+        analytic = two_proportion_power(p1, p2, n, n)
+        assert simulated == pytest.approx(analytic, abs=0.07)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_power(0.0, 0.5, 10, 10)
+        with pytest.raises(ValueError):
+            two_proportion_power(0.3, 0.5, 0, 10)
+        with pytest.raises(ValueError):
+            two_proportion_power(0.3, 0.5, 10, 10, alpha=0.0)
+
+
+class TestRequiredN:
+    def test_achieves_requested_power(self):
+        n = required_n_per_group(0.5, 0.65, power=0.8)
+        assert two_proportion_power(0.5, 0.65, n, n) >= 0.8
+        assert two_proportion_power(0.5, 0.65, n - 1, n - 1) < 0.8
+
+    def test_smaller_effect_needs_more(self):
+        assert required_n_per_group(0.5, 0.55) > required_n_per_group(0.5, 0.7)
+
+    def test_null_rejected(self):
+        with pytest.raises(ValueError):
+            required_n_per_group(0.5, 0.5)
+
+
+class TestMinimumDetectableDelta:
+    def test_round_trip_with_power(self):
+        delta = minimum_detectable_delta(0.3, 200, 200)
+        assert two_proportion_power(0.3, 0.3 + delta, 200, 200) == pytest.approx(
+            0.8, abs=0.01
+        )
+
+    def test_shrinks_with_n(self):
+        small = minimum_detectable_delta(0.3, 50, 50)
+        large = minimum_detectable_delta(0.3, 500, 500)
+        assert large < small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimum_detectable_delta(1.5, 100, 100)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p1=st.floats(min_value=0.05, max_value=0.95),
+    p2=st.floats(min_value=0.05, max_value=0.95),
+    n=st.integers(min_value=5, max_value=2000),
+)
+def test_property_power_in_unit_interval(p1, p2, n):
+    power = two_proportion_power(p1, p2, n, n)
+    assert 0.0 <= power <= 1.0

@@ -1,0 +1,181 @@
+"""Tests for contingency and rank hypothesis tests."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+from hypothesis import given, strategies as st
+
+from repro.stats import (
+    chi_square_test,
+    fisher_exact_2x2,
+    g_test,
+    mann_whitney_u,
+    two_proportion_z_test,
+)
+
+
+class TestChiSquare:
+    def test_matches_scipy(self):
+        table = [[30, 10], [20, 40]]
+        result = chi_square_test(table)
+        ref = sps.chi2_contingency(np.array(table), correction=False)
+        assert result.statistic == pytest.approx(ref.statistic)
+        assert result.p_value == pytest.approx(ref.pvalue)
+        assert result.dof == 1
+
+    def test_independent_table_not_significant(self):
+        # Perfectly proportional rows -> statistic 0, p = 1.
+        result = chi_square_test([[10, 20], [30, 60]])
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_strong_association_significant(self):
+        result = chi_square_test([[90, 10], [10, 90]])
+        assert result.significant(0.001)
+
+    def test_drops_empty_margins(self):
+        with_empty = chi_square_test([[30, 10, 0], [20, 40, 0]])
+        without = chi_square_test([[30, 10], [20, 40]])
+        assert with_empty.statistic == pytest.approx(without.statistic)
+        assert with_empty.dof == without.dof
+
+    def test_degenerate_after_dropping(self):
+        result = chi_square_test([[5, 0], [7, 0]])
+        assert result.p_value == 1.0
+        assert result.dof == 0
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            chi_square_test([1, 2, 3])
+        with pytest.raises(ValueError):
+            chi_square_test([[1, 2]])
+        with pytest.raises(ValueError):
+            chi_square_test([[1, -2], [3, 4]])
+        with pytest.raises(ValueError):
+            chi_square_test([[0, 0], [0, 0]])
+
+    def test_reports_expected_counts(self):
+        result = chi_square_test([[30, 10], [20, 40]])
+        assert result.details["min_expected"] > 0
+        assert result.details["expected"].shape == (2, 2)
+
+
+class TestGTest:
+    def test_close_to_chi_square_for_big_counts(self):
+        table = [[300, 100], [200, 400]]
+        g = g_test(table)
+        chi = chi_square_test(table)
+        assert g.statistic == pytest.approx(chi.statistic, rel=0.05)
+
+    def test_zero_cells_are_handled(self):
+        result = g_test([[10, 0], [5, 8]])
+        assert np.isfinite(result.statistic)
+        assert 0 <= result.p_value <= 1
+
+    def test_independence_gives_zero(self):
+        result = g_test([[10, 20], [30, 60]])
+        assert result.statistic == pytest.approx(0.0, abs=1e-9)
+
+
+class TestFisher:
+    def test_matches_scipy(self):
+        table = [[8, 2], [1, 5]]
+        result = fisher_exact_2x2(table)
+        odds, p = sps.fisher_exact(np.array(table))
+        assert result.statistic == pytest.approx(odds)
+        assert result.p_value == pytest.approx(p)
+
+    def test_requires_2x2(self):
+        with pytest.raises(ValueError):
+            fisher_exact_2x2([[1, 2, 3], [4, 5, 6]])
+
+
+class TestTwoProportionZ:
+    def test_equal_proportions_not_significant(self):
+        result = two_proportion_z_test(30, 100, 30, 100)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_clear_difference_significant(self):
+        result = two_proportion_z_test(80, 100, 20, 100)
+        assert result.significant(1e-6)
+
+    def test_sign_of_statistic(self):
+        up = two_proportion_z_test(60, 100, 40, 100)
+        down = two_proportion_z_test(40, 100, 60, 100)
+        assert up.statistic > 0 > down.statistic
+        assert up.p_value == pytest.approx(down.p_value)
+
+    def test_degenerate_all_zero(self):
+        result = two_proportion_z_test(0, 50, 0, 70)
+        assert result.p_value == 1.0
+
+    def test_degenerate_all_one(self):
+        result = two_proportion_z_test(50, 50, 70, 70)
+        assert result.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_z_test(5, 0, 1, 10)
+        with pytest.raises(ValueError):
+            two_proportion_z_test(11, 10, 1, 10)
+
+    def test_matches_chi_square_squared(self):
+        # z^2 for the pooled 2-prop test equals the 2x2 chi-square statistic.
+        z = two_proportion_z_test(30, 100, 45, 120)
+        chi = chi_square_test([[30, 70], [45, 75]])
+        assert z.statistic**2 == pytest.approx(chi.statistic)
+
+
+class TestMannWhitney:
+    def test_matches_scipy_no_ties(self):
+        rng = np.random.default_rng(42)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0.8, 1, 35)
+        result = mann_whitney_u(a, b)
+        ref = sps.mannwhitneyu(a, b, alternative="two-sided", method="asymptotic")
+        assert result.statistic == pytest.approx(ref.statistic)
+        assert result.p_value == pytest.approx(ref.pvalue, rel=0.02)
+
+    def test_likert_ties(self):
+        a = [5, 5, 4, 4, 4, 3, 5, 4]
+        b = [2, 3, 2, 1, 3, 2, 3, 2]
+        result = mann_whitney_u(a, b)
+        assert result.significant(0.01)
+
+    def test_identical_samples(self):
+        result = mann_whitney_u([3, 3, 3], [3, 3, 3])
+        assert result.p_value == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+@given(
+    a=st.integers(min_value=0, max_value=60),
+    b=st.integers(min_value=0, max_value=60),
+    c=st.integers(min_value=0, max_value=60),
+    d=st.integers(min_value=0, max_value=60),
+)
+def test_property_chi_square_p_in_range(a, b, c, d):
+    if (a + b) == 0 or (c + d) == 0 or (a + c) == 0 or (b + d) == 0:
+        return  # empty margins collapse to the degenerate branch
+    result = chi_square_test([[a, b], [c, d]])
+    assert 0.0 <= result.p_value <= 1.0
+    assert result.statistic >= 0.0
+
+
+@given(
+    n1=st.integers(min_value=1, max_value=80),
+    n2=st.integers(min_value=1, max_value=80),
+    data=st.data(),
+)
+def test_property_two_prop_symmetry(n1, n2, data):
+    s1 = data.draw(st.integers(min_value=0, max_value=n1))
+    s2 = data.draw(st.integers(min_value=0, max_value=n2))
+    ab = two_proportion_z_test(s1, n1, s2, n2)
+    ba = two_proportion_z_test(s2, n2, s1, n1)
+    assert ab.p_value == pytest.approx(ba.p_value)
+    assert ab.statistic == pytest.approx(-ba.statistic)

@@ -1,0 +1,138 @@
+"""Tests for post-stratification and raking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats import (
+    PostStratificationError,
+    effective_sample_size,
+    post_stratify,
+    rake_weights,
+    weighted_mean,
+    weighted_proportion,
+)
+
+
+class TestPostStratify:
+    def test_balanced_sample_gets_unit_weights(self):
+        strata = ["bio"] * 50 + ["phys"] * 50
+        w = post_stratify(strata, {"bio": 0.5, "phys": 0.5})
+        assert w == pytest.approx(np.ones(100))
+
+    def test_reweights_to_population(self):
+        # Sample is 80/20 but population is 50/50.
+        strata = ["bio"] * 80 + ["phys"] * 20
+        w = post_stratify(strata, {"bio": 0.5, "phys": 0.5})
+        bio_share = w[:80].sum() / w.sum()
+        assert bio_share == pytest.approx(0.5)
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_weighted_proportion_uses_weights(self):
+        strata = ["bio"] * 80 + ["phys"] * 20
+        uses_gpu = [True] * 80 + [False] * 20  # all bio use GPU
+        w = post_stratify(strata, {"bio": 0.5, "phys": 0.5})
+        assert weighted_proportion(uses_gpu, w) == pytest.approx(0.5)
+
+    def test_renormalizes_partial_shares(self):
+        # Population shares include a stratum absent from the sample.
+        strata = ["bio"] * 10 + ["phys"] * 10
+        w = post_stratify(strata, {"bio": 0.4, "phys": 0.4, "chem": 0.2})
+        assert w.mean() == pytest.approx(1.0)
+        assert w[:10].sum() / w.sum() == pytest.approx(0.5)
+
+    def test_missing_share_raises(self):
+        with pytest.raises(PostStratificationError):
+            post_stratify(["bio", "geo"], {"bio": 1.0})
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(PostStratificationError):
+            post_stratify([], {"bio": 1.0})
+
+    def test_zero_total_share_raises(self):
+        with pytest.raises(PostStratificationError):
+            post_stratify(["bio"], {"bio": 0.0})
+
+
+class TestRaking:
+    def test_single_margin_equals_post_stratification(self):
+        strata = ["a"] * 30 + ["b"] * 70
+        target = {"a": 0.5, "b": 0.5}
+        raked = rake_weights([strata], [target])
+        ps = post_stratify(strata, target)
+        assert raked == pytest.approx(ps)
+
+    def test_two_margins_converge(self):
+        rng = np.random.default_rng(5)
+        fields = rng.choice(["bio", "phys", "chem"], size=300).tolist()
+        stages = rng.choice(["phd", "postdoc", "faculty"], size=300).tolist()
+        field_target = {"bio": 0.4, "phys": 0.35, "chem": 0.25}
+        stage_target = {"phd": 0.5, "postdoc": 0.3, "faculty": 0.2}
+        w = rake_weights([fields, stages], [field_target, stage_target])
+        total = w.sum()
+        for label, share in field_target.items():
+            achieved = w[np.array(fields) == label].sum() / total
+            assert achieved == pytest.approx(share, abs=1e-6)
+        for label, share in stage_target.items():
+            achieved = w[np.array(stages) == label].sum() / total
+            assert achieved == pytest.approx(share, abs=1e-6)
+
+    def test_mismatched_margin_lengths_raise(self):
+        with pytest.raises(PostStratificationError):
+            rake_weights([["a", "b"], ["x"]], [{"a": 0.5, "b": 0.5}, {"x": 1.0}])
+
+    def test_no_margins_raise(self):
+        with pytest.raises(PostStratificationError):
+            rake_weights([], [])
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(PostStratificationError):
+            rake_weights([["a", "b"]], [{"a": 1.0}])
+
+
+class TestWeightedStats:
+    def test_weighted_mean_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 3.0]) == pytest.approx(2.5)
+
+    def test_weighted_mean_validation(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_effective_sample_size_uniform(self):
+        assert effective_sample_size(np.ones(50)) == pytest.approx(50.0)
+
+    def test_effective_sample_size_shrinks_with_variance(self):
+        uneven = effective_sample_size([1.0] * 25 + [5.0] * 25)
+        assert uneven < 50.0
+
+    def test_effective_sample_size_validation(self):
+        with pytest.raises(ValueError):
+            effective_sample_size([])
+        with pytest.raises(ValueError):
+            effective_sample_size([-1.0])
+        with pytest.raises(ValueError):
+            effective_sample_size([0.0, 0.0])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=1, max_value=40), min_size=2, max_size=5),
+    shares=st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=2, max_size=5),
+)
+def test_property_post_stratify_hits_targets(counts, shares):
+    k = min(len(counts), len(shares))
+    counts, shares = counts[:k], np.array(shares[:k])
+    shares = shares / shares.sum()
+    labels = [f"s{i}" for i in range(k)]
+    strata = [lab for lab, c in zip(labels, counts) for _ in range(c)]
+    target = dict(zip(labels, shares.tolist()))
+    w = rake_weights([strata], [target])
+    arr = np.array(strata)
+    for lab, share in target.items():
+        achieved = w[arr == lab].sum() / w.sum()
+        assert achieved == pytest.approx(share, abs=1e-6)
+    assert w.mean() == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Tests for anonymization utilities."""
+
+import pytest
+
+from repro.survey import (
+    Response,
+    ResponseSet,
+    anonymize_ids,
+    suppress_rare_categories,
+)
+
+from tests.survey.test_schema import make_questionnaire
+from tests.survey.test_validation import full_answers
+
+
+def make_set(n=10, scheduler_values=None):
+    q = make_questionnaire()
+    responses = []
+    for i in range(n):
+        answers = full_answers()
+        if scheduler_values is not None:
+            answers["scheduler"] = scheduler_values[i % len(scheduler_values)]
+        responses.append(Response(f"user-{i}@princeton.edu", "2024", answers))
+    return ResponseSet(q, responses)
+
+
+class TestAnonymizeIds:
+    def test_ids_replaced(self):
+        rs = anonymize_ids(make_set(), salt="release-1")
+        for r in rs:
+            assert r.respondent_id.startswith("anon-")
+            assert "@" not in r.respondent_id
+
+    def test_stable_within_salt(self):
+        a = anonymize_ids(make_set(), salt="s1")
+        b = anonymize_ids(make_set(), salt="s1")
+        assert [r.respondent_id for r in a] == [r.respondent_id for r in b]
+
+    def test_differs_across_salts(self):
+        a = anonymize_ids(make_set(), salt="s1")
+        b = anonymize_ids(make_set(), salt="s2")
+        assert [r.respondent_id for r in a] != [r.respondent_id for r in b]
+
+    def test_answers_preserved(self):
+        original = make_set()
+        rs = anonymize_ids(original, salt="s")
+        assert [dict(r.answers) for r in rs] == [dict(r.answers) for r in original]
+
+    def test_empty_salt_rejected(self):
+        with pytest.raises(ValueError):
+            anonymize_ids(make_set(), salt="")
+
+
+class TestSuppressRare:
+    def test_rare_values_collapsed(self):
+        # 8 slurm, 1 pbs, 1 lsf -> pbs/lsf suppressed at k=2.
+        rs = make_set(10, ["slurm"] * 8 + ["pbs", "lsf"])
+        out = suppress_rare_categories(rs, "scheduler", k=2)
+        values = [r.get("scheduler") for r in out]
+        assert values.count("slurm") == 8
+        assert values.count("other (suppressed)") == 2
+
+    def test_common_values_kept(self):
+        rs = make_set(10, ["slurm", "pbs"])
+        out = suppress_rare_categories(rs, "scheduler", k=5)
+        values = {r.get("scheduler") for r in out}
+        assert values == {"slurm", "pbs"}
+
+    def test_k1_suppresses_nothing(self):
+        rs = make_set(4, ["slurm", "pbs", "lsf", "flux"])
+        out = suppress_rare_categories(rs, "scheduler", k=1)
+        assert {r.get("scheduler") for r in out} == {"slurm", "pbs", "lsf", "flux"}
+
+    def test_non_single_choice_rejected(self):
+        with pytest.raises(TypeError):
+            suppress_rare_categories(make_set(), "languages", k=2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            suppress_rare_categories(make_set(), "scheduler", k=0)
+
+    def test_custom_label(self):
+        rs = make_set(3, ["slurm", "slurm", "flux"])
+        out = suppress_rare_categories(rs, "scheduler", k=2, other_label="redacted")
+        assert "redacted" in {r.get("scheduler") for r in out}

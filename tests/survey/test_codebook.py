@@ -1,0 +1,79 @@
+"""Tests for codebook generation."""
+
+import pytest
+
+from repro.survey import Response, ResponseSet, build_codebook
+
+from tests.survey.test_schema import make_questionnaire
+from tests.survey.test_validation import full_answers
+
+
+class TestBuildCodebook:
+    def test_entry_per_question(self):
+        q = make_questionnaire()
+        cb = build_codebook(q)
+        assert len(cb) == len(q)
+        assert cb.instrument == q.name
+
+    def test_entry_fields(self):
+        q = make_questionnaire()
+        cb = build_codebook(q)
+        entry = cb["languages"]
+        assert entry.kind == "multi_choice"
+        assert entry.values == ("python", "c", "r")
+        assert entry.gated_by is None
+
+    def test_gated_question_documented(self):
+        cb = build_codebook(make_questionnaire())
+        assert "uses_cluster" in cb["scheduler"].gated_by
+
+    def test_numeric_range_rendered(self):
+        cb = build_codebook(make_questionnaire())
+        assert "[0, 60]" in cb["years"].values[0]
+
+    def test_likert_labels_rendered(self):
+        cb = build_codebook(make_questionnaire())
+        values = cb["expertise"].values
+        assert values[0].startswith("1=")
+        assert values[-1].startswith("5=")
+
+    def test_counts_from_responses(self):
+        q = make_questionnaire()
+        rs = ResponseSet(
+            q,
+            [
+                Response("r1", "2024", full_answers()),
+                Response("r2", "2024", {"uses_cluster": "no"}),
+            ],
+        )
+        cb = build_codebook(q, rs)
+        assert cb["uses_cluster"].n_answered == 2
+        assert cb["scheduler"].n_answered == 1
+
+    def test_counts_absent_without_responses(self):
+        cb = build_codebook(make_questionnaire())
+        assert cb["years"].n_answered is None
+
+    def test_mismatched_responses_rejected(self):
+        q = make_questionnaire()
+        other = make_questionnaire(name="other")
+        rs = ResponseSet(other, [])
+        with pytest.raises(ValueError):
+            build_codebook(q, rs)
+
+    def test_unknown_entry_lookup(self):
+        cb = build_codebook(make_questionnaire())
+        with pytest.raises(KeyError):
+            cb["nope"]
+
+    def test_render_contains_all_keys(self):
+        q = make_questionnaire()
+        text = build_codebook(q).render()
+        for key in q.keys:
+            assert key in text
+        assert "Codebook" in text
+
+    def test_entry_render_required_star(self):
+        cb = build_codebook(make_questionnaire())
+        assert "[single_choice*]" in cb["uses_cluster"].render()
+        assert "[free_text]" in cb["comments"].render()

@@ -1,0 +1,107 @@
+"""Tests for instrument diffing."""
+
+import pytest
+
+from repro.survey import (
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    Questionnaire,
+    ShowIf,
+    SingleChoiceQuestion,
+    diff_questionnaires,
+)
+
+
+def base_questions():
+    return [
+        SingleChoiceQuestion(key="uses_cluster", text="Cluster?", options=("yes", "no")),
+        MultiChoiceQuestion(key="languages", text="Languages?", options=("python", "c", "r")),
+        LikertQuestion(key="expertise", text="Expertise", points=5),
+        NumericQuestion(key="years", text="Years", minimum=0, maximum=60),
+    ]
+
+
+def make(questions=None, skip_logic=None, name="wave-a"):
+    return Questionnaire(name, questions or base_questions(), skip_logic=skip_logic)
+
+
+class TestDiffQuestionnaires:
+    def test_identical_instruments(self):
+        diff = diff_questionnaires(make(), make(name="wave-b"))
+        assert diff.comparable
+        assert len(diff.identical) == 4
+        assert diff.only_in_a == () and diff.only_in_b == ()
+
+    def test_added_and_removed_items(self):
+        extra = base_questions() + [
+            SingleChoiceQuestion(key="uses_ml", text="ML?", options=("yes", "no"))
+        ]
+        short = base_questions()[:-1]
+        diff = diff_questionnaires(make(short), make(extra, name="b"))
+        assert set(diff.only_in_b) == {"uses_ml", "years"}
+        assert diff.only_in_a == ()
+
+    def test_option_changes_detected(self):
+        changed = base_questions()
+        changed[1] = MultiChoiceQuestion(
+            key="languages", text="Languages?", options=("python", "c", "julia")
+        )
+        diff = diff_questionnaires(make(), make(changed, name="b"))
+        assert not diff.comparable
+        change = diff.changed[0]
+        assert change.key == "languages"
+        assert any("added: ['julia']" in c for c in change.changes)
+        assert any("removed: ['r']" in c for c in change.changes)
+
+    def test_wording_change(self):
+        changed = base_questions()
+        changed[0] = SingleChoiceQuestion(
+            key="uses_cluster", text="Do you use HPC?", options=("yes", "no")
+        )
+        diff = diff_questionnaires(make(), make(changed, name="b"))
+        assert diff.changed[0].changes == ("wording changed",)
+
+    def test_scale_change(self):
+        changed = base_questions()
+        changed[2] = LikertQuestion(key="expertise", text="Expertise", points=7)
+        diff = diff_questionnaires(make(), make(changed, name="b"))
+        assert any("scale points: 5 -> 7" in c for c in diff.changed[0].changes)
+
+    def test_numeric_range_change(self):
+        changed = base_questions()
+        changed[3] = NumericQuestion(key="years", text="Years", minimum=0, maximum=80)
+        diff = diff_questionnaires(make(), make(changed, name="b"))
+        assert any("range" in c for c in diff.changed[0].changes)
+
+    def test_kind_change(self):
+        changed = base_questions()
+        changed[3] = SingleChoiceQuestion(
+            key="years", text="Years", options=("0-5", "5+")
+        )
+        diff = diff_questionnaires(make(), make(changed, name="b"))
+        assert any("kind changed" in c for c in diff.changed[0].changes)
+
+    def test_gating_change(self):
+        gated = make(
+            skip_logic={"languages": ShowIf("uses_cluster", ("yes",))}, name="b"
+        )
+        diff = diff_questionnaires(make(), gated)
+        assert any("gating changed" in c for ch in diff.changed for c in ch.changes)
+
+    def test_render(self):
+        changed = base_questions()
+        changed[0] = SingleChoiceQuestion(
+            key="uses_cluster", text="HPC?", options=("yes", "no")
+        )
+        diff = diff_questionnaires(make(changed), make(name="b"))
+        text = diff.render()
+        assert "changed items:   1" in text
+        assert "~ uses_cluster" in text
+
+    def test_canonical_instrument_self_identical(self):
+        from repro.core import build_instrument
+
+        diff = diff_questionnaires(build_instrument(), build_instrument())
+        assert diff.comparable
+        assert len(diff.identical) == 26

@@ -1,0 +1,154 @@
+"""Tests for question types."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.survey import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    QuestionKind,
+    SingleChoiceQuestion,
+)
+
+
+class TestSingleChoice:
+    def make(self, **kw):
+        defaults = dict(key="lang", text="Primary language?", options=("python", "c"))
+        defaults.update(kw)
+        return SingleChoiceQuestion(**defaults)
+
+    def test_kind(self):
+        assert self.make().kind is QuestionKind.SINGLE_CHOICE
+
+    def test_accepts_listed_option(self):
+        q = self.make()
+        assert q.accepts("python")
+        assert not q.accepts("fortran")
+        assert not q.accepts(3)
+
+    def test_allow_other_accepts_writein(self):
+        q = self.make(allow_other=True)
+        assert q.accepts("zig")
+        assert not q.accepts("   ")
+
+    def test_rejects_bad_key(self):
+        with pytest.raises(ValueError):
+            self.make(key="BadKey")
+        with pytest.raises(ValueError):
+            self.make(key="1abc")
+
+    def test_rejects_too_few_options(self):
+        with pytest.raises(ValueError):
+            self.make(options=("python",))
+
+    def test_rejects_duplicate_options(self):
+        with pytest.raises(ValueError):
+            self.make(options=("python", "python"))
+
+    def test_rejects_blank_option(self):
+        with pytest.raises(ValueError):
+            self.make(options=("python", " "))
+
+    def test_rejects_empty_text(self):
+        with pytest.raises(ValueError):
+            self.make(text="  ")
+
+
+class TestMultiChoice:
+    def make(self, **kw):
+        defaults = dict(
+            key="langs", text="All languages used?", options=("python", "c", "r")
+        )
+        defaults.update(kw)
+        return MultiChoiceQuestion(**defaults)
+
+    def test_accepts_subsets(self):
+        q = self.make()
+        assert q.accepts([])
+        assert q.accepts(["python"])
+        assert q.accepts(("python", "c"))
+
+    def test_rejects_unknown_member(self):
+        assert not self.make().accepts(["python", "zig"])
+
+    def test_rejects_duplicates(self):
+        assert not self.make().accepts(["python", "python"])
+
+    def test_rejects_non_sequence(self):
+        assert not self.make().accepts("python")
+
+    def test_min_max_selected(self):
+        q = self.make(min_selected=1, max_selected=2)
+        assert not q.accepts([])
+        assert q.accepts(["python"])
+        assert not q.accepts(["python", "c", "r"])
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            self.make(min_selected=-1)
+        with pytest.raises(ValueError):
+            self.make(min_selected=2, max_selected=1)
+
+
+class TestLikert:
+    def test_accepts_in_scale(self):
+        q = LikertQuestion(key="expertise", text="Rate your expertise", points=5)
+        for v in range(1, 6):
+            assert q.accepts(v)
+        assert not q.accepts(0)
+        assert not q.accepts(6)
+
+    def test_rejects_bool_and_float(self):
+        q = LikertQuestion(key="expertise", text="Rate")
+        assert not q.accepts(True)
+        assert not q.accepts(3.0)
+
+    def test_rejects_tiny_scale(self):
+        with pytest.raises(ValueError):
+            LikertQuestion(key="x", text="t", points=1)
+
+
+class TestNumeric:
+    def test_range_enforced(self):
+        q = NumericQuestion(key="years", text="Years coding", minimum=0, maximum=60)
+        assert q.accepts(10)
+        assert q.accepts(0)
+        assert not q.accepts(-1)
+        assert not q.accepts(61)
+
+    def test_integer_only(self):
+        q = NumericQuestion(key="n", text="N", integer_only=True)
+        assert q.accepts(4)
+        assert not q.accepts(4.5)
+
+    def test_rejects_nan_and_bool(self):
+        q = NumericQuestion(key="n", text="N")
+        assert not q.accepts(float("nan"))
+        assert not q.accepts(True)
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            NumericQuestion(key="n", text="N", minimum=5, maximum=1)
+
+
+class TestFreeText:
+    def test_length_cap(self):
+        q = FreeTextQuestion(key="comments", text="Anything else?", max_length=10)
+        assert q.accepts("short")
+        assert not q.accepts("x" * 11)
+        assert not q.accepts(42)
+
+    def test_default_not_required(self):
+        assert not FreeTextQuestion(key="c", text="t").required
+
+    def test_bad_max_length(self):
+        with pytest.raises(ValueError):
+            FreeTextQuestion(key="c", text="t", max_length=0)
+
+
+@given(value=st.integers(min_value=-10, max_value=20), points=st.integers(2, 10))
+def test_property_likert_accept_iff_in_range(value, points):
+    q = LikertQuestion(key="q", text="t", points=points)
+    assert q.accepts(value) == (1 <= value <= points)

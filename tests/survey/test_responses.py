@@ -1,0 +1,176 @@
+"""Tests for response containers and columnar views."""
+
+import numpy as np
+import pytest
+
+from repro.survey import MISSING, Response, ResponseSet
+
+from tests.survey.test_schema import make_questionnaire
+
+
+def make_response(i, cohort="2024", **answers):
+    return Response(respondent_id=f"r{i}", cohort=cohort, answers=answers)
+
+
+def make_set(responses=None):
+    q = make_questionnaire()
+    if responses is None:
+        responses = [
+            make_response(
+                1, uses_cluster="yes", scheduler="slurm", languages=["python", "c"],
+                expertise=4, years=10,
+            ),
+            make_response(
+                2, uses_cluster="no", languages=["r"], expertise=2, years=3,
+            ),
+            make_response(
+                3, cohort="2011", uses_cluster="yes", scheduler="pbs",
+                languages=["c"], expertise=5, years=20,
+            ),
+        ]
+    return ResponseSet(q, responses)
+
+
+class TestResponse:
+    def test_get_and_answered(self):
+        r = make_response(1, expertise=4)
+        assert r.get("expertise") == 4
+        assert r.get("years") is MISSING
+        assert r.answered("expertise")
+        assert not r.answered("years")
+
+    def test_explicit_missing_sentinel(self):
+        r = Response("r1", "2024", {"years": MISSING})
+        assert not r.answered("years")
+        assert r.get("years", None) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Response("", "2024")
+        with pytest.raises(ValueError):
+            Response("r1", "")
+
+
+class TestResponseSet:
+    def test_len_iter_index(self):
+        rs = make_set()
+        assert len(rs) == 3
+        assert rs[0].respondent_id == "r1"
+        assert sum(1 for _ in rs) == 3
+
+    def test_duplicate_ids_rejected(self):
+        q = make_questionnaire()
+        with pytest.raises(ValueError):
+            ResponseSet(q, [make_response(1), make_response(1)])
+
+    def test_cohorts_sorted(self):
+        assert make_set().cohorts == ("2011", "2024")
+
+    def test_by_cohort(self):
+        rs = make_set()
+        assert len(rs.by_cohort("2024")) == 2
+        assert len(rs.by_cohort("2011")) == 1
+        assert len(rs.by_cohort("1999")) == 0
+
+    def test_split_cohorts_partitions(self):
+        rs = make_set()
+        parts = rs.split_cohorts()
+        assert sum(len(p) for p in parts.values()) == len(rs)
+
+    def test_filter(self):
+        rs = make_set()
+        clusters = rs.filter(lambda r: r.get("uses_cluster") == "yes")
+        assert len(clusters) == 2
+
+    def test_merge(self):
+        rs = make_set()
+        other = ResponseSet(rs.questionnaire, [make_response(9, expertise=1)])
+        merged = rs.merge(other)
+        assert len(merged) == 4
+
+    def test_merge_different_instruments_rejected(self):
+        rs = make_set()
+        other_q = make_questionnaire(name="different")
+        other = ResponseSet(other_q, [make_response(9)])
+        with pytest.raises(ValueError):
+            rs.merge(other)
+
+
+class TestColumnarViews:
+    def test_column_with_missing(self):
+        rs = make_set()
+        col = rs.column("scheduler")
+        assert col[0] == "slurm"
+        assert col[1] is None
+        assert col[2] == "pbs"
+
+    def test_column_unknown_key(self):
+        with pytest.raises(KeyError):
+            make_set().column("nope")
+
+    def test_column_is_cached(self):
+        rs = make_set()
+        assert rs.column("years") is rs.column("years")
+
+    def test_answered_mask(self):
+        rs = make_set()
+        assert rs.answered_mask("scheduler").tolist() == [True, False, True]
+
+    def test_numeric_column(self):
+        rs = make_set()
+        years = rs.numeric_column("years")
+        assert years.tolist() == [10.0, 3.0, 20.0]
+        assert rs.numeric_column("expertise").dtype == float
+
+    def test_numeric_column_nan_for_missing(self):
+        q = make_questionnaire()
+        rs = ResponseSet(q, [make_response(1)])
+        assert np.isnan(rs.numeric_column("years")[0])
+
+    def test_numeric_column_type_error(self):
+        with pytest.raises(TypeError):
+            make_set().numeric_column("languages")
+
+    def test_selection_matrix(self):
+        rs = make_set()
+        mat = rs.selection_matrix("languages")
+        assert mat.shape == (3, 3)  # python, c, r
+        assert mat[0].tolist() == [True, True, False]
+        assert mat[1].tolist() == [False, False, True]
+        assert mat[2].tolist() == [False, True, False]
+
+    def test_selection_matrix_missing_row_all_false(self):
+        q = make_questionnaire()
+        rs = ResponseSet(q, [make_response(1)])
+        assert not rs.selection_matrix("languages").any()
+
+    def test_selection_matrix_type_error(self):
+        with pytest.raises(TypeError):
+            make_set().selection_matrix("uses_cluster")
+
+
+class TestCompletionRate:
+    def test_full_completion(self):
+        rs = make_set(
+            [
+                make_response(
+                    1,
+                    uses_cluster="no",
+                    languages=["python"],
+                    expertise=3,
+                    years=1,
+                    comments="",
+                )
+            ]
+        )
+        assert rs.completion_rate() == pytest.approx(1.0)
+
+    def test_partial_completion(self):
+        rs = make_set([make_response(1, uses_cluster="no")])
+        # Applicable: uses_cluster, languages, expertise, years, comments (5).
+        assert rs.completion_rate() == pytest.approx(1 / 5)
+
+    def test_empty_set_rejected(self):
+        rs = make_set([])
+        with pytest.raises(ValueError):
+            rs.completion_rate()

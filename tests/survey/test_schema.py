@@ -1,0 +1,200 @@
+"""Tests for questionnaire schema and skip logic."""
+
+import pytest
+
+from repro.survey import (
+    FreeTextQuestion,
+    LikertQuestion,
+    MultiChoiceQuestion,
+    NumericQuestion,
+    Questionnaire,
+    SchemaError,
+    Section,
+    ShowIf,
+    SingleChoiceQuestion,
+)
+
+
+def make_questions():
+    return [
+        SingleChoiceQuestion(
+            key="uses_cluster", text="Do you use an HPC cluster?", options=("yes", "no")
+        ),
+        SingleChoiceQuestion(
+            key="scheduler",
+            text="Which scheduler?",
+            options=("slurm", "pbs", "lsf"),
+            allow_other=True,
+        ),
+        MultiChoiceQuestion(
+            key="languages",
+            text="Languages used?",
+            options=("python", "c", "r"),
+        ),
+        LikertQuestion(key="expertise", text="Rate expertise"),
+        NumericQuestion(key="years", text="Years", minimum=0, maximum=60),
+        FreeTextQuestion(key="comments", text="Comments"),
+    ]
+
+
+def make_questionnaire(**kw):
+    defaults = dict(
+        name="test-instrument",
+        questions=make_questions(),
+        skip_logic={"scheduler": ShowIf("uses_cluster", ("yes",))},
+    )
+    defaults.update(kw)
+    return Questionnaire(**defaults)
+
+
+class TestConstruction:
+    def test_basic(self):
+        q = make_questionnaire()
+        assert len(q) == 6
+        assert "scheduler" in q
+        assert q["languages"].options == ("python", "c", "r")
+
+    def test_keys_in_order(self):
+        q = make_questionnaire()
+        assert q.keys[0] == "uses_cluster"
+        assert q.keys[-1] == "comments"
+
+    def test_unknown_key_lookup(self):
+        with pytest.raises(KeyError):
+            make_questionnaire()["nope"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(name=" ")
+
+    def test_no_questions_rejected(self):
+        with pytest.raises(SchemaError):
+            Questionnaire(name="x", questions=[])
+
+    def test_duplicate_keys_rejected(self):
+        qs = make_questions() + [
+            SingleChoiceQuestion(key="years_dup", text="t", options=("a", "b"))
+        ]
+        qs.append(qs[0])
+        with pytest.raises(SchemaError):
+            Questionnaire(name="x", questions=qs)
+
+
+class TestSections:
+    def test_valid_sections(self):
+        q = make_questionnaire(
+            sections=[
+                Section("Background", ("uses_cluster", "years")),
+                Section("Skills", ("languages", "expertise")),
+            ]
+        )
+        assert len(q.sections) == 2
+
+    def test_unknown_key_in_section(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(sections=[Section("S", ("nope",))])
+
+    def test_question_in_two_sections(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(
+                sections=[Section("A", ("years",)), Section("B", ("years",))]
+            )
+
+    def test_empty_section_rejected(self):
+        with pytest.raises(SchemaError):
+            Section("S", ())
+
+
+class TestSkipLogic:
+    def test_gate_hides_question(self):
+        q = make_questionnaire()
+        shown = q.applicable_keys({"uses_cluster": "no"})
+        assert "scheduler" not in shown
+        assert "languages" in shown
+
+    def test_gate_shows_question(self):
+        q = make_questionnaire()
+        shown = q.applicable_keys({"uses_cluster": "yes"})
+        assert "scheduler" in shown
+
+    def test_unanswered_gate_hides(self):
+        q = make_questionnaire()
+        assert "scheduler" not in q.applicable_keys({})
+
+    def test_multichoice_gate_intersects(self):
+        qs = make_questions()
+        q = Questionnaire(
+            name="t",
+            questions=qs,
+            skip_logic={"expertise": ShowIf("languages", ("python",))},
+        )
+        assert "expertise" in q.applicable_keys({"languages": ["python", "c"]})
+        assert "expertise" not in q.applicable_keys({"languages": ["c"]})
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(
+                skip_logic={"uses_cluster": ShowIf("scheduler", ("slurm",))}
+            )
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(
+                skip_logic={"scheduler": ShowIf("scheduler", ("slurm",))}
+            )
+
+    def test_gate_on_non_choice_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(skip_logic={"comments": ShowIf("years", ("5",))})
+
+    def test_gate_on_unknown_question_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(skip_logic={"scheduler": ShowIf("nope", ("x",))})
+
+    def test_gate_for_unknown_question_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(skip_logic={"nope": ShowIf("uses_cluster", ("yes",))})
+
+    def test_gate_value_not_an_option_rejected(self):
+        with pytest.raises(SchemaError):
+            make_questionnaire(
+                skip_logic={"scheduler": ShowIf("uses_cluster", ("maybe",))}
+            )
+
+    def test_gate_value_ok_with_allow_other(self):
+        qs = make_questions()
+        # scheduler allows 'other', so gating downstream questions on a
+        # write-in value is permitted.
+        q = Questionnaire(
+            name="t",
+            questions=qs,
+            skip_logic={
+                "scheduler": ShowIf("uses_cluster", ("yes",)),
+                "comments": ShowIf("scheduler", ("custom-sched",)),
+            },
+        )
+        shown = q.applicable_keys({"uses_cluster": "yes", "scheduler": "custom-sched"})
+        assert "comments" in shown
+
+    def test_chained_gates(self):
+        """A question gated on a question that was itself hidden stays hidden."""
+        q = Questionnaire(
+            name="t",
+            questions=make_questions(),
+            skip_logic={
+                "scheduler": ShowIf("uses_cluster", ("yes",)),
+                "comments": ShowIf("scheduler", ("slurm",)),
+            },
+        )
+        # uses_cluster=no hides scheduler; comments gated on scheduler must hide
+        # too even if a (spurious) scheduler answer is present.
+        shown = q.applicable_keys({"uses_cluster": "no", "scheduler": "slurm"})
+        assert "scheduler" not in shown
+        assert "comments" not in shown
+
+    def test_showif_requires_values(self):
+        with pytest.raises(SchemaError):
+            ShowIf("x", ())
+
+    def test_showif_matches_none_is_false(self):
+        assert not ShowIf("x", ("a",)).matches(None)

@@ -1,0 +1,118 @@
+"""Tests for response validation."""
+
+import pytest
+
+from repro.survey import Response, ResponseSet, validate_response, validate_response_set
+from repro.survey.validation import IssueKind
+
+from tests.survey.test_schema import make_questionnaire
+
+
+def full_answers(**overrides):
+    answers = dict(
+        uses_cluster="yes",
+        scheduler="slurm",
+        languages=["python"],
+        expertise=3,
+        years=5,
+    )
+    answers.update(overrides)
+    return answers
+
+
+class TestValidateResponse:
+    def test_clean_response(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers())
+        assert validate_response(q, r) == []
+
+    def test_unknown_key(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers(favorite_editor="vim"))
+        issues = validate_response(q, r)
+        assert [i.kind for i in issues] == [IssueKind.UNKNOWN_KEY]
+        assert issues[0].question_key == "favorite_editor"
+
+    def test_invalid_value(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers(expertise=9))
+        issues = validate_response(q, r)
+        assert [i.kind for i in issues] == [IssueKind.INVALID_VALUE]
+
+    def test_missing_required(self):
+        q = make_questionnaire()
+        answers = full_answers()
+        del answers["languages"]
+        r = Response("r1", "2024", answers)
+        issues = validate_response(q, r)
+        assert [i.kind for i in issues] == [IssueKind.MISSING_REQUIRED]
+        assert issues[0].question_key == "languages"
+
+    def test_optional_free_text_not_flagged(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers())  # no comments given
+        assert all(i.question_key != "comments" for i in validate_response(q, r))
+
+    def test_not_applicable_answer_flagged(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers(uses_cluster="no"))
+        issues = validate_response(q, r)
+        kinds = {i.kind for i in issues}
+        assert IssueKind.NOT_APPLICABLE in kinds
+        assert any(i.question_key == "scheduler" for i in issues)
+
+    def test_hidden_question_missing_not_flagged(self):
+        q = make_questionnaire()
+        answers = full_answers(uses_cluster="no")
+        del answers["scheduler"]
+        r = Response("r1", "2024", answers)
+        assert validate_response(q, r) == []
+
+    def test_writein_accepted_for_allow_other(self):
+        q = make_questionnaire()
+        r = Response("r1", "2024", full_answers(scheduler="flux"))
+        assert validate_response(q, r) == []
+
+
+class TestValidateResponseSet:
+    def test_report_aggregates(self):
+        q = make_questionnaire()
+        rs = ResponseSet(
+            q,
+            [
+                Response("r1", "2024", full_answers()),
+                Response("r2", "2024", full_answers(expertise="high")),
+                Response("r3", "2024", {"uses_cluster": "yes"}),
+            ],
+        )
+        report = validate_response_set(rs)
+        assert report.n_responses == 3
+        assert not report.ok  # r2 has an invalid value
+        assert not report.clean
+        assert len(report.of_kind(IssueKind.INVALID_VALUE)) == 1
+        assert len(report.of_kind(IssueKind.MISSING_REQUIRED)) >= 3
+
+    def test_by_respondent_grouping(self):
+        q = make_questionnaire()
+        rs = ResponseSet(
+            q,
+            [
+                Response("good", "2024", full_answers()),
+                Response("bad", "2024", full_answers(years=-5, expertise=0)),
+            ],
+        )
+        grouped = validate_response_set(rs).by_respondent()
+        assert "good" not in grouped
+        assert len(grouped["bad"]) == 2
+
+    def test_ok_with_only_quality_issues(self):
+        q = make_questionnaire()
+        rs = ResponseSet(q, [Response("r1", "2024", {"uses_cluster": "no"})])
+        report = validate_response_set(rs)
+        assert report.ok  # missing answers are quality issues, not fatal
+        assert not report.clean
+
+    def test_clean_empty_set(self):
+        q = make_questionnaire()
+        report = validate_response_set(ResponseSet(q, []))
+        assert report.clean and report.ok

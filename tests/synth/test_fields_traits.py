@@ -1,0 +1,100 @@
+"""Tests for the field taxonomy and latent trait model."""
+
+import numpy as np
+import pytest
+
+from repro.synth import TRAIT_NAMES, TraitModel, TraitSpec
+from repro.synth.fields import CAREER_STAGES, FIELDS, field_names, field_shares
+
+
+class TestFields:
+    def test_shares_form_distribution(self):
+        assert sum(f.share for f in FIELDS) == pytest.approx(1.0)
+
+    def test_names_unique(self):
+        names = field_names()
+        assert len(set(names)) == len(names)
+
+    def test_shares_mapping_matches(self):
+        shares = field_shares()
+        assert set(shares) == set(field_names())
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_career_stage_distribution(self):
+        assert sum(CAREER_STAGES.values()) == pytest.approx(1.0)
+
+    def test_trait_shifts_roughly_zero_mean(self):
+        """Shifts must stay near share-weighted zero so cohort base rates
+        remain the cohort marginals (calibration invariant)."""
+        for trait in TRAIT_NAMES:
+            weighted = sum(f.share * f.trait_shift.get(trait, 0.0) for f in FIELDS)
+            assert abs(weighted) < 0.03, f"trait {trait} weighted shift {weighted}"
+
+    def test_shift_traits_are_known(self):
+        for f in FIELDS:
+            assert set(f.trait_shift) <= set(TRAIT_NAMES)
+
+
+def make_model(**means):
+    base = {"programming": 0.5, "hpc": 0.4, "ml": 0.3, "rigor": 0.5}
+    base.update(means)
+    return TraitModel({k: TraitSpec(mean=v) for k, v in base.items()})
+
+
+class TestTraitSpec:
+    def test_rejects_bad_mean(self):
+        with pytest.raises(ValueError):
+            TraitSpec(mean=0.0)
+        with pytest.raises(ValueError):
+            TraitSpec(mean=1.0)
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            TraitSpec(mean=0.5, concentration=0.0)
+
+
+class TestTraitModel:
+    def test_requires_all_traits(self):
+        with pytest.raises(ValueError):
+            TraitModel({"programming": TraitSpec(mean=0.5)})
+
+    def test_rejects_unknown_traits(self):
+        specs = {k: TraitSpec(mean=0.5) for k in TRAIT_NAMES}
+        specs["charisma"] = TraitSpec(mean=0.5)
+        with pytest.raises(ValueError):
+            TraitModel(specs)
+
+    def test_sample_in_unit_interval(self):
+        model = make_model()
+        rng = np.random.default_rng(0)
+        for f in FIELDS:
+            traits = model.sample(f, rng)
+            assert set(traits) == set(TRAIT_NAMES)
+            assert all(0.0 <= v <= 1.0 for v in traits.values())
+
+    def test_field_shift_moves_mean(self):
+        model = make_model()
+        rng = np.random.default_rng(1)
+        astro = next(f for f in FIELDS if f.name == "astrophysics")
+        social = next(f for f in FIELDS if f.name == "social_sciences")
+        astro_hpc = model.sample_many(astro, 3000, rng)["hpc"].mean()
+        social_hpc = model.sample_many(social, 3000, rng)["hpc"].mean()
+        assert astro_hpc > social_hpc + 0.2
+
+    def test_sample_many_matches_effective_mean(self):
+        model = make_model()
+        rng = np.random.default_rng(2)
+        f = FIELDS[0]
+        draws = model.sample_many(f, 20000, rng)
+        for trait in TRAIT_NAMES:
+            expected = model.effective_mean(trait, f)
+            assert draws[trait].mean() == pytest.approx(expected, abs=0.02)
+
+    def test_effective_mean_clipped(self):
+        model = make_model(ml=0.03)
+        f = next(f for f in FIELDS if f.trait_shift.get("ml", 0) < 0)
+        assert 0.0 < model.effective_mean("ml", f) < 1.0
+
+    def test_sample_many_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().sample_many(FIELDS[0], -1, np.random.default_rng(0))

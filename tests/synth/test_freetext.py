@@ -1,0 +1,94 @@
+"""Tests for the free-text generator."""
+
+import numpy as np
+import pytest
+
+from repro.synth import FreeTextTemplates
+from repro.synth.models import RespondentContext
+
+
+def ctx(**traits):
+    base = {"programming": 0.5, "hpc": 0.5, "ml": 0.5, "rigor": 0.5}
+    base.update(traits)
+    return RespondentContext(
+        field_name="physics", career_stage="postdoc", traits=base, cohort="2024"
+    )
+
+
+def make_templates(**kw):
+    defaults = dict(
+        tool_probs={"numpy": 0.8, "matlab": 0.3, "mpi": 0.2},
+        tool_loadings={"mpi": {"hpc": 4.0}},
+    )
+    defaults.update(kw)
+    return FreeTextTemplates(**defaults)
+
+
+class TestStackDescription:
+    def test_returns_nonempty_string(self):
+        t = make_templates()
+        rng = np.random.default_rng(0)
+        text = t.stack_description(ctx(), {}, rng)
+        assert isinstance(text, str) and text
+
+    def test_mentions_probable_tools(self):
+        t = make_templates()
+        rng = np.random.default_rng(1)
+        texts = [t.stack_description(ctx(), {}, rng).lower() for _ in range(200)]
+        numpy_rate = sum("numpy" in s for s in texts) / len(texts)
+        assert numpy_rate > 0.6
+
+    def test_trait_loading_changes_mentions(self):
+        t = make_templates(mention_decorations=0.0)
+        rng = np.random.default_rng(2)
+        hpc_texts = [t.stack_description(ctx(hpc=0.95), {}, rng) for _ in range(300)]
+        low_texts = [t.stack_description(ctx(hpc=0.05), {}, rng) for _ in range(300)]
+        hpc_rate = sum("mpi" in s.lower() for s in hpc_texts) / len(hpc_texts)
+        low_rate = sum("mpi" in s.lower() for s in low_texts) / len(low_texts)
+        assert hpc_rate > low_rate + 0.2
+
+    def test_never_empty_mentions(self):
+        # Tiny probabilities still produce at least one tool (the fallback).
+        t = FreeTextTemplates(tool_probs={"numpy": 0.001, "matlab": 0.0005})
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            text = t.stack_description(ctx(), {}, rng)
+            assert "numpy" in text.lower() or "matlab" in text.lower()
+
+    def test_decorations_add_versions_sometimes(self):
+        t = make_templates(mention_decorations=1.0)
+        rng = np.random.default_rng(4)
+        texts = [t.stack_description(ctx(), {}, rng) for _ in range(100)]
+        assert any(any(ch.isdigit() for ch in s) for s in texts)
+
+
+class TestChallenge:
+    def test_returns_template(self):
+        t = make_templates()
+        rng = np.random.default_rng(5)
+        text = t.challenge(ctx(), {}, rng)
+        assert isinstance(text, str) and len(text) > 10
+
+    def test_hpc_users_complain_about_cluster_more(self):
+        t = make_templates()
+        rng = np.random.default_rng(6)
+        hpc = [t.challenge(ctx(hpc=0.9), {}, rng) for _ in range(400)]
+        low = [t.challenge(ctx(hpc=0.1), {}, rng) for _ in range(400)]
+        cluster_words = ("queue", "gpu", "mpi", "parallelize")
+        hpc_rate = sum(any(w in s.lower() for w in cluster_words) for s in hpc) / len(hpc)
+        low_rate = sum(any(w in s.lower() for w in cluster_words) for s in low) / len(low)
+        assert hpc_rate > low_rate
+
+
+class TestValidation:
+    def test_empty_probs_rejected(self):
+        with pytest.raises(ValueError):
+            FreeTextTemplates(tool_probs={})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FreeTextTemplates(tool_probs={"x": 1.5})
+
+    def test_unknown_loading_rejected(self):
+        with pytest.raises(ValueError):
+            FreeTextTemplates(tool_probs={"x": 0.5}, tool_loadings={"y": {"ml": 1.0}})

@@ -1,0 +1,208 @@
+"""Tests for cohort generation and the calibrated profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BASELINE_2011,
+    TARGETS_2024,
+    build_instrument,
+    profile_2011,
+    profile_2024,
+)
+from repro.survey import validate_response_set
+from repro.survey.validation import IssueKind
+from repro.synth import CohortProfile, ProfileError, generate_cohort, generate_study
+from repro.synth.models import BernoulliYesNoModel
+from repro.synth.traits import TraitModel, TraitSpec
+
+
+@pytest.fixture(scope="module")
+def questionnaire():
+    return build_instrument()
+
+
+@pytest.fixture(scope="module")
+def study_responses(questionnaire):
+    return generate_study(
+        {"2011": (profile_2011(), 400), "2024": (profile_2024(), 400)},
+        questionnaire,
+        seed=99,
+    )
+
+
+def proportion(cohort_set, key, value):
+    col = cohort_set.column(key)
+    answered = [v for v in col if v is not None]
+    return sum(1 for v in answered if v == value) / len(answered)
+
+
+def multi_share(cohort_set, key, option):
+    q = cohort_set.questionnaire[key]
+    j = q.options.index(option)
+    mat = cohort_set.selection_matrix(key)
+    mask = cohort_set.answered_mask(key)
+    return mat[mask, j].mean()
+
+
+class TestGenerateCohort:
+    def test_sizes_and_cohort_label(self, questionnaire):
+        rs = generate_cohort(profile_2024(), questionnaire, 50, np.random.default_rng(0))
+        assert len(rs) == 50
+        assert rs.cohorts == ("2024",)
+
+    def test_zero_respondents(self, questionnaire):
+        rs = generate_cohort(profile_2024(), questionnaire, 0, np.random.default_rng(0))
+        assert len(rs) == 0
+
+    def test_negative_rejected(self, questionnaire):
+        with pytest.raises(ValueError):
+            generate_cohort(profile_2024(), questionnaire, -1, np.random.default_rng(0))
+
+    def test_deterministic_with_seed(self, questionnaire):
+        a = generate_cohort(profile_2024(), questionnaire, 30, np.random.default_rng(5))
+        b = generate_cohort(profile_2024(), questionnaire, 30, np.random.default_rng(5))
+        assert [dict(r.answers) for r in a] == [dict(r.answers) for r in b]
+
+    def test_respects_skip_logic(self, questionnaire):
+        rs = generate_cohort(profile_2024(), questionnaire, 200, np.random.default_rng(1))
+        for r in rs:
+            if r.get("uses_cluster", None) != "yes":
+                assert not r.answered("scheduler")
+            if r.get("uses_ml", None) != "yes":
+                assert not r.answered("ml_frameworks")
+
+    def test_no_fatal_validation_issues(self, questionnaire):
+        rs = generate_cohort(profile_2024(), questionnaire, 150, np.random.default_rng(2))
+        report = validate_response_set(rs)
+        assert report.ok, report.of_kind(IssueKind.INVALID_VALUE)[:3]
+
+    def test_demographics_pinned(self, questionnaire):
+        """field/career_stage answers always present and from the taxonomy."""
+        rs = generate_cohort(profile_2011(), questionnaire, 100, np.random.default_rng(3))
+        for r in rs:
+            assert r.answered("field")
+            assert r.answered("career_stage")
+
+    def test_missingness_appears(self, questionnaire):
+        rs = generate_cohort(profile_2024(), questionnaire, 300, np.random.default_rng(4))
+        assert rs.completion_rate() < 1.0
+
+
+class TestGenerateStudy:
+    def test_cohorts_merged(self, study_responses):
+        assert study_responses.cohorts == ("2011", "2024")
+        assert len(study_responses) == 800
+
+    def test_ids_unique_across_cohorts(self, study_responses):
+        ids = [r.respondent_id for r in study_responses]
+        assert len(set(ids)) == len(ids)
+
+    def test_empty_request_rejected(self, questionnaire):
+        with pytest.raises(ValueError):
+            generate_study({}, questionnaire, seed=1)
+
+    def test_label_mismatch_rejected(self, questionnaire):
+        with pytest.raises(ValueError):
+            generate_study({"2020": (profile_2024(), 5)}, questionnaire, seed=1)
+
+    def test_cohort_independence(self, questionnaire):
+        """Adding a cohort never changes another cohort's draws."""
+        both = generate_study(
+            {"2011": (profile_2011(), 40), "2024": (profile_2024(), 40)},
+            questionnaire,
+            seed=7,
+        )
+        alone = generate_study({"2011": (profile_2011(), 40)}, questionnaire, seed=7)
+        both_2011 = [dict(r.answers) for r in both.by_cohort("2011")]
+        alone_2011 = [dict(r.answers) for r in alone]
+        assert both_2011 == alone_2011
+
+
+class TestCalibration:
+    """Generated marginals must land near the documented targets."""
+
+    @pytest.mark.parametrize(
+        "key,target_key",
+        [
+            ("uses_parallelism", "uses_parallelism.yes"),
+            ("uses_cluster", "uses_cluster.yes"),
+            ("uses_ml", "uses_ml.yes"),
+        ],
+    )
+    def test_2024_yes_rates(self, study_responses, key, target_key):
+        rate = proportion(study_responses.by_cohort("2024"), key, "yes")
+        assert rate == pytest.approx(TARGETS_2024[target_key], abs=0.08)
+
+    def test_2011_ml_rate_low(self, study_responses):
+        rate = proportion(study_responses.by_cohort("2011"), "uses_ml", "yes")
+        assert rate == pytest.approx(BASELINE_2011["uses_ml.yes"], abs=0.06)
+
+    @pytest.mark.parametrize("language,lo,hi", [("python", 0.84, 0.97), ("fortran", 0.05, 0.22)])
+    def test_2024_language_shares(self, study_responses, language, lo, hi):
+        share = multi_share(study_responses.by_cohort("2024"), "languages", language)
+        assert lo <= share <= hi
+
+    def test_python_rise_is_the_headline(self, study_responses):
+        rise = multi_share(study_responses.by_cohort("2024"), "languages", "python") - multi_share(
+            study_responses.by_cohort("2011"), "languages", "python"
+        )
+        assert rise > 0.40
+
+    def test_git_displaces_none(self, study_responses):
+        git_2011 = proportion(study_responses.by_cohort("2011"), "vcs", "git")
+        git_2024 = proportion(study_responses.by_cohort("2024"), "vcs", "git")
+        none_2011 = proportion(study_responses.by_cohort("2011"), "vcs", "none")
+        none_2024 = proportion(study_responses.by_cohort("2024"), "vcs", "none")
+        assert git_2024 > git_2011 + 0.4
+        assert none_2024 < none_2011 - 0.2
+
+    def test_slurm_monoculture_2024(self, study_responses):
+        assert proportion(study_responses.by_cohort("2024"), "scheduler", "slurm") > 0.7
+
+    def test_gpu_consistent_with_modes(self, study_responses):
+        """Nearly everyone selecting the gpu parallel mode reports using GPUs."""
+        for r in study_responses.by_cohort("2024"):
+            modes = r.get("parallel_modes", None)
+            if modes and "gpu" in modes and r.answered("uses_gpu"):
+                pass  # counted below
+        hits, total = 0, 0
+        for r in study_responses:
+            modes = r.get("parallel_modes", None)
+            if modes and "gpu" in modes and r.answered("uses_gpu"):
+                total += 1
+                hits += r.get("uses_gpu") == "yes"
+        assert total > 10
+        assert hits / total > 0.85
+
+    def test_freetext_present_and_bounded(self, study_responses):
+        texts = [
+            r.get("stack_description")
+            for r in study_responses
+            if r.answered("stack_description")
+        ]
+        assert len(texts) > 500
+        assert all(isinstance(t, str) and 0 < len(t) <= 500 for t in texts)
+
+
+class TestProfileValidation:
+    def test_bad_rates_rejected(self):
+        traits = TraitModel({k: TraitSpec(mean=0.5) for k in ("programming", "hpc", "ml", "rigor")})
+        with pytest.raises(ProfileError):
+            CohortProfile(
+                cohort="x",
+                trait_model=traits,
+                question_models={"q": BernoulliYesNoModel(base=0.5)},
+                missing_rate=1.5,
+            )
+
+    def test_empty_models_rejected(self):
+        traits = TraitModel({k: TraitSpec(mean=0.5) for k in ("programming", "hpc", "ml", "rigor")})
+        with pytest.raises(ProfileError):
+            CohortProfile(cohort="x", trait_model=traits, question_models={})
+
+    def test_field_lookup(self):
+        p = profile_2024()
+        assert p.field_by_name("physics").name == "physics"
+        with pytest.raises(KeyError):
+            p.field_by_name("alchemy")

@@ -1,0 +1,84 @@
+"""Tests for trait-dependent (MAR) missingness."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import quality_report
+from repro.core import build_instrument, profile_2024
+from repro.synth import CohortProfile, ProfileError, generate_cohort
+from repro.synth.generator import _skip_probability
+from repro.synth.models import RespondentContext
+
+
+def ctx(programming=0.5, centers=None):
+    traits = {"programming": programming, "hpc": 0.5, "ml": 0.5, "rigor": 0.5}
+    return RespondentContext(
+        field_name="physics", career_stage="postdoc", traits=traits,
+        cohort="2024", centers=centers or {"programming": 0.5, "hpc": 0.5, "ml": 0.5, "rigor": 0.5},
+    )
+
+
+class TestSkipProbability:
+    def test_no_loadings_returns_base(self):
+        profile = profile_2024()
+        assert _skip_probability(0.08, profile, ctx()) == 0.08
+
+    def test_loading_shifts_rate(self):
+        profile = replace(profile_2024(), missingness_loadings={"programming": -3.0})
+        low = _skip_probability(0.08, profile, ctx(programming=0.9))
+        high = _skip_probability(0.08, profile, ctx(programming=0.1))
+        assert low < 0.08 < high
+
+    def test_zero_base_stays_zero(self):
+        profile = replace(profile_2024(), missingness_loadings={"programming": -3.0})
+        assert _skip_probability(0.0, profile, ctx()) == 0.0
+
+    def test_unknown_trait_rejected(self):
+        with pytest.raises(ProfileError):
+            replace(profile_2024(), missingness_loadings={"charisma": 1.0})
+
+
+class TestDifferentialMissingnessEndToEnd:
+    def test_mar_pattern_detected_by_quality_report(self):
+        """With strong negative programming loadings, low-computing fields
+        skip more — and the QA module flags it."""
+        questionnaire = build_instrument()
+        mar_profile = replace(
+            profile_2024(),
+            missing_rate=0.15,
+            missingness_loadings={"programming": -6.0},
+        )
+        responses = generate_cohort(
+            mar_profile, questionnaire, 500, np.random.default_rng(0)
+        )
+        report = quality_report(responses)
+        assert report.field_missingness_test.significant(0.05)
+
+    def test_mcar_baseline_not_flagged(self):
+        questionnaire = build_instrument()
+        responses = generate_cohort(
+            profile_2024(), questionnaire, 500, np.random.default_rng(0)
+        )
+        report = quality_report(responses)
+        # MCAR: differential test should usually stay quiet at alpha=0.001.
+        assert report.field_missingness_test.p_value > 0.001
+
+    def test_completion_gap_direction(self):
+        """Computer scientists complete more than social scientists under MAR."""
+        questionnaire = build_instrument()
+        mar_profile = replace(
+            profile_2024(),
+            missing_rate=0.20,
+            missingness_loadings={"programming": -6.0},
+        )
+        responses = generate_cohort(
+            mar_profile, questionnaire, 800, np.random.default_rng(1)
+        )
+
+        def completion(field_name):
+            subset = responses.filter(lambda r: r.get("field") == field_name)
+            return subset.completion_rate()
+
+        assert completion("computer_science") > completion("social_sciences")

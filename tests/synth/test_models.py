@@ -1,0 +1,227 @@
+"""Tests for per-question response models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synth import (
+    BernoulliYesNoModel,
+    CategoricalModel,
+    DerivedMultiChoiceModel,
+    FreeTextModel,
+    LikertModel,
+    MultiChoiceModel,
+    NumericModel,
+    RespondentContext,
+)
+
+
+def ctx(cohort="2024", centers=None, **traits):
+    base = {"programming": 0.5, "hpc": 0.5, "ml": 0.5, "rigor": 0.5}
+    base.update(traits)
+    return RespondentContext(
+        field_name="physics", career_stage="postdoc", traits=base, cohort=cohort,
+        centers=centers,
+    )
+
+
+class TestContext:
+    def test_trait_lookup(self):
+        c = ctx(hpc=0.9)
+        assert c.trait("hpc") == 0.9
+        with pytest.raises(KeyError):
+            c.trait("charisma")
+
+    def test_centered_default(self):
+        assert ctx(hpc=0.7).centered_trait("hpc") == pytest.approx(0.2)
+
+    def test_centered_with_centers(self):
+        c = ctx(hpc=0.7, centers={"hpc": 0.7})
+        assert c.centered_trait("hpc") == pytest.approx(0.0)
+
+    def test_centers_fallback_for_missing_key(self):
+        c = ctx(hpc=0.7, centers={"ml": 0.3})
+        assert c.centered_trait("hpc") == pytest.approx(0.2)
+
+
+class TestCategorical:
+    def test_probabilities_normalized(self):
+        m = CategoricalModel(base_probs={"a": 0.5, "b": 0.3, "c": 0.2})
+        probs = m.probabilities(ctx())
+        assert sum(probs.values()) == pytest.approx(1.0)
+        assert probs["a"] == pytest.approx(0.5)
+
+    def test_loading_shifts_option(self):
+        m = CategoricalModel(
+            base_probs={"git": 0.3, "none": 0.7},
+            loadings={"git": {"rigor": 4.0}},
+        )
+        lo = m.probabilities(ctx(rigor=0.1))["git"]
+        hi = m.probabilities(ctx(rigor=0.9))["git"]
+        assert hi > lo + 0.3
+
+    def test_sample_returns_option(self):
+        m = CategoricalModel(base_probs={"a": 0.5, "b": 0.5})
+        rng = np.random.default_rng(0)
+        assert m.sample(ctx(), {}, rng) in ("a", "b")
+
+    def test_zero_base_prob_nearly_never(self):
+        m = CategoricalModel(base_probs={"a": 1.0, "b": 0.0})
+        rng = np.random.default_rng(0)
+        draws = {m.sample(ctx(), {}, rng) for _ in range(200)}
+        assert draws == {"a"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CategoricalModel(base_probs={})
+        with pytest.raises(ValueError):
+            CategoricalModel(base_probs={"a": -0.1, "b": 0.5})
+        with pytest.raises(ValueError):
+            CategoricalModel(base_probs={"a": 0.5}, loadings={"zz": {"ml": 1.0}})
+        with pytest.raises(ValueError):
+            CategoricalModel(base_probs={"a": 0.5, "b": 0.5}, loadings={"a": {"zz": 1.0}})
+
+
+class TestBernoulli:
+    def test_base_probability_at_center(self):
+        m = BernoulliYesNoModel(base=0.3, loadings={"hpc": 4.0})
+        assert m.probability(ctx(hpc=0.5)) == pytest.approx(0.3)
+
+    def test_loading_direction(self):
+        m = BernoulliYesNoModel(base=0.3, loadings={"hpc": 4.0})
+        assert m.probability(ctx(hpc=0.9)) > 0.3 > m.probability(ctx(hpc=0.1))
+
+    def test_empirical_rate(self):
+        m = BernoulliYesNoModel(base=0.4)
+        rng = np.random.default_rng(3)
+        draws = [m.sample(ctx(), {}, rng) for _ in range(4000)]
+        rate = draws.count("yes") / len(draws)
+        assert rate == pytest.approx(0.4, abs=0.03)
+
+    def test_custom_labels(self):
+        m = BernoulliYesNoModel(base=1.0, yes="si", no="no")
+        assert m.sample(ctx(), {}, np.random.default_rng(0)) == "si"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliYesNoModel(base=1.5)
+        with pytest.raises(ValueError):
+            BernoulliYesNoModel(base=0.5, loadings={"zz": 1.0})
+
+
+class TestMultiChoice:
+    def test_independent_selection_rates(self):
+        m = MultiChoiceModel(option_probs={"x": 0.9, "y": 0.1})
+        rng = np.random.default_rng(5)
+        selections = [m.sample(ctx(), {}, rng) for _ in range(3000)]
+        x_rate = sum("x" in s for s in selections) / len(selections)
+        y_rate = sum("y" in s for s in selections) / len(selections)
+        assert x_rate == pytest.approx(0.9, abs=0.03)
+        assert y_rate == pytest.approx(0.1, abs=0.03)
+
+    def test_returns_subset(self):
+        m = MultiChoiceModel(option_probs={"x": 0.5, "y": 0.5, "z": 0.5})
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            sel = m.sample(ctx(), {}, rng)
+            assert set(sel) <= {"x", "y", "z"}
+            assert len(set(sel)) == len(sel)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiChoiceModel(option_probs={})
+        with pytest.raises(ValueError):
+            MultiChoiceModel(option_probs={"x": 1.2})
+
+
+class TestDerivedMultiChoice:
+    def test_adjust_applied(self):
+        inner = MultiChoiceModel(option_probs={"gpu": 0.1, "mpi": 0.5})
+
+        def force_gpu(probs, answers):
+            if answers.get("uses_gpu") == "yes":
+                probs["gpu"] = 1.0
+            return probs
+
+        m = DerivedMultiChoiceModel(inner=inner, adjust=force_gpu)
+        rng = np.random.default_rng(0)
+        with_gpu = [m.sample(ctx(), {"uses_gpu": "yes"}, rng) for _ in range(50)]
+        assert all("gpu" in s for s in with_gpu)
+
+    def test_bad_adjusted_probability_raises(self):
+        inner = MultiChoiceModel(option_probs={"a": 0.5})
+        m = DerivedMultiChoiceModel(inner=inner, adjust=lambda p, a: {"a": 2.0})
+        with pytest.raises(ValueError):
+            m.sample(ctx(), {}, np.random.default_rng(0))
+
+    def test_requires_adjust(self):
+        inner = MultiChoiceModel(option_probs={"a": 0.5})
+        with pytest.raises(ValueError):
+            DerivedMultiChoiceModel(inner=inner, adjust=None)
+
+
+class TestLikert:
+    def test_in_scale(self):
+        m = LikertModel(points=5, base_mean=3.0)
+        rng = np.random.default_rng(1)
+        draws = [m.sample(ctx(), {}, rng) for _ in range(500)]
+        assert all(1 <= v <= 5 for v in draws)
+        assert np.mean(draws) == pytest.approx(3.0, abs=0.15)
+
+    def test_loading_shifts_mean(self):
+        m = LikertModel(points=5, base_mean=3.0, loadings={"programming": 3.0})
+        assert m.mean(ctx(programming=0.9)) > m.mean(ctx(programming=0.1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LikertModel(points=1, base_mean=1.0)
+        with pytest.raises(ValueError):
+            LikertModel(points=5, base_mean=7.0)
+        with pytest.raises(ValueError):
+            LikertModel(points=5, base_mean=3.0, sd=0.0)
+
+
+class TestNumeric:
+    def test_range_respected(self):
+        m = NumericModel(log_mean=2.0, log_sd=1.0, minimum=0, maximum=60)
+        rng = np.random.default_rng(2)
+        draws = [m.sample(ctx(), {}, rng) for _ in range(300)]
+        assert all(0 <= v <= 60 for v in draws)
+        assert all(isinstance(v, int) for v in draws)
+
+    def test_float_mode(self):
+        m = NumericModel(log_mean=0.0, log_sd=0.5, minimum=0, maximum=10, integer=False)
+        v = m.sample(ctx(), {}, np.random.default_rng(0))
+        assert isinstance(v, float)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericModel(log_mean=0, log_sd=0, minimum=0, maximum=1)
+        with pytest.raises(ValueError):
+            NumericModel(log_mean=0, log_sd=1, minimum=5, maximum=1)
+
+
+class TestFreeText:
+    def test_delegates(self):
+        m = FreeTextModel(generate=lambda c, a, r: f"I am a {c.field_name}")
+        assert m.sample(ctx(), {}, np.random.default_rng(0)) == "I am a physics"
+
+    def test_non_string_rejected(self):
+        m = FreeTextModel(generate=lambda c, a, r: 42)
+        with pytest.raises(TypeError):
+            m.sample(ctx(), {}, np.random.default_rng(0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    base=st.floats(min_value=0.01, max_value=0.99),
+    trait=st.floats(min_value=0.0, max_value=1.0),
+    loading=st.floats(min_value=-5.0, max_value=5.0),
+)
+def test_property_bernoulli_probability_valid(base, trait, loading):
+    m = BernoulliYesNoModel(base=base, loadings={"ml": loading})
+    p = m.probability(ctx(ml=trait))
+    assert 0.0 <= p <= 1.0
+    # Monotone in the trait when loading is positive.
+    if loading > 0:
+        assert m.probability(ctx(ml=1.0)) >= m.probability(ctx(ml=0.0))

@@ -1,0 +1,125 @@
+"""Tests for panel generation and paired analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import paired_multi_change, paired_yes_no_change
+from repro.core import build_instrument, profile_2011, profile_2024
+from repro.survey import Response, ResponseSet
+from repro.synth import PanelResponses, generate_panel
+
+
+@pytest.fixture(scope="module")
+def questionnaire():
+    return build_instrument()
+
+
+@pytest.fixture(scope="module")
+def panel(questionnaire):
+    return generate_panel(
+        profile_2011(), profile_2024(), questionnaire, 150, np.random.default_rng(3)
+    )
+
+
+class TestGeneratePanel:
+    def test_sizes_and_alignment(self, panel):
+        assert len(panel) == 150
+        for ra, rb in panel.pairs():
+            assert ra.cohort == "2011" and rb.cohort == "2024"
+            assert ra.respondent_id.split("@")[0] == rb.respondent_id.split("@")[0]
+
+    def test_identity_stable_across_waves(self, panel):
+        for ra, rb in panel.pairs():
+            assert ra.get("field") == rb.get("field")
+            assert ra.get("career_stage") == rb.get("career_stage")
+
+    def test_merged_is_two_cohorts(self, panel):
+        merged = panel.merged()
+        assert merged.cohorts == ("2011", "2024")
+        assert len(merged) == 300
+
+    def test_deterministic(self, questionnaire):
+        a = generate_panel(profile_2011(), profile_2024(), questionnaire, 20, np.random.default_rng(1))
+        b = generate_panel(profile_2011(), profile_2024(), questionnaire, 20, np.random.default_rng(1))
+        assert [dict(r.answers) for r in a.wave_b] == [dict(r.answers) for r in b.wave_b]
+
+    def test_persistence_preserves_rank(self, questionnaire):
+        """With persistence=1 and no drift, a wave-A outlier stays an outlier."""
+        panel = generate_panel(
+            profile_2011(), profile_2024(), questionnaire, 300,
+            np.random.default_rng(5), persistence=1.0, drift_sd=0.0,
+        )
+        # git users in 2011 should almost all still be git users in 2024
+        # (rigor persisted and the 2024 base rate is high anyway); check the
+        # reverse direction: 2011 git users rarely regress to 'none'.
+        regressed = sum(
+            1
+            for ra, rb in panel.pairs()
+            if ra.get("vcs") == "git" and rb.get("vcs") == "none"
+        )
+        git_2011 = sum(1 for ra, _ in panel.pairs() if ra.get("vcs") == "git")
+        assert git_2011 > 10
+        assert regressed / git_2011 < 0.15
+
+    def test_validation(self, questionnaire):
+        with pytest.raises(ValueError):
+            generate_panel(profile_2011(), profile_2024(), questionnaire, -1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            generate_panel(
+                profile_2011(), profile_2024(), questionnaire, 5,
+                np.random.default_rng(0), persistence=1.5,
+            )
+        with pytest.raises(ValueError):
+            generate_panel(
+                profile_2011(), profile_2024(), questionnaire, 5,
+                np.random.default_rng(0), drift_sd=-0.1,
+            )
+
+    def test_misaligned_panel_rejected(self, questionnaire):
+        a = ResponseSet(questionnaire, [Response("x@2011", "2011", {})])
+        b = ResponseSet(questionnaire, [Response("y@2024", "2024", {})])
+        with pytest.raises(ValueError):
+            PanelResponses(wave_a=a, wave_b=b)
+
+    def test_length_mismatch_rejected(self, questionnaire):
+        a = ResponseSet(questionnaire, [Response("x@2011", "2011", {})])
+        b = ResponseSet(questionnaire, [])
+        with pytest.raises(ValueError):
+            PanelResponses(wave_a=a, wave_b=b)
+
+
+class TestPairedAnalysis:
+    def test_ml_adoption_within_person(self, panel):
+        change = paired_yes_no_change(panel, "uses_ml")
+        assert change.n_pairs > 100
+        assert change.adopters > change.abandoners
+        assert change.test.significant(0.001)
+        assert change.net_change > 0.2
+
+    def test_python_adoption_within_person(self, panel):
+        change = paired_multi_change(panel, "languages", "python")
+        assert change.adopters > change.abandoners
+        assert change.test.significant(0.001)
+
+    def test_counts_partition_pairs(self, panel):
+        change = paired_yes_no_change(panel, "uses_cluster")
+        assert change.n00 + change.n01 + change.n10 + change.n11 == change.n_pairs
+
+    def test_wrong_kind_rejected(self, panel):
+        with pytest.raises(TypeError):
+            paired_yes_no_change(panel, "languages")
+        with pytest.raises(TypeError):
+            paired_multi_change(panel, "uses_ml", "yes")
+
+    def test_unknown_option_rejected(self, panel):
+        with pytest.raises(ValueError):
+            paired_multi_change(panel, "languages", "cobol")
+
+    def test_net_change_empty_pairs_rejected(self, questionnaire):
+        empty = PanelResponses(
+            wave_a=ResponseSet(questionnaire, []),
+            wave_b=ResponseSet(questionnaire, []),
+        )
+        change = paired_yes_no_change(empty, "uses_ml")
+        with pytest.raises(ValueError):
+            change.net_change

@@ -1,0 +1,134 @@
+"""Ground-truth recovery tests: the pipeline finds planted effects and
+controls false positives on null scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core import TrendEngine, build_instrument, profile_2011, profile_2024
+from repro.synth import (
+    generate_study,
+    null_revisit_profile,
+    with_multi_rates,
+    with_yes_rate,
+)
+from repro.synth.models import BernoulliYesNoModel
+
+
+@pytest.fixture(scope="module")
+def questionnaire():
+    return build_instrument()
+
+
+class TestScenarioConstruction:
+    def test_with_yes_rate_overrides_base(self):
+        modified = with_yes_rate(profile_2024(), "uses_containers", 0.9)
+        model = modified.question_models["uses_containers"]
+        assert isinstance(model, BernoulliYesNoModel)
+        assert model.base == 0.9
+        # Loadings preserved; original untouched.
+        assert model.loadings == profile_2024().question_models["uses_containers"].loadings
+        assert profile_2024().question_models["uses_containers"].base != 0.9
+
+    def test_with_yes_rate_validation(self):
+        with pytest.raises(TypeError):
+            with_yes_rate(profile_2024(), "languages", 0.5)
+        with pytest.raises(ValueError):
+            with_yes_rate(profile_2024(), "uses_ml", 1.5)
+
+    def test_with_multi_rates(self):
+        modified = with_multi_rates(profile_2024(), "languages", {"julia": 0.6})
+        assert modified.question_models["languages"].option_probs["julia"] == 0.6
+
+    def test_with_multi_rates_validation(self):
+        with pytest.raises(TypeError):
+            with_multi_rates(profile_2024(), "uses_ml", {"yes": 0.5})
+        with pytest.raises(ValueError):
+            with_multi_rates(profile_2024(), "languages", {"cobol": 0.5})
+        with pytest.raises(ValueError):
+            with_multi_rates(profile_2024(), "languages", {"julia": 2.0})
+
+    def test_null_profile_label(self):
+        null = null_revisit_profile(profile_2011(), "2024")
+        assert null.cohort == "2024"
+        with pytest.raises(ValueError):
+            null_revisit_profile(profile_2011(), "2011")
+
+
+class TestEffectRecovery:
+    def test_planted_yes_effect_detected(self, questionnaire):
+        """Plant a big containers effect and confirm the engine finds it."""
+        boosted = with_yes_rate(profile_2024(), "uses_containers", 0.80)
+        responses = generate_study(
+            {"2011": (profile_2011(), 150), "2024": (boosted, 150)},
+            questionnaire,
+            seed=3,
+        )
+        row = TrendEngine(responses).yes_no_trend("uses_containers")
+        assert row.current.estimate > 0.6
+        assert row.significant(1e-6)
+
+    def test_planted_multi_effect_detected(self, questionnaire):
+        surged = with_multi_rates(profile_2024(), "languages", {"julia": 0.55})
+        responses = generate_study(
+            {"2011": (profile_2011(), 150), "2024": (surged, 150)},
+            questionnaire,
+            seed=4,
+        )
+        table = TrendEngine(responses).multi_choice_trend("languages").corrected("holm")
+        assert table["julia"].significant(0.001)
+        assert table["julia"].delta > 0.3
+
+    def test_effect_size_recovered_within_ci(self, questionnaire):
+        """The planted rate should land inside the reported Wilson CI."""
+        planted = 0.65
+        boosted = with_yes_rate(profile_2024(), "uses_containers", planted)
+        responses = generate_study(
+            {"2011": (profile_2011(), 300), "2024": (boosted, 300)},
+            questionnaire,
+            seed=5,
+        )
+        row = TrendEngine(responses).yes_no_trend("uses_containers")
+        assert row.current.low - 0.03 <= planted <= row.current.high + 0.03
+
+
+class TestNullControl:
+    def test_false_positive_rate_controlled(self, questionnaire):
+        """On a null revisit, Holm-corrected families reject ~never and raw
+        per-row rejections stay near alpha."""
+        null = null_revisit_profile(profile_2011(), "2024")
+        raw_rejections = 0
+        corrected_rejections = 0
+        n_rows = 0
+        for seed in range(6):
+            responses = generate_study(
+                {"2011": (profile_2011(), 150), "2024": (null, 150)},
+                questionnaire,
+                seed=100 + seed,
+            )
+            engine = TrendEngine(responses)
+            table = engine.multi_choice_trend("languages")
+            for row in table:
+                n_rows += 1
+                raw_rejections += row.significant(0.05)
+            corrected = table.corrected("holm")
+            corrected_rejections += sum(r.significant(0.05) for r in corrected)
+        assert n_rows == 66
+        # Raw false-positive rate should be near 5% (allow generous slack).
+        assert raw_rejections / n_rows < 0.15
+        # Family-wise control: at most one corrected rejection across runs.
+        assert corrected_rejections <= 1
+
+    def test_null_yes_no_rows_not_significant(self, questionnaire):
+        null = null_revisit_profile(profile_2011(), "2024")
+        responses = generate_study(
+            {"2011": (profile_2011(), 200), "2024": (null, 200)},
+            questionnaire,
+            seed=55,
+        )
+        engine = TrendEngine(responses)
+        significant = [
+            key
+            for key in ("uses_ml", "uses_gpu", "uses_containers", "uses_cluster")
+            if engine.yes_no_trend(key).significant(0.01)
+        ]
+        assert significant == []

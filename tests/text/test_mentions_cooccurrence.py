@@ -1,0 +1,135 @@
+"""Tests for mention extraction and the co-occurrence graph."""
+
+import pytest
+
+from repro.survey import (
+    FreeTextQuestion,
+    Questionnaire,
+    Response,
+    ResponseSet,
+    SingleChoiceQuestion,
+)
+from repro.text import (
+    MentionExtractor,
+    build_cooccurrence_graph,
+    cooccurrence_summary,
+    extract_mentions,
+)
+
+
+def make_set(texts):
+    q = Questionnaire(
+        "t",
+        [
+            SingleChoiceQuestion(key="dummy", text="d", options=("a", "b")),
+            FreeTextQuestion(key="stack", text="stack?"),
+        ],
+    )
+    responses = [
+        Response(f"r{i}", "2024", {"stack": text} if text is not None else {})
+        for i, text in enumerate(texts)
+    ]
+    return ResponseSet(q, responses)
+
+
+class TestMentionsIn:
+    def test_basic_extraction(self):
+        m = MentionExtractor().mentions_in("We use NumPy, PyTorch 2.1 and Git.")
+        assert m == frozenset({"numpy", "pytorch", "git"})
+
+    def test_aliases_resolve(self):
+        m = MentionExtractor().mentions_in("torch + sklearn on github")
+        assert m == frozenset({"pytorch", "scikit-learn", "git"})
+
+    def test_no_mentions(self):
+        assert MentionExtractor().mentions_in("I like turtles") == frozenset()
+
+
+class TestSummarize:
+    def test_document_frequencies(self):
+        rs = make_set(
+            [
+                "numpy and pytorch",
+                "numpy numpy numpy",  # repeated token counts once
+                "just bash",
+                None,  # unanswered
+            ]
+        )
+        summary = extract_mentions(rs, "stack")
+        assert summary.n_documents == 3
+        assert summary.counts["numpy"] == 2
+        assert summary.counts["pytorch"] == 1
+        assert summary.share("numpy") == pytest.approx(2 / 3)
+
+    def test_top(self):
+        rs = make_set(["numpy pytorch", "numpy", "pytorch numpy"])
+        summary = extract_mentions(rs, "stack")
+        assert summary.top(1) == [("numpy", 3)]
+
+    def test_share_with_no_documents(self):
+        summary = extract_mentions(make_set([None]), "stack")
+        with pytest.raises(ValueError):
+            summary.share("numpy")
+
+
+class TestCooccurrence:
+    def make_summary(self):
+        rs = make_set(
+            [
+                "numpy and pytorch and cuda",
+                "numpy and pytorch",
+                "numpy pandas",
+                "fortran mpi",
+                "fortran mpi openmp",
+            ]
+        )
+        return extract_mentions(rs, "stack")
+
+    def test_edge_weights(self):
+        graph = build_cooccurrence_graph(self.make_summary(), min_count=1)
+        assert graph["numpy"]["pytorch"]["weight"] == 2
+        assert graph["fortran"]["mpi"]["weight"] == 2
+
+    def test_min_count_threshold(self):
+        graph = build_cooccurrence_graph(self.make_summary(), min_count=2)
+        assert not graph.has_edge("numpy", "pandas")  # weight 1 dropped
+        assert graph.has_edge("numpy", "pytorch")
+
+    def test_min_count_validation(self):
+        with pytest.raises(ValueError):
+            build_cooccurrence_graph(self.make_summary(), min_count=0)
+
+    def test_summary_top_pairs(self):
+        graph = build_cooccurrence_graph(self.make_summary(), min_count=1)
+        result = cooccurrence_summary(graph, top_k=2)
+        assert len(result.top_pairs) == 2
+        assert all(w >= 1 for _, _, w in result.top_pairs)
+        weights = [w for _, _, w in result.top_pairs]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_communities_separate_stacks(self):
+        graph = build_cooccurrence_graph(self.make_summary(), min_count=1)
+        result = cooccurrence_summary(graph)
+        # numpy/pytorch stack and fortran/mpi stack land in different groups.
+        community_of = {}
+        for i, community in enumerate(result.communities):
+            for tool in community:
+                community_of[tool] = i
+        assert community_of["numpy"] != community_of["fortran"]
+
+    def test_centrality_sums_to_one(self):
+        graph = build_cooccurrence_graph(self.make_summary(), min_count=1)
+        result = cooccurrence_summary(graph)
+        assert sum(result.centrality.values()) == pytest.approx(1.0)
+
+    def test_edgeless_graph(self):
+        rs = make_set(["numpy", "fortran"])
+        graph = build_cooccurrence_graph(extract_mentions(rs, "stack"))
+        result = cooccurrence_summary(graph)
+        assert result.n_edges == 0
+        assert result.communities == ()
+
+    def test_top_k_validation(self):
+        graph = build_cooccurrence_graph(self.make_summary())
+        with pytest.raises(ValueError):
+            cooccurrence_summary(graph, top_k=0)

@@ -1,0 +1,96 @@
+"""Tests for the tokenizer and lexicon."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import DEFAULT_LEXICON, Lexicon, ToolEntry, normalize_token, tokenize
+
+
+class TestTokenize:
+    def test_simple_sentence(self):
+        assert tokenize("I use NumPy and SciPy.") == ["i", "use", "numpy", "and", "scipy"]
+
+    def test_preserves_tool_punctuation(self):
+        tokens = tokenize("C++ and F# and scikit-learn and mpi4py")
+        assert "c++" in tokens
+        assert "f#" in tokens
+        assert "scikit-learn" in tokens
+        assert "mpi4py" in tokens
+
+    def test_versions_separate_tokens(self):
+        tokens = tokenize("pytorch 2.1 on CUDA 12.0")
+        assert "pytorch" in tokens and "2.1" in tokens
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            tokenize(42)
+
+
+class TestNormalize:
+    def test_lowercase_and_strip(self):
+        assert normalize_token("NumPy.") == "numpy"
+
+    def test_drops_bare_versions(self):
+        assert normalize_token("2.1") is None
+        assert normalize_token("12") is None
+
+    def test_keeps_versioned_names(self):
+        assert normalize_token("mpi4py") == "mpi4py"
+        assert normalize_token("f90") == "f90"
+
+    def test_drops_empty(self):
+        assert normalize_token("  ") is None
+
+
+class TestLexicon:
+    def test_resolve_canonical(self):
+        assert DEFAULT_LEXICON.resolve("numpy") == "numpy"
+
+    def test_resolve_alias(self):
+        assert DEFAULT_LEXICON.resolve("torch") == "pytorch"
+        assert DEFAULT_LEXICON.resolve("sklearn") == "scikit-learn"
+        assert DEFAULT_LEXICON.resolve("singularity") == "apptainer"
+
+    def test_resolve_case_insensitive(self):
+        assert DEFAULT_LEXICON.resolve("GitHub") == "git"
+
+    def test_resolve_unknown(self):
+        assert DEFAULT_LEXICON.resolve("cobol") is None
+        assert "cobol" not in DEFAULT_LEXICON
+        assert "numpy" in DEFAULT_LEXICON
+
+    def test_category(self):
+        assert DEFAULT_LEXICON.category("pytorch") == "ml"
+        with pytest.raises(KeyError):
+            DEFAULT_LEXICON.category("cobol")
+
+    def test_extended(self):
+        bigger = DEFAULT_LEXICON.extended([ToolEntry("dask", "hpc", ("dask.distributed",))])
+        assert bigger.resolve("dask") == "dask"
+        assert len(bigger) == len(DEFAULT_LEXICON) + 1
+        # original untouched
+        assert DEFAULT_LEXICON.resolve("dask") is None
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Lexicon([ToolEntry("a", "x"), ToolEntry("a", "y")])
+
+    def test_conflicting_alias_rejected(self):
+        with pytest.raises(ValueError):
+            Lexicon([ToolEntry("a", "x", ("z",)), ToolEntry("b", "y", ("z",))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Lexicon([])
+
+
+@given(text=st.text(max_size=300))
+def test_property_tokenize_never_crashes_and_lowercases(text):
+    tokens = tokenize(text)
+    assert all(t == t.lower() for t in tokens)
+    for t in tokens:
+        norm = normalize_token(t)
+        assert norm is None or norm

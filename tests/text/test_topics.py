@@ -1,0 +1,83 @@
+"""Tests for challenge-topic coding."""
+
+import pytest
+
+from repro.text import TOPIC_KEYWORDS, code_challenges
+from repro.text.topics import topics_in
+
+from tests.text.test_mentions_cooccurrence import make_set
+
+
+class TestTopicsIn:
+    def test_queue_topic(self):
+        assert "queue_contention" in topics_in(
+            "Queue wait times on the cluster are the biggest bottleneck."
+        )
+
+    def test_installation_topic(self):
+        assert "software_installation" in topics_in(
+            "Installing dependencies reproducibly is painful."
+        )
+
+    def test_multi_label(self):
+        topics = topics_in(
+            "Storage quotas and the queue make everything slow."
+        )
+        assert {"storage_data", "queue_contention", "performance_scaling"} <= topics
+
+    def test_no_match(self):
+        assert topics_in("Everything is wonderful.") == frozenset()
+
+    def test_case_insensitive(self):
+        assert topics_in("DEBUGGING MPI JOBS") == topics_in("debugging mpi jobs")
+
+
+class TestCodeChallenges:
+    def make_responses(self):
+        # Reuse the mentions-test questionnaire; the free-text key is "stack".
+        return make_set(
+            [
+                "Queue wait times are brutal",
+                "Installing dependencies reproducibly is painful",
+                "My code is too slow and I don't know how to parallelize it",
+                "Everything is wonderful",
+                None,
+            ]
+        )
+
+    def test_counts_and_uncoded(self):
+        coded = code_challenges(self.make_responses(), key="stack")
+        assert coded.n_documents == 4
+        assert coded.n_uncoded == 1
+        assert coded.counts["queue_contention"] == 1
+        assert coded.counts["software_installation"] == 1
+        assert coded.counts["performance_scaling"] == 1
+
+    def test_share(self):
+        coded = code_challenges(self.make_responses(), key="stack")
+        assert coded.share("queue_contention") == pytest.approx(0.25)
+
+    def test_ranked_order(self):
+        coded = code_challenges(self.make_responses(), key="stack")
+        values = [c for _, c in coded.ranked()]
+        assert values == sorted(values, reverse=True)
+
+    def test_share_without_documents(self):
+        coded = code_challenges(make_set([None]), key="stack")
+        with pytest.raises(ValueError):
+            coded.share("queue_contention")
+
+    def test_on_generated_study(self, study):
+        coded = code_challenges(study.current)
+        assert coded.n_documents > 100
+        # The synthetic templates cover most categories.
+        assert len(coded.counts) >= 4
+        assert coded.n_uncoded / coded.n_documents < 0.2
+
+    def test_keywords_disjoint_enough(self):
+        """No keyword claimed by two topics (keeps coding interpretable)."""
+        seen = {}
+        for topic, keywords in TOPIC_KEYWORDS.items():
+            for kw in keywords:
+                assert kw not in seen, f"{kw!r} in both {seen.get(kw)} and {topic}"
+                seen[kw] = topic
