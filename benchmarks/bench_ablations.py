@@ -3,8 +3,11 @@
 * vectorized vs loop cross-tab engine;
 * EASY backfill on vs off in the scheduler;
 * Wilson (analytic) vs bootstrap proportion CIs;
-* pipeline artifact caching on vs off.
+* pipeline artifact caching on vs off;
+* sequential vs parallel DAG execution and full-report fan-out.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -12,6 +15,7 @@ import pytest
 from repro.analysis import crosstab, crosstab_loop
 from repro.cluster import WorkloadModel, WorkloadParams, simulate_schedule
 from repro.core import ArtifactCache, Pipeline, PipelineStep
+from repro.report import run_all_experiments
 from repro.stats import bootstrap_ci, wilson_interval
 
 
@@ -115,3 +119,76 @@ def bench_ablation_cache_warm(benchmark):
 
     out = benchmark(run)
     assert "analyze" in out
+
+
+# -- DAG executor: sequential vs parallel ------------------------------------------
+
+
+def _fanout_gen(context, n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n)
+
+
+def _fanout_reduce(context):
+    return float(sum(np.mean(context[name]) for name in sorted(context)))
+
+
+def _wide_pipeline(cache, lanes=4, n=1_000_000):
+    # `lanes` independent generation steps feeding one reduction: the shape
+    # where topological fan-out pays. Module-level fns keep it process-safe.
+    steps = [
+        PipelineStep(name=f"gen{i}", fn=_fanout_gen, params={"n": n, "seed": i})
+        for i in range(lanes)
+    ]
+    steps.append(
+        PipelineStep(
+            name="reduce",
+            fn=_fanout_reduce,
+            depends_on=tuple(f"gen{i}" for i in range(lanes)),
+        )
+    )
+    return Pipeline(steps, cache)
+
+
+def bench_ablation_pipeline_sequential(benchmark):
+    def run():
+        return _wide_pipeline(ArtifactCache()).run(max_workers=1)
+
+    out = benchmark(run)
+    assert "reduce" in out
+
+
+def bench_ablation_pipeline_parallel(benchmark):
+    workers = max(2, os.cpu_count() or 1)
+
+    def run():
+        return _wide_pipeline(ArtifactCache()).run(max_workers=workers, executor="process")
+
+    out = benchmark(run)
+    assert "reduce" in out
+
+
+# -- full-report regeneration: sequential vs parallel fan-out -------------------------
+
+
+def bench_ablation_report_sequential(benchmark, study):
+    artifacts = benchmark.pedantic(
+        run_all_experiments,
+        args=(study,),
+        kwargs={"max_workers": 1},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(artifacts) >= 16
+
+
+def bench_ablation_report_parallel(benchmark, study):
+    workers = max(2, os.cpu_count() or 1)
+    artifacts = benchmark.pedantic(
+        run_all_experiments,
+        args=(study,),
+        kwargs={"max_workers": workers, "executor": "process"},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(artifacts) >= 16

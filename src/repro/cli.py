@@ -61,6 +61,23 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--months", type=int, default=6)
     rep.add_argument("--jobs-per-day", type=float, default=200.0)
     rep.add_argument("--out", type=Path, default=None, help="write to file instead of stdout")
+    rep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="experiment fan-out worker count (default: all cores)",
+    )
+    rep.add_argument(
+        "--executor",
+        choices=("auto", "sequential", "thread", "process"),
+        default="auto",
+        help="how to fan experiments out (auto = process pool when possible)",
+    )
+    rep.add_argument(
+        "--timings",
+        action="store_true",
+        help="print per-experiment executor timings after the report",
+    )
 
     rob = sub.add_parser(
         "robustness", help="seed-sweep the headline claims (EXPERIMENTS.md check)"
@@ -189,13 +206,24 @@ def _cmd_experiment(args, out) -> int:
 def _cmd_report(args, out) -> int:
     from repro.report.document import build_report
 
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=out)
+        return 2
     study = _build_study(args)
-    text = build_report(study)
+    metrics_sink = []
+    text = build_report(
+        study,
+        max_workers=args.jobs,
+        executor=args.executor,
+        metrics_out=metrics_sink,
+    )
     if args.out is not None:
         Path(args.out).write_text(text, encoding="utf-8")
         print(f"wrote report to {args.out}", file=out)
     else:
         print(text, file=out)
+    if args.timings and metrics_sink:
+        print(metrics_sink[0].render(), file=out)
     return 0
 
 

@@ -8,7 +8,10 @@
   cluster telemetry for analysis;
 * :mod:`repro.core.trends` — cohort-over-cohort trend engine;
 * :mod:`repro.core.pipeline` — reproducible generate/validate/analyze
-  pipeline with content-addressed artifact caching.
+  dependency DAG with content-addressed artifact caching and parallel
+  (thread/process pool) execution;
+* :mod:`repro.core.metrics` — executor instrumentation
+  (:class:`ExecutorMetrics`) shared by the pipeline and the report fan-out.
 """
 
 from repro.core.instrument import build_instrument
@@ -22,6 +25,7 @@ from repro.core.calibration import (
 from repro.core.study import Study, StudyError, build_default_study
 from repro.core.trends import TrendEngine, TrendRow, TrendTable
 from repro.core.weighting import WeightedTrendEngine, make_cohort_weights
+from repro.core.metrics import ExecutorMetrics, StepMetric
 from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
 from repro.core.study_pipeline import run_cached_study, study_pipeline
 
@@ -43,6 +47,8 @@ __all__ = [
     "Pipeline",
     "PipelineStep",
     "ArtifactCache",
+    "ExecutorMetrics",
+    "StepMetric",
     "study_pipeline",
     "run_cached_study",
 ]

@@ -1,0 +1,117 @@
+"""Executor instrumentation for the DAG pipeline and the experiment fan-out.
+
+Every parallel entry point (:meth:`repro.core.Pipeline.run`,
+:func:`repro.report.run_all_experiments`) records what actually happened —
+which units ran vs came from cache, how long each took, and how busy the
+worker pool was — into an :class:`ExecutorMetrics`. The golden-artifact
+suite guarantees parallel output is byte-identical to sequential output, so
+these metrics are the only observable difference between the two modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepMetric", "ExecutorMetrics"]
+
+
+@dataclass(frozen=True)
+class StepMetric:
+    """One executed (or cache-served) unit of work.
+
+    Attributes
+    ----------
+    name:
+        Step name (pipeline) or experiment id (report fan-out).
+    key:
+        Content-address of the unit's artifact ("" when uncached).
+    cached:
+        True when the value was served from the artifact cache.
+    wall_seconds:
+        Wall time spent obtaining the value (cache hit or compute).
+    started_at / finished_at:
+        Offsets in seconds from the start of the run, for building a
+        utilization timeline.
+    """
+
+    name: str
+    key: str
+    cached: bool
+    wall_seconds: float
+    started_at: float
+    finished_at: float
+
+
+@dataclass
+class ExecutorMetrics:
+    """Aggregate record of one executor run."""
+
+    mode: str
+    max_workers: int
+    steps: list[StepMetric] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def record(
+        self,
+        name: str,
+        key: str,
+        cached: bool,
+        wall_seconds: float,
+        started_at: float = 0.0,
+        finished_at: float = 0.0,
+    ) -> None:
+        self.steps.append(
+            StepMetric(name, key, cached, wall_seconds, started_at, finished_at)
+        )
+
+    @property
+    def steps_run(self) -> int:
+        """Steps whose value was computed this run."""
+        return sum(1 for s in self.steps if not s.cached)
+
+    @property
+    def steps_cached(self) -> int:
+        """Steps served from the artifact cache."""
+        return sum(1 for s in self.steps if s.cached)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total worker-seconds spent computing (cache hits excluded)."""
+        return sum(s.wall_seconds for s in self.steps if not s.cached)
+
+    def worker_utilization(self) -> float:
+        """Fraction of the pool's wall-clock capacity spent computing.
+
+        1.0 means every worker was busy for the whole run; a sequential
+        run of pure compute also reports ~1.0 (one worker, always busy).
+        """
+        capacity = self.wall_seconds * max(self.max_workers, 1)
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / capacity)
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat dict of the headline numbers (for logs and benches)."""
+        return {
+            "mode": self.mode,
+            "max_workers": self.max_workers,
+            "steps_run": self.steps_run,
+            "steps_cached": self.steps_cached,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "busy_seconds": round(self.busy_seconds, 4),
+            "worker_utilization": round(self.worker_utilization(), 4),
+        }
+
+    def render(self) -> str:
+        """Human-readable multi-line timing report."""
+        lines = [
+            f"executor: {self.mode} (max_workers={self.max_workers}) — "
+            f"{self.steps_run} run, {self.steps_cached} cached, "
+            f"{self.wall_seconds:.2f}s wall, "
+            f"{100.0 * self.worker_utilization():.0f}% utilization"
+        ]
+        width = max((len(s.name) for s in self.steps), default=0)
+        for s in sorted(self.steps, key=lambda m: -m.wall_seconds):
+            tag = "cached" if s.cached else "ran"
+            lines.append(f"  {s.name:<{width}}  {tag:<6} {s.wall_seconds:8.3f}s")
+        return "\n".join(lines)

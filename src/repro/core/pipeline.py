@@ -1,25 +1,80 @@
-"""Reproducible analysis pipeline with content-addressed artifact caching.
+"""Reproducible analysis DAG with content-addressed artifact caching.
 
 Regenerating every table from scratch re-runs the scheduler simulator each
 time; the pipeline caches each step's output keyed by the step's name, its
-parameters, and the cache keys of everything upstream, so editing a late
-analysis step never re-simulates the cluster. The ablation bench
-(`bench_ablation_cache`) measures exactly this.
+function's code fingerprint, its parameters, and the cache keys of
+everything upstream, so editing a late analysis step never re-simulates the
+cluster. The ablation bench (`bench_ablation_cache`) measures exactly this.
+
+Steps form a dependency DAG and independent steps execute concurrently:
+``Pipeline.run`` topologically schedules the graph onto a
+``concurrent.futures`` pool (processes when every step function pickles,
+threads otherwise; ``max_workers`` defaults to ``os.cpu_count()``). The
+parallel schedule is observationally identical to the sequential one — same
+context dict, same cache keys, same artifacts — which the golden-artifact
+and property-based suites enforce. Cache writes are atomic (temp file +
+``os.replace``) and computes are single-flight per key, so concurrent runs
+sharing one cache never interleave partial artifacts or duplicate work
+within a process.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
+import threading
+import time
+import types
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from repro.core.metrics import ExecutorMetrics
+
 __all__ = ["ArtifactCache", "PipelineStep", "Pipeline", "PipelineError"]
+
+_EXECUTORS = ("auto", "sequential", "thread", "process")
 
 
 class PipelineError(RuntimeError):
     """Raised for misconfigured pipelines."""
+
+
+def _hash_code(h: "hashlib._Hash", code: types.CodeType) -> None:
+    # Nested code objects repr with memory addresses; recurse into them so
+    # the fingerprint is stable across interpreter runs.
+    h.update(code.co_code)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            _hash_code(h, const)
+        else:
+            h.update(repr(const).encode())
+
+
+def fingerprint_callable(fn: Callable[..., Any]) -> str:
+    """Stable identity for a step function: module, qualname, code hash.
+
+    Two steps with the same name and params but different implementations
+    must produce different cache keys; hashing the compiled bytecode (and
+    nested code objects) catches edits that keep the signature.
+    """
+    h = hashlib.sha256()
+    h.update(getattr(fn, "__module__", "") .encode() + b"\x00")
+    h.update(getattr(fn, "__qualname__", type(fn).__name__).encode() + b"\x00")
+    code = getattr(fn, "__code__", None)
+    if code is None:  # callable object — fingerprint its __call__ if compiled
+        code = getattr(getattr(fn, "__call__", None), "__code__", None)
+    if code is not None:
+        _hash_code(h, code)
+    return h.hexdigest()[:16]
 
 
 class ArtifactCache:
@@ -30,11 +85,18 @@ class ArtifactCache:
     root:
         Directory for artifacts; created on first put. ``None`` gives an
         in-memory cache (useful in tests and benches).
+
+    Disk writes go through a temp file in the same directory followed by
+    ``os.replace``, so readers (including other processes) never observe a
+    partially-written artifact. Corrupt or truncated entries are treated as
+    misses and evicted rather than crashing mid-run.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
         self.root = Path(root) if root is not None else None
         self._memory: dict[str, bytes] = {}
+        self._locks_guard = threading.Lock()
+        self._locks: dict[str, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
 
@@ -42,26 +104,86 @@ class ArtifactCache:
         assert self.root is not None
         return self.root / f"{key}.pkl"
 
+    def _load(self, key: str) -> bytes | None:
+        if self.root is None:
+            return self._memory.get(key)
+        try:
+            return self._path(key).read_bytes()
+        except OSError:  # missing, or deleted between exists() and read
+            return None
+
+    def _evict(self, key: str) -> None:
+        if self.root is None:
+            self._memory.pop(key, None)
+        else:
+            try:
+                self._path(key).unlink()
+            except OSError:
+                pass
+
+    def _peek(self, key: str) -> Any | None:
+        """Like :meth:`get` but without touching the hit/miss counters."""
+        blob = self._load(key)
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            # Corrupt/truncated entry (killed writer on a non-atomic FS,
+            # disk damage): treat as a miss and drop the bad artifact.
+            self._evict(key)
+            return None
+
     def get(self, key: str) -> Any | None:
         """Cached value for ``key``, or None."""
-        if self.root is None:
-            blob = self._memory.get(key)
-        else:
-            path = self._path(key)
-            blob = path.read_bytes() if path.exists() else None
-        if blob is None:
+        value = self._peek(key)
+        if value is None:
             self.misses += 1
             return None
         self.hits += 1
-        return pickle.loads(blob)
+        return value
 
     def put(self, key: str, value: Any) -> None:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         if self.root is None:
             self._memory[key] = blob
-        else:
-            self.root.mkdir(parents=True, exist_ok=True)
-            self._path(key).write_bytes(blob)
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        tmp.write_bytes(blob)
+        os.replace(tmp, path)
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = self._locks[key] = threading.Lock()
+            return lock
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any], force: bool = False
+    ) -> tuple[Any, bool]:
+        """Return ``(value, was_cached)``, computing at most once per key.
+
+        Concurrent callers asking for the same key within this process
+        serialize on a per-key lock: one computes and publishes, the rest
+        observe the published value (single-flight). ``force=True`` skips
+        the read path but still publishes the recomputed value.
+        """
+        if not force:
+            value = self.get(key)
+            if value is not None:
+                return value, True
+        with self._lock_for(key):
+            if not force:
+                # Another flight may have published while we waited.
+                value = self._peek(key)
+                if value is not None:
+                    return value, True
+            value = compute()
+            self.put(key, value)
+            return value, False
 
     def clear(self) -> None:
         if self.root is None:
@@ -69,8 +191,21 @@ class ArtifactCache:
         else:
             for path in self.root.glob("*.pkl"):
                 path.unlink()
+            for path in self.root.glob("*.tmp"):
+                path.unlink()
         self.hits = 0
         self.misses = 0
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = self.__dict__.copy()
+        state["_locks_guard"] = None
+        state["_locks"] = None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._locks_guard = threading.Lock()
+        self._locks = {}
 
 
 @dataclass(frozen=True)
@@ -82,8 +217,10 @@ class PipelineStep:
     name:
         Unique step name; also the context key its output is stored under.
     fn:
-        ``fn(context, **params) -> value`` where ``context`` maps earlier
-        step names to their outputs.
+        ``fn(context, **params) -> value`` where ``context`` maps this
+        step's declared dependencies to their outputs. Dependencies must be
+        declared: undeclared reads would race under parallel execution, so
+        the context contains exactly ``depends_on`` in every executor mode.
     params:
         Declarative parameters hashed into the cache key. Must be
         repr-stable (plain ints/floats/strings/tuples).
@@ -98,8 +235,23 @@ class PipelineStep:
     depends_on: tuple[str, ...] = ()
 
 
+def _call_step(fn: Callable[..., Any], inputs: dict[str, Any], params: dict[str, Any]) -> Any:
+    # Module-level so process-pool workers can unpickle the invocation.
+    return fn(inputs, **params)
+
+
 class Pipeline:
-    """An ordered list of steps with cache-aware execution."""
+    """A dependency DAG of steps with cache-aware (parallel) execution.
+
+    Steps are given in topological order (each step's dependencies must be
+    declared by earlier steps), which also rules out cycles. ``run``
+    schedules the DAG: steps whose dependencies have all resolved execute
+    concurrently, subject to ``max_workers``.
+
+    After every ``run`` the executor's timing/utilization record is
+    available as :attr:`last_metrics` (an
+    :class:`~repro.core.metrics.ExecutorMetrics`).
+    """
 
     def __init__(self, steps: list[PipelineStep], cache: ArtifactCache | None = None) -> None:
         if not steps:
@@ -117,30 +269,186 @@ class Pipeline:
             seen.add(step.name)
         self.steps = list(steps)
         self.cache = cache if cache is not None else ArtifactCache()
+        self.last_metrics: ExecutorMetrics | None = None
 
     def _key(self, step: PipelineStep, upstream_keys: Mapping[str, str]) -> str:
         h = hashlib.sha256()
         h.update(step.name.encode())
+        h.update(fingerprint_callable(step.fn).encode())
         h.update(repr(sorted(step.params.items())).encode())
         for dep in step.depends_on:
             h.update(upstream_keys[dep].encode())
         return h.hexdigest()[:24]
 
-    def run(self, force: bool = False) -> dict[str, Any]:
-        """Execute all steps, returning {step name: output}.
-
-        With ``force=True`` the cache is bypassed (but still written).
-        """
-        context: dict[str, Any] = {}
+    def keys(self) -> dict[str, str]:
+        """Cache key per step. Pure function of the pipeline definition,
+        so sequential and parallel runs address identical artifacts."""
         keys: dict[str, str] = {}
         for step in self.steps:
-            key = self._key(step, keys)
-            keys[step.name] = key
-            value = None if force else self.cache.get(key)
-            if value is None:
-                value = step.fn(context, **dict(step.params))
-                if value is None:
-                    raise PipelineError(f"step {step.name!r} returned None")
-                self.cache.put(key, value)
-            context[step.name] = value
-        return context
+            keys[step.name] = self._key(step, keys)
+        return keys
+
+    # -- executor selection ---------------------------------------------------
+
+    def _picklable(self) -> bool:
+        try:
+            for step in self.steps:
+                pickle.dumps((step.fn, dict(step.params)))
+        except Exception:
+            return False
+        return True
+
+    def _resolve_executor(self, executor: str, max_workers: int | None) -> tuple[str, int]:
+        if executor not in _EXECUTORS:
+            raise PipelineError(
+                f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+            )
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        if workers < 1:
+            raise PipelineError(f"max_workers must be >= 1, got {max_workers}")
+        if executor == "sequential" or workers == 1 or len(self.steps) == 1:
+            return "sequential", 1
+        if executor == "auto":
+            return ("process" if self._picklable() else "thread"), workers
+        return executor, workers
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        force: bool = False,
+        *,
+        max_workers: int | None = None,
+        executor: str = "auto",
+    ) -> dict[str, Any]:
+        """Execute all steps, returning {step name: output} in step order.
+
+        Parameters
+        ----------
+        force:
+            Bypass cache reads (values are still written back).
+        max_workers:
+            Pool size; defaults to ``os.cpu_count()``. ``1`` forces the
+            sequential fast path.
+        executor:
+            ``"auto"`` (processes when every step pickles, else threads),
+            ``"sequential"``, ``"thread"``, or ``"process"``.
+
+        The returned dict — values and iteration order — is identical
+        across executor modes; only :attr:`last_metrics` differs.
+        """
+        keys = self.keys()
+        mode, workers = self._resolve_executor(executor, max_workers)
+        metrics = ExecutorMetrics(mode=mode, max_workers=workers)
+        t0 = time.perf_counter()
+        if mode == "sequential":
+            results = self._run_sequential(keys, force, metrics, t0)
+        else:
+            results = self._run_dag(keys, force, metrics, mode, workers, t0)
+        metrics.wall_seconds = time.perf_counter() - t0
+        self.last_metrics = metrics
+        return {step.name: results[step.name] for step in self.steps}
+
+    def _execute(self, step: PipelineStep, inputs: dict[str, Any], pool: ProcessPoolExecutor | None) -> Any:
+        if pool is not None:
+            value = pool.submit(_call_step, step.fn, inputs, dict(step.params)).result()
+        else:
+            value = _call_step(step.fn, inputs, dict(step.params))
+        if value is None:
+            raise PipelineError(f"step {step.name!r} returned None")
+        return value
+
+    def _run_sequential(
+        self,
+        keys: Mapping[str, str],
+        force: bool,
+        metrics: ExecutorMetrics,
+        t0: float,
+    ) -> dict[str, Any]:
+        results: dict[str, Any] = {}
+        for step in self.steps:
+            inputs = {dep: results[dep] for dep in step.depends_on}
+            started = time.perf_counter()
+            value, cached = self.cache.get_or_compute(
+                keys[step.name],
+                lambda step=step, inputs=inputs: self._execute(step, inputs, None),
+                force=force,
+            )
+            finished = time.perf_counter()
+            metrics.record(
+                step.name, keys[step.name], cached, finished - started,
+                started - t0, finished - t0,
+            )
+            results[step.name] = value
+        return results
+
+    def _run_dag(
+        self,
+        keys: Mapping[str, str],
+        force: bool,
+        metrics: ExecutorMetrics,
+        mode: str,
+        workers: int,
+        t0: float,
+    ) -> dict[str, Any]:
+        indegree = {s.name: len(s.depends_on) for s in self.steps}
+        dependents: dict[str, list[PipelineStep]] = {s.name: [] for s in self.steps}
+        for step in self.steps:
+            for dep in step.depends_on:
+                dependents[dep].append(step)
+        by_name = {s.name: s for s in self.steps}
+        results: dict[str, Any] = {}
+
+        # Thread mode computes inside the coordination threads, so the
+        # coordination pool IS the worker pool; process mode uses cheap
+        # coordination threads (one can exist per step) that block on the
+        # process pool, which enforces the real parallelism bound. Per-key
+        # single-flight waits only ever block on another pipeline's compute
+        # (keys are unique within one pipeline), so bounding the thread-mode
+        # pool to ``workers`` cannot deadlock this run against itself.
+        coord_size = workers if mode == "thread" else len(self.steps)
+        pool = ProcessPoolExecutor(max_workers=workers) if mode == "process" else None
+
+        def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, bool, float, float]:
+            started = time.perf_counter()
+            value, cached = self.cache.get_or_compute(
+                keys[step.name],
+                lambda: self._execute(step, inputs, pool),
+                force=force,
+            )
+            return value, cached, started, time.perf_counter()
+
+        try:
+            with ThreadPoolExecutor(max_workers=coord_size) as coord:
+                inflight: dict[Future, PipelineStep] = {}
+
+                def submit(step: PipelineStep) -> None:
+                    inputs = {dep: results[dep] for dep in step.depends_on}
+                    inflight[coord.submit(task, step, inputs)] = step
+
+                for step in self.steps:
+                    if indegree[step.name] == 0:
+                        submit(step)
+                while inflight:
+                    done, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        step = inflight.pop(fut)
+                        try:
+                            value, cached, started, finished = fut.result()
+                        except BaseException:
+                            for other in inflight:
+                                other.cancel()
+                            raise
+                        metrics.record(
+                            step.name, keys[step.name], cached,
+                            finished - started, started - t0, finished - t0,
+                        )
+                        results[step.name] = value
+                        for dependent in dependents[step.name]:
+                            indegree[dependent.name] -= 1
+                            if indegree[dependent.name] == 0:
+                                submit(by_name[dependent.name])
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+        return results

@@ -108,6 +108,18 @@ def study_pipeline(
     return Pipeline(steps, cache)
 
 
-def run_cached_study(cache: ArtifactCache | None = None, **kwargs) -> Study:
-    """Convenience: build and run the pipeline, returning the Study."""
-    return study_pipeline(cache=cache, **kwargs).run()["study"]
+def run_cached_study(
+    cache: ArtifactCache | None = None,
+    max_workers: int | None = None,
+    executor: str = "auto",
+    **kwargs,
+) -> Study:
+    """Convenience: build and run the pipeline, returning the Study.
+
+    The survey and workload stages are independent, so on a multi-core
+    machine a cold run overlaps cohort generation with the workload
+    simulation; ``max_workers``/``executor`` forward to
+    :meth:`~repro.core.pipeline.Pipeline.run`.
+    """
+    pipeline = study_pipeline(cache=cache, **kwargs)
+    return pipeline.run(max_workers=max_workers, executor=executor)["study"]

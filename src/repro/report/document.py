@@ -9,8 +9,9 @@ EXPERIMENTS.md workflow consumes.
 from __future__ import annotations
 
 from repro.analysis.quality import quality_report
+from repro.core.metrics import ExecutorMetrics
 from repro.core.study import Study
-from repro.report.experiments import EXPERIMENTS, run_all_experiments
+from repro.report.experiments import EXPERIMENTS, run_all_experiments_with_metrics
 from repro.report.figures import FigureSeries
 from repro.report.tables import Table, fmt_p, fmt_pct
 
@@ -84,9 +85,27 @@ def _quality_appendix(study: Study) -> list[str]:
     return lines
 
 
-def build_report(study: Study, include_quality_appendix: bool = True) -> str:
-    """Render the full study report as markdown."""
-    artifacts = run_all_experiments(study)
+def build_report(
+    study: Study,
+    include_quality_appendix: bool = True,
+    *,
+    max_workers: int | None = None,
+    executor: str = "auto",
+    metrics_out: list[ExecutorMetrics] | None = None,
+) -> str:
+    """Render the full study report as markdown.
+
+    Artifact regeneration fans out over the experiment executor
+    (``max_workers`` defaults to ``os.cpu_count()``); the document itself
+    is assembled in registry order, so the rendered markdown is identical
+    for every executor mode. Pass a list as ``metrics_out`` to receive the
+    executor's :class:`~repro.core.metrics.ExecutorMetrics`.
+    """
+    artifacts, metrics = run_all_experiments_with_metrics(
+        study, max_workers=max_workers, executor=executor
+    )
+    if metrics_out is not None:
+        metrics_out.append(metrics)
     lines = _front_matter(study)
     lines.append("## Results")
     lines.append("")

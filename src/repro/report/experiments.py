@@ -7,6 +7,10 @@ and EXPERIMENTS.md. Ids follow DESIGN.md: T1-T8 tables, F1-F8 figures.
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Union
 
@@ -31,6 +35,7 @@ from repro.analysis.telemetry import (
     runtime_figure,
 )
 from repro.analysis.training import training_summary
+from repro.core.metrics import ExecutorMetrics
 from repro.core.study import Study
 from repro.core.trends import TrendRow
 from repro.report.figures import FigureSeries
@@ -38,7 +43,13 @@ from repro.report.tables import Table, fmt_ci, fmt_p, fmt_pct, significance_star
 from repro.text.cooccurrence import build_cooccurrence_graph, cooccurrence_summary
 from repro.text.mentions import extract_mentions
 
-__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "run_all_experiments"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_all_experiments",
+    "run_all_experiments_with_metrics",
+]
 
 Artifact = Union[Table, FigureSeries]
 
@@ -485,6 +496,93 @@ def run_experiment(experiment_id: str, study: Study) -> Artifact:
     return experiment.fn(study)
 
 
-def run_all_experiments(study: Study) -> dict[str, Artifact]:
-    """Regenerate every artifact, keyed by experiment id."""
-    return {eid: EXPERIMENTS[eid].fn(study) for eid in sorted(EXPERIMENTS)}
+def _run_experiment_chunk(ids: tuple[str, ...], study: Study) -> dict[str, Artifact]:
+    """Worker-side body of the process fan-out: run a slice of the registry.
+
+    The study pickles over once per worker (not once per experiment); the
+    extensions import re-registers X1..X10 in the fresh interpreter.
+    """
+    import repro.report.extensions  # noqa: F401  (registers X* in the worker)
+
+    return {eid: EXPERIMENTS[eid].fn(study) for eid in ids}
+
+
+def _resolve_fanout(executor: str, max_workers: int | None, study: Study, n: int) -> tuple[str, int]:
+    if executor not in ("auto", "sequential", "thread", "process"):
+        raise ValueError(f"unknown executor {executor!r}")
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    workers = min(workers, n)
+    if executor == "sequential" or workers <= 1:
+        return "sequential", 1
+    if executor == "auto":
+        try:
+            pickle.dumps(study, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return "thread", workers
+        return "process", workers
+    return executor, workers
+
+
+def run_all_experiments_with_metrics(
+    study: Study,
+    max_workers: int | None = None,
+    executor: str = "auto",
+) -> tuple[dict[str, Artifact], ExecutorMetrics]:
+    """Regenerate every artifact plus the executor's timing record.
+
+    Every registered experiment is a pure function of the study, so the
+    whole registry fans out over a process pool (``executor="process"`` /
+    ``"auto"``), a thread pool (``"thread"``), or runs inline
+    (``"sequential"`` or ``max_workers=1``). Output is identical across
+    modes — the golden-artifact suite enforces byte-equality — and the
+    returned dict is always keyed in sorted-id order.
+    """
+    ids = sorted(EXPERIMENTS)
+    mode, workers = _resolve_fanout(executor, max_workers, study, len(ids))
+    metrics = ExecutorMetrics(mode=mode, max_workers=workers)
+    t0 = time.perf_counter()
+    artifacts: dict[str, Artifact] = {}
+    if mode == "sequential":
+        for eid in ids:
+            started = time.perf_counter()
+            artifacts[eid] = EXPERIMENTS[eid].fn(study)
+            finished = time.perf_counter()
+            metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
+    elif mode == "thread":
+        def one(eid: str) -> Artifact:
+            started = time.perf_counter()
+            artifact = EXPERIMENTS[eid].fn(study)
+            finished = time.perf_counter()
+            metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
+            return artifact
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            artifacts = dict(zip(ids, pool.map(one, ids)))
+    else:
+        # Round-robin chunks balance the slow table/figure mix across
+        # workers while shipping the study to each worker exactly once.
+        chunks = [tuple(ids[i::workers]) for i in range(workers)]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            started = time.perf_counter()
+            for chunk, result in zip(chunks, pool.map(_run_experiment_chunk, chunks, [study] * len(chunks))):
+                finished = time.perf_counter()
+                artifacts.update(result)
+                for eid in chunk:
+                    metrics.record(eid, "", False, (finished - started) / max(len(chunk), 1), started - t0, finished - t0)
+        artifacts = {eid: artifacts[eid] for eid in ids}
+    metrics.wall_seconds = time.perf_counter() - t0
+    return artifacts, metrics
+
+
+def run_all_experiments(
+    study: Study,
+    max_workers: int | None = None,
+    executor: str = "auto",
+) -> dict[str, Artifact]:
+    """Regenerate every artifact, keyed by experiment id (sorted order)."""
+    artifacts, _ = run_all_experiments_with_metrics(
+        study, max_workers=max_workers, executor=executor
+    )
+    return artifacts

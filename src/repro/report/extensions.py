@@ -234,9 +234,12 @@ def x7_challenge_topics(study: Study) -> Table:
         for cohort, subset in study.responses.split_cohorts().items()
     }
     cohorts = sorted(per_cohort)
+    # Tie-break equal counts by name: a bare count sort would fall back to
+    # set iteration order, which is hash-seed-dependent (caught by the
+    # golden-artifact suite).
     all_topics = sorted(
         {topic for coded in per_cohort.values() for topic in coded.counts},
-        key=lambda t: -sum(per_cohort[c].counts.get(t, 0) for c in cohorts),
+        key=lambda t: (-sum(per_cohort[c].counts.get(t, 0) for c in cohorts), t),
     )
     for topic in all_topics:
         cells = [topic]

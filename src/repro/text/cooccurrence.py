@@ -32,8 +32,10 @@ def build_cooccurrence_graph(
     if min_count < 1:
         raise ValueError("min_count must be >= 1")
     graph = nx.Graph()
-    for tool, count in summary.counts.items():
-        graph.add_node(tool, count=count)
+    # Insertion order defines edge orientation in nx iteration; sort so the
+    # graph (and everything rendered from it) is hash-seed independent.
+    for tool in sorted(summary.counts):
+        graph.add_node(tool, count=summary.counts[tool])
     pair_counts: dict[tuple[str, str], int] = {}
     for mentioned in summary.per_respondent.values():
         tools = sorted(mentioned)
@@ -73,8 +75,10 @@ def cooccurrence_summary(graph: nx.Graph, top_k: int = 10) -> CooccurrenceResult
     """Compute the F6 summary statistics for a co-mention graph."""
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
+    # Canonicalize orientation (nx yields (u, v) by insertion order) before
+    # ranking, so top pairs render identically on every run.
     edges = sorted(
-        graph.edges(data="weight"),
+        ((min(a, b), max(a, b), w) for a, b, w in graph.edges(data="weight")),
         key=lambda e: (-e[2], e[0], e[1]),
     )
     top_pairs = tuple((a, b, int(w)) for a, b, w in edges[:top_k])
@@ -93,8 +97,7 @@ def cooccurrence_summary(graph: nx.Graph, top_k: int = 10) -> CooccurrenceResult
             frozenset(c)
             for c in sorted(
                 nx.community.greedy_modularity_communities(sub, weight="weight"),
-                key=len,
-                reverse=True,
+                key=lambda c: (-len(c), tuple(sorted(c))),
             )
         )
     else:

@@ -72,7 +72,9 @@ class MentionExtractor:
             n_documents += 1
             mentioned = self.mentions_in(text)
             per_respondent[response.respondent_id] = mentioned
-            counts.update(mentioned)
+            # Sorted so the counts dict's insertion order (which downstream
+            # consumers iterate) never depends on PYTHONHASHSEED.
+            counts.update(sorted(mentioned))
         return MentionSummary(
             per_respondent=per_respondent,
             counts=dict(counts),

@@ -108,6 +108,97 @@ class TestExecution:
             Pipeline([step]).run()
 
 
+class TestFnIdentity:
+    """The cache key must include the step function's identity (qualname +
+    code hash): same-named steps with different bodies may not collide."""
+
+    def test_different_fn_same_name_invalidates(self):
+        cache = ArtifactCache()
+
+        def v1(context):
+            return "first"
+
+        def v2(context):
+            return "second"
+
+        assert Pipeline([PipelineStep(name="gen", fn=v1)], cache).run()["gen"] == "first"
+        # Regression: before fn identity entered the key, this returned the
+        # stale "first" from v1's cache entry.
+        assert Pipeline([PipelineStep(name="gen", fn=v2)], cache).run()["gen"] == "second"
+
+    def test_same_qualname_different_code_invalidates(self):
+        cache = ArtifactCache()
+
+        def make(version):
+            if version == 1:
+                def fn(context):
+                    return "v1"
+            else:
+                def fn(context):
+                    return "v2"
+            return fn
+
+        assert Pipeline([PipelineStep(name="gen", fn=make(1))], cache).run()["gen"] == "v1"
+        assert Pipeline([PipelineStep(name="gen", fn=make(2))], cache).run()["gen"] == "v2"
+
+    def test_identical_factory_closures_share_key(self):
+        # Closures minted twice from one factory have the same code object,
+        # so re-building the pipeline still hits the cache.
+        cache = ArtifactCache()
+        calls = []
+        Pipeline([counting_step("gen", calls, value=3)], cache).run()
+        out = Pipeline([counting_step("gen", calls, value=3)], cache).run()
+        assert out["gen"] == 3
+        assert calls == ["gen"]
+
+    def test_fingerprint_stable_for_same_fn(self):
+        from repro.core.pipeline import fingerprint_callable
+
+        def fn(context):
+            return [1, (2, "x")]
+
+        assert fingerprint_callable(fn) == fingerprint_callable(fn)
+
+
+class TestCorruptCache:
+    """Corrupt or truncated disk entries are misses, not crashes."""
+
+    def test_garbage_bytes_is_miss_and_evicted(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", {"a": 1})
+        path = tmp_path / "k.pkl"
+        path.write_bytes(b"these are not pickle bytes")
+        assert cache.get("k") is None
+        assert cache.misses == 1
+        assert not path.exists()  # bad entry dropped
+
+    def test_truncated_pickle_is_miss(self, tmp_path):
+        import pickle
+
+        cache = ArtifactCache(tmp_path)
+        blob = pickle.dumps(list(range(1000)), protocol=pickle.HIGHEST_PROTOCOL)
+        (tmp_path / "k.pkl").write_bytes(blob[: len(blob) // 2])
+        assert cache.get("k") is None
+        assert not (tmp_path / "k.pkl").exists()
+
+    def test_pipeline_recovers_from_corrupt_entry(self, tmp_path):
+        calls = []
+        steps = [counting_step("gen", calls, value=9)]
+        cache = ArtifactCache(tmp_path)
+        Pipeline(steps, cache).run()
+        [entry] = list(tmp_path.glob("*.pkl"))
+        entry.write_bytes(b"\x80garbage")
+        out = Pipeline(steps, ArtifactCache(tmp_path)).run()
+        assert out["gen"] == 9
+        assert calls == ["gen", "gen"]  # recomputed, no crash
+
+    def test_put_is_atomic_no_temp_left_behind(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", {"x": 2})
+        assert [p.name for p in tmp_path.iterdir()] == ["k.pkl"]
+        assert cache.get("k") == {"x": 2}
+
+
 class TestDiskCache:
     def test_persists_across_instances(self, tmp_path):
         calls = []

@@ -1,0 +1,73 @@
+"""Golden-artifact regression suite.
+
+Regenerates every registered experiment from the same full-scale seeded
+study that produced the checked-in ``artifacts/`` renderings (see
+``examples/full_reproduction.py``) and asserts the text output matches
+byte-for-byte. This pins the entire analysis stack — synthesis, scheduler
+simulation, statistics, rendering — to a known-good output, so the parallel
+executors (or any refactor) can never silently change results.
+
+The study build dominates the cost (~25s), so everything shares one
+module-scoped study; the artifact comparisons themselves are cheap.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import build_default_study
+from repro.report import EXPERIMENTS, run_all_experiments
+
+ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "artifacts"
+
+# Must mirror examples/full_reproduction.py, which wrote the goldens.
+FULL_SCALE = dict(seed=888, n_baseline=120, n_current=300, months=24, jobs_per_day=450)
+
+GOLDEN_IDS = sorted(p.stem for p in ARTIFACT_DIR.glob("*.txt"))
+
+
+@pytest.fixture(scope="module")
+def full_study():
+    return build_default_study(**FULL_SCALE)
+
+
+@pytest.fixture(scope="module")
+def sequential_artifacts(full_study):
+    return run_all_experiments(full_study, max_workers=1)
+
+
+def test_goldens_exist_for_every_experiment():
+    assert GOLDEN_IDS, f"no golden artifacts found under {ARTIFACT_DIR}"
+    missing = sorted(set(EXPERIMENTS) - set(GOLDEN_IDS))
+    assert not missing, f"experiments without golden artifacts: {missing}"
+
+
+def test_no_orphan_goldens():
+    orphans = sorted(set(GOLDEN_IDS) - set(EXPERIMENTS))
+    assert not orphans, f"golden artifacts without a registered experiment: {orphans}"
+
+
+@pytest.mark.parametrize("eid", GOLDEN_IDS)
+def test_golden_artifact_byte_identical(sequential_artifacts, eid):
+    golden = (ARTIFACT_DIR / f"{eid}.txt").read_text(encoding="utf-8")
+    regenerated = sequential_artifacts[eid].render_ascii() + "\n"
+    assert regenerated == golden, (
+        f"{eid} drifted from artifacts/{eid}.txt — if the change is "
+        f"intentional, regenerate goldens with examples/full_reproduction.py"
+    )
+
+
+def _rendered(artifacts):
+    return {eid: artifact.render_ascii() for eid, artifact in artifacts.items()}
+
+
+def test_thread_executor_byte_identical(full_study, sequential_artifacts):
+    parallel = run_all_experiments(full_study, max_workers=4, executor="thread")
+    assert list(parallel) == list(sequential_artifacts)
+    assert _rendered(parallel) == _rendered(sequential_artifacts)
+
+
+def test_process_executor_byte_identical(full_study, sequential_artifacts):
+    parallel = run_all_experiments(full_study, max_workers=2, executor="process")
+    assert list(parallel) == list(sequential_artifacts)
+    assert _rendered(parallel) == _rendered(sequential_artifacts)
