@@ -1,0 +1,57 @@
+"""Standalone wall-clock benchmark report (the perf-trajectory harness).
+
+Unlike the pytest-benchmark suites in this directory, this harness writes
+the committed ``BENCH_*.json`` trajectory records (see
+:mod:`repro.core.bench`). Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_report.py --scale full \
+        --label after --json BENCH_2.json
+
+or use the equivalent CLI subcommand, ``repro bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.core.bench import (
+        SCALES,
+        append_run,
+        check_regression,
+        render_record,
+        run_benchmarks,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="full")
+    parser.add_argument("--label", default="run")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--json", type=Path, default=None, help="trajectory file to append to")
+    parser.add_argument("--no-end-to-end", action="store_true")
+    parser.add_argument("--check", type=Path, default=None, help="baseline trajectory to gate against")
+    parser.add_argument("--max-regression", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    record = run_benchmarks(
+        scale=args.scale,
+        label=args.label,
+        repeats=args.repeats,
+        end_to_end=not args.no_end_to_end,
+    )
+    print(render_record(record))
+    if args.json is not None:
+        append_run(args.json, record)
+        print(f"appended run to {args.json}")
+    if args.check is not None:
+        ok, message = check_regression(record, args.check, max_regression=args.max_regression)
+        print(("ok: " if ok else "REGRESSION: ") + message)
+        return 0 if ok else 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Subcommands mirror the workflows a research-computing group runs:
 * ``codebook``   — print the instrument codebook;
 * ``experiment`` — regenerate one table/figure by id;
 * ``report``     — render the full markdown report;
+* ``bench``      — wall-clock substrate benchmarks (perf trajectory);
 * ``power``      — design-stage power calculations.
 
 All randomness flows from ``--seed``; every command is deterministic.
@@ -86,6 +87,38 @@ def build_parser() -> argparse.ArgumentParser:
     rob.add_argument("--baseline", type=int, default=120)
     rob.add_argument("--current", type=int, default=200)
     rob.add_argument("--alpha", type=float, default=0.05)
+
+    ben = sub.add_parser(
+        "bench", help="time the generative substrates (perf trajectory)"
+    )
+    ben.add_argument(
+        "--scale",
+        choices=("full", "quick"),
+        default="full",
+        help="operating point: full = tracked trajectory, quick = CI smoke",
+    )
+    ben.add_argument("--label", default="run", help="tag stored on the run record")
+    ben.add_argument("--repeats", type=int, default=None, help="min-of-k repeat count")
+    ben.add_argument(
+        "--json", type=Path, default=None, help="BENCH_*.json file to append the run to"
+    )
+    ben.add_argument(
+        "--no-end-to-end",
+        action="store_true",
+        help="skip the study-build + report end-to-end timing",
+    )
+    ben.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="baseline trajectory file; exit 1 if the scheduler regresses",
+    )
+    ben.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed slowdown vs baseline before --check fails (0.25 = +25%%)",
+    )
 
     pwr = sub.add_parser("power", help="two-proportion power calculations")
     pwr.add_argument("--p1", type=float, required=True, help="baseline proportion")
@@ -222,8 +255,45 @@ def _cmd_report(args, out) -> int:
         print(f"wrote report to {args.out}", file=out)
     else:
         print(text, file=out)
-    if args.timings and metrics_sink:
-        print(metrics_sink[0].render(), file=out)
+    if args.timings:
+        if metrics_sink:
+            print(metrics_sink[0].render(), file=out)
+        else:
+            print("no executor timings recorded", file=out)
+    return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.core.bench import (
+        append_run,
+        check_regression,
+        render_record,
+        run_benchmarks,
+    )
+
+    if args.repeats is not None and args.repeats < 1:
+        print(f"error: --repeats must be >= 1, got {args.repeats}", file=out)
+        return 2
+    record = run_benchmarks(
+        scale=args.scale,
+        label=args.label,
+        repeats=args.repeats,
+        end_to_end=not args.no_end_to_end,
+    )
+    print(render_record(record), file=out)
+    if args.json is not None:
+        append_run(args.json, record)
+        print(f"appended run to {args.json}", file=out)
+    if args.check is not None:
+        try:
+            ok, message = check_regression(
+                record, args.check, max_regression=args.max_regression
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(("ok: " if ok else "REGRESSION: ") + message, file=out)
+        return 0 if ok else 1
     return 0
 
 
@@ -291,6 +361,7 @@ _COMMANDS = {
     "codebook": _cmd_codebook,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "bench": _cmd_bench,
     "power": _cmd_power,
 }
 

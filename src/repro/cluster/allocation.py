@@ -33,16 +33,28 @@ class PooledAllocator:
         return cores <= self.free_cores and gpus <= self.free_gpus
 
     def allocate(self, cores: int, gpus: int):
-        if not self.fits(cores, gpus):
+        free_cores = self.free_cores - cores
+        free_gpus = self.free_gpus - gpus
+        if free_cores < 0 or free_gpus < 0:
             raise RuntimeError("allocation does not fit")
-        self.free_cores -= cores
-        self.free_gpus -= gpus
+        self.free_cores = free_cores
+        self.free_gpus = free_gpus
         return (cores, gpus)
 
     def release(self, token) -> None:
         cores, gpus = token
         self.free_cores += cores
         self.free_gpus += gpus
+
+    def release_batch(self, tokens) -> None:
+        """Release many allocations at once (one counter update)."""
+        free_cores = self.free_cores
+        free_gpus = self.free_gpus
+        for cores, gpus in tokens:
+            free_cores += cores
+            free_gpus += gpus
+        self.free_cores = free_cores
+        self.free_gpus = free_gpus
 
 
 class NodeGranularAllocator:
@@ -133,3 +145,12 @@ class NodeGranularAllocator:
             _, node, cores, gpus = token
             self.node_free_cores[node] += cores
             self.node_free_gpus[node] += gpus
+
+    def release_batch(self, tokens) -> None:
+        """Release many allocations at once.
+
+        Node counter updates are integer additions, so batch order cannot
+        change the resulting free map.
+        """
+        for token in tokens:
+            self.release(token)

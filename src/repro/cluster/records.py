@@ -136,6 +136,10 @@ class JobTable:
         if req_walltime is None:
             req_walltime = np.zeros(self.job_id.size, dtype=float)
         self.req_walltime = np.ascontiguousarray(req_walltime, dtype=float)
+        # Lazily-computed derived columns, factorizations, and sub-tables.
+        # Tables are immutable by convention, so aggregation code can hit
+        # the same derived column many times without recomputing it.
+        self._cache: dict[object, object] = {}
 
         n = self.job_id.size
         for name in self._FLOAT_COLS + self._INT_COLS + self._STR_COLS:
@@ -150,7 +154,12 @@ class JobTable:
                 raise ValueError("cores must be >= 1")
             if (self.gpus < 0).any():
                 raise ValueError("gpus must be >= 0")
-            if np.unique(self.job_id).size != n:
+            # Tables straight out of the scheduler arrive sorted by job id;
+            # strictly-increasing ids are unique by definition, which makes
+            # the common-case uniqueness check a single cheap comparison
+            # pass instead of a hash/sort in np.unique.
+            ids = self.job_id
+            if not (ids[1:] > ids[:-1]).all() and np.unique(ids).size != n:
                 raise ValueError("duplicate job ids")
 
     # -- constructors --------------------------------------------------------
@@ -203,22 +212,50 @@ class JobTable:
 
     # -- derived columns --------------------------------------------------------
 
+    def _derived(self, name: str, compute) -> np.ndarray:
+        out = self._cache.get(name)
+        if out is None:
+            out = compute()
+            # Read-only: cached arrays are shared across every caller.
+            out.setflags(write=False)
+            self._cache[name] = out
+        return out
+
     @property
     def wait(self) -> np.ndarray:
-        """Queue waits in seconds (vectorized)."""
-        return self.start - self.submit
+        """Queue waits in seconds (vectorized, cached)."""
+        return self._derived("wait", lambda: self.start - self.submit)
 
     @property
     def runtime(self) -> np.ndarray:
-        return self.end - self.start
+        return self._derived("runtime", lambda: self.end - self.start)
 
     @property
     def cpu_hours(self) -> np.ndarray:
-        return self.cores * self.runtime / 3600.0
+        return self._derived("cpu_hours", lambda: self.cores * self.runtime / 3600.0)
 
     @property
     def gpu_hours(self) -> np.ndarray:
-        return self.gpus * self.runtime / 3600.0
+        return self._derived("gpu_hours", lambda: self.gpus * self.runtime / 3600.0)
+
+    def factorize(self, column: str) -> tuple[np.ndarray, list[str]]:
+        """Integer codes plus sorted unique labels for a string column.
+
+        Cached per column: aggregation functions factorize the same group
+        keys (field, user, partition) repeatedly over one table.
+        """
+        if column not in self._STR_COLS:
+            raise ValueError(f"factorize expects one of {self._STR_COLS}, got {column!r}")
+        cached = self._cache.get(("factorize", column))
+        if cached is None:
+            labels, codes = np.unique(
+                getattr(self, column).astype(str), return_inverse=True
+            )
+            codes.setflags(write=False)
+            cached = (codes, tuple(labels.tolist()))
+            self._cache[("factorize", column)] = cached
+        codes, labels = cached
+        return codes, list(labels)
 
     # -- filtering ---------------------------------------------------------------
 
@@ -242,7 +279,13 @@ class JobTable:
         )
 
     def by_partition(self, name: str) -> "JobTable":
-        return self.mask(self.partition == name)
+        """Sub-table of one partition (cached: analyses slice per partition
+        over and over; treat the result as read-only)."""
+        cached = self._cache.get(("by_partition", name))
+        if cached is None:
+            cached = self.mask(self.partition == name)
+            self._cache[("by_partition", name)] = cached
+        return cached
 
     def by_field(self, name: str) -> "JobTable":
         return self.mask(self.field == name)
@@ -254,11 +297,19 @@ class JobTable:
         return self.mask(self.state == JobState.COMPLETED.value)
 
     def partitions(self) -> tuple[str, ...]:
-        """Distinct partition names, sorted."""
-        return tuple(sorted(set(self.partition.tolist())))
+        """Distinct partition names, sorted (cached)."""
+        cached = self._cache.get("partitions")
+        if cached is None:
+            cached = tuple(sorted(set(self.partition.tolist())))
+            self._cache["partitions"] = cached
+        return cached
 
     def fields(self) -> tuple[str, ...]:
-        return tuple(sorted(set(self.field.tolist())))
+        cached = self._cache.get("fields")
+        if cached is None:
+            cached = tuple(sorted(set(self.field.tolist())))
+            self._cache["fields"] = cached
+        return cached
 
     def concat(self, other: "JobTable") -> "JobTable":
         """Row-wise concatenation (job ids must stay unique)."""

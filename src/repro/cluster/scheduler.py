@@ -26,20 +26,23 @@ start slightly later than estimated, never earlier.
 
 from __future__ import annotations
 
-import heapq
+from bisect import bisect_right, insort
 from dataclasses import dataclass
+from operator import attrgetter, itemgetter
 from typing import Sequence
 
 import numpy as np
 
 from repro.cluster.allocation import NodeGranularAllocator, PooledAllocator
 from repro.cluster.partitions import ClusterConfig, DEFAULT_CLUSTER, Partition
-from repro.cluster.records import JobRecord, JobState, JobTable
+from repro.cluster.records import JobState, JobTable
 from repro.cluster.workload import SubmittedJob
 
 __all__ = ["SchedulerResult", "simulate_schedule"]
 
 _PRIORITIES = ("fifo", "fairshare")
+
+_END_TIME = itemgetter(0)  # bisect key for running-list entries
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,11 +61,13 @@ class SchedulerResult:
     backfilled: int
 
 
-@dataclass(slots=True)
-class _QueuedJob:
-    job: SubmittedJob
-    duration: float  # actual occupancy decided by terminal state
-    state: JobState
+# Queued jobs are flat tuples: everything the event loop touches, resolved
+# once at validation time so the per-event code never chases SubmittedJob
+# attributes (or pays a dataclass __init__) again. Layout:
+#   (job_id, user, field, submit, cores, gpus, req_walltime, duration, state)
+# where duration is the actual occupancy decided by terminal state and state
+# is the pre-resolved JobState.value string.
+_Q_ID, _Q_USER, _Q_SUBMIT, _Q_CORES, _Q_GPUS, _Q_WALL = 0, 1, 3, 4, 5, 6
 
 
 class _FairshareLedger:
@@ -111,47 +116,44 @@ class _PartitionSim:
         self.backfill = backfill
         self.depth = depth
         self.ledger = ledger
-        self.pending: list[_QueuedJob] = []
-        # Heap of (end_time, seq, cores, gpus, token) for running jobs.
+        # Bound methods resolved once; these are called per event/job.
+        self._alloc_fits = self.allocator.fits
+        self._alloc_allocate = self.allocator.allocate
+        self.pending: list[tuple] = []
+        # Running jobs as (end_time, seq, cores, gpus, token), kept sorted by
+        # (end_time, seq) via insort so the EASY shadow scan never re-sorts.
         self.running: list[tuple[float, int, int, int, object]] = []
         self._seq = 0
-        self.records: list[JobRecord] = []
+        # Accounting columns, one row per started job (columnar from the
+        # start: building JobRecord objects per job dominated the hot path).
+        self.rows: list[tuple] = []
         self.backfilled = 0
+        # Fairshare queue order is dirty after membership or usage changes.
+        self._dirty = True
 
     # -- resource bookkeeping ------------------------------------------------
 
-    def _fits(self, qj: _QueuedJob) -> bool:
-        return self.allocator.fits(qj.job.cores, qj.job.gpus)
-
-    def _start(self, qj: _QueuedJob, now: float) -> None:
-        job = qj.job
-        token = self.allocator.allocate(job.cores, job.gpus)
-        end = now + qj.duration
-        heapq.heappush(self.running, (end, self._seq, job.cores, job.gpus, token))
-        self._seq += 1
-        if self.ledger is not None:
-            self.ledger.charge(job.user, job.cores * qj.duration, now)
-        self.records.append(
-            JobRecord(
-                job_id=job.job_id,
-                user=job.user,
-                field=job.field,
-                partition=job.partition,
-                submit=job.submit,
-                start=now,
-                end=end,
-                cores=job.cores,
-                gpus=job.gpus,
-                state=qj.state,
-                req_walltime=job.requested_walltime,
-            )
-        )
-
     def release_until(self, t: float) -> None:
-        """Free resources of jobs finishing at or before ``t``."""
-        while self.running and self.running[0][0] <= t:
-            _, _, _, _, token = heapq.heappop(self.running)
-            self.allocator.release(token)
+        """Free resources of jobs finishing at or before ``t`` (batched)."""
+        running = self.running
+        if not running or running[0][0] > t:
+            return
+        if running[-1][0] <= t:
+            cut = len(running)
+        elif running[1][0] > t:
+            # One completion per event is the overwhelmingly common case;
+            # skip both the bisect and the batch-release machinery for it.
+            # (running[-1] > t above implies len(running) >= 2 here.)
+            self.allocator.release(running[0][4])
+            del running[0]
+            return
+        else:
+            cut = bisect_right(running, t, key=_END_TIME)
+        if cut == 1:
+            self.allocator.release(running[0][4])
+        else:
+            self.allocator.release_batch([item[4] for item in running[:cut]])
+        del running[:cut]
 
     def next_completion(self) -> float | None:
         return self.running[0][0] if self.running else None
@@ -159,87 +161,130 @@ class _PartitionSim:
     # -- scheduling ---------------------------------------------------------
 
     def _order_pending(self, now: float) -> None:
-        if self.ledger is None:
-            return  # FIFO: submission order is already queue order
+        # FIFO: submission order is already queue order. Fairshare: the
+        # decayed-usage ranking is time-invariant between usage updates —
+        # usage(u, now) = [raw_u * 2^(stamp_u/h)] * 0.5^(now/h) shares the
+        # 0.5^(now/h) factor across users — so the sort only needs to rerun
+        # after a charge or a queue append (removals keep the order sorted).
+        if self.ledger is None or not self._dirty:
+            return
+        usage = self.ledger.usage
         self.pending.sort(
-            key=lambda qj: (
-                self.ledger.usage(qj.job.user, now),
-                qj.job.submit,
-                qj.job.job_id,
-            )
+            key=lambda qj: (usage(qj[_Q_USER], now), qj[_Q_SUBMIT], qj[_Q_ID])
         )
+        self._dirty = False
 
-    def _shadow(self, head: _QueuedJob) -> tuple[float, int, int]:
+    def _shadow(self, head: tuple) -> tuple[float, int, int]:
         """Earliest (pooled-count) time the head could start, plus the spare
         resources remaining free at that moment after reserving the head."""
         cores = self.allocator.free_cores
         gpus = self.allocator.free_gpus
+        head_cores = head[_Q_CORES]
+        head_gpus = head[_Q_GPUS]
         shadow_time = 0.0
-        for end, _, c, g, _ in sorted(self.running):
-            if cores >= head.job.cores and gpus >= head.job.gpus:
+        for end, _, c, g, _ in self.running:  # already sorted by end time
+            if cores >= head_cores and gpus >= head_gpus:
                 break
             cores += c
             gpus += g
             shadow_time = end
-        spare_cores = cores - head.job.cores
-        spare_gpus = gpus - head.job.gpus
-        return shadow_time, spare_cores, spare_gpus
+        return shadow_time, cores - head_cores, gpus - head_gpus
+
+    def _start(self, qj: tuple, now: float) -> None:
+        """Start ``qj`` now (backfill path; the head path inlines this)."""
+        job_id, user, field, submit, cores, gpus, req_wall, duration, state = qj
+        token = self._alloc_allocate(cores, gpus)
+        end = now + duration
+        insort(self.running, (end, self._seq, cores, gpus, token))
+        self._seq += 1
+        if self.ledger is not None:
+            self.ledger.charge(user, cores * duration, now)
+            self._dirty = True
+        self.rows.append(
+            (job_id, user, field, submit, now, end, cores, gpus, state, req_wall)
+        )
 
     def try_schedule(self, now: float) -> None:
         # Order once per event; usage charged during this event reorders the
         # queue at the next event (how real fairshare schedulers behave).
-        self._order_pending(now)
-        # Start queue-head jobs in order while they fit.
-        while self.pending and self._fits(self.pending[0]):
-            self._start(self.pending.pop(0), now)
-        if not self.pending or not self.backfill:
+        ledger = self.ledger
+        if ledger is not None:
+            self._order_pending(now)
+        # Start queue-head jobs in order while they fit. This loop runs for
+        # nearly every started job, so _start is inlined into it: one less
+        # Python call per start is measurable at workload scale.
+        pending = self.pending
+        fits = self._alloc_fits
+        allocate = self._alloc_allocate
+        running = self.running
+        rows_append = self.rows.append
+        seq = self._seq
+        while pending:
+            qj = pending[0]
+            cores = qj[_Q_CORES]
+            gpus = qj[_Q_GPUS]
+            if not fits(cores, gpus):
+                break
+            del pending[0]
+            token = allocate(cores, gpus)
+            end = now + qj[7]  # duration
+            insort(running, (end, seq, cores, gpus, token))
+            seq += 1
+            if ledger is not None:
+                ledger.charge(qj[_Q_USER], cores * qj[7], now)
+                self._dirty = True
+            rows_append(
+                (qj[0], qj[1], qj[2], qj[3], now, end, cores, gpus, qj[8], qj[6])
+            )
+        self._seq = seq
+        if not pending or not self.backfill:
             return
-        head = self.pending[0]
-        shadow_time, spare_cores, spare_gpus = self._shadow(head)
+        shadow_time, spare_cores, spare_gpus = self._shadow(pending[0])
         # EASY backfill: a later job may start now iff it fits now and either
         # finishes (by its *requested* walltime) before the head's reserved
         # start, or consumes only resources the head leaves spare.
         scanned = 0
         i = 1
-        while i < len(self.pending) and scanned < self.depth:
-            qj = self.pending[i]
+        while i < len(pending) and scanned < self.depth:
+            qj = pending[i]
             scanned += 1
-            if self._fits(qj):
-                finishes_in_time = now + qj.job.requested_walltime <= shadow_time
-                within_spare = (
-                    qj.job.cores <= spare_cores and qj.job.gpus <= spare_gpus
-                )
-                if finishes_in_time or within_spare:
-                    del self.pending[i]
+            cores = qj[_Q_CORES]
+            gpus = qj[_Q_GPUS]
+            if fits(cores, gpus):
+                within_spare = cores <= spare_cores and gpus <= spare_gpus
+                if within_spare or now + qj[_Q_WALL] <= shadow_time:
+                    del pending[i]
                     self._start(qj, now)
                     self.backfilled += 1
                     if within_spare:
-                        spare_cores -= qj.job.cores
-                        spare_gpus -= qj.job.gpus
+                        spare_cores -= cores
+                        spare_gpus -= gpus
                     continue  # same index now holds the next job
             i += 1
 
 
-def _decide_state(
-    job: SubmittedJob,
-    rng: np.random.Generator,
-    failure_rate: float,
-    cancel_rate: float,
-    timeout_rate: float,
-) -> tuple[JobState, float]:
-    """Terminal state and actual resource-occupancy duration for a job."""
-    u = rng.random()
-    if u < failure_rate:
-        return JobState.FAILED, max(60.0, job.runtime * rng.uniform(0.05, 0.8))
-    u -= failure_rate
-    if u < cancel_rate:
-        # Cancelled shortly after starting (queue cancellations are modeled
-        # as very short runs so every record keeps submit<=start<=end).
-        return JobState.CANCELLED, max(10.0, job.runtime * rng.uniform(0.0, 0.1))
-    u -= cancel_rate
-    if u < timeout_rate:
-        return JobState.TIMEOUT, job.requested_walltime
-    return JobState.COMPLETED, job.runtime
+# Enum member and .value lookups both go through descriptors; hoisting the
+# terminal-state strings keeps that cost out of the per-job loop.
+_FAILED = JobState.FAILED.value
+_CANCELLED = JobState.CANCELLED.value
+_TIMEOUT = JobState.TIMEOUT.value
+_COMPLETED = JobState.COMPLETED.value
+
+_INF = float("inf")
+
+# Single C-level multi-attrgetter: cheaper than nine LOAD_ATTRs per job in
+# the validation/terminal-state pass.
+_EXTRACT = attrgetter(
+    "partition",
+    "cores",
+    "gpus",
+    "runtime",
+    "requested_walltime",
+    "job_id",
+    "user",
+    "field",
+    "submit",
+)
 
 
 def simulate_schedule(
@@ -288,58 +333,144 @@ def simulate_schedule(
     rng = rng if rng is not None else np.random.default_rng(0)
     if priority not in _PRIORITIES:
         raise ValueError(f"priority must be one of {_PRIORITIES}, got {priority!r}")
-    ordered = sorted(jobs, key=lambda j: (j.submit, j.job_id))
-    for job in ordered:
-        if job.partition not in cluster:
-            raise ValueError(f"job {job.job_id} targets unknown partition {job.partition!r}")
-        part = cluster[job.partition]
-        if not part.fits(job.cores, job.gpus):
-            raise ValueError(
-                f"job {job.job_id} requests ({job.cores} cores, {job.gpus} gpus) "
-                f"which can never fit partition {part.name!r}"
-            )
+    jobs = list(jobs)
+    if jobs:
+        # lexsort on (submit, job_id) columns beats sorted()+attrgetter at
+        # this scale; the key pairs are unique so the order is identical.
+        submit_key = np.fromiter((j.submit for j in jobs), dtype=float, count=len(jobs))
+        id_key = np.fromiter((j.job_id for j in jobs), dtype=np.int64, count=len(jobs))
+        ordered = [jobs[i] for i in np.lexsort((id_key, submit_key))]
+    else:
+        ordered = []
 
     ledger = _FairshareLedger(fairshare_halflife) if priority == "fairshare" else None
     sims = {
         p.name: _PartitionSim(p, backfill, backfill_depth, node_granular, ledger)
         for p in cluster
     }
+    # (partition capacity, queue-append) triples resolved once; Partition.fits
+    # and per-partition dict/method lookups would otherwise run per job.
+    per_partition = {p.name: [] for p in cluster}
+    capacity = {
+        p.name: (p.total_cores, p.total_gpus, per_partition[p.name].append)
+        for p in cluster
+    }
 
-    # Group submissions per partition (partitions are independent).
-    per_partition: dict[str, list[_QueuedJob]] = {name: [] for name in sims}
-    for job in ordered:
-        state, duration = _decide_state(job, rng, failure_rate, cancel_rate, timeout_rate)
-        per_partition[job.partition].append(_QueuedJob(job, duration, state))
+    # Validate, decide terminal states, and group submissions per partition
+    # in one pass (partitions are independent). Terminal-state logic is
+    # inlined and the SubmittedJob attributes are pulled through one C-level
+    # attrgetter: one decision per job, so even call overhead shows up here.
+    # The cancelled branch models queue cancellations as very short runs so
+    # every record keeps submit <= start <= end.
+    rng_random = rng.random
+    rng_uniform = rng.uniform
+    for partition, cores, gpus, runtime, req_wall, job_id, user, field, submit in map(
+        _EXTRACT, ordered
+    ):
+        entry = capacity.get(partition)
+        if entry is None:
+            raise ValueError(f"job {job_id} targets unknown partition {partition!r}")
+        max_cores, max_gpus, append = entry
+        if not (1 <= cores <= max_cores and 0 <= gpus <= max_gpus):
+            raise ValueError(
+                f"job {job_id} requests ({cores} cores, {gpus} gpus) "
+                f"which can never fit partition {partition!r}"
+            )
+        u = rng_random()
+        if u < failure_rate:
+            state = _FAILED
+            duration = max(60.0, runtime * rng_uniform(0.05, 0.8))
+        elif (u := u - failure_rate) < cancel_rate:
+            state = _CANCELLED
+            duration = max(10.0, runtime * rng_uniform(0.0, 0.1))
+        elif u - cancel_rate < timeout_rate:
+            state = _TIMEOUT
+            duration = req_wall
+        else:
+            state = _COMPLETED
+            duration = runtime
+        append((job_id, user, field, submit, cores, gpus, req_wall, duration, state))
 
+    track_dirty = ledger is not None
     for name, queue in per_partition.items():
         sim = sims[name]
+        pending = sim.pending
+        running = sim.running
+        release_until = sim.release_until
+        release = sim.allocator.release
+        try_schedule = sim.try_schedule
+        append_pending = pending.append
+        submits = [qj[_Q_SUBMIT] for qj in queue]
+        submits.append(_INF)  # sentinel: removes idx-bound checks below
         idx = 0
         n = len(queue)
-        now = 0.0
-        while idx < n or sim.pending or sim.running:
-            next_submit = queue[idx].job.submit if idx < n else None
-            next_done = sim.next_completion()
-            if next_submit is None and next_done is None:
-                break
-            if next_done is None or (next_submit is not None and next_submit <= next_done):
-                now = next_submit  # type: ignore[assignment]
-                sim.release_until(now)
-                while idx < n and queue[idx].job.submit <= now:
-                    sim.pending.append(queue[idx])
+        # Event loop: events are submissions and completions; ties go to the
+        # submission so completions at the same instant free resources first
+        # (release_until) and the new arrival schedules against them.
+        while True:
+            if running:
+                next_done = running[0][0]
+                now = submits[idx]
+                if now <= next_done:
+                    if next_done <= now:  # completions tie with this submit
+                        release_until(now)
+                    append_pending(queue[idx])
                     idx += 1
+                    while submits[idx] <= now:
+                        append_pending(queue[idx])
+                        idx += 1
+                    if track_dirty:
+                        sim._dirty = True
+                else:
+                    now = next_done
+                    # Inline single-completion release (the common case);
+                    # simultaneous completions fall back to release_until.
+                    if len(running) == 1 or running[1][0] > now:
+                        release(running[0][4])
+                        del running[0]
+                    else:
+                        release_until(now)
+            elif idx < n:
+                now = submits[idx]
+                append_pending(queue[idx])
+                idx += 1
+                while submits[idx] <= now:
+                    append_pending(queue[idx])
+                    idx += 1
+                if track_dirty:
+                    sim._dirty = True
             else:
-                now = next_done
-                sim.release_until(now)
-            sim.try_schedule(now)
+                break
+            if pending:
+                try_schedule(now)
 
-    records: list[JobRecord] = []
+    rows: list[tuple] = []
     backfilled = 0
-    for sim in sims.values():
-        records.extend(sim.records)
+    partition_col: list[str] = []
+    for name, sim in sims.items():
+        rows.extend(sim.rows)
+        partition_col.extend([name] * len(sim.rows))
         backfilled += sim.backfilled
-    records.sort(key=lambda r: r.job_id)
-    if len(records) != len(ordered):
+    if len(rows) != len(ordered):
         raise RuntimeError(
-            f"scheduler lost jobs: {len(ordered)} submitted, {len(records)} recorded"
+            f"scheduler lost jobs: {len(ordered)} submitted, {len(rows)} recorded"
         )
-    return SchedulerResult(table=JobTable.from_records(records), backfilled=backfilled)
+    if not rows:
+        return SchedulerResult(table=JobTable.empty(), backfilled=backfilled)
+    (job_id, user, field, submit, start, end, cores, gpus, state, req_wall) = zip(*rows)
+    id_col = np.array(job_id, dtype=np.int64)
+    order = np.argsort(id_col)
+    table = JobTable(
+        job_id=id_col[order],
+        user=np.array(user, dtype=object)[order],
+        field=np.array(field, dtype=object)[order],
+        partition=np.array(partition_col, dtype=object)[order],
+        submit=np.array(submit, dtype=float)[order],
+        start=np.array(start, dtype=float)[order],
+        end=np.array(end, dtype=float)[order],
+        cores=np.array(cores, dtype=np.int64)[order],
+        gpus=np.array(gpus, dtype=np.int64)[order],
+        state=np.array(state, dtype=object)[order],
+        req_walltime=np.array(req_wall, dtype=float)[order],
+    )
+    return SchedulerResult(table=table, backfilled=backfilled)

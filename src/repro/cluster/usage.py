@@ -36,7 +36,11 @@ MONTH_SECONDS = 30.0 * 86400.0
 
 
 def _factorize(values: np.ndarray) -> tuple[np.ndarray, list[str]]:
-    """Integer codes plus sorted unique labels for an object column."""
+    """Integer codes plus sorted unique labels for an object column.
+
+    Prefer :meth:`JobTable.factorize` for table columns — it caches the
+    codes per table; this helper remains for free-standing arrays.
+    """
     labels, codes = np.unique(values.astype(str), return_inverse=True)
     return codes, labels.tolist()
 
@@ -56,13 +60,16 @@ def cpu_hours_by_field_month(table: JobTable) -> dict[str, np.ndarray]:
         return {}
     months = _month_index(table.start)
     n_months = int(months.max()) + 1
-    codes, fields = _factorize(table.field)
-    out: dict[str, np.ndarray] = {}
+    codes, fields = table.factorize("field")
     hours = table.cpu_hours
-    for code, field_name in enumerate(fields):
-        m = codes == code
-        out[field_name] = np.bincount(months[m], weights=hours[m], minlength=n_months)
-    return out
+    # One flat bincount over (field, month) pairs instead of a masked
+    # bincount per field. Each output bin still accumulates exactly the
+    # same weights in the same (submission-order) sequence, so the sums
+    # are bitwise identical to the per-field version.
+    flat = codes * n_months + months
+    totals = np.bincount(flat, weights=hours, minlength=len(fields) * n_months)
+    totals = totals.reshape(len(fields), n_months)
+    return {field_name: totals[code] for code, field_name in enumerate(fields)}
 
 
 def gpu_hours_monthly(table: JobTable) -> np.ndarray:
@@ -167,7 +174,7 @@ def runtime_distribution_by_field(
     log_runtime = np.log10(np.maximum(table.runtime / 3600.0, 1e-4))
     if bins is None:
         bins = np.linspace(-2.0, 2.5, 28)
-    codes, fields = _factorize(table.field)
+    codes, fields = table.factorize("field")
     out: dict[str, np.ndarray] = {"__bins__": bins}
     for code, field_name in enumerate(fields):
         counts, _ = np.histogram(log_runtime[codes == code], bins=bins)
@@ -302,7 +309,7 @@ def user_concentration(table: JobTable, resource: str = "cpu") -> dict[str, floa
         hours = table.gpu_hours
     else:
         raise ValueError(f"unknown resource {resource!r}")
-    codes, users = _factorize(table.user)
+    codes, users = table.factorize("user")
     per_user = np.bincount(codes, weights=hours, minlength=len(users))
     per_user = per_user[per_user > 0]
     if per_user.size == 0:

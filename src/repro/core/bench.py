@@ -1,0 +1,288 @@
+"""Wall-clock benchmark harness for the generative substrates.
+
+The pytest-benchmark suites under ``benchmarks/`` are great for local
+A/B runs but leave no committed trace. This module produces the repo's
+*perf trajectory*: small JSON records (min-of-k wall times plus machine
+metadata) that each PR appends to a ``BENCH_<n>.json`` file, so "made it
+faster" is a checked-in number instead of a claim in a commit message.
+
+Timed units (the substrates that dominate a reproduction run):
+
+* ``workload_generate`` — submission-stream synthesis;
+* ``simulate_schedule`` — the EASY-backfill scheduler simulator;
+* ``generate_cohort``   — the survey respondent generator;
+* ``table_aggregations`` — the columnar :class:`~repro.cluster.records.JobTable`
+  usage rollups (CPU-hours by field/month, GPU-hours, width distribution);
+* ``end_to_end_report`` — study build + full sequential report render.
+
+Every unit is a pure function of a fixed seed, so run-to-run variance is
+scheduler noise only; ``min`` of ``repeats`` runs is the recorded number.
+
+File format (``BENCH_*.json``)::
+
+    {"schema": 1, "runs": [<record>, ...]}
+
+where each record carries ``label``, ``scale``, ``created``, ``machine``,
+``repeats`` and a ``benchmarks`` mapping of ``{name: {"seconds": <min>,
+"runs": [...]}}``. Records append; history is never rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "run_benchmarks",
+    "append_run",
+    "load_runs",
+    "latest_run",
+    "check_regression",
+    "render_record",
+]
+
+SCHEMA_VERSION = 1
+
+#: Benchmark name the CI regression gate watches (the scheduler hot path).
+GATE_BENCHMARK = "simulate_schedule"
+
+
+@dataclass(frozen=True, slots=True)
+class BenchScale:
+    """One benchmark operating point.
+
+    ``full`` is the tracked trajectory scale (a 3-month workload, the
+    n=200 current cohort); ``quick`` is a CI-smoke scale that finishes in
+    seconds while exercising the same code paths.
+    """
+
+    months: int
+    jobs_per_day: float
+    cohort_n: int
+    repeats: int
+
+    def __post_init__(self) -> None:
+        if self.months < 1:
+            raise ValueError("months must be >= 1")
+        if self.jobs_per_day <= 0:
+            raise ValueError("jobs_per_day must be positive")
+        if self.cohort_n < 1:
+            raise ValueError("cohort_n must be >= 1")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+
+SCALES: dict[str, BenchScale] = {
+    "full": BenchScale(months=3, jobs_per_day=400.0, cohort_n=200, repeats=3),
+    "quick": BenchScale(months=1, jobs_per_day=120.0, cohort_n=60, repeats=2),
+}
+
+
+def _time_min_of_k(fn: Callable[[], object], repeats: int) -> dict:
+    """Run ``fn`` ``repeats`` times; record every wall time and the min."""
+    runs: list[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(round(time.perf_counter() - t0, 6))
+    return {"seconds": min(runs), "runs": runs}
+
+
+def _machine_metadata() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def run_benchmarks(
+    scale: str = "full",
+    label: str = "run",
+    repeats: int | None = None,
+    end_to_end: bool = True,
+) -> dict:
+    """Time every substrate at ``scale`` and return one trajectory record.
+
+    Parameters
+    ----------
+    scale:
+        A key of :data:`SCALES` (``"full"`` or ``"quick"``).
+    label:
+        Free-form tag stored on the record (``"baseline"``, ``"after"``,
+        ``"ci"``, ...).
+    repeats:
+        Override the scale's min-of-k repeat count.
+    end_to_end:
+        Also time study build + sequential report render (runs once —
+        it dwarfs the substrate timings). Skipped regardless of this
+        flag when the scale has fewer than 3 months: the report's GPU
+        growth figure needs >= 3 months of telemetry.
+    """
+    # Imports are deferred so `repro --help` stays fast.
+    from repro.cluster import WorkloadModel, WorkloadParams, simulate_schedule
+    from repro.cluster.usage import (
+        cpu_hours_by_field_month,
+        gpu_hours_monthly,
+        job_width_distribution,
+    )
+    from repro.core import build_default_study, build_instrument, profile_2024
+    from repro.report.document import build_report
+    from repro.synth import generate_cohort
+
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    sc = SCALES[scale]
+    k = repeats if repeats is not None else sc.repeats
+    if k < 1:
+        raise ValueError("repeats must be >= 1")
+
+    params = WorkloadParams(months=sc.months, jobs_per_day=sc.jobs_per_day)
+    model = WorkloadModel(params)
+    benchmarks: dict[str, dict] = {}
+
+    benchmarks["workload_generate"] = _time_min_of_k(
+        lambda: model.generate(np.random.default_rng(0)), k
+    )
+    jobs = model.generate(np.random.default_rng(0))
+    benchmarks["simulate_schedule"] = _time_min_of_k(
+        lambda: simulate_schedule(jobs, rng=np.random.default_rng(0)), k
+    )
+    benchmarks["simulate_schedule"]["detail"] = {
+        "months": sc.months,
+        "jobs": len(jobs),
+    }
+
+    questionnaire = build_instrument()
+    profile = profile_2024()
+    benchmarks["generate_cohort"] = _time_min_of_k(
+        lambda: generate_cohort(
+            profile, questionnaire, sc.cohort_n, np.random.default_rng(0)
+        ),
+        k,
+    )
+    benchmarks["generate_cohort"]["detail"] = {"n": sc.cohort_n}
+
+    table = simulate_schedule(jobs, rng=np.random.default_rng(0)).table
+
+    def aggregate() -> None:
+        cpu_hours_by_field_month(table)
+        gpu_hours_monthly(table)
+        job_width_distribution(table)
+
+    benchmarks["table_aggregations"] = _time_min_of_k(aggregate, k)
+
+    if end_to_end and sc.months >= 3:
+        def report() -> None:
+            study = build_default_study(
+                seed=2024,
+                n_baseline=120,
+                n_current=sc.cohort_n,
+                months=sc.months,
+                jobs_per_day=200.0,
+            )
+            build_report(study, executor="sequential")
+
+        benchmarks["end_to_end_report"] = _time_min_of_k(report, 1)
+
+    return {
+        "label": label,
+        "scale": scale,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "machine": _machine_metadata(),
+        "repeats": k,
+        "benchmarks": benchmarks,
+    }
+
+
+# -- trajectory files ---------------------------------------------------------
+
+
+def load_runs(path: Path | str) -> list[dict]:
+    """All run records in a ``BENCH_*.json`` file (oldest first)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{path}: not a benchmark trajectory file")
+    return list(data["runs"])
+
+
+def append_run(path: Path | str, record: dict) -> None:
+    """Append ``record`` to the trajectory at ``path`` (created if missing)."""
+    path = Path(path)
+    runs = load_runs(path) if path.exists() else []
+    runs.append(record)
+    path.write_text(
+        json.dumps({"schema": SCHEMA_VERSION, "runs": runs}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def latest_run(runs: list[dict], scale: str, label: str | None = None) -> dict | None:
+    """Most recent run at ``scale`` (and ``label``, when given)."""
+    for record in reversed(runs):
+        if record.get("scale") != scale:
+            continue
+        if label is not None and record.get("label") != label:
+            continue
+        return record
+    return None
+
+
+def check_regression(
+    record: dict,
+    baseline_path: Path | str,
+    benchmark: str = GATE_BENCHMARK,
+    max_regression: float = 0.25,
+) -> tuple[bool, str]:
+    """Compare ``record`` against the committed trajectory.
+
+    Finds the most recent baseline run with the same scale and returns
+    ``(ok, message)``; ``ok`` is False when ``benchmark`` is slower than
+    the baseline by more than ``max_regression`` (0.25 = +25%). A missing
+    same-scale baseline passes vacuously (with a message saying so), so
+    the gate never blocks the PR that introduces a new scale.
+    """
+    if max_regression < 0:
+        raise ValueError("max_regression must be non-negative")
+    baseline = latest_run(load_runs(baseline_path), scale=record["scale"])
+    if baseline is None:
+        return True, (
+            f"no baseline at scale {record['scale']!r} in {baseline_path}; skipping gate"
+        )
+    try:
+        base_s = float(baseline["benchmarks"][benchmark]["seconds"])
+        now_s = float(record["benchmarks"][benchmark]["seconds"])
+    except KeyError:
+        return True, f"benchmark {benchmark!r} missing from baseline or run; skipping gate"
+    if base_s <= 0:
+        return True, f"baseline {benchmark} time is non-positive; skipping gate"
+    ratio = now_s / base_s
+    message = (
+        f"{benchmark}: {now_s:.3f}s vs baseline {base_s:.3f}s "
+        f"({ratio:.0%} of baseline, limit {1 + max_regression:.0%})"
+    )
+    return ratio <= 1.0 + max_regression, message
+
+
+def render_record(record: dict) -> str:
+    """Human-readable one-record timing table."""
+    lines = [
+        f"bench [{record['label']}] scale={record['scale']} "
+        f"repeats={record['repeats']} ({record['machine']['platform']})"
+    ]
+    width = max(len(name) for name in record["benchmarks"])
+    for name, entry in record["benchmarks"].items():
+        detail = entry.get("detail")
+        suffix = f"  {detail}" if detail else ""
+        lines.append(f"  {name:<{width}}  {entry['seconds']:9.3f}s{suffix}")
+    return "\n".join(lines)

@@ -102,14 +102,30 @@ class ExecutorMetrics:
             "worker_utilization": round(self.worker_utilization(), 4),
         }
 
+    @property
+    def cache_read_seconds(self) -> float:
+        """Total wall time spent serving steps from the artifact cache."""
+        return sum(s.wall_seconds for s in self.steps if s.cached)
+
     def render(self) -> str:
-        """Human-readable multi-line timing report."""
+        """Human-readable multi-line timing report.
+
+        A fully-cached run collapses to a single summary line — a table of
+        uniformly near-zero cache reads tells the reader nothing, and the
+        interesting number there is the total cache-read time.
+        """
         lines = [
             f"executor: {self.mode} (max_workers={self.max_workers}) — "
             f"{self.steps_run} run, {self.steps_cached} cached, "
             f"{self.wall_seconds:.2f}s wall, "
             f"{100.0 * self.worker_utilization():.0f}% utilization"
         ]
+        if self.steps and self.steps_run == 0:
+            lines.append(
+                f"  all {self.steps_cached} steps cached "
+                f"(cache reads took {self.cache_read_seconds:.3f}s)"
+            )
+            return "\n".join(lines)
         width = max((len(s.name) for s in self.steps), default=0)
         for s in sorted(self.steps, key=lambda m: -m.wall_seconds):
             tag = "cached" if s.cached else "ran"

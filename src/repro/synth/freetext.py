@@ -9,7 +9,10 @@ punctuation, version suffixes, and correlated tool mentions.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
@@ -71,9 +74,24 @@ class FreeTextTemplates:
         if unknown:
             raise ValueError(f"loadings for unknown tools: {sorted(unknown)}")
 
-    def _mention_probability(self, tool: str, ctx: RespondentContext) -> float:
-        import math
+    # Per-tool base log-odds and loading items, resolved once per template
+    # set: the mention loop runs per respondent and the log/clamp of the
+    # base probability never changes.
+    @cached_property
+    def _mention_plan(self) -> tuple[tuple[str, float, tuple], ...]:
+        rows = []
+        for tool, p0 in self.tool_probs.items():
+            p = min(max(p0, 1e-9), 1 - 1e-9)
+            rows.append(
+                (tool, math.log(p / (1 - p)), tuple(self.tool_loadings.get(tool, {}).items()))
+            )
+        return tuple(rows)
 
+    @cached_property
+    def _fallback_tool(self) -> str:
+        return max(self.tool_probs, key=self.tool_probs.get)
+
+    def _mention_probability(self, tool: str, ctx: RespondentContext) -> float:
         p = min(max(self.tool_probs[tool], 1e-9), 1 - 1e-9)
         logit = math.log(p / (1 - p))
         for trait, w in self.tool_loadings.get(tool, {}).items():
@@ -97,14 +115,18 @@ class FreeTextTemplates:
         rng: np.random.Generator,
     ) -> str:
         """A 'describe your stack' answer mentioning 1..6 tools."""
-        mentioned = [
-            tool
-            for tool in self.tool_probs
-            if rng.random() < self._mention_probability(tool, ctx)
-        ]
+        rng_random = rng.random
+        exp = math.exp
+        mentioned = []
+        for tool, base, items in self._mention_plan:
+            logit = base
+            for trait, w in items:
+                logit += w * ctx.centered_trait(trait)
+            if rng_random() < 1.0 / (1.0 + exp(-logit)):
+                mentioned.append(tool)
         if not mentioned:
             # Everyone uses *something*; fall back to the most likely tool.
-            mentioned = [max(self.tool_probs, key=self.tool_probs.get)]
+            mentioned = [self._fallback_tool]
         rng.shuffle(mentioned)
         mentioned = mentioned[:6]
         decorated = [self._decorate(t, rng) for t in mentioned]

@@ -9,6 +9,8 @@ validation layer then reports — a deliberate path for testing ingest QA.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.survey.questions import MultiChoiceQuestion, Question
@@ -26,8 +28,6 @@ def _skip_probability(
     """Per-respondent skip probability with optional trait-linked shift."""
     if not profile.missingness_loadings or base_rate <= 0.0:
         return base_rate
-    import math
-
     p = min(max(base_rate, 1e-9), 1 - 1e-9)
     logit = math.log(p / (1 - p)) + sum(
         w * ctx.centered_trait(t) for t, w in profile.missingness_loadings.items()
@@ -106,50 +106,114 @@ def generate_cohort(
     if n < 0:
         raise ValueError("n must be non-negative")
     prefix = id_prefix if id_prefix is not None else profile.cohort
+    cohort = profile.cohort
+
+    # Everything invariant across respondents is resolved once up front: the
+    # demographic share vectors, the trait centers, and a pre-walked question
+    # plan (gate, model, skip-probability recipe per question). The walk
+    # below then does only per-respondent work — with RNG calls in exactly
+    # the order the naive per-question resolution made them.
+    # ``Generator.choice(n, p=p)`` consumes one uniform double and resolves
+    # it as ``cdf.searchsorted(u, side="right")`` on the normalized
+    # cumulative probabilities; doing that directly keeps draws identical
+    # while hoisting the share normalization out of the respondent loop.
+    fields = profile.fields
+    field_shares = np.array([f.share for f in fields], dtype=float)
+    field_cdf = (field_shares / field_shares.sum()).cumsum()
+    field_cdf /= field_cdf[-1]
+    stages = list(profile.career_stages)
+    stage_shares = np.array([profile.career_stages[s] for s in stages], dtype=float)
+    stage_cdf = (stage_shares / stage_shares.sum()).cumsum()
+    stage_cdf /= stage_cdf[-1]
+    trait_sample = profile.trait_model.sample
+    centers = {name: spec.mean for name, spec in profile.trait_model.specs.items()}
+    loadings = profile.missingness_loadings
+    loading_items = tuple(loadings.items())
+
+    # Question-plan rows: (kind, key, gate, model, skip_const, skip_logit,
+    # multi_q). kind 0 = pinned field, 1 = pinned stage, 2 = modeled.
+    # skip_logit is the precomputed base log-odds when the trait-linked
+    # missingness path applies, else None and skip_const is used directly;
+    # multi_q is the question itself for multi-selects (bounds enforcement)
+    # and None otherwise.
+    # Unmodeled, non-demographic questions draw nothing and answer nothing,
+    # so they are dropped from the plan entirely.
+    plan = []
+    for question in questionnaire.questions:
+        key = question.key
+        gate = questionnaire.skip_logic.get(key)
+        if key == "field":
+            plan.append((0, key, gate, None, 0.0, None, False))
+            continue
+        if key == "career_stage":
+            plan.append((1, key, gate, None, 0.0, None, False))
+            continue
+        model = profile.question_models.get(key)
+        if model is None:
+            continue
+        base_rate = (
+            profile.required_missing_rate if question.required else profile.missing_rate
+        )
+        if loadings and base_rate > 0.0:
+            p = min(max(base_rate, 1e-9), 1 - 1e-9)
+            skip_logit = math.log(p / (1 - p))
+        else:
+            skip_logit = None
+        plan.append(
+            (
+                2,
+                key,
+                gate,
+                model,
+                base_rate,
+                skip_logit,
+                question if isinstance(question, MultiChoiceQuestion) else None,
+            )
+        )
+
+    rng_random = rng.random
+    exp = math.exp
     responses = []
     for i in range(n):
-        field_info = _sample_field(profile, rng)
-        stage = _sample_stage(profile, rng)
-        traits = profile.trait_model.sample(field_info, rng)
-        centers = {
-            name: spec.mean for name, spec in profile.trait_model.specs.items()
-        }
+        field_info = fields[field_cdf.searchsorted(rng_random(), side="right")]
+        stage = stages[stage_cdf.searchsorted(rng_random(), side="right")]
+        traits = trait_sample(field_info, rng)
         ctx = RespondentContext(
             field_name=field_info.name,
             career_stage=stage,
             traits=traits,
-            cohort=profile.cohort,
+            cohort=cohort,
             centers=centers,
         )
+        # The trait-linked missingness shift depends only on the respondent,
+        # not the question; the naive path recomputed it per question.
+        if loading_items:
+            shift = sum(w * ctx.centered_trait(t) for t, w in loading_items)
+        else:
+            shift = 0.0
         answers: dict[str, object] = {}
-        for question in questionnaire.questions:
-            key = question.key
-            gate = questionnaire.skip_logic.get(key)
+        for kind, key, gate, model, skip_const, skip_logit, multi_q in plan:
             if gate is not None and not gate.matches(answers.get(gate.question_key)):
                 continue
             # Demographics are pinned to the sampled latent identity.
-            if key == "field":
+            if kind == 0:
                 answers[key] = field_info.name
                 continue
-            if key == "career_stage":
+            if kind == 1:
                 answers[key] = stage
                 continue
-            model = profile.question_models.get(key)
-            if model is None:
-                continue
-            base_rate = (
-                profile.required_missing_rate
-                if question.required
-                else profile.missing_rate
-            )
-            if rng.random() < _skip_probability(base_rate, profile, ctx):
+            if skip_logit is not None:
+                skip_p = 1.0 / (1.0 + exp(-(skip_logit + shift)))
+            else:
+                skip_p = skip_const
+            if rng_random() < skip_p:
                 continue
             value = model.sample(ctx, answers, rng)
-            answers[key] = _enforce_choice_bounds(
-                question, value, model, ctx, answers, rng
-            )
+            if multi_q is not None:
+                value = _enforce_choice_bounds(multi_q, value, model, ctx, answers, rng)
+            answers[key] = value
         responses.append(
-            Response(respondent_id=f"{prefix}-{i:05d}", cohort=profile.cohort, answers=answers)
+            Response(respondent_id=f"{prefix}-{i:05d}", cohort=cohort, answers=answers)
         )
     return ResponseSet(questionnaire, responses)
 

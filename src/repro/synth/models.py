@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -124,21 +125,64 @@ class CategoricalModel(ResponseModel):
         for option_loadings in self.loadings.values():
             _validate_loadings(option_loadings)
 
-    def probabilities(self, ctx: RespondentContext) -> dict[str, float]:
-        """Trait-conditioned option probabilities for one respondent."""
+    # Per-option log base weights and loading items, resolved once per model
+    # (frozen dataclasses without slots cache via the instance __dict__).
+    @cached_property
+    def _plan(self) -> tuple[tuple[str, float, tuple], ...]:
+        return tuple(
+            (
+                option,
+                math.log(p) if p > 0 else -30.0,
+                tuple(self.loadings.get(option, {}).items()),
+            )
+            for option, p in self.base_probs.items()
+        )
+
+    # Loading-free models have one fixed distribution: cache the option list
+    # and cumulative probabilities so sampling skips the softmax entirely.
+    @cached_property
+    def _static(self) -> tuple[list[str], np.ndarray] | None:
+        if self.loadings:
+            return None
+        probs = self._softmax(self._plan, None)
+        cdf = np.array(list(probs.values()), dtype=float).cumsum()
+        cdf /= cdf[-1]
+        return list(probs), cdf
+
+    @staticmethod
+    def _softmax(plan, ctx) -> dict[str, float]:
         logw = {}
-        for option, p in self.base_probs.items():
-            base = math.log(p) if p > 0 else -30.0
-            logw[option] = base + _shift(ctx, self.loadings.get(option, {}))
+        for option, base, items in plan:
+            # Accumulate the shift separately, then add to the base: the
+            # float op order must match ``base + sum(...)`` exactly.
+            s = 0
+            for trait, weight in items:
+                s += weight * ctx.centered_trait(trait)
+            logw[option] = base + s
         peak = max(logw.values())
         weights = {o: math.exp(w - peak) for o, w in logw.items()}
         total = sum(weights.values())
         return {o: w / total for o, w in weights.items()}
 
+    def probabilities(self, ctx: RespondentContext) -> dict[str, float]:
+        """Trait-conditioned option probabilities for one respondent."""
+        return self._softmax(self._plan, ctx)
+
     def sample(self, ctx, answers, rng):
+        # ``Generator.choice(n, p=p)`` consumes exactly one uniform double
+        # and resolves it as ``cdf.searchsorted(u, side="right")`` with
+        # ``cdf = p.cumsum(); cdf /= cdf[-1]`` — replicating that directly
+        # keeps the bit stream and the drawn index identical while skipping
+        # choice's per-call probability validation.
+        static = self._static
+        if static is not None:
+            options, cdf = static
+            return options[cdf.searchsorted(rng.random(), side="right")]
         probs = self.probabilities(ctx)
         options = list(probs)
-        return options[rng.choice(len(options), p=list(probs.values()))]
+        cdf = np.array(list(probs.values()), dtype=float).cumsum()
+        cdf /= cdf[-1]
+        return options[cdf.searchsorted(rng.random(), side="right")]
 
 
 @dataclass(frozen=True)
@@ -158,8 +202,22 @@ class BernoulliYesNoModel(ResponseModel):
             raise ValueError(f"base probability out of [0,1]: {self.base}")
         _validate_loadings(self.loadings)
 
+    @cached_property
+    def _base_logit(self) -> float:
+        return _logit(self.base)
+
+    @cached_property
+    def _loading_items(self) -> tuple:
+        return tuple(self.loadings.items())
+
     def probability(self, ctx: RespondentContext) -> float:
-        return _sigmoid(_logit(self.base) + _shift(ctx, self.loadings))
+        items = self._loading_items
+        if not items:
+            return _sigmoid(self._base_logit)
+        s = 0
+        for trait, weight in items:
+            s += weight * ctx.centered_trait(trait)
+        return _sigmoid(self._base_logit + s)
 
     def sample(self, ctx, answers, rng):
         return self.yes if rng.random() < self.probability(ctx) else self.no
@@ -184,13 +242,38 @@ class MultiChoiceModel(ResponseModel):
         for option_loadings in self.loadings.values():
             _validate_loadings(option_loadings)
 
-    def probabilities(self, ctx: RespondentContext) -> dict[str, float]:
-        return {
-            option: _sigmoid(_logit(p) + _shift(ctx, self.loadings.get(option, {})))
+    @cached_property
+    def _plan(self) -> tuple[tuple[str, float, tuple], ...]:
+        return tuple(
+            (option, _logit(p), tuple(self.loadings.get(option, {}).items()))
             for option, p in self.option_probs.items()
-        }
+        )
+
+    # With no loadings the per-option probabilities never vary: cache the
+    # (option, probability) pairs so sampling is draw-and-compare only.
+    @cached_property
+    def _static(self) -> tuple[tuple[str, float], ...] | None:
+        if self.loadings:
+            return None
+        return tuple((option, _sigmoid(base)) for option, base, _ in self._plan)
+
+    def probabilities(self, ctx: RespondentContext) -> dict[str, float]:
+        static = self._static
+        if static is not None:
+            return dict(static)
+        out = {}
+        for option, base, items in self._plan:
+            s = 0
+            for trait, weight in items:
+                s += weight * ctx.centered_trait(trait)
+            out[option] = _sigmoid(base + s)
+        return out
 
     def sample(self, ctx, answers, rng):
+        static = self._static
+        if static is not None:
+            draws = rng.random(len(static))
+            return [o for (o, p), u in zip(static, draws) if u < p]
         probs = self.probabilities(ctx)
         draws = rng.random(len(probs))
         return [o for (o, p), u in zip(probs.items(), draws) if u < p]
@@ -240,13 +323,30 @@ class LikertModel(ResponseModel):
             raise ValueError("sd must be positive")
         _validate_loadings(self.loadings)
 
+    @cached_property
+    def _loading_items(self) -> tuple:
+        return tuple(self.loadings.items())
+
     def mean(self, ctx: RespondentContext) -> float:
-        raw = self.base_mean + _shift(ctx, self.loadings)
-        return float(np.clip(raw, 1.0, self.points))
+        items = self._loading_items
+        if not items:
+            raw = self.base_mean
+        else:
+            s = 0
+            for trait, weight in items:
+                s += weight * ctx.centered_trait(trait)
+            raw = self.base_mean + s
+        # Scalar clip: bitwise-identical to np.clip for finite floats,
+        # without the array round trip.
+        if raw < 1.0:
+            return 1.0
+        points = self.points
+        return float(points) if raw > points else raw
 
     def sample(self, ctx, answers, rng):
-        value = rng.normal(self.mean(ctx), self.sd)
-        return int(np.clip(round(value), 1, self.points))
+        value = round(rng.normal(self.mean(ctx), self.sd))
+        points = self.points
+        return 1 if value < 1 else (points if value > points else value)
 
 
 @dataclass(frozen=True)
@@ -267,9 +367,26 @@ class NumericModel(ResponseModel):
             raise ValueError("minimum > maximum")
         _validate_loadings(self.loadings)
 
+    @cached_property
+    def _loading_items(self) -> tuple:
+        return tuple(self.loadings.items())
+
     def sample(self, ctx, answers, rng):
-        mu = self.log_mean + _shift(ctx, self.loadings)
-        value = float(np.clip(rng.lognormal(mu, self.log_sd), self.minimum, self.maximum))
+        items = self._loading_items
+        if not items:
+            mu = self.log_mean
+        else:
+            s = 0
+            for trait, weight in items:
+                s += weight * ctx.centered_trait(trait)
+            mu = self.log_mean + s
+        value = rng.lognormal(mu, self.log_sd)
+        # Scalar clip (bitwise-identical to np.clip for finite floats).
+        if value < self.minimum:
+            value = self.minimum
+        elif value > self.maximum:
+            value = self.maximum
+        value = float(value)
         return int(round(value)) if self.integer else value
 
 

@@ -66,6 +66,11 @@ class TraitModel:
         if extra:
             raise ValueError(f"unknown trait names: {sorted(extra)}")
         self.specs = dict(specs)
+        # Per-field Beta parameters; the (mean, concentration) -> (alpha,
+        # beta) resolution is deterministic per field, and sample() runs per
+        # respondent. Keyed by id with the FieldInfo pinned so ids can't be
+        # recycled while cached.
+        self._ab_cache: dict[int, tuple[object, list[tuple[str, float, float]]]] = {}
 
     def effective_mean(self, trait: str, field_info: FieldInfo) -> float:
         """Cohort base mean shifted by the field modifier, clipped to (0,1)."""
@@ -73,18 +78,26 @@ class TraitModel:
         shift = field_info.trait_shift.get(trait, 0.0)
         return float(np.clip(base + shift, _MEAN_EPS, 1.0 - _MEAN_EPS))
 
+    def _alpha_beta(self, field_info: FieldInfo) -> list[tuple[str, float, float]]:
+        cached = self._ab_cache.get(id(field_info))
+        if cached is not None:
+            return cached[1]
+        rows = []
+        for name in TRAIT_NAMES:
+            spec = self.specs[name]
+            mean = self.effective_mean(name, field_info)
+            rows.append((name, mean * spec.concentration, (1.0 - mean) * spec.concentration))
+        self._ab_cache[id(field_info)] = (field_info, rows)
+        return rows
+
     def sample(
         self, field_info: FieldInfo, rng: np.random.Generator
     ) -> dict[str, float]:
         """Draw one respondent's trait vector."""
-        traits: dict[str, float] = {}
-        for name in TRAIT_NAMES:
-            spec = self.specs[name]
-            mean = self.effective_mean(name, field_info)
-            alpha = mean * spec.concentration
-            beta = (1.0 - mean) * spec.concentration
-            traits[name] = float(rng.beta(alpha, beta))
-        return traits
+        return {
+            name: float(rng.beta(alpha, beta))
+            for name, alpha, beta in self._alpha_beta(field_info)
+        }
 
     def sample_many(
         self, field_info: FieldInfo, n: int, rng: np.random.Generator
