@@ -39,9 +39,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     val = sub.add_parser("validate", help="validate a JSONL response export")
     val.add_argument("path", type=Path)
+    val.add_argument(
+        "--on-bad-rows",
+        choices=("raise", "skip"),
+        default="raise",
+        help="skip = tolerate malformed rows (skipped tally is reported)",
+    )
 
     aud = sub.add_parser("audit", help="audit a sacct accounting export")
     aud.add_argument("path", type=Path)
+    aud.add_argument(
+        "--on-bad-rows",
+        choices=("raise", "skip"),
+        default="raise",
+        help="skip = tolerate malformed accounting rows (skipped tally is reported)",
+    )
 
     sub.add_parser("codebook", help="print the instrument codebook")
 
@@ -78,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings",
         action="store_true",
         help="print per-experiment executor timings after the report",
+    )
+    rep.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "degrade gracefully: render placeholder sections for failed "
+            "experiments instead of aborting (exit code 3 on partial success)"
+        ),
     )
 
     rob = sub.add_parser(
@@ -118,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="allowed slowdown vs baseline before --check fails (0.25 = +25%%)",
+    )
+    ben.add_argument(
+        "--max-retry-overhead",
+        type=float,
+        default=0.02,
+        help=(
+            "allowed fault-free cost of the retry/timeout wrapper before "
+            "--check fails (0.02 = +2%%; intra-record, no baseline needed)"
+        ),
     )
 
     pwr = sub.add_parser("power", help="two-proportion power calculations")
@@ -163,11 +192,21 @@ def _cmd_validate(args, out) -> int:
     from repro.survey import validate_response_set
 
     questionnaire = build_instrument()
+    skipped = []
     try:
-        responses = read_responses_jsonl(questionnaire, Path(args.path))
+        responses = read_responses_jsonl(
+            questionnaire, Path(args.path),
+            on_bad_rows=args.on_bad_rows, skipped=skipped,
+        )
     except (ResponseIOError, OSError) as exc:
         print(f"error: {exc}", file=out)
         return 2
+    for row in skipped[:20]:
+        print(f"  skipped line {row.lineno}: {row.reason}", file=out)
+    if len(skipped) > 20:
+        print(f"  ... and {len(skipped) - 20} more skipped rows", file=out)
+    if skipped:
+        print(f"skipped {len(skipped)} malformed row(s)", file=out)
     report = validate_response_set(responses)
     print(f"{len(responses)} responses; {len(report.issues)} issues", file=out)
     for issue in report.issues[:20]:
@@ -187,11 +226,20 @@ def _cmd_audit(args, out) -> int:
     from repro.cluster.partitions import DEFAULT_CLUSTER
     from repro.cluster.sacct import SacctFormatError
 
+    skipped = []
     try:
-        table = parse_sacct(Path(args.path))
+        table = parse_sacct(
+            Path(args.path), on_bad_rows=args.on_bad_rows, skipped=skipped
+        )
     except (SacctFormatError, OSError) as exc:
         print(f"error: {exc}", file=out)
         return 2
+    for row in skipped[:20]:
+        print(f"  skipped line {row.lineno}: {row.reason}", file=out)
+    if len(skipped) > 20:
+        print(f"  ... and {len(skipped) - 20} more skipped rows", file=out)
+    if skipped:
+        print(f"skipped {len(skipped)} malformed row(s)", file=out)
     report = audit_table(table, DEFAULT_CLUSTER)
     print(f"{report.n_jobs} jobs audited; {len(report.issues)} issues", file=out)
     for kind, count in sorted(report.summary().items()):
@@ -236,6 +284,13 @@ def _cmd_experiment(args, out) -> int:
     return 0
 
 
+#: Exit code for a report that rendered but with placeholder sections
+#: (some experiments failed under --keep-going). Distinct from 0 (clean),
+#: 1 (validation issues), and 2 (usage/input errors) so scripted callers
+#: can tell "usable but degraded" from both success and hard failure.
+EXIT_PARTIAL = 3
+
+
 def _cmd_report(args, out) -> int:
     from repro.report.document import build_report
 
@@ -248,6 +303,7 @@ def _cmd_report(args, out) -> int:
         study,
         max_workers=args.jobs,
         executor=args.executor,
+        on_error="keep_going" if args.keep_going else "raise",
         metrics_out=metrics_sink,
     )
     if args.out is not None:
@@ -258,8 +314,19 @@ def _cmd_report(args, out) -> int:
     if args.timings:
         if metrics_sink:
             print(metrics_sink[0].render(), file=out)
+            report = metrics_sink[0].run_report
+            if report is not None:
+                print(report.render(), file=out)
         else:
             print("no executor timings recorded", file=out)
+    failed = [m.name for m in metrics_sink[0].steps if m.outcome == "failed"] if metrics_sink else []
+    if failed:
+        print(
+            f"warning: report degraded — {len(failed)} experiment(s) failed: "
+            f"{', '.join(sorted(failed))}",
+            file=out,
+        )
+        return EXIT_PARTIAL
     return 0
 
 
@@ -267,6 +334,7 @@ def _cmd_bench(args, out) -> int:
     from repro.core.bench import (
         append_run,
         check_regression,
+        check_retry_overhead,
         render_record,
         run_benchmarks,
     )
@@ -289,11 +357,17 @@ def _cmd_bench(args, out) -> int:
             ok, message = check_regression(
                 record, args.check, max_regression=args.max_regression
             )
+            overhead_ok, overhead_message = check_retry_overhead(
+                record, max_overhead=args.max_retry_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
         print(("ok: " if ok else "REGRESSION: ") + message, file=out)
-        return 0 if ok else 1
+        print(
+            ("ok: " if overhead_ok else "REGRESSION: ") + overhead_message, file=out
+        )
+        return 0 if ok and overhead_ok else 1
     return 0
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import gzip
 import io
+import logging
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -26,8 +27,11 @@ def _open_text(path: str | Path, mode: str):
     return open(path, mode, encoding="utf-8")
 
 from repro.cluster.records import JobRecord, JobState, JobTable
+from repro.io.errors import SkippedRow
 
-__all__ = ["write_sacct", "parse_sacct", "SacctFormatError"]
+__all__ = ["write_sacct", "parse_sacct", "SacctFormatError", "SkippedRow"]
+
+logger = logging.getLogger(__name__)
 
 _HEADER = (
     "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State"
@@ -82,63 +86,114 @@ def _parse_gpus(tres: str, job_id: str) -> int:
     return 0
 
 
-def parse_sacct(source: str | Path | TextIO) -> JobTable:
+def _parse_row(line: str, lineno: int) -> JobRecord:
+    """Parse one accounting row, raising :class:`SacctFormatError` with context."""
+    parts = line.split("|")
+    if len(parts) != 11:
+        raise SacctFormatError(f"line {lineno}: expected 11 fields, got {len(parts)}")
+    (
+        job_id,
+        user,
+        account,
+        partition,
+        submit,
+        start,
+        end,
+        cpus,
+        tres,
+        timelimit,
+        state,
+    ) = parts
+    try:
+        return JobRecord(
+            job_id=int(job_id),
+            user=user,
+            field=account,
+            partition=partition,
+            submit=float(submit),
+            start=float(start),
+            end=float(end),
+            cores=int(cpus),
+            gpus=_parse_gpus(tres, job_id),
+            state=JobState(state),
+            req_walltime=float(timelimit),
+        )
+    except ValueError as exc:
+        raise SacctFormatError(f"line {lineno}: {exc}") from exc
+
+
+def parse_sacct(
+    source: str | Path | TextIO,
+    *,
+    on_bad_rows: str = "raise",
+    skipped: list[SkippedRow] | None = None,
+) -> JobTable:
     """Parse sacct-parsable2 accounting data into a :class:`JobTable`.
 
     Accepts a path, an open text stream, or a literal string containing the
     data (detected by the presence of newlines / the header).
+
+    Multi-month site exports are dirty in practice: short rows, mangled
+    TRES strings, truncated gzip tails. ``on_bad_rows="skip"`` tolerates
+    those — each malformed row is skipped, recorded into ``skipped`` (when
+    given) as a :class:`~repro.io.errors.SkippedRow` with its line number,
+    and the tally is logged. Strict (``"raise"``) remains the default.
+    A missing/foreign header and an empty input stay fatal in both modes
+    (that is a wrong *file*, not a dirty row).
     """
+    if on_bad_rows not in ("raise", "skip"):
+        raise ValueError(f"unknown on_bad_rows {on_bad_rows!r}")
     if isinstance(source, Path):
         with _open_text(source, "r") as fh:
-            return parse_sacct(fh)
+            return parse_sacct(fh, on_bad_rows=on_bad_rows, skipped=skipped)
     if isinstance(source, str):
         if "\n" in source or source.startswith("JobID|"):
-            return parse_sacct(io.StringIO(source))
+            return parse_sacct(
+                io.StringIO(source), on_bad_rows=on_bad_rows, skipped=skipped
+            )
         with _open_text(source, "r") as fh:
-            return parse_sacct(fh)
+            return parse_sacct(fh, on_bad_rows=on_bad_rows, skipped=skipped)
 
-    lines = [line.rstrip("\n") for line in source]
-    if not lines:
-        raise SacctFormatError("empty accounting input")
-    if lines[0] != _HEADER:
-        raise SacctFormatError(
-            f"unexpected header {lines[0]!r}; expected {_HEADER!r}"
-        )
+    skips: list[SkippedRow] = []
     records: list[JobRecord] = []
-    for lineno, line in enumerate(lines[1:], start=2):
+    lines = enumerate(source, start=1)
+    saw_header = False
+    while True:
+        try:
+            lineno, line = next(lines)
+        except StopIteration:
+            break
+        except (EOFError, OSError) as exc:
+            # Truncated/corrupt gzip member: no further lines exist.
+            if on_bad_rows == "skip" and saw_header:
+                skips.append(SkippedRow(-1, f"unreadable stream tail: {exc!r}"))
+                break
+            raise SacctFormatError(f"unreadable accounting stream: {exc}") from exc
+        line = line.rstrip("\n")
+        if not saw_header:
+            if line != _HEADER:
+                raise SacctFormatError(
+                    f"unexpected header {line!r}; expected {_HEADER!r}"
+                )
+            saw_header = True
+            continue
         if not line.strip():
             continue
-        parts = line.split("|")
-        if len(parts) != 11:
-            raise SacctFormatError(f"line {lineno}: expected 11 fields, got {len(parts)}")
-        (
-            job_id,
-            user,
-            account,
-            partition,
-            submit,
-            start,
-            end,
-            cpus,
-            tres,
-            timelimit,
-            state,
-        ) = parts
         try:
-            record = JobRecord(
-                job_id=int(job_id),
-                user=user,
-                field=account,
-                partition=partition,
-                submit=float(submit),
-                start=float(start),
-                end=float(end),
-                cores=int(cpus),
-                gpus=_parse_gpus(tres, job_id),
-                state=JobState(state),
-                req_walltime=float(timelimit),
-            )
-        except ValueError as exc:
-            raise SacctFormatError(f"line {lineno}: {exc}") from exc
-        records.append(record)
+            records.append(_parse_row(line, lineno))
+        except SacctFormatError as exc:
+            if on_bad_rows == "raise":
+                raise
+            skips.append(SkippedRow(lineno, str(exc)))
+    if not saw_header:
+        raise SacctFormatError("empty accounting input")
+    if skips:
+        logger.warning(
+            "parse_sacct: skipped %d malformed row(s) at line(s) %s",
+            len(skips),
+            ", ".join(str(s.lineno) for s in skips[:10])
+            + (", ..." if len(skips) > 10 else ""),
+        )
+        if skipped is not None:
+            skipped.extend(skips)
     return JobTable.from_records(records)

@@ -11,7 +11,10 @@
   dependency DAG with content-addressed artifact caching and parallel
   (thread/process pool) execution;
 * :mod:`repro.core.metrics` — executor instrumentation
-  (:class:`ExecutorMetrics`) shared by the pipeline and the report fan-out.
+  (:class:`ExecutorMetrics`, :class:`RunReport`) shared by the pipeline and
+  the report fan-out;
+* :mod:`repro.core.faults` — deterministic fault injection
+  (:class:`FaultPlan`) for chaos-testing the pipeline.
 """
 
 from repro.core.instrument import build_instrument
@@ -25,8 +28,15 @@ from repro.core.calibration import (
 from repro.core.study import Study, StudyError, build_default_study
 from repro.core.trends import TrendEngine, TrendRow, TrendTable
 from repro.core.weighting import WeightedTrendEngine, make_cohort_weights
-from repro.core.metrics import ExecutorMetrics, StepMetric
-from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+from repro.core.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.core.metrics import ExecutorMetrics, RunReport, StepMetric, StepOutcome
+from repro.core.pipeline import (
+    ArtifactCache,
+    Pipeline,
+    PipelineStep,
+    RetryPolicy,
+    StepTimeout,
+)
 from repro.core.study_pipeline import run_cached_study, study_pipeline
 
 __all__ = [
@@ -47,8 +57,15 @@ __all__ = [
     "Pipeline",
     "PipelineStep",
     "ArtifactCache",
+    "RetryPolicy",
+    "StepTimeout",
     "ExecutorMetrics",
     "StepMetric",
+    "StepOutcome",
+    "RunReport",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "study_pipeline",
     "run_cached_study",
 ]

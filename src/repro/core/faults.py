@@ -1,0 +1,233 @@
+"""Deterministic fault injection for chaos-testing the pipeline.
+
+A :class:`FaultPlan` is a seeded, declarative description of what should go
+wrong during a :meth:`repro.core.Pipeline.run`: which steps raise, which
+hang, and whose cache entries get corrupted — keyed by step name and
+attempt number, so "fail the first attempt, succeed on retry" is one line.
+The plan is pure data plus counters; it never mutates step functions, and
+it fires in the coordinating process only (never inside pool workers), so
+attempt accounting is exact in every executor mode and the plan needs no
+cross-process state.
+
+Determinism is the point: the chaos suite runs the same plan twice and
+asserts byte-identical artifacts, and :meth:`FaultPlan.random` derives its
+step choices from a seed so a failing chaos run reproduces exactly.
+
+Usage::
+
+    plan = FaultPlan.transient_errors(["survey", "schedule"])   # 1st attempt fails
+    pipeline.run(fault_plan=plan)                               # retries recover
+    assert pipeline.last_report.retried == ("schedule", "survey")
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import ArtifactCache
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultEvent", "InjectedFault"]
+
+#: Supported fault kinds: raise an exception, stall the attempt, or
+#: corrupt the step's published cache entry.
+FaultKind = ("error", "hang", "corrupt_cache")
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``kind="error"`` faults.
+
+    A plain ``Exception`` subclass, so the default
+    :class:`~repro.core.pipeline.RetryPolicy` filter retries it.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Attributes
+    ----------
+    step:
+        Name of the pipeline step to sabotage.
+    kind:
+        ``"error"`` raises :class:`InjectedFault` before the attempt's
+        compute; ``"hang"`` sleeps ``hang_seconds`` before the compute
+        (cooperatively capped at the step's remaining deadline, so timeout
+        tests finish in ~timeout seconds, not ~hang seconds);
+        ``"corrupt_cache"`` overwrites the step's cache entry with garbage
+        bytes *after* it is published, so the next reader exercises the
+        evict-and-recompute path.
+    attempts:
+        1-based attempt numbers the fault fires on. The default ``(1,)``
+        is a transient fault (first attempt only — a retry recovers);
+        ``()`` means every attempt (a permanent fault).
+    hang_seconds:
+        Stall duration for ``kind="hang"``.
+    blob:
+        Garbage bytes written by ``kind="corrupt_cache"``.
+    """
+
+    step: str
+    kind: str = "error"
+    attempts: tuple[int, ...] = (1,)
+    hang_seconds: float = 0.0
+    blob: bytes = b"\x80repro-injected-corruption"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FaultKind:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FaultKind}")
+        if self.hang_seconds < 0:
+            raise ValueError(f"hang_seconds must be non-negative, got {self.hang_seconds}")
+        if any(a < 1 for a in self.attempts):
+            raise ValueError(f"attempt numbers are 1-based, got {self.attempts}")
+
+    def fires_on(self, attempt: int) -> bool:
+        return not self.attempts or attempt in self.attempts
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (for chaos-suite assertions)."""
+
+    step: str
+    kind: str
+    attempt: int
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultSpec`\\ s with thread-safe firing.
+
+    Pass an instance as ``Pipeline.run(fault_plan=...)``. The pipeline
+    calls :meth:`fire` at the top of every attempt and
+    :meth:`corrupt_cache` after every successful compute; both are no-ops
+    for steps the plan does not name, so an empty plan is observationally
+    identical to no plan (the chaos suite's byte-identity check relies on
+    this).
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), seed: int = 0) -> None:
+        self.specs: tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._events: list[FaultEvent] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def transient_errors(
+        cls, steps: Sequence[str], failures_per_step: int = 1, seed: int = 0
+    ) -> "FaultPlan":
+        """Fail the first ``failures_per_step`` attempts of every named step.
+
+        With a :class:`~repro.core.pipeline.RetryPolicy` allowing at least
+        ``failures_per_step + 1`` attempts, a run under this plan must
+        fully recover.
+        """
+        if failures_per_step < 1:
+            raise ValueError(f"failures_per_step must be >= 1, got {failures_per_step}")
+        specs = [
+            FaultSpec(step=name, kind="error", attempts=tuple(range(1, failures_per_step + 1)))
+            for name in steps
+        ]
+        return cls(specs, seed=seed)
+
+    @classmethod
+    def random(
+        cls,
+        steps: Sequence[str],
+        seed: int,
+        rate: float = 0.5,
+        kind: str = "error",
+        failures_per_step: int = 1,
+    ) -> "FaultPlan":
+        """Seeded random subset of ``steps`` gets a transient fault.
+
+        The subset is a pure function of ``(steps, seed, rate)``; the same
+        seed always sabotages the same steps.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        rng = random.Random(seed)
+        specs = [
+            FaultSpec(step=name, kind=kind, attempts=tuple(range(1, failures_per_step + 1)))
+            for name in steps
+            if rng.random() < rate
+        ]
+        return cls(specs, seed=seed)
+
+    # -- firing ---------------------------------------------------------------
+
+    def _matching(self, step: str, *kinds: str) -> list[FaultSpec]:
+        return [s for s in self.specs if s.step == step and s.kind in kinds]
+
+    def _record(self, step: str, kind: str, attempt: int) -> None:
+        with self._lock:
+            self._events.append(FaultEvent(step, kind, attempt))
+
+    def fire(self, step: str, attempt: int, remaining: float | None = None) -> None:
+        """Inject this attempt's error/hang faults (called by the pipeline).
+
+        ``remaining`` is the seconds left before the step's deadline (None
+        when the step has no timeout); hangs sleep slightly past it so the
+        deadline check trips without stalling the suite for the full
+        configured hang.
+        """
+        for spec in self._matching(step, "hang"):
+            if not spec.fires_on(attempt):
+                continue
+            sleep_for = spec.hang_seconds
+            if remaining is not None:
+                sleep_for = min(sleep_for, max(remaining, 0.0) + 0.02)
+            self._record(step, "hang", attempt)
+            time.sleep(sleep_for)
+        for spec in self._matching(step, "error"):
+            if not spec.fires_on(attempt):
+                continue
+            self._record(step, "error", attempt)
+            raise InjectedFault(
+                f"injected fault in step {step!r} (attempt {attempt})"
+            )
+
+    def corrupt_cache(self, cache: "ArtifactCache", step: str, key: str) -> None:
+        """Corrupt ``step``'s freshly-published cache entry, if planned.
+
+        Fired once per successful compute of the step; the entry's bytes
+        become unpicklable garbage, which the cache treats as a miss and
+        evicts on the next read.
+        """
+        for spec in self._matching(step, "corrupt_cache"):
+            with self._lock:
+                fired = sum(
+                    1 for e in self._events if e.step == step and e.kind == "corrupt_cache"
+                )
+            if not spec.fires_on(fired + 1):
+                continue
+            if cache.corrupt_entry(key, spec.blob):
+                self._record(step, "corrupt_cache", fired + 1)
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def events(self) -> tuple[FaultEvent, ...]:
+        """Every fault that fired, in firing order."""
+        with self._lock:
+            return tuple(self._events)
+
+    def fired(self, step: str, kind: str | None = None) -> int:
+        """How many faults fired for ``step`` (optionally of one kind)."""
+        with self._lock:
+            return sum(
+                1
+                for e in self._events
+                if e.step == step and (kind is None or e.kind == kind)
+            )
+
+    def reset(self) -> None:
+        """Forget fired events (counters restart; specs are unchanged)."""
+        with self._lock:
+            self._events.clear()

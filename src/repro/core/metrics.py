@@ -12,7 +12,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["StepMetric", "ExecutorMetrics"]
+__all__ = [
+    "StepMetric",
+    "ExecutorMetrics",
+    "StepOutcome",
+    "RunReport",
+    "OUTCOMES",
+]
+
+#: Every per-step outcome an executor run can record. ``ok`` and ``cached``
+#: are the happy paths; ``retried`` means the step succeeded after at least
+#: one failed attempt; ``failed``/``timeout`` are terminal step failures;
+#: ``skipped_upstream`` marks steps never attempted because a dependency
+#: failed (only reachable with ``on_error="keep_going"``).
+OUTCOMES = ("ok", "cached", "retried", "failed", "timeout", "skipped_upstream")
+
+#: Outcomes that mean the unit's value was produced this run.
+SUCCESS_OUTCOMES = frozenset({"ok", "cached", "retried"})
 
 
 @dataclass(frozen=True)
@@ -32,6 +48,13 @@ class StepMetric:
     started_at / finished_at:
         Offsets in seconds from the start of the run, for building a
         utilization timeline.
+    outcome:
+        One of :data:`OUTCOMES`.
+    attempts:
+        Number of attempts made (0 for cached and skipped units).
+    error:
+        ``repr`` of the final exception for failed/timed-out units, or a
+        short reason for skipped units ("" otherwise).
     """
 
     name: str
@@ -40,6 +63,90 @@ class StepMetric:
     wall_seconds: float
     started_at: float
     finished_at: float
+    outcome: str = "ok"
+    attempts: int = 1
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Per-step verdict of a fault-tolerant run (see :class:`RunReport`)."""
+
+    name: str
+    status: str  # one of OUTCOMES
+    attempts: int = 1
+    error: str = ""
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status in SUCCESS_OUTCOMES
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Structured per-step outcome record of one pipeline run.
+
+    Built by :meth:`repro.core.Pipeline.run` regardless of ``on_error``
+    mode and exposed as ``Pipeline.last_report`` (and through
+    ``ExecutorMetrics.run_report`` for ``repro report --timings``). With
+    ``on_error="raise"`` a failing run still reports every outcome known
+    at the moment the failure propagated.
+    """
+
+    outcomes: tuple[StepOutcome, ...]
+
+    def outcome(self, name: str) -> StepOutcome:
+        for o in self.outcomes:
+            if o.name == name:
+                return o
+        raise KeyError(f"no outcome recorded for step {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(o.name == name for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """True when every recorded step produced its value."""
+        return all(o.succeeded for o in self.outcomes)
+
+    @property
+    def failed(self) -> tuple[str, ...]:
+        """Names of steps that terminally failed (including timeouts)."""
+        return tuple(o.name for o in self.outcomes if o.status in ("failed", "timeout"))
+
+    @property
+    def skipped(self) -> tuple[str, ...]:
+        """Names of steps never attempted because an upstream step failed."""
+        return tuple(o.name for o in self.outcomes if o.status == "skipped_upstream")
+
+    @property
+    def retried(self) -> tuple[str, ...]:
+        """Names of steps that succeeded only after at least one retry."""
+        return tuple(o.name for o in self.outcomes if o.status == "retried")
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(o.attempts for o in self.outcomes)
+
+    def counts(self) -> dict[str, int]:
+        """``{status: count}`` over every recorded outcome."""
+        tally: dict[str, int] = {}
+        for o in self.outcomes:
+            tally[o.status] = tally.get(o.status, 0) + 1
+        return tally
+
+    def render(self) -> str:
+        """Human-readable outcome summary (one line per non-ok step)."""
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
+        lines = [f"run report: {len(self.outcomes)} steps ({counts})"]
+        for o in self.outcomes:
+            if o.status in ("ok", "cached"):
+                continue
+            detail = f" after {o.attempts} attempts" if o.attempts > 1 else ""
+            reason = f" — {o.error}" if o.error else ""
+            lines.append(f"  {o.name}: {o.status}{detail}{reason}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -50,6 +157,7 @@ class ExecutorMetrics:
     max_workers: int
     steps: list[StepMetric] = field(default_factory=list)
     wall_seconds: float = 0.0
+    run_report: RunReport | None = None
 
     def record(
         self,
@@ -59,20 +167,36 @@ class ExecutorMetrics:
         wall_seconds: float,
         started_at: float = 0.0,
         finished_at: float = 0.0,
+        outcome: str = "ok",
+        attempts: int = 1,
+        error: str = "",
     ) -> None:
         self.steps.append(
-            StepMetric(name, key, cached, wall_seconds, started_at, finished_at)
+            StepMetric(
+                name, key, cached, wall_seconds, started_at, finished_at,
+                outcome, attempts, error,
+            )
         )
 
     @property
     def steps_run(self) -> int:
         """Steps whose value was computed this run."""
-        return sum(1 for s in self.steps if not s.cached)
+        return sum(1 for s in self.steps if not s.cached and s.outcome in ("ok", "retried"))
 
     @property
     def steps_cached(self) -> int:
         """Steps served from the artifact cache."""
         return sum(1 for s in self.steps if s.cached)
+
+    @property
+    def steps_failed(self) -> int:
+        """Steps that terminally failed or timed out this run."""
+        return sum(1 for s in self.steps if s.outcome in ("failed", "timeout"))
+
+    @property
+    def steps_skipped(self) -> int:
+        """Steps skipped because an upstream dependency failed."""
+        return sum(1 for s in self.steps if s.outcome == "skipped_upstream")
 
     @property
     def busy_seconds(self) -> float:
@@ -114,13 +238,17 @@ class ExecutorMetrics:
         uniformly near-zero cache reads tells the reader nothing, and the
         interesting number there is the total cache-read time.
         """
-        lines = [
+        degraded = self.steps_failed or self.steps_skipped
+        headline = (
             f"executor: {self.mode} (max_workers={self.max_workers}) — "
             f"{self.steps_run} run, {self.steps_cached} cached, "
             f"{self.wall_seconds:.2f}s wall, "
             f"{100.0 * self.worker_utilization():.0f}% utilization"
-        ]
-        if self.steps and self.steps_run == 0:
+        )
+        if degraded:
+            headline += f" [{self.steps_failed} failed, {self.steps_skipped} skipped]"
+        lines = [headline]
+        if self.steps and self.steps_run == 0 and not degraded:
             lines.append(
                 f"  all {self.steps_cached} steps cached "
                 f"(cache reads took {self.cache_read_seconds:.3f}s)"
@@ -128,6 +256,10 @@ class ExecutorMetrics:
             return "\n".join(lines)
         width = max((len(s.name) for s in self.steps), default=0)
         for s in sorted(self.steps, key=lambda m: -m.wall_seconds):
-            tag = "cached" if s.cached else "ran"
-            lines.append(f"  {s.name:<{width}}  {tag:<6} {s.wall_seconds:8.3f}s")
+            tag = "cached" if s.cached else ("ran" if s.outcome == "ok" else s.outcome)
+            suffix = f"  x{s.attempts}" if s.attempts > 1 else ""
+            reason = f"  {s.error}" if s.error and s.outcome != "ok" else ""
+            lines.append(
+                f"  {s.name:<{width}}  {tag:<16} {s.wall_seconds:8.3f}s{suffix}{reason}"
+            )
         return "\n".join(lines)

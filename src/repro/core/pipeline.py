@@ -16,11 +16,24 @@ and property-based suites enforce. Cache writes are atomic (temp file +
 ``os.replace``) and computes are single-flight per key, so concurrent runs
 sharing one cache never interleave partial artifacts or duplicate work
 within a process.
+
+Execution is fault-tolerant: each step may carry a :class:`RetryPolicy`
+(bounded attempts, exponential backoff with seeded deterministic jitter)
+and a ``timeout`` (hard process kill in process mode, best-effort
+cooperative deadline in thread/sequential mode). ``run(on_error=
+"keep_going")`` isolates failures — a terminally-failed step marks only
+its downstream subtree ``skipped_upstream`` while independent branches
+complete — and every run produces a structured
+:class:`~repro.core.metrics.RunReport` (``Pipeline.last_report``). The
+retry/timeout wrapper is outside the cache key, so fault-tolerance
+settings never invalidate artifacts, and a retried run writes bytes
+identical to a fault-free one (the chaos suite enforces this).
 """
 
 from __future__ import annotations
 
 import hashlib
+import multiprocessing
 import os
 import pickle
 import threading
@@ -37,15 +50,97 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from repro.core.metrics import ExecutorMetrics
+from repro.core.metrics import ExecutorMetrics, RunReport, StepOutcome
 
-__all__ = ["ArtifactCache", "PipelineStep", "Pipeline", "PipelineError"]
+__all__ = [
+    "ArtifactCache",
+    "PipelineStep",
+    "Pipeline",
+    "PipelineError",
+    "RetryPolicy",
+    "StepTimeout",
+]
 
 _EXECUTORS = ("auto", "sequential", "thread", "process")
+_ON_ERROR = ("raise", "keep_going")
 
 
 class PipelineError(RuntimeError):
     """Raised for misconfigured pipelines."""
+
+
+class StepTimeout(PipelineError):
+    """A step exceeded its configured timeout.
+
+    Subclasses :class:`PipelineError` (and therefore ``Exception``), so the
+    default retry filter treats timeouts as retryable.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry schedule for a pipeline step.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (1 = no retries).
+    backoff_base:
+        Sleep before the second attempt, in seconds.
+    backoff_factor:
+        Multiplier applied per subsequent retry (exponential backoff).
+    max_backoff:
+        Ceiling on any single sleep.
+    jitter:
+        Fractional jitter added on top of the backoff (0.1 = up to +10%).
+        The jitter is *deterministic*: it is derived by hashing
+        ``(seed, step name, attempt)``, so reruns sleep identical amounts
+        and chaos tests reproduce bit-for-bit.
+    seed:
+        Seed folded into the jitter hash.
+    retryable:
+        Exception types worth retrying; anything else fails immediately.
+        Defaults to every ``Exception`` (``StepTimeout`` included).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retryable: tuple[type[BaseException], ...] = (Exception,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PipelineError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base < 0 or self.max_backoff < 0:
+            raise PipelineError("backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise PipelineError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.jitter < 0:
+            raise PipelineError(f"jitter must be non-negative, got {self.jitter}")
+
+    def retries(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is worth another attempt under this policy."""
+        return isinstance(exc, self.retryable)
+
+    def delay(self, step_name: str, attempt: int) -> float:
+        """Deterministic sleep before retrying ``attempt`` (1-based) of a step."""
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1), self.max_backoff
+        )
+        if self.jitter <= 0 or base <= 0:
+            return base
+        digest = hashlib.sha256(
+            f"{self.seed}|{step_name}|{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2.0**64
+        return base * (1.0 + self.jitter * frac)
+
+
+#: Policy used when a step declares none: a single attempt, no sleeps.
+NO_RETRY = RetryPolicy(max_attempts=1, backoff_base=0.0, jitter=0.0)
 
 
 def _hash_code(h: "hashlib._Hash", code: types.CodeType) -> None:
@@ -151,8 +246,31 @@ class ArtifactCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            # A failed write or replace must not strand a .tmp file in the
+            # cache directory; after a successful replace this is a no-op.
+            tmp.unlink(missing_ok=True)
+
+    def corrupt_entry(self, key: str, blob: bytes = b"\x80repro-injected-corruption") -> bool:
+        """Overwrite ``key``'s stored bytes with garbage (fault injection).
+
+        Exists so the chaos suite and :class:`repro.core.faults.FaultPlan`
+        can simulate disk damage through the public API. Returns True when
+        an entry existed and was corrupted.
+        """
+        if self.root is None:
+            if key not in self._memory:
+                return False
+            self._memory[key] = blob
+            return True
+        path = self._path(key)
+        if not path.exists():
+            return False
+        path.write_bytes(blob)
+        return True
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._locks_guard:
@@ -170,6 +288,13 @@ class ArtifactCache:
         serialize on a per-key lock: one computes and publishes, the rest
         observe the published value (single-flight). ``force=True`` skips
         the read path but still publishes the recomputed value.
+
+        One benign race: a reader that loaded a *corrupt* blob before a
+        concurrent heal was published may evict the fresh entry and
+        recompute. Values are deterministic and republished, so this
+        costs duplicate work, never a wrong or missing artifact (and no
+        in-process lock could close it — another process can interleave
+        the same way).
         """
         if not force:
             value = self.get(key)
@@ -189,10 +314,12 @@ class ArtifactCache:
         if self.root is None:
             self._memory.clear()
         else:
+            # missing_ok: a concurrent evict/clear may have removed the
+            # entry between the directory scan and the unlink.
             for path in self.root.glob("*.pkl"):
-                path.unlink()
+                path.unlink(missing_ok=True)
             for path in self.root.glob("*.tmp"):
-                path.unlink()
+                path.unlink(missing_ok=True)
         self.hits = 0
         self.misses = 0
 
@@ -227,17 +354,88 @@ class PipelineStep:
     depends_on:
         Names of earlier steps whose outputs this step reads; part of the
         cache key so upstream changes invalidate downstream artifacts.
+    retry:
+        Optional :class:`RetryPolicy`; falls back to the pipeline's
+        ``default_retry`` (a single attempt when neither is set). Not part
+        of the cache key — retrying cannot change the artifact.
+    timeout:
+        Optional per-attempt wall-clock budget in seconds; falls back to
+        the pipeline's ``default_timeout``. In process mode the attempt's
+        worker is hard-killed on expiry; in thread/sequential mode the
+        deadline is cooperative (checked around the compute, and honored
+        by injected hangs), so a truly wedged step function can overrun
+        it. Also outside the cache key.
     """
 
     name: str
     fn: Callable[..., Any]
     params: Mapping[str, Any] = field(default_factory=dict)
     depends_on: tuple[str, ...] = ()
+    retry: RetryPolicy | None = None
+    timeout: float | None = None
 
 
 def _call_step(fn: Callable[..., Any], inputs: dict[str, Any], params: dict[str, Any]) -> Any:
     # Module-level so process-pool workers can unpickle the invocation.
     return fn(inputs, **params)
+
+
+def _killable_target(conn, fn, inputs, params) -> None:  # pragma: no cover - child process
+    try:
+        value = _call_step(fn, inputs, params)
+    except BaseException as exc:
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            # The exception itself didn't pickle; ship its repr instead.
+            conn.send(("error", PipelineError(f"step raised unpicklable {exc!r}")))
+    else:
+        try:
+            conn.send(("ok", value))
+        except Exception as exc:
+            conn.send(("error", PipelineError(f"step result did not pickle: {exc!r}")))
+    finally:
+        conn.close()
+
+
+def _run_killable(step: "PipelineStep", inputs: dict[str, Any], timeout: float) -> Any:
+    """Run one attempt in a dedicated process that can be hard-killed.
+
+    Process-mode steps with a timeout get their own worker instead of a
+    slot on the shared pool: a shared-pool worker cannot be terminated
+    without poisoning every other in-flight step, while a dedicated
+    process can be ``terminate()``d the instant the deadline passes.
+    """
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(
+        target=_killable_target,
+        args=(child_conn, step.fn, inputs, dict(step.params)),
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(max(timeout, 0.0)):
+            proc.terminate()
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+            raise StepTimeout(
+                f"step {step.name!r} exceeded timeout {timeout:.3f}s (worker killed)"
+            )
+        try:
+            kind, payload = parent_conn.recv()
+        except EOFError:
+            raise PipelineError(
+                f"step {step.name!r}: worker died without reporting a result"
+            ) from None
+    finally:
+        parent_conn.close()
+        proc.join(1.0)
+    if kind == "error":
+        raise payload
+    return payload
 
 
 class Pipeline:
@@ -250,10 +448,22 @@ class Pipeline:
 
     After every ``run`` the executor's timing/utilization record is
     available as :attr:`last_metrics` (an
-    :class:`~repro.core.metrics.ExecutorMetrics`).
+    :class:`~repro.core.metrics.ExecutorMetrics`) and the per-step
+    outcome record as :attr:`last_report` (a
+    :class:`~repro.core.metrics.RunReport`).
+
+    ``default_retry`` / ``default_timeout`` apply to every step that does
+    not declare its own; neither participates in cache keys.
     """
 
-    def __init__(self, steps: list[PipelineStep], cache: ArtifactCache | None = None) -> None:
+    def __init__(
+        self,
+        steps: list[PipelineStep],
+        cache: ArtifactCache | None = None,
+        *,
+        default_retry: RetryPolicy | None = None,
+        default_timeout: float | None = None,
+    ) -> None:
         if not steps:
             raise PipelineError("pipeline has no steps")
         names = [s.name for s in steps]
@@ -267,9 +477,22 @@ class Pipeline:
                     f"step {step.name!r} depends on undefined/later steps: {sorted(unknown)}"
                 )
             seen.add(step.name)
+        if default_timeout is not None and default_timeout <= 0:
+            raise PipelineError(f"default_timeout must be positive, got {default_timeout}")
         self.steps = list(steps)
         self.cache = cache if cache is not None else ArtifactCache()
+        self.default_retry = default_retry
+        self.default_timeout = default_timeout
         self.last_metrics: ExecutorMetrics | None = None
+        self.last_report: RunReport | None = None
+
+    def _policy_for(self, step: PipelineStep) -> RetryPolicy:
+        if step.retry is not None:
+            return step.retry
+        return self.default_retry if self.default_retry is not None else NO_RETRY
+
+    def _timeout_for(self, step: PipelineStep) -> float | None:
+        return step.timeout if step.timeout is not None else self.default_timeout
 
     def _key(self, step: PipelineStep, upstream_keys: Mapping[str, str]) -> str:
         h = hashlib.sha256()
@@ -320,6 +543,8 @@ class Pipeline:
         *,
         max_workers: int | None = None,
         executor: str = "auto",
+        on_error: str = "raise",
+        fault_plan: Any | None = None,
     ) -> dict[str, Any]:
         """Execute all steps, returning {step name: output} in step order.
 
@@ -333,30 +558,194 @@ class Pipeline:
         executor:
             ``"auto"`` (processes when every step pickles, else threads),
             ``"sequential"``, ``"thread"``, or ``"process"``.
+        on_error:
+            ``"raise"`` (default) propagates the first terminal step
+            failure, as before. ``"keep_going"`` isolates it: the failed
+            step's downstream subtree is marked ``skipped_upstream``,
+            independent branches complete, and the returned dict contains
+            only the steps that produced a value (consult
+            :attr:`last_report` for what degraded).
+        fault_plan:
+            Optional :class:`repro.core.faults.FaultPlan` injecting
+            deterministic faults for chaos testing. Faults fire in the
+            coordinating process, never inside pool workers, so attempt
+            accounting stays exact in every executor mode.
 
         The returned dict — values and iteration order — is identical
-        across executor modes; only :attr:`last_metrics` differs.
+        across executor modes; only :attr:`last_metrics` differs. After
+        every run (even one that raises) :attr:`last_report` holds a
+        :class:`~repro.core.metrics.RunReport` with each step's outcome,
+        attempt count, and captured error.
         """
+        if on_error not in _ON_ERROR:
+            raise PipelineError(
+                f"unknown on_error {on_error!r}; expected one of {_ON_ERROR}"
+            )
         keys = self.keys()
         mode, workers = self._resolve_executor(executor, max_workers)
         metrics = ExecutorMetrics(mode=mode, max_workers=workers)
+        outcomes: dict[str, StepOutcome] = {}
         t0 = time.perf_counter()
-        if mode == "sequential":
-            results = self._run_sequential(keys, force, metrics, t0)
-        else:
-            results = self._run_dag(keys, force, metrics, mode, workers, t0)
-        metrics.wall_seconds = time.perf_counter() - t0
-        self.last_metrics = metrics
-        return {step.name: results[step.name] for step in self.steps}
+        try:
+            if mode == "sequential":
+                results = self._run_sequential(
+                    keys, force, metrics, t0, on_error, fault_plan, outcomes
+                )
+            else:
+                results = self._run_dag(
+                    keys, force, metrics, mode, workers, t0, on_error, fault_plan, outcomes
+                )
+        finally:
+            metrics.wall_seconds = time.perf_counter() - t0
+            report = RunReport(
+                outcomes=tuple(
+                    outcomes[s.name] for s in self.steps if s.name in outcomes
+                )
+            )
+            metrics.run_report = report
+            self.last_metrics = metrics
+            self.last_report = report
+        return {step.name: results[step.name] for step in self.steps if step.name in results}
 
-    def _execute(self, step: PipelineStep, inputs: dict[str, Any], pool: ProcessPoolExecutor | None) -> Any:
+    def run_with_report(self, *args: Any, **kwargs: Any) -> tuple[dict[str, Any], RunReport]:
+        """:meth:`run`, returning ``(results, report)`` in one call."""
+        results = self.run(*args, **kwargs)
+        assert self.last_report is not None
+        return results, self.last_report
+
+    def _execute(
+        self,
+        step: PipelineStep,
+        inputs: dict[str, Any],
+        pool: ProcessPoolExecutor | None,
+        remaining: float | None,
+    ) -> Any:
         if pool is not None:
-            value = pool.submit(_call_step, step.fn, inputs, dict(step.params)).result()
+            if remaining is not None:
+                # Hard timeout: dedicated killable worker (see _run_killable).
+                value = _run_killable(step, inputs, remaining)
+            else:
+                value = pool.submit(_call_step, step.fn, inputs, dict(step.params)).result()
         else:
             value = _call_step(step.fn, inputs, dict(step.params))
         if value is None:
             raise PipelineError(f"step {step.name!r} returned None")
         return value
+
+    def _attempt_loop(
+        self,
+        step: PipelineStep,
+        inputs: dict[str, Any],
+        pool: ProcessPoolExecutor | None,
+        fault_plan: Any | None,
+        counter: dict[str, int],
+    ) -> Any:
+        """One cache-miss compute: bounded attempts with backoff + deadline.
+
+        Runs in the coordinating process (sequential caller or a
+        coordination thread), inside the cache's single-flight lock, so
+        retries of one step never duplicate work across concurrent runs.
+        """
+        policy = self._policy_for(step)
+        timeout = self._timeout_for(step)
+        attempt = 0
+        while True:
+            attempt += 1
+            counter["attempts"] = attempt
+            attempt_start = time.perf_counter()
+            deadline = attempt_start + timeout if timeout is not None else None
+            try:
+                if fault_plan is not None:
+                    fault_plan.fire(
+                        step.name,
+                        attempt,
+                        remaining=None if deadline is None else deadline - time.perf_counter(),
+                    )
+                if deadline is not None and time.perf_counter() > deadline:
+                    # An injected hang (or pool queueing) consumed the whole
+                    # budget before the compute even started.
+                    raise StepTimeout(
+                        f"step {step.name!r} exceeded timeout {timeout:.3f}s "
+                        "(cooperative deadline, pre-compute)"
+                    )
+                value = self._execute(
+                    step,
+                    inputs,
+                    pool,
+                    None if deadline is None else deadline - time.perf_counter(),
+                )
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise StepTimeout(
+                        f"step {step.name!r} exceeded timeout {timeout:.3f}s "
+                        "(cooperative deadline)"
+                    )
+                return value
+            except Exception as exc:
+                if attempt >= policy.max_attempts or not policy.retries(exc):
+                    raise
+                time.sleep(policy.delay(step.name, attempt))
+
+    def _obtain(
+        self,
+        step: PipelineStep,
+        inputs: dict[str, Any],
+        keys: Mapping[str, str],
+        force: bool,
+        pool: ProcessPoolExecutor | None,
+        fault_plan: Any | None,
+        counter: dict[str, int],
+    ) -> tuple[Any, bool]:
+        value, cached = self.cache.get_or_compute(
+            keys[step.name],
+            lambda: self._attempt_loop(step, inputs, pool, fault_plan, counter),
+            force=force,
+        )
+        if fault_plan is not None and not cached:
+            # Corrupt-cache faults fire after a successful publish so the
+            # *next* reader exercises the evict-and-recompute path.
+            fault_plan.corrupt_cache(self.cache, step.name, keys[step.name])
+        return value, cached
+
+    @staticmethod
+    def _classify(cached: bool, attempts: int) -> str:
+        if cached:
+            return "cached"
+        return "retried" if attempts > 1 else "ok"
+
+    def _record_failure(
+        self,
+        step: PipelineStep,
+        keys: Mapping[str, str],
+        exc: BaseException,
+        attempts: int,
+        wall: float,
+        started_at: float,
+        finished_at: float,
+        metrics: ExecutorMetrics,
+        outcomes: dict[str, StepOutcome],
+    ) -> None:
+        status = "timeout" if isinstance(exc, StepTimeout) else "failed"
+        error = repr(exc)
+        outcomes[step.name] = StepOutcome(step.name, status, attempts, error, wall)
+        metrics.record(
+            step.name, keys[step.name], False, wall, started_at, finished_at,
+            outcome=status, attempts=attempts, error=error,
+        )
+
+    def _record_skip(
+        self,
+        step: PipelineStep,
+        keys: Mapping[str, str],
+        failed_deps: list[str],
+        metrics: ExecutorMetrics,
+        outcomes: dict[str, StepOutcome],
+    ) -> None:
+        reason = f"upstream failed: {sorted(failed_deps)}"
+        outcomes[step.name] = StepOutcome(step.name, "skipped_upstream", 0, reason, 0.0)
+        metrics.record(
+            step.name, keys[step.name], False, 0.0, 0.0, 0.0,
+            outcome="skipped_upstream", attempts=0, error=reason,
+        )
 
     def _run_sequential(
         self,
@@ -364,20 +753,44 @@ class Pipeline:
         force: bool,
         metrics: ExecutorMetrics,
         t0: float,
+        on_error: str,
+        fault_plan: Any | None,
+        outcomes: dict[str, StepOutcome],
     ) -> dict[str, Any]:
         results: dict[str, Any] = {}
+        unavailable: set[str] = set()  # failed or skipped steps
         for step in self.steps:
+            bad_deps = [d for d in step.depends_on if d in unavailable]
+            if bad_deps:
+                unavailable.add(step.name)
+                self._record_skip(step, keys, bad_deps, metrics, outcomes)
+                continue
             inputs = {dep: results[dep] for dep in step.depends_on}
+            counter = {"attempts": 0}
             started = time.perf_counter()
-            value, cached = self.cache.get_or_compute(
-                keys[step.name],
-                lambda step=step, inputs=inputs: self._execute(step, inputs, None),
-                force=force,
-            )
+            try:
+                value, cached = self._obtain(
+                    step, inputs, keys, force, None, fault_plan, counter
+                )
+            except Exception as exc:
+                finished = time.perf_counter()
+                self._record_failure(
+                    step, keys, exc, counter["attempts"], finished - started,
+                    started - t0, finished - t0, metrics, outcomes,
+                )
+                if on_error == "raise":
+                    raise
+                unavailable.add(step.name)
+                continue
             finished = time.perf_counter()
+            attempts = counter["attempts"]
+            outcome = self._classify(cached, attempts)
+            outcomes[step.name] = StepOutcome(
+                step.name, outcome, attempts, "", finished - started
+            )
             metrics.record(
                 step.name, keys[step.name], cached, finished - started,
-                started - t0, finished - t0,
+                started - t0, finished - t0, outcome=outcome, attempts=attempts,
             )
             results[step.name] = value
         return results
@@ -390,6 +803,9 @@ class Pipeline:
         mode: str,
         workers: int,
         t0: float,
+        on_error: str,
+        fault_plan: Any | None,
+        outcomes: dict[str, StepOutcome],
     ) -> dict[str, Any]:
         indegree = {s.name: len(s.depends_on) for s in self.steps}
         dependents: dict[str, list[PipelineStep]] = {s.name: [] for s in self.steps}
@@ -398,6 +814,7 @@ class Pipeline:
                 dependents[dep].append(step)
         by_name = {s.name: s for s in self.steps}
         results: dict[str, Any] = {}
+        counters: dict[str, dict[str, int]] = {}
 
         # Thread mode computes inside the coordination threads, so the
         # coordination pool IS the worker pool; process mode uses cheap
@@ -411,12 +828,26 @@ class Pipeline:
 
         def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, bool, float, float]:
             started = time.perf_counter()
-            value, cached = self.cache.get_or_compute(
-                keys[step.name],
-                lambda: self._execute(step, inputs, pool),
-                force=force,
+            counters[step.name]["started_at"] = started  # type: ignore[assignment]
+            value, cached = self._obtain(
+                step, inputs, keys, force, pool, fault_plan, counters[step.name]
             )
             return value, cached, started, time.perf_counter()
+
+        def skip_subtree(root: PipelineStep) -> None:
+            # Mark every transitive dependent of a failed step. Their
+            # indegree never reaches zero, so none is ever submitted; this
+            # pass exists purely so the report names them.
+            stack = [root]
+            while stack:
+                parent = stack.pop()
+                for dependent in dependents[parent.name]:
+                    if dependent.name in outcomes:
+                        continue
+                    self._record_skip(
+                        dependent, keys, [parent.name], metrics, outcomes
+                    )
+                    stack.append(by_name[dependent.name])
 
         try:
             with ThreadPoolExecutor(max_workers=coord_size) as coord:
@@ -424,6 +855,7 @@ class Pipeline:
 
                 def submit(step: PipelineStep) -> None:
                     inputs = {dep: results[dep] for dep in step.depends_on}
+                    counters[step.name] = {"attempts": 0}
                     inflight[coord.submit(task, step, inputs)] = step
 
                 for step in self.steps:
@@ -433,15 +865,32 @@ class Pipeline:
                     done, _ = wait(inflight, return_when=FIRST_COMPLETED)
                     for fut in done:
                         step = inflight.pop(fut)
+                        counter = counters[step.name]
                         try:
                             value, cached, started, finished = fut.result()
-                        except BaseException:
-                            for other in inflight:
-                                other.cancel()
-                            raise
+                        except BaseException as exc:
+                            finished = time.perf_counter()
+                            started = counter.get("started_at", finished)
+                            self._record_failure(
+                                step, keys, exc, counter["attempts"],
+                                finished - started, started - t0, finished - t0,
+                                metrics, outcomes,
+                            )
+                            if on_error == "raise" or not isinstance(exc, Exception):
+                                for other in inflight:
+                                    other.cancel()
+                                raise
+                            skip_subtree(step)
+                            continue
+                        attempts = counter["attempts"]
+                        outcome = self._classify(cached, attempts)
+                        outcomes[step.name] = StepOutcome(
+                            step.name, outcome, attempts, "", finished - started
+                        )
                         metrics.record(
                             step.name, keys[step.name], cached,
                             finished - started, started - t0, finished - t0,
+                            outcome=outcome, attempts=attempts,
                         )
                         results[step.name] = value
                         for dependent in dependents[step.name]:

@@ -16,7 +16,7 @@ from repro.cluster.scheduler import simulate_schedule
 from repro.cluster.workload import WorkloadModel, WorkloadParams
 from repro.core.calibration import profile_2011, profile_2024
 from repro.core.instrument import build_instrument
-from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep, RetryPolicy
 from repro.core.study import Study
 
 __all__ = ["study_pipeline", "run_cached_study"]
@@ -70,12 +70,17 @@ def study_pipeline(
     backfill: bool = True,
     diurnal: bool = True,
     cache: ArtifactCache | None = None,
+    retry: RetryPolicy | None = None,
+    timeout: float | None = None,
 ) -> Pipeline:
     """Build the cached generate→schedule→study pipeline.
 
     Step/param layout is the cache contract: changing ``n_current`` reruns
     only the survey stage; changing ``backfill`` reruns only scheduling;
     changing ``months`` reruns workload + scheduling (its dependent).
+    ``retry``/``timeout`` become the pipeline's step defaults; neither
+    enters any cache key, so enabling fault tolerance on site data never
+    invalidates existing artifacts.
     """
     steps = [
         PipelineStep(
@@ -105,7 +110,7 @@ def study_pipeline(
             depends_on=("survey", "workload", "schedule"),
         ),
     ]
-    return Pipeline(steps, cache)
+    return Pipeline(steps, cache, default_retry=retry, default_timeout=timeout)
 
 
 def run_cached_study(

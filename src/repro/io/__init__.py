@@ -9,15 +9,18 @@ Two interchange formats:
   semicolon-joined, with type coercion on read driven by the instrument.
 
 Both readers validate against the questionnaire and raise
-:class:`ResponseIOError` with row context on malformed input.
+:class:`ResponseIOError` with row context on malformed input. The JSONL
+reader also offers a tolerant mode (``on_bad_rows="skip"``) that drops
+malformed rows into a :class:`SkippedRow` tally instead of aborting.
 """
 
 from repro.io.jsonl import read_responses_jsonl, write_responses_jsonl
 from repro.io.csvio import read_responses_csv, write_responses_csv
-from repro.io.errors import ResponseIOError
+from repro.io.errors import ResponseIOError, SkippedRow
 
 __all__ = [
     "ResponseIOError",
+    "SkippedRow",
     "write_responses_jsonl",
     "read_responses_jsonl",
     "write_responses_csv",

@@ -1,7 +1,25 @@
-"""Shared I/O error type."""
+"""Shared I/O error and skipped-row types."""
 
-__all__ = ["ResponseIOError"]
+from dataclasses import dataclass
+
+__all__ = ["ResponseIOError", "SkippedRow"]
 
 
 class ResponseIOError(ValueError):
     """Raised on malformed response input, with row/line context."""
+
+
+@dataclass(frozen=True)
+class SkippedRow:
+    """One malformed input row tolerated by a reader in ``skip`` mode.
+
+    Both tolerant readers (:func:`repro.io.read_responses_jsonl`,
+    :func:`repro.cluster.parse_sacct`) collect these into the caller's
+    ``skipped`` list and log a tally, so dirty operational data degrades
+    into an auditable skip count instead of an aborted multi-month ingest.
+    ``lineno`` is 1-based; ``-1`` marks an unreadable stream tail (e.g. a
+    truncated gzip member) where no further line numbers exist.
+    """
+
+    lineno: int
+    reason: str

@@ -5,6 +5,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import logging
 from pathlib import Path
 from typing import TextIO
 
@@ -15,7 +16,9 @@ def _open_text(path: str | Path, mode: str):
         return gzip.open(path, mode + "t", encoding="utf-8")
     return open(path, mode, encoding="utf-8")
 
-from repro.io.errors import ResponseIOError
+from repro.io.errors import ResponseIOError, SkippedRow
+
+logger = logging.getLogger(__name__)
 from repro.survey.questions import QuestionKind
 from repro.survey.responses import Response, ResponseSet
 from repro.survey.schema import Questionnaire
@@ -74,48 +77,100 @@ def _coerce(questionnaire: Questionnaire, key: str, value, lineno: int):
     return value
 
 
+def _parse_response_line(
+    questionnaire: Questionnaire, line: str, lineno: int
+) -> Response:
+    """Parse one JSONL row, raising :class:`ResponseIOError` with context."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ResponseIOError(f"line {lineno}: invalid JSON ({exc})") from exc
+    if not isinstance(obj, dict):
+        raise ResponseIOError(f"line {lineno}: expected an object")
+    for required in ("respondent_id", "cohort", "answers"):
+        if required not in obj:
+            raise ResponseIOError(f"line {lineno}: missing {required!r}")
+    if not isinstance(obj["answers"], dict):
+        raise ResponseIOError(f"line {lineno}: 'answers' must be an object")
+    answers = {
+        key: _coerce(questionnaire, key, value, lineno)
+        for key, value in obj["answers"].items()
+    }
+    return Response(
+        respondent_id=str(obj["respondent_id"]),
+        cohort=str(obj["cohort"]),
+        answers=answers,
+    )
+
+
 def read_responses_jsonl(
-    questionnaire: Questionnaire, source: str | Path | TextIO
+    questionnaire: Questionnaire,
+    source: str | Path | TextIO,
+    *,
+    on_bad_rows: str = "raise",
+    skipped: list[SkippedRow] | None = None,
 ) -> ResponseSet:
     """Read a JSONL export back into a :class:`ResponseSet`.
 
     A literal string containing newlines is treated as data, anything else
     as a path.
+
+    ``on_bad_rows="skip"`` tolerates dirty operational exports: malformed
+    rows (bad JSON, missing keys, wrong answer types) and an unreadable
+    stream tail (truncated gzip) are skipped rather than fatal. Each skip
+    is appended to ``skipped`` (when given) as a
+    :class:`~repro.io.errors.SkippedRow` with its line number, and the
+    tally is logged. Strict (``"raise"``) remains the default.
     """
+    if on_bad_rows not in ("raise", "skip"):
+        raise ValueError(f"unknown on_bad_rows {on_bad_rows!r}")
     if isinstance(source, Path):
         with _open_text(source, "r") as fh:
-            return read_responses_jsonl(questionnaire, fh)
+            return read_responses_jsonl(
+                questionnaire, fh, on_bad_rows=on_bad_rows, skipped=skipped
+            )
     if isinstance(source, str):
         if "\n" in source or source.lstrip().startswith("{"):
-            return read_responses_jsonl(questionnaire, io.StringIO(source))
+            return read_responses_jsonl(
+                questionnaire, io.StringIO(source),
+                on_bad_rows=on_bad_rows, skipped=skipped,
+            )
         with _open_text(source, "r") as fh:
-            return read_responses_jsonl(questionnaire, fh)
+            return read_responses_jsonl(
+                questionnaire, fh, on_bad_rows=on_bad_rows, skipped=skipped
+            )
 
+    skips: list[SkippedRow] = []
     responses: list[Response] = []
-    for lineno, line in enumerate(source, start=1):
+    lines = enumerate(source, start=1)
+    lineno = 0
+    while True:
+        try:
+            lineno, line = next(lines)
+        except StopIteration:
+            break
+        except (EOFError, OSError) as exc:
+            # Truncated/corrupt gzip member: no further lines exist.
+            if on_bad_rows == "skip":
+                skips.append(SkippedRow(-1, f"unreadable stream tail: {exc!r}"))
+                break
+            raise ResponseIOError(f"unreadable response stream: {exc}") from exc
         line = line.strip()
         if not line:
             continue
         try:
-            obj = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ResponseIOError(f"line {lineno}: invalid JSON ({exc})") from exc
-        if not isinstance(obj, dict):
-            raise ResponseIOError(f"line {lineno}: expected an object")
-        for required in ("respondent_id", "cohort", "answers"):
-            if required not in obj:
-                raise ResponseIOError(f"line {lineno}: missing {required!r}")
-        if not isinstance(obj["answers"], dict):
-            raise ResponseIOError(f"line {lineno}: 'answers' must be an object")
-        answers = {
-            key: _coerce(questionnaire, key, value, lineno)
-            for key, value in obj["answers"].items()
-        }
-        responses.append(
-            Response(
-                respondent_id=str(obj["respondent_id"]),
-                cohort=str(obj["cohort"]),
-                answers=answers,
-            )
+            responses.append(_parse_response_line(questionnaire, line, lineno))
+        except ResponseIOError as exc:
+            if on_bad_rows == "raise":
+                raise
+            skips.append(SkippedRow(lineno, str(exc)))
+    if skips:
+        logger.warning(
+            "read_responses_jsonl: skipped %d malformed row(s) at line(s) %s",
+            len(skips),
+            ", ".join(str(s.lineno) for s in skips[:10])
+            + (", ..." if len(skips) > 10 else ""),
         )
+        if skipped is not None:
+            skipped.extend(skips)
     return ResponseSet(questionnaire, responses)

@@ -85,12 +85,33 @@ def _quality_appendix(study: Study) -> list[str]:
     return lines
 
 
+def _placeholder_block(eid: str, error: str) -> list[str]:
+    """Clearly-marked stand-in for an experiment that failed to regenerate.
+
+    The section keeps its slot in the document (same id comment, same
+    position in ``_ORDER``) so a degraded report diffs cleanly against a
+    healthy one: everything is identical except the failed sections.
+    """
+    experiment = EXPERIMENTS[eid]
+    return [
+        f"### {eid}: {experiment.title} — UNAVAILABLE",
+        "",
+        "> **This experiment failed to regenerate and was skipped.**",
+        f"> error: `{error}`",
+        ">",
+        "> Every other section of this report is unaffected. Re-run without",
+        "> `--keep-going` to abort on the first failure instead.",
+        "",
+    ]
+
+
 def build_report(
     study: Study,
     include_quality_appendix: bool = True,
     *,
     max_workers: int | None = None,
     executor: str = "auto",
+    on_error: str = "raise",
     metrics_out: list[ExecutorMetrics] | None = None,
 ) -> str:
     """Render the full study report as markdown.
@@ -100,18 +121,34 @@ def build_report(
     is assembled in registry order, so the rendered markdown is identical
     for every executor mode. Pass a list as ``metrics_out`` to receive the
     executor's :class:`~repro.core.metrics.ExecutorMetrics`.
+
+    With ``on_error="keep_going"`` a failing experiment no longer aborts
+    the document: its section renders as a clearly-marked placeholder
+    carrying the captured error, and the inspectable failure list lands in
+    the metrics (``metrics.steps_failed``, per-step ``outcome``/``error``).
     """
     artifacts, metrics = run_all_experiments_with_metrics(
-        study, max_workers=max_workers, executor=executor
+        study, max_workers=max_workers, executor=executor, on_error=on_error
     )
     if metrics_out is not None:
         metrics_out.append(metrics)
+    failures = {m.name: m.error for m in metrics.steps if m.outcome == "failed"}
     lines = _front_matter(study)
+    if failures:
+        failed_ids = ", ".join(sorted(failures))
+        lines.append(
+            f"> **DEGRADED REPORT** — {len(failures)} experiment(s) failed to "
+            f"regenerate ({failed_ids}); their sections below are placeholders."
+        )
+        lines.append("")
     lines.append("## Results")
     lines.append("")
     for eid in _ORDER:
         artifact = artifacts.get(eid)
         if artifact is None:
+            if eid in failures:
+                lines.append(f"<!-- experiment {eid}: {EXPERIMENTS[eid].description} -->")
+                lines.extend(_placeholder_block(eid, failures[eid]))
             continue
         lines.append(f"<!-- experiment {eid}: {EXPERIMENTS[eid].description} -->")
         if isinstance(artifact, Table):

@@ -35,7 +35,7 @@ from repro.analysis.telemetry import (
     runtime_figure,
 )
 from repro.analysis.training import training_summary
-from repro.core.metrics import ExecutorMetrics
+from repro.core.metrics import ExecutorMetrics, RunReport, StepOutcome
 from repro.core.study import Study
 from repro.core.trends import TrendRow
 from repro.report.figures import FigureSeries
@@ -496,15 +496,29 @@ def run_experiment(experiment_id: str, study: Study) -> Artifact:
     return experiment.fn(study)
 
 
-def _run_experiment_chunk(ids: tuple[str, ...], study: Study) -> dict[str, Artifact]:
+def _run_experiment_chunk(
+    ids: tuple[str, ...], study: Study, on_error: str = "raise"
+) -> dict[str, tuple[str, object]]:
     """Worker-side body of the process fan-out: run a slice of the registry.
 
     The study pickles over once per worker (not once per experiment); the
     extensions import re-registers X1..X10 in the fresh interpreter.
+    Returns ``{id: ("ok", artifact)}`` entries; with ``on_error=
+    "keep_going"`` a failing experiment becomes ``("failed", repr(exc))``
+    instead of poisoning the whole chunk.
     """
     import repro.report.extensions  # noqa: F401  (registers X* in the worker)
 
-    return {eid: EXPERIMENTS[eid].fn(study) for eid in ids}
+    out: dict[str, tuple[str, object]] = {}
+    for eid in ids:
+        if on_error == "keep_going":
+            try:
+                out[eid] = ("ok", EXPERIMENTS[eid].fn(study))
+            except Exception as exc:
+                out[eid] = ("failed", repr(exc))
+        else:
+            out[eid] = ("ok", EXPERIMENTS[eid].fn(study))
+    return out
 
 
 def _resolve_fanout(executor: str, max_workers: int | None, study: Study, n: int) -> tuple[str, int]:
@@ -529,6 +543,7 @@ def run_all_experiments_with_metrics(
     study: Study,
     max_workers: int | None = None,
     executor: str = "auto",
+    on_error: str = "raise",
 ) -> tuple[dict[str, Artifact], ExecutorMetrics]:
     """Regenerate every artifact plus the executor's timing record.
 
@@ -538,41 +553,86 @@ def run_all_experiments_with_metrics(
     (``"sequential"`` or ``max_workers=1``). Output is identical across
     modes — the golden-artifact suite enforces byte-equality — and the
     returned dict is always keyed in sorted-id order.
+
+    ``on_error="keep_going"`` degrades gracefully instead of aborting: a
+    failing experiment is dropped from the returned dict and recorded in
+    the metrics with ``outcome="failed"`` and the captured error, so
+    :func:`repro.report.document.build_report` can render a placeholder
+    section for exactly the failed ids.
     """
+    if on_error not in ("raise", "keep_going"):
+        raise ValueError(f"unknown on_error {on_error!r}")
     ids = sorted(EXPERIMENTS)
     mode, workers = _resolve_fanout(executor, max_workers, study, len(ids))
     metrics = ExecutorMetrics(mode=mode, max_workers=workers)
     t0 = time.perf_counter()
     artifacts: dict[str, Artifact] = {}
+
+    def run_one(eid: str) -> Artifact | None:
+        """Run one experiment inline, recording its metric; None on failure."""
+        started = time.perf_counter()
+        try:
+            artifact = EXPERIMENTS[eid].fn(study)
+        except Exception as exc:
+            if on_error == "raise":
+                raise
+            finished = time.perf_counter()
+            metrics.record(
+                eid, "", False, finished - started, started - t0, finished - t0,
+                outcome="failed", error=repr(exc),
+            )
+            return None
+        finished = time.perf_counter()
+        metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
+        return artifact
+
     if mode == "sequential":
         for eid in ids:
-            started = time.perf_counter()
-            artifacts[eid] = EXPERIMENTS[eid].fn(study)
-            finished = time.perf_counter()
-            metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
+            artifact = run_one(eid)
+            if artifact is not None:
+                artifacts[eid] = artifact
     elif mode == "thread":
-        def one(eid: str) -> Artifact:
-            started = time.perf_counter()
-            artifact = EXPERIMENTS[eid].fn(study)
-            finished = time.perf_counter()
-            metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
-            return artifact
-
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            artifacts = dict(zip(ids, pool.map(one, ids)))
+            artifacts = {
+                eid: artifact
+                for eid, artifact in zip(ids, pool.map(run_one, ids))
+                if artifact is not None
+            }
     else:
         # Round-robin chunks balance the slow table/figure mix across
         # workers while shipping the study to each worker exactly once.
         chunks = [tuple(ids[i::workers]) for i in range(workers)]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             started = time.perf_counter()
-            for chunk, result in zip(chunks, pool.map(_run_experiment_chunk, chunks, [study] * len(chunks))):
+            for chunk, result in zip(
+                chunks,
+                pool.map(
+                    _run_experiment_chunk,
+                    chunks,
+                    [study] * len(chunks),
+                    [on_error] * len(chunks),
+                ),
+            ):
                 finished = time.perf_counter()
-                artifacts.update(result)
+                share = (finished - started) / max(len(chunk), 1)
                 for eid in chunk:
-                    metrics.record(eid, "", False, (finished - started) / max(len(chunk), 1), started - t0, finished - t0)
-        artifacts = {eid: artifacts[eid] for eid in ids}
+                    status, payload = result[eid]
+                    if status == "ok":
+                        artifacts[eid] = payload
+                        metrics.record(eid, "", False, share, started - t0, finished - t0)
+                    else:
+                        metrics.record(
+                            eid, "", False, share, started - t0, finished - t0,
+                            outcome="failed", error=str(payload),
+                        )
+        artifacts = {eid: artifacts[eid] for eid in ids if eid in artifacts}
     metrics.wall_seconds = time.perf_counter() - t0
+    metrics.run_report = RunReport(
+        outcomes=tuple(
+            StepOutcome(m.name, m.outcome, m.attempts, m.error, m.wall_seconds)
+            for m in metrics.steps
+        )
+    )
     return artifacts, metrics
 
 
@@ -580,9 +640,10 @@ def run_all_experiments(
     study: Study,
     max_workers: int | None = None,
     executor: str = "auto",
+    on_error: str = "raise",
 ) -> dict[str, Artifact]:
     """Regenerate every artifact, keyed by experiment id (sorted order)."""
     artifacts, _ = run_all_experiments_with_metrics(
-        study, max_workers=max_workers, executor=executor
+        study, max_workers=max_workers, executor=executor, on_error=on_error
     )
     return artifacts

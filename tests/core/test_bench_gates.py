@@ -1,0 +1,106 @@
+"""Unit tests for the benchmark trajectory gates (synthetic records, no timing)."""
+
+import json
+
+import pytest
+
+from repro.core.bench import (
+    append_run,
+    check_regression,
+    check_retry_overhead,
+    latest_run,
+    load_runs,
+)
+
+
+def record(scale="quick", label="run", **benchmarks):
+    return {
+        "label": label,
+        "scale": scale,
+        "created": "2026-08-07T00:00:00Z",
+        "machine": {"platform": "test"},
+        "repeats": 2,
+        "benchmarks": benchmarks,
+    }
+
+
+def sim(seconds):
+    return {"seconds": seconds, "runs": [seconds]}
+
+
+def overhead_entry(plain, wrapper):
+    tolerant = plain + wrapper
+    return {
+        "seconds": tolerant,
+        "runs": [tolerant],
+        "detail": {
+            "plain_seconds": plain,
+            "wrapper_seconds": wrapper,
+            "overhead": wrapper / plain,
+        },
+    }
+
+
+class TestCheckRegression:
+    def test_within_tolerance_passes(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, record(simulate_schedule=sim(1.0)))
+        ok, msg = check_regression(record(simulate_schedule=sim(1.2)), path)
+        assert ok and "120%" in msg
+
+    def test_regression_fails(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, record(simulate_schedule=sim(1.0)))
+        ok, _ = check_regression(record(simulate_schedule=sim(1.3)), path)
+        assert not ok
+
+    def test_missing_scale_passes_vacuously(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, record(scale="full", simulate_schedule=sim(1.0)))
+        ok, msg = check_regression(record(scale="quick", simulate_schedule=sim(9.0)), path)
+        assert ok and "skipping" in msg
+
+    def test_latest_same_scale_run_is_baseline(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        append_run(path, record(label="old", simulate_schedule=sim(9.0)))
+        append_run(path, record(label="new", simulate_schedule=sim(1.0)))
+        assert latest_run(load_runs(path), "quick")["label"] == "new"
+        ok, _ = check_regression(record(simulate_schedule=sim(1.3)), path)
+        assert not ok  # compared against the 1.0s run, not the 9.0s one
+
+    def test_rejects_non_trajectory_file(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError, match="trajectory"):
+            check_regression(record(simulate_schedule=sim(1.0)), path)
+
+
+class TestCheckRetryOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_retry_overhead(
+            record(retry_overhead=overhead_entry(plain=0.02, wrapper=0.0001))
+        )
+        assert ok and "+0.5%" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_retry_overhead(
+            record(retry_overhead=overhead_entry(plain=0.02, wrapper=0.001))
+        )
+        assert not ok and "+5.0%" in msg
+
+    def test_negative_overhead_passes(self):
+        ok, _ = check_retry_overhead(
+            record(retry_overhead=overhead_entry(plain=0.02, wrapper=-0.0001))
+        )
+        assert ok
+
+    def test_custom_limit(self):
+        entry = overhead_entry(plain=0.02, wrapper=0.001)
+        ok, _ = check_retry_overhead(record(retry_overhead=entry), max_overhead=0.10)
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_retry_overhead(record(retry_overhead=entry), max_overhead=-1.0)
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_retry_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg

@@ -1,0 +1,226 @@
+"""Chaos suite: deterministic fault injection against the pipeline.
+
+The acceptance bar (ISSUE PR 3): under a seeded :class:`FaultPlan` injecting
+one transient failure per step, a retried run must produce artifacts
+byte-identical to a fault-free run in every executor mode; a permanent
+mid-DAG fault under ``keep_going`` must complete every non-downstream step.
+"""
+
+import time
+
+import pytest
+
+from repro.core.faults import FaultEvent, FaultPlan, FaultSpec, InjectedFault
+from repro.core.pipeline import (
+    ArtifactCache,
+    Pipeline,
+    PipelineStep,
+    RetryPolicy,
+)
+
+from tests.core.test_pipeline_retry import FAST_RETRY, _combine, _double, _source, _triple
+
+MODES = ["sequential", "thread", "process"]
+
+
+def diamond(cache=None, **kwargs):
+    return Pipeline(
+        [
+            PipelineStep("a", _source, params={"value": 2}),
+            PipelineStep("b", _double, depends_on=("a",)),
+            PipelineStep("c", _triple, depends_on=("a",)),
+            PipelineStep("d", _combine, depends_on=("b", "c")),
+        ],
+        cache,
+        **kwargs,
+    )
+
+
+ALL_STEPS = ["a", "b", "c", "d"]
+
+
+def artifact_bytes(root):
+    """{cache key: artifact bytes} for every entry in a disk cache dir."""
+    return {p.stem: p.read_bytes() for p in root.glob("*.pkl")}
+
+
+class TestFaultSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("s", kind="explode")
+        with pytest.raises(ValueError, match="hang_seconds"):
+            FaultSpec("s", kind="hang", hang_seconds=-1.0)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("s", attempts=(0,))
+
+    def test_fires_on(self):
+        transient = FaultSpec("s")  # default: first attempt only
+        assert transient.fires_on(1) and not transient.fires_on(2)
+        permanent = FaultSpec("s", attempts=())
+        assert all(permanent.fires_on(n) for n in range(1, 10))
+        second_only = FaultSpec("s", attempts=(2,))
+        assert not second_only.fires_on(1) and second_only.fires_on(2)
+
+
+class TestFaultPlan:
+    def test_fire_raises_and_records(self):
+        plan = FaultPlan.transient_errors(["x"])
+        with pytest.raises(InjectedFault, match="step 'x' \\(attempt 1\\)"):
+            plan.fire("x", 1)
+        plan.fire("x", 2)  # transient: second attempt clean
+        plan.fire("y", 1)  # unnamed step: no-op
+        assert plan.events == (FaultEvent("x", "error", 1),)
+        assert plan.fired("x") == 1 and plan.fired("y") == 0
+
+    def test_transient_errors_multiple_failures(self):
+        plan = FaultPlan.transient_errors(["x"], failures_per_step=2)
+        for attempt in (1, 2):
+            with pytest.raises(InjectedFault):
+                plan.fire("x", attempt)
+        plan.fire("x", 3)
+        with pytest.raises(ValueError, match="failures_per_step"):
+            FaultPlan.transient_errors(["x"], failures_per_step=0)
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(ALL_STEPS, seed=11, rate=0.5)
+        b = FaultPlan.random(ALL_STEPS, seed=11, rate=0.5)
+        assert [s.step for s in a.specs] == [s.step for s in b.specs]
+        assert FaultPlan.random(ALL_STEPS, seed=1, rate=0.0).specs == ()
+        assert len(FaultPlan.random(ALL_STEPS, seed=1, rate=1.0).specs) == len(ALL_STEPS)
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.random(ALL_STEPS, seed=1, rate=1.5)
+
+    def test_reset_clears_events(self):
+        plan = FaultPlan.transient_errors(["x"])
+        with pytest.raises(InjectedFault):
+            plan.fire("x", 1)
+        plan.reset()
+        assert plan.events == ()
+        with pytest.raises(InjectedFault):  # specs unchanged: fires again
+            plan.fire("x", 1)
+
+
+class TestChaosByteIdentity:
+    """Transient faults + retries must not change what lands on disk."""
+
+    @pytest.mark.parametrize("executor", MODES)
+    def test_one_transient_failure_per_step(self, executor, tmp_path):
+        clean_dir = tmp_path / "clean"
+        chaos_dir = tmp_path / "chaos"
+
+        clean = diamond(ArtifactCache(clean_dir))
+        clean_results = clean.run(executor=executor, max_workers=2)
+
+        plan = FaultPlan.transient_errors(ALL_STEPS, failures_per_step=1, seed=3)
+        chaos = diamond(ArtifactCache(chaos_dir), default_retry=FAST_RETRY)
+        chaos_results = chaos.run(executor=executor, max_workers=2, fault_plan=plan)
+
+        assert chaos_results == clean_results
+        # Every step failed once and recovered on retry.
+        report = chaos.last_report
+        assert report.ok
+        assert set(report.retried) == set(ALL_STEPS)
+        assert report.total_attempts == 2 * len(ALL_STEPS)
+        assert plan.fired("a", "error") == 1
+        # Same keys, byte-identical artifacts.
+        clean_bytes = artifact_bytes(clean_dir)
+        chaos_bytes = artifact_bytes(chaos_dir)
+        assert set(clean_bytes) == set(chaos_bytes) == set(clean.keys().values())
+        assert clean_bytes == chaos_bytes
+
+    @pytest.mark.parametrize("executor", MODES)
+    def test_empty_plan_is_a_noop(self, executor, tmp_path):
+        clean = diamond(ArtifactCache(tmp_path / "clean"))
+        clean.run(executor=executor, max_workers=2)
+        noop = diamond(ArtifactCache(tmp_path / "noop"), default_retry=FAST_RETRY)
+        noop.run(executor=executor, max_workers=2, fault_plan=FaultPlan())
+        assert noop.last_report.ok
+        assert noop.last_report.retried == ()
+        assert artifact_bytes(tmp_path / "clean") == artifact_bytes(tmp_path / "noop")
+
+
+class TestChaosKeepGoing:
+    """Permanent mid-DAG fault: everything not downstream still completes."""
+
+    @pytest.mark.parametrize("executor", MODES)
+    def test_permanent_fault_isolates_subtree(self, executor, tmp_path):
+        plan = FaultPlan([FaultSpec("b", attempts=())])
+        pipeline = diamond(ArtifactCache(tmp_path), default_retry=FAST_RETRY)
+        results = pipeline.run(
+            executor=executor, max_workers=2, on_error="keep_going", fault_plan=plan
+        )
+        assert set(results) == {"a", "c"}
+        report = pipeline.last_report
+        assert report.failed == ("b",)
+        assert report.skipped == ("d",)
+        assert report.outcome("b").attempts == FAST_RETRY.max_attempts
+        # Completed branches are cached; a fault-free rerun heals the rest.
+        healed = diamond(ArtifactCache(tmp_path)).run(executor=executor, max_workers=2)
+        assert healed["d"] == {"v": 10}
+
+
+class TestChaosCorruptCache:
+    def test_corrupt_entry_recomputed_next_run(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        plan = FaultPlan([FaultSpec("b", kind="corrupt_cache", attempts=(1,))])
+        first = diamond(cache)
+        first_results = first.run(executor="sequential", fault_plan=plan)
+        assert plan.fired("b", "corrupt_cache") == 1
+
+        # Second run: b's entry is garbage -> evicted and recomputed; the
+        # other three steps come straight from cache.
+        second = diamond(cache)
+        second_results = second.run(executor="sequential")
+        assert second_results == first_results
+        report = second.last_report
+        assert report.outcome("b").status == "ok"
+        assert {n: report.outcome(n).status for n in ("a", "c", "d")} == {
+            "a": "cached", "c": "cached", "d": "cached",
+        }
+
+        # Third run: fully healed.
+        third = diamond(cache)
+        third.run(executor="sequential")
+        assert third.last_report.counts() == {"cached": 4}
+
+    def test_corrupt_cache_fires_only_on_planned_attempt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        plan = FaultPlan([FaultSpec("b", kind="corrupt_cache", attempts=(2,))])
+        diamond(cache).run(executor="sequential", fault_plan=plan)
+        assert plan.fired("b", "corrupt_cache") == 0  # first publish: not planned
+        assert diamond(cache).run(executor="sequential")["d"] == {"v": 10}
+
+
+class TestChaosHang:
+    @pytest.mark.parametrize("executor", ["sequential", "thread"])
+    def test_hang_with_timeout_times_out_fast(self, executor):
+        plan = FaultPlan([FaultSpec("c", kind="hang", hang_seconds=60.0)])
+        pipeline = diamond(default_timeout=0.05)
+        t0 = time.perf_counter()
+        results = pipeline.run(
+            executor=executor, max_workers=2, on_error="keep_going", fault_plan=plan
+        )
+        assert time.perf_counter() - t0 < 10.0  # hang capped at the deadline
+        assert set(results) == {"a", "b"}
+        assert pipeline.last_report.outcome("c").status == "timeout"
+
+    def test_hang_without_timeout_just_sleeps(self):
+        plan = FaultPlan([FaultSpec("c", kind="hang", hang_seconds=0.02)])
+        pipeline = diamond()
+        results = pipeline.run(executor="sequential", fault_plan=plan)
+        assert results["d"] == {"v": 10}
+        assert plan.fired("c", "hang") == 1
+
+
+class TestChaosRandomPlan:
+    def test_seeded_random_chaos_recovers(self, tmp_path):
+        plan = FaultPlan.random(ALL_STEPS, seed=20240807, rate=0.75)
+        sabotaged = {s.step for s in plan.specs}
+        assert sabotaged  # this seed picks at least one step
+        clean = diamond(ArtifactCache(tmp_path / "clean"))
+        clean.run(executor="sequential")
+        chaos = diamond(ArtifactCache(tmp_path / "chaos"), default_retry=FAST_RETRY)
+        chaos.run(executor="sequential", fault_plan=plan)
+        assert chaos.last_report.ok
+        assert set(chaos.last_report.retried) == sabotaged
+        assert artifact_bytes(tmp_path / "clean") == artifact_bytes(tmp_path / "chaos")

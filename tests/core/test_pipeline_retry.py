@@ -1,0 +1,310 @@
+"""Retry, timeout, and keep-going semantics of the pipeline executor."""
+
+import time
+
+import pytest
+
+from repro.core.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.core.pipeline import (
+    NO_RETRY,
+    ArtifactCache,
+    Pipeline,
+    PipelineError,
+    PipelineStep,
+    RetryPolicy,
+    StepTimeout,
+)
+
+# Step functions are module-level so process-mode workers can unpickle them.
+
+
+def _source(inputs, *, value=1):
+    return {"v": value}
+
+
+def _double(inputs):
+    return {"v": inputs["a"]["v"] * 2}
+
+
+def _triple(inputs):
+    return {"v": inputs["a"]["v"] * 3}
+
+
+def _combine(inputs):
+    return {"v": inputs["b"]["v"] + inputs["c"]["v"]}
+
+
+def _sleeper(inputs, *, seconds=5.0):
+    time.sleep(seconds)
+    return {"v": 1}
+
+
+def diamond(cache=None, **pipeline_kwargs):
+    """a -> (b, c) -> d."""
+    return Pipeline(
+        [
+            PipelineStep("a", _source, params={"value": 2}),
+            PipelineStep("b", _double, depends_on=("a",)),
+            PipelineStep("c", _triple, depends_on=("a",)),
+            PipelineStep("d", _combine, depends_on=("b", "c")),
+        ],
+        cache,
+        **pipeline_kwargs,
+    )
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(PipelineError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(PipelineError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(PipelineError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(PipelineError, match="non-negative"):
+            RetryPolicy(backoff_base=-1.0)
+
+    def test_delay_deterministic(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.2, seed=7)
+        assert policy.delay("step", 1) == policy.delay("step", 1)
+        assert policy.delay("step", 1) != policy.delay("step", 2)
+        assert policy.delay("step", 1) != policy.delay("other", 1)
+        assert policy.delay("step", 1) != RetryPolicy(
+            backoff_base=0.1, jitter=0.2, seed=8
+        ).delay("step", 1)
+
+    def test_delay_bounds(self):
+        policy = RetryPolicy(
+            backoff_base=0.1, backoff_factor=2.0, max_backoff=0.3, jitter=0.5
+        )
+        for attempt in range(1, 8):
+            d = policy.delay("s", attempt)
+            base = min(0.1 * 2.0 ** (attempt - 1), 0.3)
+            assert base <= d <= base * 1.5
+
+    def test_no_jitter_is_exact_backoff(self):
+        policy = RetryPolicy(backoff_base=0.25, backoff_factor=2.0, jitter=0.0)
+        assert policy.delay("s", 1) == 0.25
+        assert policy.delay("s", 2) == 0.5
+
+    def test_retryable_filter(self):
+        policy = RetryPolicy(retryable=(ValueError,))
+        assert policy.retries(ValueError("x"))
+        assert not policy.retries(TypeError("x"))
+        # Default retries any Exception, including timeouts.
+        assert RetryPolicy().retries(StepTimeout("t"))
+
+    def test_no_retry_sentinel(self):
+        assert NO_RETRY.max_attempts == 1
+        assert NO_RETRY.delay("s", 1) == 0.0
+
+
+class TestRetryExecution:
+    def test_transient_failure_recovers(self):
+        plan = FaultPlan.transient_errors(["b"])
+        pipeline = diamond(default_retry=FAST_RETRY)
+        results = pipeline.run(executor="sequential", fault_plan=plan)
+        assert results["d"] == {"v": 10}
+        report = pipeline.last_report
+        assert report.ok
+        assert report.retried == ("b",)
+        assert report.outcome("b").attempts == 2
+        assert report.outcome("a").attempts == 1
+
+    def test_exhausted_attempts_raise(self):
+        plan = FaultPlan([FaultSpec("b", attempts=())])  # permanent
+        pipeline = diamond(default_retry=FAST_RETRY)
+        with pytest.raises(InjectedFault):
+            pipeline.run(executor="sequential", fault_plan=plan)
+        outcome = pipeline.last_report.outcome("b")
+        assert outcome.status == "failed"
+        assert outcome.attempts == 3
+        assert "InjectedFault" in outcome.error
+        assert plan.fired("b", "error") == 3
+
+    def test_non_retryable_fails_immediately(self):
+        plan = FaultPlan([FaultSpec("b", attempts=())])
+        pipeline = diamond(
+            default_retry=RetryPolicy(
+                max_attempts=5, backoff_base=0.0, jitter=0.0, retryable=(KeyError,)
+            )
+        )
+        with pytest.raises(InjectedFault):
+            pipeline.run(executor="sequential", fault_plan=plan)
+        assert pipeline.last_report.outcome("b").attempts == 1
+
+    def test_step_policy_overrides_default(self):
+        steps = [
+            PipelineStep("a", _source, params={"value": 2}),
+            PipelineStep("b", _double, depends_on=("a",), retry=NO_RETRY),
+        ]
+        pipeline = Pipeline(steps, default_retry=FAST_RETRY)
+        plan = FaultPlan.transient_errors(["b"])
+        with pytest.raises(InjectedFault):
+            pipeline.run(executor="sequential", fault_plan=plan)
+        assert pipeline.last_report.outcome("b").attempts == 1
+
+    def test_flaky_function_without_fault_plan(self):
+        calls = []
+
+        def flaky(inputs):
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return {"v": 42}
+
+        pipeline = Pipeline(
+            [PipelineStep("only", flaky)],
+            default_retry=RetryPolicy(max_attempts=4, backoff_base=0.0, jitter=0.0),
+        )
+        results = pipeline.run(executor="sequential")
+        assert results == {"only": {"v": 42}}
+        assert pipeline.last_report.outcome("only").status == "retried"
+        assert pipeline.last_report.outcome("only").attempts == 3
+
+    def test_retry_settings_do_not_change_cache_keys(self):
+        plain = diamond()
+        tolerant = diamond(default_retry=FAST_RETRY, default_timeout=30.0)
+        assert plain.keys() == tolerant.keys()
+
+
+class TestKeepGoing:
+    @pytest.mark.parametrize("executor", ["sequential", "thread"])
+    def test_failure_isolates_subtree(self, executor):
+        plan = FaultPlan([FaultSpec("b", attempts=())])
+        pipeline = diamond()
+        results = pipeline.run(
+            executor=executor, max_workers=2, on_error="keep_going", fault_plan=plan
+        )
+        # a and the independent branch c complete; b failed; d skipped.
+        assert set(results) == {"a", "c"}
+        assert results["c"] == {"v": 6}
+        report = pipeline.last_report
+        assert report.failed == ("b",)
+        assert report.skipped == ("d",)
+        assert not report.ok
+        assert "upstream failed" in report.outcome("d").error
+        assert report.outcome("d").attempts == 0
+
+    def test_root_failure_skips_everything_downstream(self):
+        plan = FaultPlan([FaultSpec("a", attempts=())])
+        pipeline = diamond()
+        results = pipeline.run(
+            executor="sequential", on_error="keep_going", fault_plan=plan
+        )
+        assert results == {}
+        report = pipeline.last_report
+        assert report.failed == ("a",)
+        assert set(report.skipped) == {"b", "c", "d"}
+
+    def test_raise_mode_still_populates_report(self):
+        plan = FaultPlan([FaultSpec("c", attempts=())])
+        pipeline = diamond()
+        with pytest.raises(InjectedFault):
+            pipeline.run(executor="sequential", on_error="raise", fault_plan=plan)
+        report = pipeline.last_report
+        assert report is not None
+        assert "c" in report
+        assert report.outcome("c").status == "failed"
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(PipelineError, match="on_error"):
+            diamond().run(on_error="ignore")
+
+    def test_keep_going_failed_step_not_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        plan = FaultPlan([FaultSpec("b", attempts=())])
+        pipeline = diamond(cache)
+        pipeline.run(executor="sequential", on_error="keep_going", fault_plan=plan)
+        # A rerun without the fault computes b (nothing poisoned the cache).
+        rerun = diamond(cache)
+        results = rerun.run(executor="sequential")
+        assert results["d"] == {"v": 10}
+        assert rerun.last_report.outcome("b").status == "ok"
+        assert rerun.last_report.outcome("a").status == "cached"
+
+
+class TestTimeouts:
+    def test_cooperative_timeout_sequential(self):
+        plan = FaultPlan([FaultSpec("b", kind="hang", hang_seconds=30.0)])
+        pipeline = diamond(default_timeout=0.05)
+        t0 = time.perf_counter()
+        with pytest.raises(StepTimeout):
+            pipeline.run(executor="sequential", fault_plan=plan)
+        # The injected hang is capped near the deadline, not slept in full.
+        assert time.perf_counter() - t0 < 5.0
+        assert pipeline.last_report.outcome("b").status == "timeout"
+
+    def test_timeout_retry_recovers_transient_hang(self):
+        plan = FaultPlan([FaultSpec("b", kind="hang", hang_seconds=30.0, attempts=(1,))])
+        pipeline = diamond(
+            default_timeout=0.05,
+            default_retry=RetryPolicy(max_attempts=2, backoff_base=0.0, jitter=0.0),
+        )
+        results = pipeline.run(executor="sequential", fault_plan=plan)
+        assert results["d"] == {"v": 10}
+        assert pipeline.last_report.outcome("b").status == "retried"
+
+    def test_keep_going_classifies_timeout(self):
+        plan = FaultPlan([FaultSpec("c", kind="hang", hang_seconds=30.0)])
+        pipeline = diamond(default_timeout=0.05)
+        results = pipeline.run(
+            executor="sequential", on_error="keep_going", fault_plan=plan
+        )
+        assert set(results) == {"a", "b"}
+        assert pipeline.last_report.outcome("c").status == "timeout"
+        assert pipeline.last_report.skipped == ("d",)
+
+    def test_process_mode_hard_kills_wedged_step(self):
+        steps = [
+            PipelineStep("slow", _sleeper, params={"seconds": 30.0}, timeout=0.3),
+            PipelineStep("fast", _source, params={"value": 7}),
+        ]
+        pipeline = Pipeline(steps)
+        t0 = time.perf_counter()
+        results = pipeline.run(
+            executor="process", max_workers=2, on_error="keep_going"
+        )
+        elapsed = time.perf_counter() - t0
+        # The wedged worker is killed at the deadline, not after 30s.
+        assert elapsed < 10.0
+        assert set(results) == {"fast"}
+        outcome = pipeline.last_report.outcome("slow")
+        assert outcome.status == "timeout"
+        assert "killed" in outcome.error
+
+    def test_invalid_default_timeout_rejected(self):
+        with pytest.raises(PipelineError, match="default_timeout"):
+            diamond(default_timeout=0.0)
+
+
+class TestRunWithReport:
+    def test_returns_results_and_report(self):
+        pipeline = diamond()
+        results, report = pipeline.run_with_report(executor="sequential")
+        assert results["d"] == {"v": 10}
+        assert report.ok
+        assert report is pipeline.last_report
+        assert report.counts() == {"ok": 4}
+
+    def test_cached_rerun_reports_cached(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        diamond(cache).run(executor="sequential")
+        pipeline = diamond(cache)
+        _, report = pipeline.run_with_report(executor="sequential")
+        assert report.ok
+        assert report.counts() == {"cached": 4}
+        assert report.total_attempts == 0
+
+    def test_render_mentions_failures(self):
+        plan = FaultPlan([FaultSpec("b", attempts=())])
+        pipeline = diamond()
+        pipeline.run(executor="sequential", on_error="keep_going", fault_plan=plan)
+        text = pipeline.last_report.render()
+        assert "failed=1" in text and "skipped_upstream=1" in text
+        assert "b: failed" in text
+        metrics_text = pipeline.last_metrics.render()
+        assert "1 failed" in metrics_text and "1 skipped" in metrics_text
