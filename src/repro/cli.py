@@ -99,6 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
             "experiments instead of aborting (exit code 3 on partial success)"
         ),
     )
+    rep.add_argument(
+        "--durable",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "run the report as a journaled, cache-addressed pipeline rooted "
+            "at DIR (DIR/cache + DIR/journals); an interrupted run can be "
+            "recovered with --resume"
+        ),
+    )
+    rep.add_argument(
+        "--resume",
+        nargs="?",
+        const="latest",
+        default=None,
+        metavar="RUN_ID",
+        help=(
+            "resume an interrupted --durable run: replay journal-completed "
+            "steps from the cache, re-execute only the in-flight frontier "
+            "(omit RUN_ID to resume the most recent journal)"
+        ),
+    )
 
     rob = sub.add_parser(
         "robustness", help="seed-sweep the headline claims (EXPERIMENTS.md check)"
@@ -146,6 +169,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "allowed fault-free cost of the retry/timeout wrapper before "
             "--check fails (0.02 = +2%%; intra-record, no baseline needed)"
+        ),
+    )
+    ben.add_argument(
+        "--max-journal-overhead",
+        type=float,
+        default=0.02,
+        help=(
+            "allowed cost of the journal + cross-process-locking wrapper "
+            "before --check fails (0.02 = +2%%; intra-record, no baseline "
+            "needed)"
         ),
     )
 
@@ -290,6 +323,97 @@ def _cmd_experiment(args, out) -> int:
 #: can tell "usable but degraded" from both success and hard failure.
 EXIT_PARTIAL = 3
 
+#: Exit code for a run cut short by Ctrl-C, following the shell convention
+#: (128 + SIGINT). The journal is flushed first, so a --durable run prints
+#: a one-line resume hint instead of a traceback.
+EXIT_INTERRUPTED = 130
+
+
+def _durable_report(args, out) -> int:
+    """The --durable path of ``repro report``: journaled pipeline + resume."""
+    from repro.core.journal import JournalError, RunJournal, latest_run_id, load_resume_state
+    from repro.core.pipeline import ArtifactCache
+    from repro.report.document import render_report
+    from repro.report.experiments import report_pipeline
+
+    durable = Path(args.durable)
+    journal_dir = durable / "journals"
+    resume_state = None
+    if args.resume is not None:
+        run_id = args.resume
+        if run_id == "latest":
+            run_id = latest_run_id(journal_dir)
+            if run_id is None:
+                print(f"error: no journals to resume under {journal_dir}", file=out)
+                return 2
+        try:
+            resume_state = load_resume_state(journal_dir, run_id)
+        except JournalError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    cache = ArtifactCache(durable / "cache")
+    pipeline = report_pipeline(
+        cache,
+        seed=args.seed,
+        n_baseline=args.baseline,
+        n_current=args.current,
+        months=args.months,
+        jobs_per_day=args.jobs_per_day,
+    )
+    journal = RunJournal.open(journal_dir)
+    try:
+        try:
+            results, report = pipeline.run_with_report(
+                max_workers=args.jobs,
+                executor=args.executor,
+                on_error="keep_going" if args.keep_going else "raise",
+                journal=journal,
+                resume=resume_state,
+            )
+        except KeyboardInterrupt:
+            journal.flush()
+            print(
+                f"interrupted — resume with --resume {journal.run_id}",
+                file=out,
+            )
+            return EXIT_INTERRUPTED
+    finally:
+        journal.close()
+    if "study" not in results:
+        print("error: the study stages failed; nothing to render", file=out)
+        if pipeline.last_report is not None:
+            print(pipeline.last_report.render(), file=out)
+        return 1
+    artifacts = {
+        name.removeprefix("exp:"): value
+        for name, value in results.items()
+        if name.startswith("exp:")
+    }
+    failures = {
+        o.name.removeprefix("exp:"): o.error
+        for o in report.outcomes
+        if o.name.startswith("exp:") and not o.succeeded
+    }
+    text = render_report(results["study"], artifacts, failures)
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote report to {args.out}", file=out)
+    else:
+        print(text, file=out)
+    if args.timings:
+        metrics = pipeline.last_metrics
+        if metrics is not None:
+            print(metrics.render(), file=out)
+        print(report.render(), file=out)
+    if failures:
+        print(
+            f"warning: report degraded — {len(failures)} experiment(s) failed: "
+            f"{', '.join(sorted(failures))}",
+            file=out,
+        )
+        return EXIT_PARTIAL
+    return 0
+
 
 def _cmd_report(args, out) -> int:
     from repro.report.document import build_report
@@ -297,6 +421,11 @@ def _cmd_report(args, out) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=out)
         return 2
+    if args.resume is not None and args.durable is None:
+        print("error: --resume requires --durable DIR", file=out)
+        return 2
+    if args.durable is not None:
+        return _durable_report(args, out)
     study = _build_study(args)
     metrics_sink = []
     text = build_report(
@@ -333,6 +462,7 @@ def _cmd_report(args, out) -> int:
 def _cmd_bench(args, out) -> int:
     from repro.core.bench import (
         append_run,
+        check_journal_overhead,
         check_regression,
         check_retry_overhead,
         render_record,
@@ -360,6 +490,9 @@ def _cmd_bench(args, out) -> int:
             overhead_ok, overhead_message = check_retry_overhead(
                 record, max_overhead=args.max_retry_overhead
             )
+            journal_ok, journal_message = check_journal_overhead(
+                record, max_overhead=args.max_journal_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -367,7 +500,10 @@ def _cmd_bench(args, out) -> int:
         print(
             ("ok: " if overhead_ok else "REGRESSION: ") + overhead_message, file=out
         )
-        return 0 if ok and overhead_ok else 1
+        print(
+            ("ok: " if journal_ok else "REGRESSION: ") + journal_message, file=out
+        )
+        return 0 if ok and overhead_ok and journal_ok else 1
     return 0
 
 
@@ -441,10 +577,23 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    A Ctrl-C during the long-running commands (``report``, ``bench``)
+    exits ``130`` (128 + SIGINT) with a one-line notice instead of a
+    traceback; the ``--durable`` report path additionally flushes its
+    journal and prints the ``--resume`` hint before this handler sees
+    anything.
+    """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except KeyboardInterrupt:
+        if args.command in ("report", "bench"):
+            print("interrupted", file=out)
+            return EXIT_INTERRUPTED
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

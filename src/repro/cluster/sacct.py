@@ -147,7 +147,7 @@ def parse_sacct(
         with _open_text(source, "r") as fh:
             return parse_sacct(fh, on_bad_rows=on_bad_rows, skipped=skipped)
     if isinstance(source, str):
-        if "\n" in source or source.startswith("JobID|"):
+        if "\n" in source or source.lstrip("\ufeff").startswith("JobID|"):
             return parse_sacct(
                 io.StringIO(source), on_bad_rows=on_bad_rows, skipped=skipped
             )
@@ -169,8 +169,12 @@ def parse_sacct(
                 skips.append(SkippedRow(-1, f"unreadable stream tail: {exc!r}"))
                 break
             raise SacctFormatError(f"unreadable accounting stream: {exc}") from exc
-        line = line.rstrip("\n")
+        line = line.rstrip("\n").rstrip("\r")
         if not saw_header:
+            # Encoding noise from Windows-origin exports (UTF-8 BOM, CRLF
+            # endings) is stripped before the header check and never
+            # counted as a skipped row.
+            line = line.lstrip("\ufeff")
             if line != _HEADER:
                 raise SacctFormatError(
                     f"unexpected header {line!r}; expected {_HEADER!r}"

@@ -14,7 +14,10 @@
   (:class:`ExecutorMetrics`, :class:`RunReport`) shared by the pipeline and
   the report fan-out;
 * :mod:`repro.core.faults` — deterministic fault injection
-  (:class:`FaultPlan`) for chaos-testing the pipeline.
+  (:class:`FaultPlan`) and the process-crash harness for chaos-testing the
+  pipeline;
+* :mod:`repro.core.journal` — durable run journal (:class:`RunJournal`)
+  and resume-after-crash state (:class:`ResumeState`).
 """
 
 from repro.core.instrument import build_instrument
@@ -28,7 +31,16 @@ from repro.core.calibration import (
 from repro.core.study import Study, StudyError, build_default_study
 from repro.core.trends import TrendEngine, TrendRow, TrendTable
 from repro.core.weighting import WeightedTrendEngine, make_cohort_weights
-from repro.core.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.core.faults import CrashPoint, FaultPlan, FaultSpec, InjectedFault
+from repro.core.journal import (
+    JournalError,
+    ResumeState,
+    RunJournal,
+    latest_run_id,
+    load_resume_state,
+    new_run_id,
+    read_journal,
+)
 from repro.core.metrics import ExecutorMetrics, RunReport, StepMetric, StepOutcome
 from repro.core.pipeline import (
     ArtifactCache,
@@ -66,6 +78,14 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "CrashPoint",
+    "RunJournal",
+    "ResumeState",
+    "JournalError",
+    "load_resume_state",
+    "read_journal",
+    "latest_run_id",
+    "new_run_id",
     "study_pipeline",
     "run_cached_study",
 ]

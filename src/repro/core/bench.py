@@ -19,6 +19,12 @@ Timed units (the substrates that dominate a reproduction run):
   Both variants pay identical cache-pickling costs, so the pair isolates
   the fault-tolerance wrapper itself; :func:`check_retry_overhead` gates
   it at < 2% in CI.
+* ``journal_overhead``  — the same simulation run through a *durable*
+  pipeline (run journal + cross-process entry locking on a disk cache) vs
+  an identical disk-cache pipeline with both switched off. The
+  differential isolates the crash-safety wrapper (journal records +
+  advisory ``flock`` per computed step); :func:`check_journal_overhead`
+  gates it at < 2% in CI.
 
 Every unit is a pure function of a fixed seed, so run-to-run variance is
 scheduler noise only; ``min`` of ``repeats`` runs is the recorded number.
@@ -53,6 +59,7 @@ __all__ = [
     "latest_run",
     "check_regression",
     "check_retry_overhead",
+    "check_journal_overhead",
     "render_record",
 ]
 
@@ -182,6 +189,135 @@ def _bench_retry_overhead(jobs, k: int) -> dict:
     }
 
 
+def _bench_journal_overhead(jobs, k: int) -> dict:
+    """Time ``simulate_schedule`` through a durable vs plain disk pipeline.
+
+    The durable variant journals every step to a
+    :class:`~repro.core.journal.RunJournal` (fresh journal per run, as the
+    CLI does) and guards each computed entry with a cross-process
+    :class:`~repro.io.locks.FileLock`; the baseline uses an identical disk
+    cache with ``locking=False`` and no journal. Both pay the same
+    pickle + fsync publish cost, so the differential tiny-step estimator
+    isolates exactly the crash-safety wrapper. ``detail["overhead"]`` is
+    that per-run wrapper cost as a fraction of the plain (in-memory)
+    simulation time — the number :func:`check_journal_overhead` gates.
+    """
+    import tempfile
+
+    from repro.cluster import simulate_schedule
+    from repro.core.journal import RunJournal
+    from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+    from repro.io.locks import FileLock
+
+    def sim(inputs):
+        return simulate_schedule(jobs, rng=np.random.default_rng(0))
+
+    def tiny(inputs):
+        return {"v": 1}
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-journal-") as tmpname:
+        tmp = Path(tmpname)
+        journal_dir = tmp / "journals"
+
+        plain_sim = Pipeline([PipelineStep("simulate", sim)], ArtifactCache())
+        plain_t = _time_min_of_k(
+            lambda: plain_sim.run(force=True, executor="sequential"), k
+        )
+
+        durable_sim = Pipeline(
+            [PipelineStep("simulate", sim)],
+            ArtifactCache(tmp / "cache-sim", locking=True),
+        )
+
+        def durable_sim_run() -> None:
+            with RunJournal.open(journal_dir) as journal:
+                durable_sim.run(force=True, executor="sequential", journal=journal)
+
+        durable_t = _time_min_of_k(durable_sim_run, k)
+
+        # As with the retry gate, the wrapper costs microseconds against a
+        # tens-of-ms simulation, so the headline ratio cannot resolve it.
+        # Nor can a force=True differential: every forced run republishes
+        # its artifact, and one publish fsync on this class of filesystem
+        # costs ~700µs with ±300µs of state-dependent jitter — wider than
+        # the whole 2% budget. Instead measure the two wrapper components
+        # where they are actually paid, on fsync-free paths:
+        #
+        # * the journal's per-run cost, differentially: identical warm-
+        #   cache pipelines (cache-hit path — no publish, no fsync, no
+        #   lock) with and without a journal. This prices the real per-run
+        #   journal traffic: segment open + run_start/step records +
+        #   run_end.
+        # * the entry lock's per-computed-step cost, as a direct
+        #   acquire/release cycle on a warm lock file.
+        #
+        # The per-writer segment file (see repro.core.journal) is created
+        # once per process, not per run, precisely so that no new-inode
+        # metadata gets entangled with artifact-publish fsyncs; that one-
+        # time cost is deliberately outside this recurring-overhead gate.
+        base_tiny = Pipeline(
+            [PipelineStep("tiny", tiny)],
+            ArtifactCache(tmp / "cache-base", locking=False),
+        )
+        durable_tiny = Pipeline(
+            [PipelineStep("tiny", tiny)],
+            ArtifactCache(tmp / "cache-dur", locking=True),
+        )
+        base_tiny.run(executor="sequential")  # warm: one publish each,
+        durable_tiny.run(executor="sequential")  # outside the timed loops
+        iters = 200
+
+        def per_run_base() -> float:
+            def block() -> float:
+                t0 = time.perf_counter()
+                for _ in range(iters):
+                    base_tiny.run(executor="sequential")
+                return (time.perf_counter() - t0) / iters
+
+            return min(block() for _ in range(3))
+
+        def per_run_durable() -> float:
+            def block() -> float:
+                t0 = time.perf_counter()
+                for _ in range(iters):
+                    with RunJournal.open(journal_dir) as journal:
+                        durable_tiny.run(executor="sequential", journal=journal)
+                return (time.perf_counter() - t0) / iters
+
+            return min(block() for _ in range(3))
+
+        journal_seconds = max(0.0, per_run_durable() - per_run_base())
+
+        lock = FileLock(tmp / "probe.lock")
+        with lock:
+            pass  # warm: create the lock file, record the pid
+        cycles = 500
+
+        def lock_block() -> float:
+            t0 = time.perf_counter()
+            for _ in range(cycles):
+                lock.acquire()
+                lock.release()
+            return (time.perf_counter() - t0) / cycles
+
+        lock_seconds = min(lock_block() for _ in range(3))
+        wrapper_seconds = journal_seconds + lock_seconds
+    overhead = (
+        wrapper_seconds / plain_t["seconds"] if plain_t["seconds"] > 0 else 0.0
+    )
+    return {
+        "seconds": durable_t["seconds"],
+        "runs": durable_t["runs"],
+        "detail": {
+            "plain_seconds": plain_t["seconds"],
+            "journal_seconds": round(journal_seconds, 9),
+            "lock_seconds": round(lock_seconds, 9),
+            "wrapper_seconds": round(wrapper_seconds, 9),
+            "overhead": round(overhead, 6),
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -259,6 +395,8 @@ def run_benchmarks(
     benchmarks["table_aggregations"] = _time_min_of_k(aggregate, k)
 
     benchmarks["retry_overhead"] = _bench_retry_overhead(jobs, k)
+
+    benchmarks["journal_overhead"] = _bench_journal_overhead(jobs, k)
 
     if end_to_end and sc.months >= 3:
         def report() -> None:
@@ -368,6 +506,28 @@ def check_retry_overhead(record: dict, max_overhead: float = 0.02) -> tuple[bool
     overhead = float(entry["detail"]["overhead"])
     message = (
         f"retry_overhead: {entry['seconds']:.3f}s tolerant vs "
+        f"{entry['detail']['plain_seconds']:.3f}s plain "
+        f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
+    )
+    return overhead <= max_overhead, message
+
+
+def check_journal_overhead(record: dict, max_overhead: float = 0.02) -> tuple[bool, str]:
+    """Gate the crash-safety wrapper's cost within ``record``.
+
+    Intra-record like :func:`check_retry_overhead`: the plain disk-cache
+    pipeline timed in the same run is the baseline, so machine and
+    filesystem speed cancel out. Returns ``(ok, message)``; a record
+    without the ``journal_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("journal_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "journal_overhead benchmark missing from run; skipping gate"
+    overhead = float(entry["detail"]["overhead"])
+    message = (
+        f"journal_overhead: {entry['seconds']:.3f}s durable vs "
         f"{entry['detail']['plain_seconds']:.3f}s plain "
         f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
     )

@@ -22,20 +22,37 @@ Usage::
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
+import signal
 import threading
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.journal import RunJournal, new_run_id
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.pipeline import ArtifactCache
+    from repro.core.pipeline import ArtifactCache, Pipeline
 
-__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultEvent", "InjectedFault"]
+__all__ = [
+    "FaultKind",
+    "FaultSpec",
+    "FaultPlan",
+    "FaultEvent",
+    "InjectedFault",
+    "CrashPoint",
+    "JournalKillSwitch",
+    "JournalDiskFull",
+    "crash_coordinates",
+    "run_until_crash",
+]
 
-#: Supported fault kinds: raise an exception, stall the attempt, or
-#: corrupt the step's published cache entry.
-FaultKind = ("error", "hang", "corrupt_cache")
+#: Supported fault kinds: raise an exception, stall the attempt, corrupt
+#: the step's published cache entry, or fail the entry's cache write with
+#: ``ENOSPC`` (disk exhaustion — the value computes but never persists).
+FaultKind = ("error", "hang", "corrupt_cache", "enospc")
 
 
 class InjectedFault(RuntimeError):
@@ -61,7 +78,10 @@ class FaultSpec:
         tests finish in ~timeout seconds, not ~hang seconds);
         ``"corrupt_cache"`` overwrites the step's cache entry with garbage
         bytes *after* it is published, so the next reader exercises the
-        evict-and-recompute path.
+        evict-and-recompute path; ``"enospc"`` arms an injected
+        disk-exhaustion failure for the step's cache write (the value
+        computes but never persists, and the run continues with a
+        ``cache_unavailable`` outcome flag).
     attempts:
         1-based attempt numbers the fault fires on. The default ``(1,)``
         is a transient fault (first attempt only — a retry recovers);
@@ -210,6 +230,37 @@ class FaultPlan:
             if cache.corrupt_entry(key, spec.blob):
                 self._record(step, "corrupt_cache", fired + 1)
 
+    def arm_enospc(
+        self,
+        cache: "ArtifactCache",
+        step: str,
+        key: str,
+        *,
+        will_compute: bool = True,
+    ) -> bool:
+        """Arm a one-shot disk-full failure for ``step``'s cache write.
+
+        Called by the pipeline just before it resolves a step.
+        ``will_compute`` is False when the step is expected to come from
+        the cache — an armed failure would then dangle and hit some
+        unrelated later write, so nothing is armed. Returns True when a
+        failure was armed (the pipeline disarms it if a concurrent flight
+        published first).
+        """
+        if not will_compute:
+            return False
+        for spec in self._matching(step, "enospc"):
+            with self._lock:
+                fired = sum(
+                    1 for e in self._events if e.step == step and e.kind == "enospc"
+                )
+            if not spec.fires_on(fired + 1):
+                continue
+            cache.inject_put_failure(key)
+            self._record(step, "enospc", fired + 1)
+            return True
+        return False
+
     # -- inspection -----------------------------------------------------------
 
     @property
@@ -231,3 +282,166 @@ class FaultPlan:
         """Forget fired events (counters restart; specs are unchanged)."""
         with self._lock:
             self._events.clear()
+
+
+# -- process-level chaos: crash-and-resume harness ----------------------------
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One seeded (step, event) crash coordinate for the SIGKILL harness.
+
+    Attributes
+    ----------
+    step:
+        Step name whose journal record triggers the crash; ``None``
+        matches the run-level records (``run_start``/``run_end``).
+    event:
+        Journal event name to crash on (``"step_start"``,
+        ``"step_done"``, ``"run_start"``, ``"run_end"``).
+    mode:
+        Where in the record write the SIGKILL lands: ``"before"`` (record
+        never written — the step looks in-flight), ``"torn"`` (half the
+        record's bytes hit the file — a torn tail the reader must drop),
+        or ``"after"`` (record fully written — the step looks complete).
+    """
+
+    step: str | None
+    event: str = "step_done"
+    mode: str = "after"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("before", "torn", "after"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+
+
+class JournalKillSwitch:
+    """A :attr:`RunJournal.chaos` hook that SIGKILLs at a :class:`CrashPoint`.
+
+    Installed on the child process's journal by :func:`run_until_crash`.
+    On the first record matching the crash point it writes zero, half, or
+    all of the record's bytes (per ``mode``), fsyncs what it wrote so the
+    torn state is exactly what a power-lossy crash would leave, then
+    delivers ``SIGKILL`` to its own process — no cleanup handlers run,
+    exactly like a preemption or OOM kill.
+    """
+
+    def __init__(self, point: CrashPoint) -> None:
+        self.point = point
+
+    def __call__(
+        self, event: str, step: str | None, data: bytes, fd: int
+    ) -> bool:  # pragma: no cover - ends in SIGKILL, untraceable by coverage
+        p = self.point
+        if event != p.event or step != p.step:
+            return False
+        if p.mode == "torn":
+            os.write(fd, data[: max(1, len(data) // 2)])
+            os.fsync(fd)
+        elif p.mode == "after":
+            os.write(fd, data)
+            os.fsync(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return True  # unreachable
+
+
+class JournalDiskFull:
+    """A :attr:`RunJournal.chaos` hook simulating journal disk exhaustion.
+
+    Raises an injected ``ENOSPC`` once ``after_records`` records have been
+    written; the journal must degrade (``unavailable``) and the run must
+    continue.
+    """
+
+    def __init__(self, after_records: int = 0) -> None:
+        self.after_records = after_records
+        self.seen = 0
+
+    def __call__(self, event: str, step: str | None, data: bytes, fd: int) -> bool:
+        if self.seen >= self.after_records:
+            raise OSError(28, "injected: no space left on device (journal)")
+        self.seen += 1
+        return False
+
+
+def crash_coordinates(
+    step_names: Sequence[str],
+    events: Sequence[str] = ("step_start", "step_done"),
+    modes: Sequence[str] = ("before", "torn", "after"),
+) -> list[CrashPoint]:
+    """The full crash matrix the chaos suite sweeps: every (step, event,
+    mode) coordinate, in deterministic order."""
+    return [
+        CrashPoint(step=name, event=event, mode=mode)
+        for name in step_names
+        for event in events
+        for mode in modes
+    ]
+
+
+def _crash_child(
+    factory: Callable[[], "Pipeline"],
+    journal_dir: str,
+    run_id: str,
+    point: CrashPoint,
+    run_kwargs: dict,
+) -> None:  # pragma: no cover - the child is SIGKILLed mid-run
+    # Own process group, so the parent can sweep any pool workers this
+    # child forks: SIGKILLing the child orphans them mid-task, and an
+    # orphaned worker never exits on its own.
+    os.setpgrp()
+    pipeline = factory()
+    journal = RunJournal.open(journal_dir, run_id)
+    journal.chaos = JournalKillSwitch(point)
+    try:
+        pipeline.run(journal=journal, **run_kwargs)
+    finally:
+        journal.close()
+
+
+def run_until_crash(
+    factory: Callable[[], "Pipeline"],
+    journal_dir: str | os.PathLike,
+    point: CrashPoint,
+    *,
+    run_id: str | None = None,
+    run_kwargs: Mapping[str, Any] | None = None,
+    timeout: float = 60.0,
+) -> tuple[str, int | None]:
+    """Run ``factory()``'s pipeline in a child process killed at ``point``.
+
+    The child journals to ``journal_dir`` under ``run_id`` with a
+    :class:`JournalKillSwitch` installed, so it SIGKILLs itself at the
+    requested (step, event, mode) coordinate. Returns ``(run_id,
+    exitcode)`` — ``-signal.SIGKILL`` when the crash fired, ``0`` when the
+    coordinate never matched (e.g. the step was already cached and its
+    ``step_start`` never happened... which still lets the caller resume
+    and assert byte-identity).
+
+    Uses the ``fork`` start method so ``factory`` may be any closure (no
+    pickling); the caller's test must therefore build process-mode
+    pipelines *inside* the factory, not share pools across the fork.
+    """
+    ctx = multiprocessing.get_context("fork")
+    rid = run_id if run_id is not None else new_run_id()
+    proc = ctx.Process(
+        target=_crash_child,
+        args=(factory, str(journal_dir), rid, point, dict(run_kwargs or {})),
+        daemon=False,
+    )
+    proc.start()
+    # Reap by polling waitpid, not Process.join(): pool workers forked by
+    # the child inherit its multiprocessing sentinel pipe, so after the
+    # SIGKILL the sentinel stays open (held by orphans) and a sentinel-
+    # based join would block for the whole timeout.
+    deadline = time.monotonic() + timeout
+    while proc.exitcode is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    if proc.exitcode is None:  # pragma: no cover - hung child safety net
+        proc.kill()
+        proc.join(5.0)
+    try:  # sweep orphaned pool workers left in the child's process group
+        os.killpg(proc.pid, signal.SIGKILL)
+    except (ProcessLookupError, PermissionError, OSError):
+        pass
+    return rid, proc.exitcode

@@ -22,13 +22,17 @@ __all__ = [
 
 #: Every per-step outcome an executor run can record. ``ok`` and ``cached``
 #: are the happy paths; ``retried`` means the step succeeded after at least
-#: one failed attempt; ``failed``/``timeout`` are terminal step failures;
-#: ``skipped_upstream`` marks steps never attempted because a dependency
-#: failed (only reachable with ``on_error="keep_going"``).
-OUTCOMES = ("ok", "cached", "retried", "failed", "timeout", "skipped_upstream")
+#: one failed attempt; ``replayed`` means a resumed run served the step
+#: from journal + cache without re-executing it; ``failed``/``timeout``
+#: are terminal step failures; ``skipped_upstream`` marks steps never
+#: attempted because a dependency failed (only reachable with
+#: ``on_error="keep_going"``).
+OUTCOMES = (
+    "ok", "cached", "retried", "replayed", "failed", "timeout", "skipped_upstream",
+)
 
 #: Outcomes that mean the unit's value was produced this run.
-SUCCESS_OUTCOMES = frozenset({"ok", "cached", "retried"})
+SUCCESS_OUTCOMES = frozenset({"ok", "cached", "retried", "replayed"})
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,9 @@ class StepMetric:
     error:
         ``repr`` of the final exception for failed/timed-out units, or a
         short reason for skipped units ("" otherwise).
+    cache_unavailable:
+        True when the unit computed its value but the cache write failed
+        (``ENOSPC``/``OSError``) and the run continued uncached.
     """
 
     name: str
@@ -66,6 +73,7 @@ class StepMetric:
     outcome: str = "ok"
     attempts: int = 1
     error: str = ""
+    cache_unavailable: bool = False
 
 
 @dataclass(frozen=True)
@@ -77,6 +85,7 @@ class StepOutcome:
     attempts: int = 1
     error: str = ""
     wall_seconds: float = 0.0
+    cache_unavailable: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -92,9 +101,18 @@ class RunReport:
     ``ExecutorMetrics.run_report`` for ``repro report --timings``). With
     ``on_error="raise"`` a failing run still reports every outcome known
     at the moment the failure propagated.
+
+    ``resumed_from`` carries the prior run's id when this run was started
+    with ``Pipeline.run(resume=...)``.
     """
 
     outcomes: tuple[StepOutcome, ...]
+    resumed_from: str | None = None
+
+    @property
+    def resumed(self) -> bool:
+        """True when this run recovered a prior journaled run."""
+        return self.resumed_from is not None
 
     def outcome(self, name: str) -> StepOutcome:
         for o in self.outcomes:
@@ -126,6 +144,22 @@ class RunReport:
         return tuple(o.name for o in self.outcomes if o.status == "retried")
 
     @property
+    def replayed(self) -> tuple[str, ...]:
+        """Names of steps served from journal + cache by a resumed run."""
+        return tuple(o.name for o in self.outcomes if o.status == "replayed")
+
+    @property
+    def replayed_from_journal(self) -> int:
+        """How many steps a resumed run recovered without re-executing."""
+        return len(self.replayed)
+
+    @property
+    def cache_unavailable(self) -> tuple[str, ...]:
+        """Names of steps whose value computed but never reached the cache
+        (full disk or other cache-write failure; the run continued)."""
+        return tuple(o.name for o in self.outcomes if o.cache_unavailable)
+
+    @property
     def total_attempts(self) -> int:
         return sum(o.attempts for o in self.outcomes)
 
@@ -139,25 +173,38 @@ class RunReport:
     def render(self) -> str:
         """Human-readable outcome summary (one line per non-ok step)."""
         counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts().items()))
-        lines = [f"run report: {len(self.outcomes)} steps ({counts})"]
+        headline = f"run report: {len(self.outcomes)} steps ({counts})"
+        if self.resumed:
+            headline += f" [resumed from {self.resumed_from}]"
+        lines = [headline]
         for o in self.outcomes:
-            if o.status in ("ok", "cached"):
+            if o.status in ("ok", "cached", "replayed") and not o.cache_unavailable:
                 continue
             detail = f" after {o.attempts} attempts" if o.attempts > 1 else ""
             reason = f" — {o.error}" if o.error else ""
-            lines.append(f"  {o.name}: {o.status}{detail}{reason}")
+            flag = " [cache unavailable]" if o.cache_unavailable else ""
+            lines.append(f"  {o.name}: {o.status}{detail}{flag}{reason}")
         return "\n".join(lines)
 
 
 @dataclass
 class ExecutorMetrics:
-    """Aggregate record of one executor run."""
+    """Aggregate record of one executor run.
+
+    ``resumed_from`` / ``journal_path`` / ``journal_unavailable`` surface
+    the durability layer: whether the run recovered a prior journal, where
+    its own journal lives, and whether journal writes were disabled by an
+    I/O failure mid-run.
+    """
 
     mode: str
     max_workers: int
     steps: list[StepMetric] = field(default_factory=list)
     wall_seconds: float = 0.0
     run_report: RunReport | None = None
+    resumed_from: str | None = None
+    journal_path: str | None = None
+    journal_unavailable: bool = False
 
     def record(
         self,
@@ -170,11 +217,12 @@ class ExecutorMetrics:
         outcome: str = "ok",
         attempts: int = 1,
         error: str = "",
+        cache_unavailable: bool = False,
     ) -> None:
         self.steps.append(
             StepMetric(
                 name, key, cached, wall_seconds, started_at, finished_at,
-                outcome, attempts, error,
+                outcome, attempts, error, cache_unavailable,
             )
         )
 
@@ -199,6 +247,16 @@ class ExecutorMetrics:
         return sum(1 for s in self.steps if s.outcome == "skipped_upstream")
 
     @property
+    def steps_replayed(self) -> int:
+        """Steps a resumed run served from journal + cache."""
+        return sum(1 for s in self.steps if s.outcome == "replayed")
+
+    @property
+    def steps_cache_unavailable(self) -> int:
+        """Steps that computed but could not persist to the cache."""
+        return sum(1 for s in self.steps if s.cache_unavailable)
+
+    @property
     def busy_seconds(self) -> float:
         """Total worker-seconds spent computing (cache hits excluded)."""
         return sum(s.wall_seconds for s in self.steps if not s.cached)
@@ -221,6 +279,7 @@ class ExecutorMetrics:
             "max_workers": self.max_workers,
             "steps_run": self.steps_run,
             "steps_cached": self.steps_cached,
+            "steps_replayed": self.steps_replayed,
             "wall_seconds": round(self.wall_seconds, 4),
             "busy_seconds": round(self.busy_seconds, 4),
             "worker_utilization": round(self.worker_utilization(), 4),
@@ -245,10 +304,26 @@ class ExecutorMetrics:
             f"{self.wall_seconds:.2f}s wall, "
             f"{100.0 * self.worker_utilization():.0f}% utilization"
         )
+        if self.steps_replayed:
+            headline += f", {self.steps_replayed} replayed from journal"
         if degraded:
             headline += f" [{self.steps_failed} failed, {self.steps_skipped} skipped]"
         lines = [headline]
-        if self.steps and self.steps_run == 0 and not degraded:
+        if self.resumed_from is not None:
+            lines.append(f"  resumed from run {self.resumed_from}")
+        if self.journal_unavailable:
+            lines.append("  journal unavailable (writes disabled mid-run)")
+        if self.steps_cache_unavailable:
+            lines.append(
+                f"  {self.steps_cache_unavailable} step(s) ran uncached "
+                "(cache writes failed — full disk?)"
+            )
+        if (
+            self.steps
+            and self.steps_run == 0
+            and self.steps_replayed == 0
+            and not degraded
+        ):
             lines.append(
                 f"  all {self.steps_cached} steps cached "
                 f"(cache reads took {self.cache_read_seconds:.3f}s)"
@@ -258,6 +333,8 @@ class ExecutorMetrics:
         for s in sorted(self.steps, key=lambda m: -m.wall_seconds):
             tag = "cached" if s.cached else ("ran" if s.outcome == "ok" else s.outcome)
             suffix = f"  x{s.attempts}" if s.attempts > 1 else ""
+            if s.cache_unavailable:
+                suffix += "  [cache unavailable]"
             reason = f"  {s.error}" if s.error and s.outcome != "ok" else ""
             lines.append(
                 f"  {s.name:<{width}}  {tag:<16} {s.wall_seconds:8.3f}s{suffix}{reason}"

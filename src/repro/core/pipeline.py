@@ -28,6 +28,20 @@ complete — and every run produces a structured
 retry/timeout wrapper is outside the cache key, so fault-tolerance
 settings never invalidate artifacts, and a retried run writes bytes
 identical to a fault-free one (the chaos suite enforces this).
+
+Execution is also *crash-safe*: ``run(journal=...)`` appends every step
+outcome (cache-key-addressed) to a durable
+:class:`~repro.core.journal.RunJournal`, and ``run(resume=...)`` recovers
+an interrupted run by replaying journal-completed steps straight from the
+cache (outcome ``replayed``) and re-executing only the in-flight frontier
+— byte-identical to an uninterrupted run, which the SIGKILL chaos suite
+enforces at every (step, event) crash coordinate. Disk caches shared by
+*concurrent processes* are guarded by per-entry advisory file locks
+(:class:`repro.io.locks.FileLock`), extending the in-process single-flight
+across process boundaries, and cache/journal writes degrade gracefully on
+``ENOSPC``/``OSError``: the run continues uncached with a
+``cache_unavailable`` flag instead of crashing. Journal and locking
+configuration stay outside cache keys, like retry/timeout.
 """
 
 from __future__ import annotations
@@ -48,9 +62,13 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.core.metrics import ExecutorMetrics, RunReport, StepOutcome
+from repro.io.locks import FileLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.journal import ResumeState, RunJournal
 
 __all__ = [
     "ArtifactCache",
@@ -180,20 +198,35 @@ class ArtifactCache:
     root:
         Directory for artifacts; created on first put. ``None`` gives an
         in-memory cache (useful in tests and benches).
+    locking:
+        When True (default) disk caches guard each entry's compute with a
+        cross-process advisory :class:`~repro.io.locks.FileLock`
+        (``<key>.lock`` next to the artifact), so concurrent *processes*
+        sharing one cache dir single-flight the same way concurrent
+        threads already do. In-memory caches never lock.
 
-    Disk writes go through a temp file in the same directory followed by
-    ``os.replace``, so readers (including other processes) never observe a
-    partially-written artifact. Corrupt or truncated entries are treated as
-    misses and evicted rather than crashing mid-run.
+    Disk writes go through a temp file in the same directory (fsync'd
+    before the rename, so a power loss cannot surface a zero-length
+    "committed" entry) followed by ``os.replace``, so readers (including
+    other processes) never observe a partially-written artifact. Corrupt
+    or truncated entries are treated as misses and evicted rather than
+    crashing mid-run. A *failed* write (``ENOSPC``, permissions, any
+    ``OSError``) degrades instead of raising: :meth:`put` reports False,
+    ``put_errors``/``last_put_error`` record what happened, and callers
+    carry on with the computed value uncached.
     """
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    def __init__(self, root: str | Path | None = None, *, locking: bool = True) -> None:
         self.root = Path(root) if root is not None else None
+        self.locking = bool(locking)
         self._memory: dict[str, bytes] = {}
         self._locks_guard = threading.Lock()
         self._locks: dict[str, threading.Lock] = {}
         self.hits = 0
         self.misses = 0
+        self.put_errors = 0
+        self.last_put_error: str | None = None
+        self._fail_put_keys: set[str] = set()
 
     def _path(self, key: str) -> Path:
         assert self.root is not None
@@ -229,6 +262,15 @@ class ArtifactCache:
             self._evict(key)
             return None
 
+    def peek(self, key: str) -> Any | None:
+        """Cached value for ``key`` without counting a hit or miss.
+
+        Resume-replay uses this to check whether a journal-completed step's
+        artifact actually survived, without skewing the hit/miss telemetry
+        the ablation bench reads.
+        """
+        return self._peek(key)
+
     def get(self, key: str) -> Any | None:
         """Cached value for ``key``, or None."""
         value = self._peek(key)
@@ -238,21 +280,59 @@ class ArtifactCache:
         self.hits += 1
         return value
 
-    def put(self, key: str, value: Any) -> None:
+    def put(self, key: str, value: Any) -> bool:
+        """Publish ``value`` under ``key``; True when it actually persisted.
+
+        Any ``OSError`` on the write path (``ENOSPC`` above all) is
+        swallowed: the run must not die because the cache filesystem did.
+        The failure is counted in ``put_errors`` and described in
+        ``last_put_error``, and the caller keeps its in-memory value.
+        Pickling errors still raise — those are programming errors, not
+        environmental ones.
+        """
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        if self.root is None:
-            self._memory[key] = blob
-            return
-        self.root.mkdir(parents=True, exist_ok=True)
-        path = self._path(key)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         try:
-            tmp.write_bytes(blob)
-            os.replace(tmp, path)
-        finally:
-            # A failed write or replace must not strand a .tmp file in the
-            # cache directory; after a successful replace this is a no-op.
-            tmp.unlink(missing_ok=True)
+            if key in self._fail_put_keys:
+                self._fail_put_keys.discard(key)
+                raise OSError(28, "injected: no space left on device")  # ENOSPC
+            if self.root is None:
+                self._memory[key] = blob
+                return True
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+            try:
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                    fh.flush()
+                    # Durable before visible: without this fsync a power
+                    # loss after the rename can expose a zero-length
+                    # "committed" entry (rename-only ordering is not
+                    # guaranteed on all filesystems).
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                # A failed write or replace must not strand a .tmp file in
+                # the cache directory; after a successful replace this is a
+                # no-op.
+                tmp.unlink(missing_ok=True)
+        except OSError as exc:
+            self.put_errors += 1
+            self.last_put_error = repr(exc)
+            return False
+        return True
+
+    def inject_put_failure(self, key: str) -> None:
+        """Arm a one-shot ``ENOSPC`` for the next :meth:`put` of ``key``.
+
+        Fault-injection seam for the disk-exhaustion chaos suite (see
+        :meth:`repro.core.faults.FaultPlan.arm_enospc`).
+        """
+        self._fail_put_keys.add(key)
+
+    def cancel_put_failure(self, key: str) -> None:
+        """Disarm a pending :meth:`inject_put_failure` that never fired."""
+        self._fail_put_keys.discard(key)
 
     def corrupt_entry(self, key: str, blob: bytes = b"\x80repro-injected-corruption") -> bool:
         """Overwrite ``key``'s stored bytes with garbage (fault injection).
@@ -279,15 +359,43 @@ class ArtifactCache:
                 lock = self._locks[key] = threading.Lock()
             return lock
 
+    def _entry_lock(self, key: str) -> FileLock | None:
+        """Cross-process lock for ``key``'s compute, or None when N/A.
+
+        Disk caches only (two processes cannot share an in-memory cache),
+        and degradable: if even creating the cache directory fails
+        (``ENOSPC`` again) the compute proceeds unlocked — worst case is
+        duplicated deterministic work, never corruption, because publishes
+        stay atomic.
+        """
+        if self.root is None or not self.locking:
+            return None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return None
+        return FileLock(self.root / f"{key}.lock")
+
     def get_or_compute(
-        self, key: str, compute: Callable[[], Any], force: bool = False
+        self,
+        key: str,
+        compute: Callable[[], Any],
+        force: bool = False,
+        info: dict[str, Any] | None = None,
     ) -> tuple[Any, bool]:
         """Return ``(value, was_cached)``, computing at most once per key.
 
         Concurrent callers asking for the same key within this process
-        serialize on a per-key lock: one computes and publishes, the rest
-        observe the published value (single-flight). ``force=True`` skips
-        the read path but still publishes the recomputed value.
+        serialize on a per-key lock — and, for disk caches, callers in
+        *other processes* serialize on a per-entry advisory file lock —
+        so one computes and publishes and the rest observe the published
+        value (single-flight). ``force=True`` skips the read path but
+        still publishes the recomputed value.
+
+        When ``info`` is a dict it receives out-of-band detail:
+        ``computed`` (True when ``compute`` actually ran) and ``stored``
+        (False when the computed value failed to persist — the
+        ``cache_unavailable`` degradation).
 
         One benign race: a reader that loaded a *corrupt* blob before a
         concurrent heal was published may evict the fresh entry and
@@ -296,19 +404,33 @@ class ArtifactCache:
         in-process lock could close it — another process can interleave
         the same way).
         """
+        if info is not None:
+            info.setdefault("computed", False)
+            info.setdefault("stored", True)
         if not force:
             value = self.get(key)
             if value is not None:
                 return value, True
         with self._lock_for(key):
-            if not force:
-                # Another flight may have published while we waited.
-                value = self._peek(key)
-                if value is not None:
-                    return value, True
-            value = compute()
-            self.put(key, value)
-            return value, False
+            flock = self._entry_lock(key)
+            if flock is not None:
+                flock.acquire()
+            try:
+                if not force:
+                    # Another flight — thread or process — may have
+                    # published while we waited on either lock.
+                    value = self._peek(key)
+                    if value is not None:
+                        return value, True
+                value = compute()
+                stored = self.put(key, value)
+                if info is not None:
+                    info["computed"] = True
+                    info["stored"] = stored
+                return value, False
+            finally:
+                if flock is not None:
+                    flock.release()
 
     def clear(self) -> None:
         if self.root is None:
@@ -320,8 +442,13 @@ class ArtifactCache:
                 path.unlink(missing_ok=True)
             for path in self.root.glob("*.tmp"):
                 path.unlink(missing_ok=True)
+            for path in self.root.glob("*.lock"):
+                path.unlink(missing_ok=True)
         self.hits = 0
         self.misses = 0
+        self.put_errors = 0
+        self.last_put_error = None
+        self._fail_put_keys.clear()
 
     def __getstate__(self) -> dict[str, Any]:
         state = self.__dict__.copy()
@@ -545,6 +672,8 @@ class Pipeline:
         executor: str = "auto",
         on_error: str = "raise",
         fault_plan: Any | None = None,
+        journal: "RunJournal | None" = None,
+        resume: "ResumeState | str | Path | None" = None,
     ) -> dict[str, Any]:
         """Execute all steps, returning {step name: output} in step order.
 
@@ -570,6 +699,19 @@ class Pipeline:
             deterministic faults for chaos testing. Faults fire in the
             coordinating process, never inside pool workers, so attempt
             accounting stays exact in every executor mode.
+        journal:
+            Optional :class:`repro.core.journal.RunJournal`. Every step
+            start/outcome is appended (cache-key-addressed) so a killed
+            run can be recovered with ``resume``. Journal configuration is
+            outside cache keys — journaling never invalidates artifacts.
+        resume:
+            A :class:`repro.core.journal.ResumeState` (or a journal file
+            path to load one from) describing an interrupted run. Steps
+            the journal marks complete, whose key still matches this
+            pipeline and whose artifact survives in the cache, are
+            *replayed* (outcome ``"replayed"``, 0 attempts) instead of
+            executed; everything else — the in-flight frontier — runs
+            normally. Ignored for steps when ``force=True``.
 
         The returned dict — values and iteration order — is identical
         across executor modes; only :attr:`last_metrics` differs. After
@@ -581,28 +723,47 @@ class Pipeline:
             raise PipelineError(
                 f"unknown on_error {on_error!r}; expected one of {_ON_ERROR}"
             )
+        if isinstance(resume, (str, Path)):
+            from repro.core.journal import load_resume_state
+
+            resume = load_resume_state(resume)
         keys = self.keys()
         mode, workers = self._resolve_executor(executor, max_workers)
         metrics = ExecutorMetrics(mode=mode, max_workers=workers)
+        if resume is not None:
+            metrics.resumed_from = resume.run_id
+        if journal is not None:
+            metrics.journal_path = str(journal.path)
+            journal.run_start(
+                keys,
+                executor=mode,
+                resumed_from=None if resume is None else resume.run_id,
+            )
         outcomes: dict[str, StepOutcome] = {}
         t0 = time.perf_counter()
         try:
             if mode == "sequential":
                 results = self._run_sequential(
-                    keys, force, metrics, t0, on_error, fault_plan, outcomes
+                    keys, force, metrics, t0, on_error, fault_plan, outcomes,
+                    journal, resume,
                 )
             else:
                 results = self._run_dag(
-                    keys, force, metrics, mode, workers, t0, on_error, fault_plan, outcomes
+                    keys, force, metrics, mode, workers, t0, on_error, fault_plan,
+                    outcomes, journal, resume,
                 )
         finally:
             metrics.wall_seconds = time.perf_counter() - t0
             report = RunReport(
                 outcomes=tuple(
                     outcomes[s.name] for s in self.steps if s.name in outcomes
-                )
+                ),
+                resumed_from=None if resume is None else resume.run_id,
             )
             metrics.run_report = report
+            if journal is not None:
+                journal.run_end(report.counts(), metrics.wall_seconds)
+                metrics.journal_unavailable = journal.unavailable
             self.last_metrics = metrics
             self.last_report = report
         return {step.name: results[step.name] for step in self.steps if step.name in results}
@@ -693,23 +854,53 @@ class Pipeline:
         force: bool,
         pool: ProcessPoolExecutor | None,
         fault_plan: Any | None,
-        counter: dict[str, int],
-    ) -> tuple[Any, bool]:
+        counter: dict[str, Any],
+        resume: "ResumeState | None" = None,
+    ) -> tuple[Any, str]:
+        """Produce ``step``'s value; returns ``(value, how)`` with ``how``
+        one of ``"computed"``, ``"cached"``, ``"replayed"``."""
+        key = keys[step.name]
+        if resume is not None and not force and resume.completed.get(step.name) == key:
+            # The interrupted run journaled this exact artifact as done.
+            # Serve it straight from the cache without attempting compute;
+            # a vanished/corrupt artifact simply falls through to the
+            # normal path below.
+            value = self.cache.peek(key)
+            if value is not None:
+                self.cache.hits += 1
+                return value, "replayed"
+        armed = False
+        if fault_plan is not None:
+            armed = fault_plan.arm_enospc(
+                self.cache, step.name, key,
+                will_compute=force or self.cache.peek(key) is None,
+            )
+        info: dict[str, Any] = {}
         value, cached = self.cache.get_or_compute(
-            keys[step.name],
+            key,
             lambda: self._attempt_loop(step, inputs, pool, fault_plan, counter),
             force=force,
+            info=info,
         )
+        if armed and not info.get("computed"):
+            # Another flight published first; the armed failure never fired
+            # and must not leak onto an unrelated future put.
+            self.cache.cancel_put_failure(key)
         if fault_plan is not None and not cached:
             # Corrupt-cache faults fire after a successful publish so the
             # *next* reader exercises the evict-and-recompute path.
-            fault_plan.corrupt_cache(self.cache, step.name, keys[step.name])
-        return value, cached
+            fault_plan.corrupt_cache(self.cache, step.name, key)
+        counter["cache_unavailable"] = bool(info.get("computed")) and not info.get(
+            "stored", True
+        )
+        return value, ("cached" if cached else "computed")
 
     @staticmethod
-    def _classify(cached: bool, attempts: int) -> str:
-        if cached:
+    def _classify(how: str, attempts: int) -> str:
+        if how == "cached":
             return "cached"
+        if how == "replayed":
+            return "replayed"
         return "retried" if attempts > 1 else "ok"
 
     def _record_failure(
@@ -723,6 +914,7 @@ class Pipeline:
         finished_at: float,
         metrics: ExecutorMetrics,
         outcomes: dict[str, StepOutcome],
+        journal: "RunJournal | None" = None,
     ) -> None:
         status = "timeout" if isinstance(exc, StepTimeout) else "failed"
         error = repr(exc)
@@ -731,6 +923,10 @@ class Pipeline:
             step.name, keys[step.name], False, wall, started_at, finished_at,
             outcome=status, attempts=attempts, error=error,
         )
+        if journal is not None:
+            journal.step_done(
+                step.name, keys[step.name], status, attempts, error=error
+            )
 
     def _record_skip(
         self,
@@ -739,6 +935,7 @@ class Pipeline:
         failed_deps: list[str],
         metrics: ExecutorMetrics,
         outcomes: dict[str, StepOutcome],
+        journal: "RunJournal | None" = None,
     ) -> None:
         reason = f"upstream failed: {sorted(failed_deps)}"
         outcomes[step.name] = StepOutcome(step.name, "skipped_upstream", 0, reason, 0.0)
@@ -746,6 +943,10 @@ class Pipeline:
             step.name, keys[step.name], False, 0.0, 0.0, 0.0,
             outcome="skipped_upstream", attempts=0, error=reason,
         )
+        if journal is not None:
+            journal.step_done(
+                step.name, keys[step.name], "skipped_upstream", 0, error=reason
+            )
 
     def _run_sequential(
         self,
@@ -756,6 +957,8 @@ class Pipeline:
         on_error: str,
         fault_plan: Any | None,
         outcomes: dict[str, StepOutcome],
+        journal: "RunJournal | None" = None,
+        resume: "ResumeState | None" = None,
     ) -> dict[str, Any]:
         results: dict[str, Any] = {}
         unavailable: set[str] = set()  # failed or skipped steps
@@ -763,20 +966,22 @@ class Pipeline:
             bad_deps = [d for d in step.depends_on if d in unavailable]
             if bad_deps:
                 unavailable.add(step.name)
-                self._record_skip(step, keys, bad_deps, metrics, outcomes)
+                self._record_skip(step, keys, bad_deps, metrics, outcomes, journal)
                 continue
             inputs = {dep: results[dep] for dep in step.depends_on}
-            counter = {"attempts": 0}
+            counter: dict[str, Any] = {"attempts": 0}
+            if journal is not None:
+                journal.step_start(step.name, keys[step.name])
             started = time.perf_counter()
             try:
-                value, cached = self._obtain(
-                    step, inputs, keys, force, None, fault_plan, counter
+                value, how = self._obtain(
+                    step, inputs, keys, force, None, fault_plan, counter, resume
                 )
             except Exception as exc:
                 finished = time.perf_counter()
                 self._record_failure(
                     step, keys, exc, counter["attempts"], finished - started,
-                    started - t0, finished - t0, metrics, outcomes,
+                    started - t0, finished - t0, metrics, outcomes, journal,
                 )
                 if on_error == "raise":
                     raise
@@ -784,14 +989,22 @@ class Pipeline:
                 continue
             finished = time.perf_counter()
             attempts = counter["attempts"]
-            outcome = self._classify(cached, attempts)
+            outcome = self._classify(how, attempts)
+            cache_unavailable = bool(counter.get("cache_unavailable"))
             outcomes[step.name] = StepOutcome(
-                step.name, outcome, attempts, "", finished - started
+                step.name, outcome, attempts, "", finished - started,
+                cache_unavailable,
             )
             metrics.record(
-                step.name, keys[step.name], cached, finished - started,
+                step.name, keys[step.name], how == "cached", finished - started,
                 started - t0, finished - t0, outcome=outcome, attempts=attempts,
+                cache_unavailable=cache_unavailable,
             )
+            if journal is not None:
+                journal.step_done(
+                    step.name, keys[step.name], outcome, attempts,
+                    cache_unavailable=cache_unavailable,
+                )
             results[step.name] = value
         return results
 
@@ -806,6 +1019,8 @@ class Pipeline:
         on_error: str,
         fault_plan: Any | None,
         outcomes: dict[str, StepOutcome],
+        journal: "RunJournal | None" = None,
+        resume: "ResumeState | None" = None,
     ) -> dict[str, Any]:
         indegree = {s.name: len(s.depends_on) for s in self.steps}
         dependents: dict[str, list[PipelineStep]] = {s.name: [] for s in self.steps}
@@ -814,7 +1029,7 @@ class Pipeline:
                 dependents[dep].append(step)
         by_name = {s.name: s for s in self.steps}
         results: dict[str, Any] = {}
-        counters: dict[str, dict[str, int]] = {}
+        counters: dict[str, dict[str, Any]] = {}
 
         # Thread mode computes inside the coordination threads, so the
         # coordination pool IS the worker pool; process mode uses cheap
@@ -826,13 +1041,16 @@ class Pipeline:
         coord_size = workers if mode == "thread" else len(self.steps)
         pool = ProcessPoolExecutor(max_workers=workers) if mode == "process" else None
 
-        def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, bool, float, float]:
+        def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, str, float, float]:
+            if journal is not None:
+                journal.step_start(step.name, keys[step.name])
             started = time.perf_counter()
-            counters[step.name]["started_at"] = started  # type: ignore[assignment]
-            value, cached = self._obtain(
-                step, inputs, keys, force, pool, fault_plan, counters[step.name]
+            counters[step.name]["started_at"] = started
+            value, how = self._obtain(
+                step, inputs, keys, force, pool, fault_plan, counters[step.name],
+                resume,
             )
-            return value, cached, started, time.perf_counter()
+            return value, how, started, time.perf_counter()
 
         def skip_subtree(root: PipelineStep) -> None:
             # Mark every transitive dependent of a failed step. Their
@@ -845,7 +1063,7 @@ class Pipeline:
                     if dependent.name in outcomes:
                         continue
                     self._record_skip(
-                        dependent, keys, [parent.name], metrics, outcomes
+                        dependent, keys, [parent.name], metrics, outcomes, journal
                     )
                     stack.append(by_name[dependent.name])
 
@@ -867,14 +1085,14 @@ class Pipeline:
                         step = inflight.pop(fut)
                         counter = counters[step.name]
                         try:
-                            value, cached, started, finished = fut.result()
+                            value, how, started, finished = fut.result()
                         except BaseException as exc:
                             finished = time.perf_counter()
                             started = counter.get("started_at", finished)
                             self._record_failure(
                                 step, keys, exc, counter["attempts"],
                                 finished - started, started - t0, finished - t0,
-                                metrics, outcomes,
+                                metrics, outcomes, journal,
                             )
                             if on_error == "raise" or not isinstance(exc, Exception):
                                 for other in inflight:
@@ -883,15 +1101,23 @@ class Pipeline:
                             skip_subtree(step)
                             continue
                         attempts = counter["attempts"]
-                        outcome = self._classify(cached, attempts)
+                        outcome = self._classify(how, attempts)
+                        cache_unavailable = bool(counter.get("cache_unavailable"))
                         outcomes[step.name] = StepOutcome(
-                            step.name, outcome, attempts, "", finished - started
+                            step.name, outcome, attempts, "", finished - started,
+                            cache_unavailable,
                         )
                         metrics.record(
-                            step.name, keys[step.name], cached,
+                            step.name, keys[step.name], how == "cached",
                             finished - started, started - t0, finished - t0,
                             outcome=outcome, attempts=attempts,
+                            cache_unavailable=cache_unavailable,
                         )
+                        if journal is not None:
+                            journal.step_done(
+                                step.name, keys[step.name], outcome, attempts,
+                                cache_unavailable=cache_unavailable,
+                            )
                         results[step.name] = value
                         for dependent in dependents[step.name]:
                             indegree[dependent.name] -= 1

@@ -12,15 +12,23 @@ Both readers validate against the questionnaire and raise
 :class:`ResponseIOError` with row context on malformed input. The JSONL
 reader also offers a tolerant mode (``on_bad_rows="skip"``) that drops
 malformed rows into a :class:`SkippedRow` tally instead of aborting.
+
+Beyond serialization, :mod:`repro.io.locks` provides the cross-process
+advisory :class:`FileLock` that makes a shared artifact cache safe for
+concurrent ``repro`` processes.
 """
 
 from repro.io.jsonl import read_responses_jsonl, write_responses_jsonl
 from repro.io.csvio import read_responses_csv, write_responses_csv
 from repro.io.errors import ResponseIOError, SkippedRow
+from repro.io.locks import FileLock, LockTimeout, pid_alive
 
 __all__ = [
     "ResponseIOError",
     "SkippedRow",
+    "FileLock",
+    "LockTimeout",
+    "pid_alive",
     "write_responses_jsonl",
     "read_responses_jsonl",
     "write_responses_csv",

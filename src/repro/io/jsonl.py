@@ -130,7 +130,7 @@ def read_responses_jsonl(
                 questionnaire, fh, on_bad_rows=on_bad_rows, skipped=skipped
             )
     if isinstance(source, str):
-        if "\n" in source or source.lstrip().startswith("{"):
+        if "\n" in source or source.lstrip("\ufeff").lstrip().startswith("{"):
             return read_responses_jsonl(
                 questionnaire, io.StringIO(source),
                 on_bad_rows=on_bad_rows, skipped=skipped,
@@ -155,7 +155,11 @@ def read_responses_jsonl(
                 skips.append(SkippedRow(-1, f"unreadable stream tail: {exc!r}"))
                 break
             raise ResponseIOError(f"unreadable response stream: {exc}") from exc
-        line = line.strip()
+        if lineno == 1:
+            # Tolerate a UTF-8 BOM from Windows-origin exports; it is
+            # encoding noise, not a malformed (skippable) row.
+            line = line.lstrip("\ufeff")
+        line = line.strip()  # also eats the \r of CRLF line endings
         if not line:
             continue
         try:

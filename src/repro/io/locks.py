@@ -1,0 +1,250 @@
+"""Cross-process advisory file locks for shared artifact caches.
+
+Multiple ``repro`` processes pointed at one cache directory (a shared
+scratch filesystem, a CI matrix, two terminals) must not compute or write
+the same entry concurrently. The in-process per-key single-flight lock in
+:class:`~repro.core.pipeline.ArtifactCache` cannot see other processes, so
+this module supplies the cross-process half: one advisory lock file per
+cache entry.
+
+Two backends:
+
+* ``"fcntl"`` (default wherever :mod:`fcntl` exists) — ``flock`` on the
+  lock file. The kernel releases the lock when the holding process dies,
+  *however* it dies (including ``kill -9``), so a crashed holder can never
+  wedge later runs. The holder's pid is written into the file purely as
+  diagnostic metadata.
+* ``"pidfile"`` (fallback, and directly testable) — ``O_CREAT|O_EXCL``
+  creation of a file containing the holder's pid. Because nothing releases
+  it on a crash, waiters perform *stale-lock detection by pid liveness*:
+  a lock file naming a dead pid is reclaimed (unlinked and re-raced), and
+  an unreadable/torn lock file is reclaimed after ``stale_grace`` seconds
+  without change.
+
+Both backends are advisory: they only exclude other ``FileLock`` users,
+which is exactly the contract the cache needs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+try:  # pragma: no cover - import guard exercised implicitly everywhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeout", "pid_alive"]
+
+_BACKENDS = ("auto", "fcntl", "pidfile")
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock could not be acquired within ``timeout`` seconds."""
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe).
+
+    ``EPERM`` counts as alive (the process exists, we just may not signal
+    it); any other failure counts as dead. Non-positive pids are never
+    alive — they would address process groups, not a holder.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class FileLock:
+    """One advisory cross-process lock, addressed by file path.
+
+    Usable as a context manager::
+
+        with FileLock(cache_dir / f"{key}.lock"):
+            ...compute and publish the entry...
+
+    Parameters
+    ----------
+    path:
+        Lock file location. Parent directory must exist (the cache creates
+        it before locking).
+    backend:
+        ``"auto"`` (fcntl where available, else pidfile), ``"fcntl"``, or
+        ``"pidfile"``.
+    timeout:
+        Default acquisition budget in seconds for :meth:`acquire` /
+        ``with``; ``None`` waits indefinitely.
+    poll_interval:
+        Sleep between acquisition attempts while contended.
+    stale_grace:
+        Pidfile backend only: how long an *unreadable* lock file (torn
+        write from a killed creator) may persist before being reclaimed.
+        Files naming a dead pid are reclaimed immediately.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        backend: str = "auto",
+        timeout: float | None = None,
+        poll_interval: float = 0.01,
+        stale_grace: float = 2.0,
+    ) -> None:
+        if backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
+        if backend == "auto":
+            backend = "fcntl" if fcntl is not None else "pidfile"
+        if backend == "fcntl" and fcntl is None:
+            raise ValueError("fcntl backend requested but fcntl is unavailable")
+        if poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {poll_interval}")
+        self.path = Path(path)
+        self.backend = backend
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_grace = stale_grace
+        self.reclaimed_stale = 0  # stale locks this instance reclaimed
+        self._fd: int | None = None
+
+    @property
+    def locked(self) -> bool:
+        """Whether *this instance* currently holds the lock."""
+        return self._fd is not None
+
+    # -- acquisition ----------------------------------------------------------
+
+    def _try_fcntl(self) -> bool:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        # Held. Record our pid as diagnostic metadata (never unlinked on
+        # release: an unlinked-but-flocked inode would be invisible to the
+        # next waiter, silently breaking mutual exclusion). The record is
+        # fixed-width so a plain pwrite fully overwrites the previous
+        # holder — no ftruncate, which is painfully slow on some
+        # filesystems — and re-acquisitions by the same pid skip the
+        # write entirely (the metadata is already correct).
+        try:
+            previous = os.pread(fd, 32, 0).split(b"\n")[0].strip()
+            if previous.isdigit() and not pid_alive(int(previous)):
+                self.reclaimed_stale += 1
+            if previous != str(os.getpid()).encode():
+                os.pwrite(fd, f"{os.getpid():>19}\n".encode(), 0)
+        except OSError:
+            pass  # metadata only; the flock itself is what excludes
+        self._fd = fd
+        return True
+
+    def _read_holder(self) -> int | None:
+        """Pid recorded in the lock file, or None when unreadable/torn."""
+        try:
+            text = self.path.read_bytes().split(b"\n")[0].strip()
+        except OSError:
+            return None
+        if not text.isdigit():
+            return None
+        return int(text)
+
+    def _try_pidfile(self, first_unreadable: list[float]) -> bool:
+        try:
+            fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            holder = self._read_holder()
+            if holder is None:
+                # Torn/empty lock file: its creator may still be mid-write,
+                # so only reclaim once it has stayed unreadable past the
+                # grace period.
+                now = time.monotonic()
+                if not first_unreadable:
+                    first_unreadable.append(now)
+                elif now - first_unreadable[0] >= self.stale_grace:
+                    self._reclaim(expected=None)
+                return False
+            first_unreadable.clear()
+            if holder != os.getpid() and not pid_alive(holder):
+                self._reclaim(expected=holder)
+            return False
+        os.write(fd, f"{os.getpid()}\n".encode())
+        os.close(fd)
+        self._fd = -1  # pidfile backend holds by existence, not by fd
+        return True
+
+    def _reclaim(self, expected: int | None) -> None:
+        """Unlink a stale lock file so the next attempt can race for it.
+
+        Guarded re-read: only unlink while the content still names the dead
+        pid we observed (or is still unreadable, for ``expected=None``).
+        A new holder appearing between the re-read and the unlink is a
+        race this protocol cannot close without ``flock``; the window is
+        microseconds and the consequence is one duplicated (deterministic,
+        atomically republished) compute, never a corrupt artifact.
+        """
+        if self._read_holder() != expected:
+            return
+        try:
+            self.path.unlink()
+        except OSError:
+            return
+        self.reclaimed_stale += 1
+
+    def acquire(self, timeout: float | None = None) -> "FileLock":
+        """Block until held (or raise :class:`LockTimeout`); returns self."""
+        if self.locked:
+            raise RuntimeError(f"lock {self.path} is already held by this instance")
+        budget = timeout if timeout is not None else self.timeout
+        deadline = None if budget is None else time.monotonic() + budget
+        first_unreadable: list[float] = []
+        while True:
+            acquired = (
+                self._try_fcntl()
+                if self.backend == "fcntl"
+                else self._try_pidfile(first_unreadable)
+            )
+            if acquired:
+                return self
+            if deadline is not None and time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire {self.path} within {budget:.3f}s "
+                    f"(holder pid: {self._read_holder()})"
+                )
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        """Release the lock; a no-op when not held."""
+        if self._fd is None:
+            return
+        fd, self._fd = self._fd, None
+        if self.backend == "fcntl":
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+        else:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "held" if self.locked else "free"
+        return f"FileLock({str(self.path)!r}, backend={self.backend!r}, {state})"

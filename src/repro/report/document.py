@@ -15,7 +15,7 @@ from repro.report.experiments import EXPERIMENTS, run_all_experiments_with_metri
 from repro.report.figures import FigureSeries
 from repro.report.tables import Table, fmt_p, fmt_pct
 
-__all__ = ["build_report"]
+__all__ = ["build_report", "render_report"]
 
 _ORDER = (
     "T1", "T2", "F1", "T3", "F2", "T4", "T6", "T7", "T8",
@@ -133,6 +133,29 @@ def build_report(
     if metrics_out is not None:
         metrics_out.append(metrics)
     failures = {m.name: m.error for m in metrics.steps if m.outcome == "failed"}
+    return render_report(
+        study, artifacts, failures,
+        include_quality_appendix=include_quality_appendix,
+    )
+
+
+def render_report(
+    study: Study,
+    artifacts: dict,
+    failures: dict[str, str] | None = None,
+    *,
+    include_quality_appendix: bool = True,
+) -> str:
+    """Assemble the markdown document from already-produced artifacts.
+
+    The rendering half of :func:`build_report`, split out so the durable
+    path (``repro report --durable`` running
+    :func:`repro.report.experiments.report_pipeline`) can render from
+    pipeline outputs — including artifacts replayed from journal + cache
+    on ``--resume`` — and produce a document byte-identical to the
+    in-process path.
+    """
+    failures = failures or {}
     lines = _front_matter(study)
     if failures:
         failed_ids = ", ".join(sorted(failures))

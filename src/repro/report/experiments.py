@@ -12,7 +12,7 @@ import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Union
+from typing import Callable, Sequence, Union
 
 import numpy as np
 
@@ -49,6 +49,7 @@ __all__ = [
     "run_experiment",
     "run_all_experiments",
     "run_all_experiments_with_metrics",
+    "report_pipeline",
 ]
 
 Artifact = Union[Table, FigureSeries]
@@ -647,3 +648,62 @@ def run_all_experiments(
         study, max_workers=max_workers, executor=executor, on_error=on_error
     )
     return artifacts
+
+
+# -- the durable report pipeline ----------------------------------------------
+
+
+def _experiment_step(context, experiment_id, fn_fingerprint=""):
+    """Pipeline-step wrapper around one registry entry.
+
+    ``fn_fingerprint`` exists purely for the cache key: the wrapper is the
+    same function for every experiment, so the underlying experiment
+    function's code fingerprint must ride along in the params or editing
+    an experiment would not invalidate its artifact.
+    """
+    if experiment_id.startswith("X"):
+        # Extension experiments register on import; core ids must not
+        # trigger the import (mirrors the CLI, which only knows T*/F*).
+        import repro.report.extensions  # noqa: F401
+    return EXPERIMENTS[experiment_id].fn(context["study"])
+
+
+def report_pipeline(
+    cache=None,
+    *,
+    experiment_ids: Sequence[str] | None = None,
+    retry=None,
+    timeout: float | None = None,
+    **study_kwargs,
+):
+    """Build the full durable report pipeline: study stages + experiments.
+
+    Extends :func:`repro.core.study_pipeline.study_pipeline` with one
+    ``exp:<id>`` step per registered experiment (``depends_on=
+    ("study",)``), so ``repro report --durable`` can run the entire report
+    as a journaled, cache-addressed DAG and ``--resume`` can recover it
+    after a crash: completed experiments replay from the cache, only the
+    in-flight frontier re-executes.
+    """
+    from repro.core.pipeline import Pipeline, PipelineStep, fingerprint_callable
+    from repro.core.study_pipeline import study_pipeline
+
+    base = study_pipeline(cache=cache, retry=retry, timeout=timeout, **study_kwargs)
+    ids = sorted(EXPERIMENTS) if experiment_ids is None else list(experiment_ids)
+    unknown = [eid for eid in ids if eid not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments {unknown}; known: {sorted(EXPERIMENTS)}")
+    steps = list(base.steps)
+    for eid in ids:
+        steps.append(
+            PipelineStep(
+                name=f"exp:{eid}",
+                fn=_experiment_step,
+                params={
+                    "experiment_id": eid,
+                    "fn_fingerprint": fingerprint_callable(EXPERIMENTS[eid].fn),
+                },
+                depends_on=("study",),
+            )
+        )
+    return Pipeline(steps, base.cache, default_retry=retry, default_timeout=timeout)

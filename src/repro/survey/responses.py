@@ -100,6 +100,16 @@ class ResponseSet:
 
     # -- basics -----------------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        # Memo caches are derived state; excluding them keeps pickles
+        # canonical — a freshly built set and its cache-loaded copy
+        # serialize identically no matter which accessors have run —
+        # which the artifact cache's byte-identity guarantees rely on.
+        state = self.__dict__.copy()
+        state["_column_cache"] = {}
+        state["_matrix_cache"] = {}
+        return state
+
     def __len__(self) -> int:
         return len(self._responses)
 

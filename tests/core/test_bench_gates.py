@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.bench import (
     append_run,
+    check_journal_overhead,
     check_regression,
     check_retry_overhead,
     latest_run,
@@ -103,4 +104,29 @@ class TestCheckRetryOverhead:
 
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_retry_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+
+class TestCheckJournalOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_journal_overhead(
+            record(journal_overhead=overhead_entry(plain=0.02, wrapper=0.0002))
+        )
+        assert ok and "+1.0%" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_journal_overhead(
+            record(journal_overhead=overhead_entry(plain=0.02, wrapper=0.001))
+        )
+        assert not ok and "+5.0%" in msg and "limit +2%" in msg
+
+    def test_custom_limit(self):
+        entry = overhead_entry(plain=0.02, wrapper=0.001)
+        ok, _ = check_journal_overhead(record(journal_overhead=entry), max_overhead=0.10)
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_journal_overhead(record(journal_overhead=entry), max_overhead=-1.0)
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_journal_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg

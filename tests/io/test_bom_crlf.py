@@ -1,0 +1,120 @@
+"""Windows-origin encoding noise: UTF-8 BOM and CRLF line endings.
+
+Both operational readers must treat a leading BOM and ``\\r\\n`` endings as
+encoding noise — parsed through cleanly, never surfaced as a
+:class:`~repro.io.errors.SkippedRow` even in tolerant mode.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cluster import parse_sacct
+from repro.cluster.sacct import _HEADER
+from repro.core import build_instrument, profile_2024
+from repro.io import SkippedRow, read_responses_jsonl, write_responses_jsonl
+from repro.synth import generate_cohort
+
+BOM = "\ufeff"
+
+
+@pytest.fixture(scope="module")
+def questionnaire():
+    return build_instrument()
+
+
+@pytest.fixture(scope="module")
+def responses(questionnaire):
+    return generate_cohort(profile_2024(), questionnaire, 40, np.random.default_rng(7))
+
+
+def respondent_ids(response_set):
+    return [r.respondent_id for r in response_set]
+
+
+def windowsify(text: str) -> str:
+    """Re-encode clean output the way a Windows tool would have written it."""
+    return BOM + text.replace("\n", "\r\n")
+
+
+class TestJsonlBomCrlf:
+    def jsonl_text(self, responses) -> str:
+        buffer = io.StringIO()
+        write_responses_jsonl(responses, buffer)
+        return buffer.getvalue()
+
+    @pytest.mark.parametrize("mode", ["raise", "skip"])
+    def test_bom_and_crlf_parse_cleanly(self, questionnaire, responses, mode):
+        dirty = windowsify(self.jsonl_text(responses))
+        skipped: list[SkippedRow] = []
+        rs = read_responses_jsonl(
+            questionnaire, dirty, on_bad_rows=mode, skipped=skipped
+        )
+        assert respondent_ids(rs) == respondent_ids(responses)
+        assert skipped == []  # encoding noise is not a skippable row
+
+    def test_bom_only_file(self, questionnaire, responses, tmp_path):
+        path = tmp_path / "responses.jsonl"
+        path.write_text(BOM + self.jsonl_text(responses), encoding="utf-8")
+        rs = read_responses_jsonl(questionnaire, path)
+        assert respondent_ids(rs) == respondent_ids(responses)
+
+    def test_bom_before_single_object_literal(self, questionnaire):
+        # The literal-vs-path sniffer must see through the BOM too.
+        literal = BOM + '{"respondent_id": "r1", "cohort": "2024", "answers": {}}'
+        rs = read_responses_jsonl(questionnaire, literal)
+        assert respondent_ids(rs) == ["r1"]
+
+    def test_crlf_with_real_bad_row_counts_only_the_bad_row(
+        self, questionnaire, responses
+    ):
+        lines = self.jsonl_text(responses).splitlines()
+        lines.insert(1, "not json at all")
+        dirty = windowsify("\n".join(lines) + "\n")
+        skipped: list[SkippedRow] = []
+        rs = read_responses_jsonl(
+            questionnaire, dirty, on_bad_rows="skip", skipped=skipped
+        )
+        assert respondent_ids(rs) == respondent_ids(responses)
+        assert [s.lineno for s in skipped] == [2]
+
+
+class TestSacctBomCrlf:
+    def sacct_text(self) -> str:
+        rows = [
+            "7|alice|bio|cpu|0.000|1.000|2.000|4|cpu=4|100|COMPLETED",
+            "8|bob|phys|gpu|0.000|1.000|3.000|8|cpu=8,gres/gpu=2|200|COMPLETED",
+        ]
+        return _HEADER + "\n" + "\n".join(rows) + "\n"
+
+    @pytest.mark.parametrize("mode", ["raise", "skip"])
+    def test_bom_and_crlf_parse_cleanly(self, mode):
+        skipped: list[SkippedRow] = []
+        table = parse_sacct(
+            windowsify(self.sacct_text()), on_bad_rows=mode, skipped=skipped
+        )
+        assert len(table) == 2
+        assert skipped == []
+
+    def test_bom_header_recognized_as_literal_source(self):
+        # The path-vs-literal sniffer keys on the header; a BOM before it
+        # must not demote the text to "path that does not exist".
+        table = parse_sacct(windowsify(self.sacct_text()))
+        assert list(table.job_id) == [7, 8]
+
+    def test_bom_crlf_file_roundtrip(self, tmp_path):
+        path = tmp_path / "jobs.sacct"
+        path.write_text(windowsify(self.sacct_text()), encoding="utf-8")
+        table = parse_sacct(path)
+        assert len(table) == 2
+        assert list(table.gpus) == [0, 2]
+
+    def test_crlf_with_real_bad_row_counts_only_the_bad_row(self):
+        dirty = windowsify(
+            self.sacct_text() + "9|short|row\n"
+        )
+        skipped: list[SkippedRow] = []
+        table = parse_sacct(dirty, on_bad_rows="skip", skipped=skipped)
+        assert len(table) == 2
+        assert [s.lineno for s in skipped] == [4]

@@ -1,0 +1,119 @@
+"""Cross-process FileLock tests: exclusion, crashed holders, stale reclaim."""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.io.locks import FileLock, LockTimeout, pid_alive
+
+mp = multiprocessing.get_context("fork")
+
+
+def hold_lock(path, backend, acquired, release):
+    lock = FileLock(path, backend=backend)
+    lock.acquire()
+    acquired.set()
+    release.wait(timeout=30)
+    lock.release()
+
+
+class TestPidAlive:
+    def test_own_pid(self):
+        assert pid_alive(os.getpid())
+
+    def test_dead_pid(self):
+        child = mp.Process(target=lambda: None)
+        child.start()
+        child.join()
+        assert not pid_alive(child.pid)
+
+    def test_non_positive(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+@pytest.mark.parametrize("backend", ["fcntl", "pidfile"])
+class TestFileLock:
+    def test_acquire_release_context_manager(self, tmp_path, backend):
+        lock = FileLock(tmp_path / "x.lock", backend=backend)
+        assert not lock.locked
+        with lock:
+            assert lock.locked
+        assert not lock.locked
+
+    def test_reacquire_while_held_raises(self, tmp_path, backend):
+        with FileLock(tmp_path / "x.lock", backend=backend) as lock:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+
+    def test_excludes_other_process(self, tmp_path, backend):
+        path = tmp_path / "x.lock"
+        acquired, release = mp.Event(), mp.Event()
+        holder = mp.Process(target=hold_lock, args=(path, backend, acquired, release))
+        holder.start()
+        try:
+            assert acquired.wait(timeout=10)
+            waiter = FileLock(path, backend=backend, poll_interval=0.005)
+            with pytest.raises(LockTimeout, match="could not acquire"):
+                waiter.acquire(timeout=0.15)
+            release.set()
+            holder.join(timeout=10)
+            waiter.acquire(timeout=5)
+            waiter.release()
+        finally:
+            release.set()
+            holder.join(timeout=10)
+
+    def test_killed_holder_does_not_wedge_later_runs(self, tmp_path, backend):
+        path = tmp_path / "x.lock"
+        acquired, release = mp.Event(), mp.Event()
+        holder = mp.Process(target=hold_lock, args=(path, backend, acquired, release))
+        holder.start()
+        assert acquired.wait(timeout=10)
+        os.kill(holder.pid, signal.SIGKILL)
+        holder.join(timeout=10)
+        # fcntl: the kernel released the flock at process death.
+        # pidfile: the waiter detects the dead holder pid and reclaims.
+        lock = FileLock(path, backend=backend, poll_interval=0.005)
+        lock.acquire(timeout=5)
+        lock.release()
+
+
+class TestPidfileStaleness:
+    def test_dead_pid_is_reclaimed(self, tmp_path):
+        path = tmp_path / "x.lock"
+        child = mp.Process(target=lambda: None)
+        child.start()
+        child.join()
+        path.write_text(f"{child.pid}\n")
+        lock = FileLock(path, backend="pidfile", poll_interval=0.005)
+        lock.acquire(timeout=5)
+        lock.release()
+        assert lock.reclaimed_stale == 1
+
+    def test_live_pid_is_respected(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text(f"{os.getpid()}\n")  # alive, and not us-as-holder instance
+        lock = FileLock(path, backend="pidfile", poll_interval=0.005)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+        assert lock.reclaimed_stale == 0
+
+    def test_torn_lock_file_reclaimed_after_grace(self, tmp_path):
+        path = tmp_path / "x.lock"
+        path.write_text("garbage-not-a-pid")
+        lock = FileLock(
+            path, backend="pidfile", poll_interval=0.005, stale_grace=0.05
+        )
+        start = time.monotonic()
+        lock.acquire(timeout=5)
+        lock.release()
+        assert time.monotonic() - start >= 0.05
+        assert lock.reclaimed_stale == 1
+
+    def test_backend_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="backend"):
+            FileLock(tmp_path / "x.lock", backend="hope")
