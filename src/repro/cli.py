@@ -7,10 +7,13 @@ Subcommands mirror the workflows a research-computing group runs:
 * ``codebook``   — print the instrument codebook;
 * ``experiment`` — regenerate one table/figure by id;
 * ``report``     — render the full markdown report;
+* ``trace``      — run (or load) a traced report build and analyze it;
 * ``bench``      — wall-clock substrate benchmarks (perf trajectory);
 * ``power``      — design-stage power calculations.
 
 All randomness flows from ``--seed``; every command is deterministic.
+Every subcommand takes ``-v/--verbose`` (repeatable) and ``-q/--quiet``;
+structured run-id-tagged logs go to stderr so stdout stays parseable.
 """
 
 from __future__ import annotations
@@ -27,9 +30,29 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Computation-for-research practice study toolkit",
     )
+    # Shared verbosity flags: one parent parser instead of per-command
+    # duplicates, so `repro <anything> -v` always works the same way.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v = info, -vv = debug)",
+    )
+    common.add_argument(
+        "-q",
+        "--quiet",
+        action="count",
+        default=0,
+        help="only log errors to stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    gen = sub.add_parser("generate", help="synthesize survey + telemetry data")
+    def command(name: str, **kwargs):
+        return sub.add_parser(name, parents=[common], **kwargs)
+
+    gen = command("generate", help="synthesize survey + telemetry data")
     gen.add_argument("--seed", type=int, default=2024)
     gen.add_argument("--baseline", type=int, default=120, help="2011 cohort size")
     gen.add_argument("--current", type=int, default=200, help="2024 cohort size")
@@ -37,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--jobs-per-day", type=float, default=200.0)
     gen.add_argument("--out", type=Path, default=Path("study-data"))
 
-    val = sub.add_parser("validate", help="validate a JSONL response export")
+    val = command("validate", help="validate a JSONL response export")
     val.add_argument("path", type=Path)
     val.add_argument(
         "--on-bad-rows",
@@ -46,7 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip = tolerate malformed rows (skipped tally is reported)",
     )
 
-    aud = sub.add_parser("audit", help="audit a sacct accounting export")
+    aud = command("audit", help="audit a sacct accounting export")
     aud.add_argument("path", type=Path)
     aud.add_argument(
         "--on-bad-rows",
@@ -55,11 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip = tolerate malformed accounting rows (skipped tally is reported)",
     )
 
-    sub.add_parser("codebook", help="print the instrument codebook")
+    command("codebook", help="print the instrument codebook")
 
-    sub.add_parser("experiments", help="list registered experiments")
+    command("experiments", help="list registered experiments")
 
-    exp = sub.add_parser("experiment", help="regenerate one table/figure")
+    exp = command("experiment", help="regenerate one table/figure")
     exp.add_argument("id", help="experiment id (T1..T8, F1..F8)")
     exp.add_argument("--seed", type=int, default=2024)
     exp.add_argument("--baseline", type=int, default=120)
@@ -67,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--months", type=int, default=6)
     exp.add_argument("--jobs-per-day", type=float, default=200.0)
 
-    rep = sub.add_parser("report", help="render the full markdown report")
+    rep = command("report", help="render the full markdown report")
     rep.add_argument("--seed", type=int, default=2024)
     rep.add_argument("--baseline", type=int, default=120)
     rep.add_argument("--current", type=int, default=200)
@@ -122,8 +145,77 @@ def build_parser() -> argparse.ArgumentParser:
             "(omit RUN_ID to resume the most recent journal)"
         ),
     )
+    rep.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "trace the report build and write a Chrome/Perfetto "
+            "trace_event JSON to FILE; a critical-path summary is printed "
+            "after the report (composes with --durable/--resume)"
+        ),
+    )
 
-    rob = sub.add_parser(
+    trc = command(
+        "trace", help="trace a report build (or analyze an exported trace)"
+    )
+    trc.add_argument(
+        "--load",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="analyze an existing trace_event JSON instead of running",
+    )
+    trc.add_argument("--seed", type=int, default=2024)
+    trc.add_argument("--baseline", type=int, default=40, help="2011 cohort size")
+    trc.add_argument("--current", type=int, default=60, help="2024 cohort size")
+    trc.add_argument("--months", type=int, default=3, help="telemetry window")
+    trc.add_argument("--jobs-per-day", type=float, default=60.0)
+    trc.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="experiment fan-out worker count (default: all cores)",
+    )
+    trc.add_argument(
+        "--executor",
+        choices=("auto", "sequential", "thread", "process"),
+        default="auto",
+        help="how to fan experiments out (auto = process pool when possible)",
+    )
+    trc.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the Perfetto trace_event JSON here",
+    )
+    trc.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Prometheus text-format metrics snapshot here",
+    )
+    trc.add_argument(
+        "--resources",
+        action="store_true",
+        help="record per-span CPU / peak-RSS / Python-heap deltas",
+    )
+    trc.add_argument(
+        "--check-schema",
+        action="store_true",
+        help="validate the trace_event schema; exit 1 on problems",
+    )
+    trc.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="critical-path steps to list in the summary",
+    )
+
+    rob = command(
         "robustness", help="seed-sweep the headline claims (EXPERIMENTS.md check)"
     )
     rob.add_argument("--seeds", type=int, default=5, help="number of seeds to sweep")
@@ -131,7 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     rob.add_argument("--current", type=int, default=200)
     rob.add_argument("--alpha", type=float, default=0.05)
 
-    ben = sub.add_parser(
+    ben = command(
         "bench", help="time the generative substrates (perf trajectory)"
     )
     ben.add_argument(
@@ -181,8 +273,19 @@ def build_parser() -> argparse.ArgumentParser:
             "needed)"
         ),
     )
+    ben.add_argument(
+        "--max-trace-overhead",
+        type=float,
+        default=0.03,
+        help=(
+            "allowed cost of running the pipeline with tracing enabled "
+            "before --check fails (0.03 = +3%%; intra-record, no baseline "
+            "needed — the untraced side of the same bench is the "
+            "tracing-disabled path)"
+        ),
+    )
 
-    pwr = sub.add_parser("power", help="two-proportion power calculations")
+    pwr = command("power", help="two-proportion power calculations")
     pwr.add_argument("--p1", type=float, required=True, help="baseline proportion")
     pwr.add_argument("--p2", type=float, required=True, help="expected proportion")
     pwr.add_argument("--n1", type=int, default=None)
@@ -329,29 +432,49 @@ EXIT_PARTIAL = 3
 EXIT_INTERRUPTED = 130
 
 
-def _durable_report(args, out) -> int:
-    """The --durable path of ``repro report``: journaled pipeline + resume."""
-    from repro.core.journal import JournalError, RunJournal, latest_run_id, load_resume_state
+def _pipeline_report(args, out) -> int:
+    """The pipeline-backed path of ``repro report``.
+
+    Taken when the invocation needs the DAG runner rather than the plain
+    in-process build: ``--durable DIR`` (journaled + cache-addressed,
+    resumable) and/or ``--trace FILE`` (span-traced with a Perfetto
+    export and critical-path summary). The two compose: a traced durable
+    run correlates its root span with the journal run id.
+    """
     from repro.core.pipeline import ArtifactCache
+    from repro.core.trace import Tracer, analyze_perfetto
     from repro.report.document import render_report
     from repro.report.experiments import report_pipeline
 
-    durable = Path(args.durable)
-    journal_dir = durable / "journals"
+    journal = None
     resume_state = None
-    if args.resume is not None:
-        run_id = args.resume
-        if run_id == "latest":
-            run_id = latest_run_id(journal_dir)
-            if run_id is None:
-                print(f"error: no journals to resume under {journal_dir}", file=out)
+    if args.durable is not None:
+        from repro.core.journal import (
+            JournalError,
+            RunJournal,
+            latest_run_id,
+            load_resume_state,
+        )
+
+        durable = Path(args.durable)
+        journal_dir = durable / "journals"
+        if args.resume is not None:
+            run_id = args.resume
+            if run_id == "latest":
+                run_id = latest_run_id(journal_dir)
+                if run_id is None:
+                    print(f"error: no journals to resume under {journal_dir}", file=out)
+                    return 2
+            try:
+                resume_state = load_resume_state(journal_dir, run_id)
+            except JournalError as exc:
+                print(f"error: {exc}", file=out)
                 return 2
-        try:
-            resume_state = load_resume_state(journal_dir, run_id)
-        except JournalError as exc:
-            print(f"error: {exc}", file=out)
-            return 2
-    cache = ArtifactCache(durable / "cache")
+        cache = ArtifactCache(durable / "cache")
+        journal = RunJournal.open(journal_dir)
+    else:
+        cache = ArtifactCache()
+    tracer = Tracer() if args.trace is not None else None
     pipeline = report_pipeline(
         cache,
         seed=args.seed,
@@ -360,7 +483,6 @@ def _durable_report(args, out) -> int:
         months=args.months,
         jobs_per_day=args.jobs_per_day,
     )
-    journal = RunJournal.open(journal_dir)
     try:
         try:
             results, report = pipeline.run_with_report(
@@ -369,16 +491,24 @@ def _durable_report(args, out) -> int:
                 on_error="keep_going" if args.keep_going else "raise",
                 journal=journal,
                 resume=resume_state,
+                trace=tracer,
             )
         except KeyboardInterrupt:
-            journal.flush()
-            print(
-                f"interrupted — resume with --resume {journal.run_id}",
-                file=out,
-            )
+            if journal is not None:
+                journal.flush()
+                print(
+                    f"interrupted — resume with --resume {journal.run_id}",
+                    file=out,
+                )
+            else:
+                print("interrupted", file=out)
             return EXIT_INTERRUPTED
     finally:
-        journal.close()
+        if journal is not None:
+            journal.close()
+    if tracer is not None:
+        tracer.write_perfetto(args.trace)
+        print(f"wrote Perfetto trace to {args.trace}", file=out)
     if "study" not in results:
         print("error: the study stages failed; nothing to render", file=out)
         if pipeline.last_report is not None:
@@ -405,6 +535,8 @@ def _durable_report(args, out) -> int:
         if metrics is not None:
             print(metrics.render(), file=out)
         print(report.render(), file=out)
+    if tracer is not None:
+        print(analyze_perfetto(tracer.to_perfetto()).render(), file=out)
     if failures:
         print(
             f"warning: report degraded — {len(failures)} experiment(s) failed: "
@@ -424,8 +556,8 @@ def _cmd_report(args, out) -> int:
     if args.resume is not None and args.durable is None:
         print("error: --resume requires --durable DIR", file=out)
         return 2
-    if args.durable is not None:
-        return _durable_report(args, out)
+    if args.durable is not None or args.trace is not None:
+        return _pipeline_report(args, out)
     study = _build_study(args)
     metrics_sink = []
     text = build_report(
@@ -459,12 +591,76 @@ def _cmd_report(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    """``repro trace``: traced quick-scale report build + critical path.
+
+    Two modes: ``--load FILE`` analyzes a previously exported trace;
+    otherwise a fresh (default quick-scale) report build runs under a
+    tracer. Either way the command prints the DAG critical path, per-step
+    slack, and parallel-efficiency summary.
+    """
+    from repro.core.trace import (
+        TraceError,
+        Tracer,
+        analyze_perfetto,
+        load_perfetto,
+        validate_perfetto,
+    )
+
+    if args.load is not None:
+        try:
+            data = load_perfetto(args.load)
+        except (TraceError, OSError, ValueError) as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:
+        from repro.core.pipeline import ArtifactCache
+        from repro.report.experiments import report_pipeline
+
+        if args.jobs is not None and args.jobs < 1:
+            print(f"error: --jobs must be >= 1, got {args.jobs}", file=out)
+            return 2
+        tracer = Tracer(resources=args.resources)
+        pipeline = report_pipeline(
+            ArtifactCache(),
+            seed=args.seed,
+            n_baseline=args.baseline,
+            n_current=args.current,
+            months=args.months,
+            jobs_per_day=args.jobs_per_day,
+        )
+        pipeline.run(
+            max_workers=args.jobs,
+            executor=args.executor,
+            on_error="keep_going",
+            trace=tracer,
+        )
+        data = tracer.to_perfetto()
+        if args.out is not None:
+            tracer.write_perfetto(args.out)
+            print(f"wrote Perfetto trace to {args.out}", file=out)
+        if args.metrics_out is not None:
+            args.metrics_out.write_text(tracer.to_prometheus(), encoding="utf-8")
+            print(f"wrote Prometheus metrics to {args.metrics_out}", file=out)
+    if args.check_schema:
+        problems = validate_perfetto(data)
+        if problems:
+            for problem in problems:
+                print(f"  schema: {problem}", file=out)
+            print(f"INVALID trace ({len(problems)} problem(s))", file=out)
+            return 1
+        print("trace schema ok", file=out)
+    print(analyze_perfetto(data).render(top=args.top), file=out)
+    return 0
+
+
 def _cmd_bench(args, out) -> int:
     from repro.core.bench import (
         append_run,
         check_journal_overhead,
         check_regression,
         check_retry_overhead,
+        check_trace_overhead,
         render_record,
         run_benchmarks,
     )
@@ -493,6 +689,9 @@ def _cmd_bench(args, out) -> int:
             journal_ok, journal_message = check_journal_overhead(
                 record, max_overhead=args.max_journal_overhead
             )
+            trace_ok, trace_message = check_trace_overhead(
+                record, max_overhead=args.max_trace_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -503,7 +702,8 @@ def _cmd_bench(args, out) -> int:
         print(
             ("ok: " if journal_ok else "REGRESSION: ") + journal_message, file=out
         )
-        return 0 if ok and overhead_ok and journal_ok else 1
+        print(("ok: " if trace_ok else "REGRESSION: ") + trace_message, file=out)
+        return 0 if ok and overhead_ok and journal_ok and trace_ok else 1
     return 0
 
 
@@ -571,6 +771,7 @@ _COMMANDS = {
     "codebook": _cmd_codebook,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
+    "trace": _cmd_trace,
     "bench": _cmd_bench,
     "power": _cmd_power,
 }
@@ -579,18 +780,21 @@ _COMMANDS = {
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
-    A Ctrl-C during the long-running commands (``report``, ``bench``)
-    exits ``130`` (128 + SIGINT) with a one-line notice instead of a
-    traceback; the ``--durable`` report path additionally flushes its
-    journal and prints the ``--resume`` hint before this handler sees
-    anything.
+    A Ctrl-C during the long-running commands (``report``, ``trace``,
+    ``bench``) exits ``130`` (128 + SIGINT) with a one-line notice
+    instead of a traceback; the ``--durable`` report path additionally
+    flushes its journal and prints the ``--resume`` hint before this
+    handler sees anything.
     """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
+    from repro.core.logging import setup_cli_logging
+
+    setup_cli_logging(args.verbose - args.quiet)
     try:
         return _COMMANDS[args.command](args, out)
     except KeyboardInterrupt:
-        if args.command in ("report", "bench"):
+        if args.command in ("report", "trace", "bench"):
             print("interrupted", file=out)
             return EXIT_INTERRUPTED
         raise

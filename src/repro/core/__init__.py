@@ -17,7 +17,10 @@
   (:class:`FaultPlan`) and the process-crash harness for chaos-testing the
   pipeline;
 * :mod:`repro.core.journal` — durable run journal (:class:`RunJournal`)
-  and resume-after-crash state (:class:`ResumeState`).
+  and resume-after-crash state (:class:`ResumeState`);
+* :mod:`repro.core.trace` — span/event tracing (:class:`Tracer`),
+  Chrome/Perfetto + Prometheus export, and DAG critical-path analysis;
+* :mod:`repro.core.logging` — run-id-tagged structured CLI logging.
 """
 
 from repro.core.instrument import build_instrument
@@ -50,6 +53,16 @@ from repro.core.pipeline import (
     StepTimeout,
 )
 from repro.core.study_pipeline import run_cached_study, study_pipeline
+from repro.core.trace import (
+    CriticalPathResult,
+    CriticalStep,
+    TraceError,
+    Tracer,
+    analyze_perfetto,
+    critical_path,
+    load_perfetto,
+    validate_perfetto,
+)
 
 __all__ = [
     "build_instrument",
@@ -88,4 +101,12 @@ __all__ = [
     "new_run_id",
     "study_pipeline",
     "run_cached_study",
+    "Tracer",
+    "TraceError",
+    "CriticalPathResult",
+    "CriticalStep",
+    "critical_path",
+    "analyze_perfetto",
+    "load_perfetto",
+    "validate_perfetto",
 ]

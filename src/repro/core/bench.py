@@ -25,9 +25,21 @@ Timed units (the substrates that dominate a reproduction run):
   differential isolates the crash-safety wrapper (journal records +
   advisory ``flock`` per computed step); :func:`check_journal_overhead`
   gates it at < 2% in CI.
+* ``trace_overhead``    — the same simulation run through a *traced*
+  pipeline (``trace=True``: root/step/attempt spans + cache instants) vs
+  an identical untraced one. The untraced run IS the tracing-disabled
+  path, so the differential proves disabling tracing costs nothing and
+  prices what enabling it adds; :func:`check_trace_overhead` gates it at
+  < 3% in CI.
 
 Every unit is a pure function of a fixed seed, so run-to-run variance is
 scheduler noise only; ``min`` of ``repeats`` runs is the recorded number.
+From PR 5 each unit also records memory: ``max_rss_kb`` (the process RSS
+high-watermark after the unit ran — monotonic across units, so compare
+like units across records, not units within one record) and
+``py_peak_kb`` (per-unit Python-heap peak from one extra
+:mod:`tracemalloc`-instrumented pass; the min-of-k wall times are never
+taken from that pass).
 
 File format (``BENCH_*.json``)::
 
@@ -60,6 +72,7 @@ __all__ = [
     "check_regression",
     "check_retry_overhead",
     "check_journal_overhead",
+    "check_trace_overhead",
     "render_record",
 ]
 
@@ -100,14 +113,36 @@ SCALES: dict[str, BenchScale] = {
 }
 
 
-def _time_min_of_k(fn: Callable[[], object], repeats: int) -> dict:
-    """Run ``fn`` ``repeats`` times; record every wall time and the min."""
+def _time_min_of_k(fn: Callable[[], object], repeats: int, memory: bool = True) -> dict:
+    """Run ``fn`` ``repeats`` times; record every wall time and the min.
+
+    Also records memory: the process RSS high-watermark after the unit
+    ran (``max_rss_kb``) and, when ``memory`` is True, the unit's own
+    Python-heap peak (``py_peak_kb``) from one *extra*
+    tracemalloc-instrumented pass — instrumentation slows allocation, so
+    that pass never contributes a wall time and min-of-k is unaffected.
+    """
+    import tracemalloc
+
+    from repro.core.trace import resource_probe
+
     runs: list[float] = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
         runs.append(round(time.perf_counter() - t0, 6))
-    return {"seconds": min(runs), "runs": runs}
+    result = {"seconds": min(runs), "runs": runs}
+    probe = resource_probe()
+    if probe is not None:
+        result["max_rss_kb"] = probe[1]
+    if memory:
+        tracemalloc.start()
+        try:
+            fn()
+            result["py_peak_kb"] = tracemalloc.get_traced_memory()[1] // 1024
+        finally:
+            tracemalloc.stop()
+    return result
 
 
 def _machine_metadata() -> dict:
@@ -318,6 +353,71 @@ def _bench_journal_overhead(jobs, k: int) -> dict:
     }
 
 
+def _bench_trace_overhead(jobs, k: int) -> dict:
+    """Time ``simulate_schedule`` through a traced vs untraced pipeline.
+
+    The untraced variant is the *tracing-disabled* path every ordinary run
+    takes (``trace=None`` — one None test per emit site), so it doubles as
+    the gate's baseline: there is no way to measure "disabled vs
+    never-built", and any drift in the disabled path itself is caught by
+    the ``simulate_schedule`` regression gate. The traced variant opens a
+    fresh :class:`~repro.core.trace.Tracer` per run and pays the full span
+    bus: root + step + attempt spans, cache instants, ambient activation.
+
+    As with the retry/journal gates, the wrapper costs microseconds
+    against a tens-of-ms simulation, so it is measured differentially on a
+    trivial step and normalized by the plain simulation time;
+    ``detail["overhead"]`` is that fraction, gated by
+    :func:`check_trace_overhead` at < 3% in CI.
+    """
+    from repro.cluster import simulate_schedule
+    from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+
+    def sim(inputs):
+        return simulate_schedule(jobs, rng=np.random.default_rng(0))
+
+    def tiny(inputs):
+        return {"v": 1}
+
+    plain_sim = Pipeline([PipelineStep("simulate", sim)], ArtifactCache())
+    traced_sim = Pipeline([PipelineStep("simulate", sim)], ArtifactCache())
+    plain_t = _time_min_of_k(
+        lambda: plain_sim.run(force=True, executor="sequential"), k, memory=False
+    )
+    traced_t = _time_min_of_k(
+        lambda: traced_sim.run(force=True, executor="sequential", trace=True),
+        k,
+        memory=False,
+    )
+
+    plain_tiny = Pipeline([PipelineStep("tiny", tiny)], ArtifactCache())
+    traced_tiny = Pipeline([PipelineStep("tiny", tiny)], ArtifactCache())
+    iters = 200
+
+    def per_run(pipeline, **run_kwargs) -> float:
+        def block() -> float:
+            t0 = time.perf_counter()
+            for _ in range(iters):
+                pipeline.run(force=True, executor="sequential", **run_kwargs)
+            return (time.perf_counter() - t0) / iters
+
+        return min(block() for _ in range(3))
+
+    wrapper_seconds = per_run(traced_tiny, trace=True) - per_run(plain_tiny)
+    overhead = (
+        wrapper_seconds / plain_t["seconds"] if plain_t["seconds"] > 0 else 0.0
+    )
+    return {
+        "seconds": traced_t["seconds"],
+        "runs": traced_t["runs"],
+        "detail": {
+            "plain_seconds": plain_t["seconds"],
+            "wrapper_seconds": round(wrapper_seconds, 9),
+            "overhead": round(overhead, 6),
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -398,6 +498,8 @@ def run_benchmarks(
 
     benchmarks["journal_overhead"] = _bench_journal_overhead(jobs, k)
 
+    benchmarks["trace_overhead"] = _bench_trace_overhead(jobs, k)
+
     if end_to_end and sc.months >= 3:
         def report() -> None:
             study = build_default_study(
@@ -409,7 +511,9 @@ def run_benchmarks(
             )
             build_report(study, executor="sequential")
 
-        benchmarks["end_to_end_report"] = _time_min_of_k(report, 1)
+        # memory=False: the extra tracemalloc pass would double the one
+        # unit that already dwarfs everything else; max_rss_kb still lands.
+        benchmarks["end_to_end_report"] = _time_min_of_k(report, 1, memory=False)
 
     return {
         "label": label,
@@ -534,6 +638,29 @@ def check_journal_overhead(record: dict, max_overhead: float = 0.02) -> tuple[bo
     return overhead <= max_overhead, message
 
 
+def check_trace_overhead(record: dict, max_overhead: float = 0.03) -> tuple[bool, str]:
+    """Gate the tracing layer's cost within ``record``.
+
+    Intra-record like the retry/journal gates: the untraced pipeline timed
+    in the same run — the tracing-disabled path itself — is the baseline,
+    so the gate simultaneously proves the disabled path adds nothing and
+    bounds what ``trace=True`` costs. Returns ``(ok, message)``; a record
+    without the ``trace_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("trace_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "trace_overhead benchmark missing from run; skipping gate"
+    overhead = float(entry["detail"]["overhead"])
+    message = (
+        f"trace_overhead: {entry['seconds']:.3f}s traced vs "
+        f"{entry['detail']['plain_seconds']:.3f}s untraced "
+        f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
+    )
+    return overhead <= max_overhead, message
+
+
 def render_record(record: dict) -> str:
     """Human-readable one-record timing table."""
     lines = [
@@ -542,7 +669,10 @@ def render_record(record: dict) -> str:
     ]
     width = max(len(name) for name in record["benchmarks"])
     for name, entry in record["benchmarks"].items():
+        memory = ""
+        if "py_peak_kb" in entry:
+            memory = f"  {entry['py_peak_kb'] / 1024:7.1f}MB py-peak"
         detail = entry.get("detail")
         suffix = f"  {detail}" if detail else ""
-        lines.append(f"  {name:<{width}}  {entry['seconds']:9.3f}s{suffix}")
+        lines.append(f"  {name:<{width}}  {entry['seconds']:9.3f}s{memory}{suffix}")
     return "\n".join(lines)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.journal import RunJournal, new_run_id
+from repro.core.trace import instant as trace_instant
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import ArtifactCache, Pipeline
@@ -188,6 +189,9 @@ class FaultPlan:
     def _record(self, step: str, kind: str, attempt: int) -> None:
         with self._lock:
             self._events.append(FaultEvent(step, kind, attempt))
+        # Every firing (error/hang/corrupt_cache/enospc) goes through here,
+        # so the ambient trace sees each injected fault as one instant.
+        trace_instant("fault.fired", "fault", step=step, kind=kind, attempt=attempt)
 
     def fire(self, step: str, attempt: int, remaining: float | None = None) -> None:
         """Inject this attempt's error/hang faults (called by the pipeline).

@@ -1,0 +1,112 @@
+"""Shared CLI logging: run-id-tagged structured logs behind ``-v``/``-q``.
+
+Every ``repro`` subcommand accepts ``-v/--verbose`` (repeatable) and
+``-q/--quiet``; :func:`setup_cli_logging` maps the net verbosity onto the
+``repro`` logger hierarchy exactly once per invocation, so verbosity
+handling is one shared code path instead of per-command ad-hockery.
+
+Log lines are *structured-ish*: a fixed prefix carrying the level and the
+current run id (``-`` until a run starts), then ``event key=value ...``
+bodies built by :func:`kv`. The run id is injected by a logging filter
+from module state (:func:`set_run_id`) so call sites never thread it —
+the pipeline sets it when a traced/journaled run opens and any later log
+line from any module is tagged with it.
+
+Levels: default ``WARNING``; ``-v`` → ``INFO``; ``-vv`` → ``DEBUG``;
+``-q`` → ``ERROR``. Handlers write to stderr so command output (reports,
+traces, benchmarks) on stdout stays machine-consumable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any
+
+__all__ = ["LOGGER_NAME", "get_logger", "setup_cli_logging", "set_run_id", "kv"]
+
+LOGGER_NAME = "repro"
+
+# Library default: a NullHandler so importing repro never spams stderr via
+# logging's last-resort handler — output only appears once an application
+# (the CLI via setup_cli_logging, or a test harness) configures handlers.
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(levelname)s [%(run_id)s] %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+#: Run id stamped onto every record; "-" outside a run.
+_current_run_id = "-"
+
+
+def set_run_id(run_id: str | None) -> None:
+    """Tag subsequent log records with ``run_id`` (None resets to ``-``)."""
+    global _current_run_id
+    _current_run_id = run_id if run_id else "-"
+
+
+class _RunIdFilter(logging.Filter):
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _current_run_id
+        return True
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the shared ``repro`` hierarchy.
+
+    Pass a module's ``__name__``; anything outside the package is nested
+    under ``repro.`` so one :func:`setup_cli_logging` call governs it.
+    """
+    if name is None or name == LOGGER_NAME:
+        return logging.getLogger(LOGGER_NAME)
+    if not name.startswith(LOGGER_NAME + "."):
+        name = f"{LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def kv(event: str, **fields: Any) -> str:
+    """Render ``event key=value ...`` with deterministic field order."""
+    parts = [event]
+    for key in sorted(fields):
+        value = fields[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map net ``-v`` minus ``-q`` counts onto a logging level."""
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def setup_cli_logging(verbosity: int = 0, stream: Any | None = None) -> logging.Logger:
+    """Configure the shared CLI logger; idempotent across invocations.
+
+    Parameters
+    ----------
+    verbosity:
+        Net count: ``args.verbose - args.quiet``.
+    stream:
+        Destination (defaults to ``sys.stderr``). Passing an explicit
+        stream replaces the previous handler — tests capture logs by
+        handing in a ``StringIO``.
+    """
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(verbosity_to_level(verbosity))
+    # One handler, replaced on reconfiguration: repeated main() calls (the
+    # test-suite pattern) must not multiply output.
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATE_FORMAT))
+    handler.addFilter(_RunIdFilter())
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

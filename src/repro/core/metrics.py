@@ -62,6 +62,15 @@ class StepMetric:
     cache_unavailable:
         True when the unit computed its value but the cache write failed
         (``ENOSPC``/``OSError``) and the run continued uncached.
+    queue_seconds:
+        Time the unit spent *ready but waiting* — between its last
+        dependency resolving (or its submission) and its compute actually
+        starting, including process-pool queueing. 0.0 when the executor
+        could not measure it.
+    compute_seconds:
+        Time actually spent obtaining the value once scheduled (wall
+        minus in-step pool wait). ``None`` when the executor did not
+        split it out, in which case ``wall_seconds`` is the best estimate.
     """
 
     name: str
@@ -74,6 +83,8 @@ class StepMetric:
     attempts: int = 1
     error: str = ""
     cache_unavailable: bool = False
+    queue_seconds: float = 0.0
+    compute_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -218,11 +229,14 @@ class ExecutorMetrics:
         attempts: int = 1,
         error: str = "",
         cache_unavailable: bool = False,
+        queue_seconds: float = 0.0,
+        compute_seconds: float | None = None,
     ) -> None:
         self.steps.append(
             StepMetric(
                 name, key, cached, wall_seconds, started_at, finished_at,
                 outcome, attempts, error, cache_unavailable,
+                queue_seconds, compute_seconds,
             )
         )
 
@@ -332,11 +346,16 @@ class ExecutorMetrics:
         width = max((len(s.name) for s in self.steps), default=0)
         for s in sorted(self.steps, key=lambda m: -m.wall_seconds):
             tag = "cached" if s.cached else ("ran" if s.outcome == "ok" else s.outcome)
+            # Compute and queue-wait are separate columns: a step that
+            # "took 4s" because it sat 3.9s behind a busy pool is a
+            # scheduling problem, not a compute problem.
+            compute = s.compute_seconds if s.compute_seconds is not None else s.wall_seconds
             suffix = f"  x{s.attempts}" if s.attempts > 1 else ""
             if s.cache_unavailable:
                 suffix += "  [cache unavailable]"
             reason = f"  {s.error}" if s.error and s.outcome != "ok" else ""
             lines.append(
-                f"  {s.name:<{width}}  {tag:<16} {s.wall_seconds:8.3f}s{suffix}{reason}"
+                f"  {s.name:<{width}}  {tag:<16} {compute:8.3f}s"
+                f"  +{s.queue_seconds:.3f}s wait{suffix}{reason}"
             )
         return "\n".join(lines)

@@ -64,8 +64,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
+from repro.core.logging import get_logger, kv, set_run_id
 from repro.core.metrics import ExecutorMetrics, RunReport, StepOutcome
+from repro.core.trace import Tracer, activate as _activate_trace, instant as _trace_instant
 from repro.io.locks import FileLock
+
+_log = get_logger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ResumeState, RunJournal
@@ -276,8 +280,10 @@ class ArtifactCache:
         value = self._peek(key)
         if value is None:
             self.misses += 1
+            _trace_instant("cache.miss", "cache", key=key)
             return None
         self.hits += 1
+        _trace_instant("cache.hit", "cache", key=key)
         return value
 
     def put(self, key: str, value: Any) -> bool:
@@ -297,6 +303,7 @@ class ArtifactCache:
                 raise OSError(28, "injected: no space left on device")  # ENOSPC
             if self.root is None:
                 self._memory[key] = blob
+                _trace_instant("cache.put", "cache", key=key, stored=True)
                 return True
             self.root.mkdir(parents=True, exist_ok=True)
             path = self._path(key)
@@ -319,7 +326,9 @@ class ArtifactCache:
         except OSError as exc:
             self.put_errors += 1
             self.last_put_error = repr(exc)
+            _trace_instant("cache.put", "cache", key=key, stored=False)
             return False
+        _trace_instant("cache.put", "cache", key=key, stored=True)
         return True
 
     def inject_put_failure(self, key: str) -> None:
@@ -507,6 +516,37 @@ def _call_step(fn: Callable[..., Any], inputs: dict[str, Any], params: dict[str,
     return fn(inputs, **params)
 
 
+def _call_step_traced(
+    fn: Callable[..., Any],
+    inputs: dict[str, Any],
+    params: dict[str, Any],
+    resources: bool,
+) -> tuple[Any, dict[str, Any]]:
+    """Worker-side body of a traced process-mode compute.
+
+    A process worker cannot reach the coordinator's tracer, so it measures
+    itself — wall, CPU, peak RSS — and ships the measurement back through
+    the pool's *existing result channel* (the return value), which the
+    coordination thread folds into the attempt span. No shared trace file,
+    no extra IPC.
+    """
+    from repro.core.trace import resource_probe
+
+    probe0 = resource_probe() if resources else None
+    t0 = time.perf_counter()
+    value = _call_step(fn, inputs, params)
+    payload: dict[str, Any] = {
+        "worker_pid": os.getpid(),
+        "compute": time.perf_counter() - t0,
+    }
+    if probe0 is not None:
+        probe1 = resource_probe()
+        if probe1 is not None:
+            payload["cpu"] = round(probe1[0] - probe0[0], 6)
+            payload["rss_kb"] = probe1[1]
+    return value, payload
+
+
 def _killable_target(conn, fn, inputs, params) -> None:  # pragma: no cover - child process
     try:
         value = _call_step(fn, inputs, params)
@@ -612,6 +652,7 @@ class Pipeline:
         self.default_timeout = default_timeout
         self.last_metrics: ExecutorMetrics | None = None
         self.last_report: RunReport | None = None
+        self.last_trace: Tracer | None = None
 
     def _policy_for(self, step: PipelineStep) -> RetryPolicy:
         if step.retry is not None:
@@ -674,6 +715,7 @@ class Pipeline:
         fault_plan: Any | None = None,
         journal: "RunJournal | None" = None,
         resume: "ResumeState | str | Path | None" = None,
+        trace: "Tracer | bool | None" = None,
     ) -> dict[str, Any]:
         """Execute all steps, returning {step name: output} in step order.
 
@@ -712,6 +754,17 @@ class Pipeline:
             *replayed* (outcome ``"replayed"``, 0 attempts) instead of
             executed; everything else — the in-flight frontier — runs
             normally. Ignored for steps when ``force=True``.
+        trace:
+            ``True`` opens a fresh :class:`~repro.core.trace.Tracer`; an
+            existing tracer appends this run into it; ``None`` (default)
+            disables tracing at zero cost. A traced run opens a root span
+            per run id (the journal's id when journaled, so trace and
+            journal correlate), one ``step`` span per step tagged with
+            outcome/cache key/worker/queue-wait-vs-compute, one
+            ``attempt`` span per compute attempt, and instant events from
+            the cache, locks, retry backoffs, and fault injections. The
+            tracer lands on :attr:`last_trace`. Like retry/timeout and
+            journal config, tracing never touches cache keys.
 
         The returned dict — values and iteration order — is identical
         across executor modes; only :attr:`last_metrics` differs. After
@@ -739,19 +792,48 @@ class Pipeline:
                 executor=mode,
                 resumed_from=None if resume is None else resume.run_id,
             )
+        tracer: Tracer | None
+        if trace is None or trace is False:
+            tracer = None
+        elif trace is True:
+            tracer = Tracer()
+        else:
+            tracer = trace
+        self.last_trace = tracer
+        root_sid: int | None = None
+        run_id: str | None = None
+        if journal is not None:
+            run_id = journal.run_id
+        elif tracer is not None:
+            from repro.core.journal import new_run_id
+
+            run_id = new_run_id()
+        if tracer is not None:
+            root_sid = tracer.begin(
+                "run", "run", run_id=run_id, executor=mode, workers=workers,
+                resumed_from=None if resume is None else resume.run_id,
+            )
+        if run_id is not None:
+            # Tag every log line from any module until the run closes. The
+            # isEnabledFor guards keep kv() rendering off the journal/trace
+            # overhead benches when logging is quiet.
+            set_run_id(run_id)
+            if _log.isEnabledFor(20):  # INFO
+                _log.info(kv("run.start", executor=mode, workers=workers))
         outcomes: dict[str, StepOutcome] = {}
         t0 = time.perf_counter()
         try:
-            if mode == "sequential":
-                results = self._run_sequential(
-                    keys, force, metrics, t0, on_error, fault_plan, outcomes,
-                    journal, resume,
-                )
-            else:
-                results = self._run_dag(
-                    keys, force, metrics, mode, workers, t0, on_error, fault_plan,
-                    outcomes, journal, resume,
-                )
+            with _activate_trace(tracer):
+                if mode == "sequential":
+                    results = self._run_sequential(
+                        keys, force, metrics, t0, on_error, fault_plan, outcomes,
+                        journal, resume, tracer,
+                    )
+                else:
+                    results = self._run_dag(
+                        keys, force, metrics, mode, workers, t0, on_error, fault_plan,
+                        outcomes, journal, resume, tracer,
+                    )
         finally:
             metrics.wall_seconds = time.perf_counter() - t0
             report = RunReport(
@@ -764,6 +846,19 @@ class Pipeline:
             if journal is not None:
                 journal.run_end(report.counts(), metrics.wall_seconds)
                 metrics.journal_unavailable = journal.unavailable
+            if tracer is not None and root_sid is not None:
+                tracer.end(
+                    root_sid,
+                    wall=round(metrics.wall_seconds, 6),
+                    counts=report.counts(),
+                )
+                tracer.close_open_spans()
+            if run_id is not None:
+                if _log.isEnabledFor(20):  # INFO
+                    _log.info(
+                        kv("run.end", wall=metrics.wall_seconds, **report.counts())
+                    )
+                set_run_id(None)
             self.last_metrics = metrics
             self.last_report = report
         return {step.name: results[step.name] for step in self.steps if step.name in results}
@@ -780,18 +875,32 @@ class Pipeline:
         inputs: dict[str, Any],
         pool: ProcessPoolExecutor | None,
         remaining: float | None,
-    ) -> Any:
+        tracer: Tracer | None = None,
+    ) -> tuple[Any, dict[str, Any] | None]:
+        """Run one attempt; returns ``(value, worker_payload)``.
+
+        ``worker_payload`` is the self-measurement a traced process-pool
+        worker ships back through the result channel (None in thread/
+        sequential mode, where the coordinating thread measures directly,
+        and on the killable-timeout path).
+        """
+        payload: dict[str, Any] | None = None
         if pool is not None:
             if remaining is not None:
                 # Hard timeout: dedicated killable worker (see _run_killable).
                 value = _run_killable(step, inputs, remaining)
+            elif tracer is not None:
+                value, payload = pool.submit(
+                    _call_step_traced, step.fn, inputs, dict(step.params),
+                    tracer.resources,
+                ).result()
             else:
                 value = pool.submit(_call_step, step.fn, inputs, dict(step.params)).result()
         else:
             value = _call_step(step.fn, inputs, dict(step.params))
         if value is None:
             raise PipelineError(f"step {step.name!r} returned None")
-        return value
+        return value, payload
 
     def _attempt_loop(
         self,
@@ -800,6 +909,8 @@ class Pipeline:
         pool: ProcessPoolExecutor | None,
         fault_plan: Any | None,
         counter: dict[str, int],
+        tracer: Tracer | None = None,
+        step_sid: int | None = None,
     ) -> Any:
         """One cache-miss compute: bounded attempts with backoff + deadline.
 
@@ -815,6 +926,14 @@ class Pipeline:
             counter["attempts"] = attempt
             attempt_start = time.perf_counter()
             deadline = attempt_start + timeout if timeout is not None else None
+            attempt_sid = (
+                tracer.begin(
+                    f"attempt:{step.name}", "attempt", parent=step_sid,
+                    step=step.name, attempt=attempt,
+                )
+                if tracer is not None
+                else None
+            )
             try:
                 if fault_plan is not None:
                     fault_plan.fire(
@@ -829,22 +948,41 @@ class Pipeline:
                         f"step {step.name!r} exceeded timeout {timeout:.3f}s "
                         "(cooperative deadline, pre-compute)"
                     )
-                value = self._execute(
+                value, payload = self._execute(
                     step,
                     inputs,
                     pool,
                     None if deadline is None else deadline - time.perf_counter(),
+                    tracer,
                 )
+                if payload is not None:
+                    # Traced process-pool attempt: the worker measured its
+                    # own compute, so anything beyond it inside this
+                    # attempt was pool queueing.
+                    counter["pool_wait"] = counter.get("pool_wait", 0.0) + max(
+                        0.0,
+                        (time.perf_counter() - attempt_start) - payload["compute"],
+                    )
                 if deadline is not None and time.perf_counter() > deadline:
                     raise StepTimeout(
                         f"step {step.name!r} exceeded timeout {timeout:.3f}s "
                         "(cooperative deadline)"
                     )
+                if attempt_sid is not None:
+                    tracer.end(attempt_sid, ok=True, **(payload or {}))
                 return value
             except Exception as exc:
+                if attempt_sid is not None:
+                    tracer.end(attempt_sid, ok=False, error=type(exc).__name__)
                 if attempt >= policy.max_attempts or not policy.retries(exc):
                     raise
-                time.sleep(policy.delay(step.name, attempt))
+                delay = policy.delay(step.name, attempt)
+                if tracer is not None:
+                    tracer.instant(
+                        "retry.backoff", "retry",
+                        step=step.name, attempt=attempt, delay=round(delay, 6),
+                    )
+                time.sleep(delay)
 
     def _obtain(
         self,
@@ -856,6 +994,8 @@ class Pipeline:
         fault_plan: Any | None,
         counter: dict[str, Any],
         resume: "ResumeState | None" = None,
+        tracer: Tracer | None = None,
+        step_sid: int | None = None,
     ) -> tuple[Any, str]:
         """Produce ``step``'s value; returns ``(value, how)`` with ``how``
         one of ``"computed"``, ``"cached"``, ``"replayed"``."""
@@ -878,7 +1018,9 @@ class Pipeline:
         info: dict[str, Any] = {}
         value, cached = self.cache.get_or_compute(
             key,
-            lambda: self._attempt_loop(step, inputs, pool, fault_plan, counter),
+            lambda: self._attempt_loop(
+                step, inputs, pool, fault_plan, counter, tracer, step_sid
+            ),
             force=force,
             info=info,
         )
@@ -915,14 +1057,27 @@ class Pipeline:
         metrics: ExecutorMetrics,
         outcomes: dict[str, StepOutcome],
         journal: "RunJournal | None" = None,
+        tracer: Tracer | None = None,
+        step_sid: int | None = None,
+        queue_seconds: float = 0.0,
     ) -> None:
         status = "timeout" if isinstance(exc, StepTimeout) else "failed"
         error = repr(exc)
+        _log.warning(kv("step.failed", step=step.name, status=status, attempts=attempts))
         outcomes[step.name] = StepOutcome(step.name, status, attempts, error, wall)
         metrics.record(
             step.name, keys[step.name], False, wall, started_at, finished_at,
             outcome=status, attempts=attempts, error=error,
+            queue_seconds=queue_seconds,
         )
+        if tracer is not None and step_sid is not None:
+            # Error class only (not the repr): failure spans must export
+            # identically across executor modes for the determinism suite.
+            tracer.end(
+                step_sid, outcome=status, attempts=attempts,
+                error=type(exc).__name__,
+                queue_wait=round(queue_seconds, 6), wall=round(wall, 6),
+            )
         if journal is not None:
             journal.step_done(
                 step.name, keys[step.name], status, attempts, error=error
@@ -936,6 +1091,7 @@ class Pipeline:
         metrics: ExecutorMetrics,
         outcomes: dict[str, StepOutcome],
         journal: "RunJournal | None" = None,
+        tracer: Tracer | None = None,
     ) -> None:
         reason = f"upstream failed: {sorted(failed_deps)}"
         outcomes[step.name] = StepOutcome(step.name, "skipped_upstream", 0, reason, 0.0)
@@ -943,6 +1099,17 @@ class Pipeline:
             step.name, keys[step.name], False, 0.0, 0.0, 0.0,
             outcome="skipped_upstream", attempts=0, error=reason,
         )
+        if tracer is not None:
+            # Zero-length span, no reason text: sequential mode names every
+            # failed dep while DAG mode names the first one discovered, and
+            # the normalized export must not see that difference.
+            now = tracer.now()
+            tracer.add_span(
+                f"step:{step.name}", "step", now, now,
+                step=step.name, key=keys[step.name],
+                deps=list(step.depends_on),
+                outcome="skipped_upstream", attempts=0,
+            )
         if journal is not None:
             journal.step_done(
                 step.name, keys[step.name], "skipped_upstream", 0, error=reason
@@ -959,47 +1126,79 @@ class Pipeline:
         outcomes: dict[str, StepOutcome],
         journal: "RunJournal | None" = None,
         resume: "ResumeState | None" = None,
+        tracer: Tracer | None = None,
     ) -> dict[str, Any]:
         results: dict[str, Any] = {}
         unavailable: set[str] = set()  # failed or skipped steps
+        # Sequential queue-wait: a step was "ready" the moment its last
+        # dependency finished, so anything between then and its start is
+        # earlier-but-independent steps hogging the single worker.
+        finish_times: dict[str, float] = {}
         for step in self.steps:
             bad_deps = [d for d in step.depends_on if d in unavailable]
             if bad_deps:
                 unavailable.add(step.name)
-                self._record_skip(step, keys, bad_deps, metrics, outcomes, journal)
+                self._record_skip(
+                    step, keys, bad_deps, metrics, outcomes, journal, tracer
+                )
                 continue
             inputs = {dep: results[dep] for dep in step.depends_on}
             counter: dict[str, Any] = {"attempts": 0}
             if journal is not None:
                 journal.step_start(step.name, keys[step.name])
             started = time.perf_counter()
+            ready = max(
+                (finish_times[d] for d in step.depends_on if d in finish_times),
+                default=t0,
+            )
+            queue_seconds = max(0.0, started - ready)
+            step_sid = (
+                tracer.begin(
+                    f"step:{step.name}", "step",
+                    step=step.name, key=keys[step.name],
+                    deps=list(step.depends_on),
+                )
+                if tracer is not None
+                else None
+            )
             try:
                 value, how = self._obtain(
-                    step, inputs, keys, force, None, fault_plan, counter, resume
+                    step, inputs, keys, force, None, fault_plan, counter, resume,
+                    tracer, step_sid,
                 )
             except Exception as exc:
                 finished = time.perf_counter()
                 self._record_failure(
                     step, keys, exc, counter["attempts"], finished - started,
                     started - t0, finished - t0, metrics, outcomes, journal,
+                    tracer, step_sid, queue_seconds,
                 )
                 if on_error == "raise":
                     raise
                 unavailable.add(step.name)
                 continue
             finished = time.perf_counter()
+            finish_times[step.name] = finished
             attempts = counter["attempts"]
             outcome = self._classify(how, attempts)
             cache_unavailable = bool(counter.get("cache_unavailable"))
+            wall = finished - started
             outcomes[step.name] = StepOutcome(
-                step.name, outcome, attempts, "", finished - started,
+                step.name, outcome, attempts, "", wall,
                 cache_unavailable,
             )
             metrics.record(
-                step.name, keys[step.name], how == "cached", finished - started,
+                step.name, keys[step.name], how == "cached", wall,
                 started - t0, finished - t0, outcome=outcome, attempts=attempts,
                 cache_unavailable=cache_unavailable,
+                queue_seconds=queue_seconds, compute_seconds=wall,
             )
+            if tracer is not None and step_sid is not None:
+                tracer.end(
+                    step_sid, outcome=outcome, attempts=attempts,
+                    queue_wait=round(queue_seconds, 6),
+                    compute=round(wall, 6), wall=round(wall, 6),
+                )
             if journal is not None:
                 journal.step_done(
                     step.name, keys[step.name], outcome, attempts,
@@ -1021,6 +1220,7 @@ class Pipeline:
         outcomes: dict[str, StepOutcome],
         journal: "RunJournal | None" = None,
         resume: "ResumeState | None" = None,
+        tracer: Tracer | None = None,
     ) -> dict[str, Any]:
         indegree = {s.name: len(s.depends_on) for s in self.steps}
         dependents: dict[str, list[PipelineStep]] = {s.name: [] for s in self.steps}
@@ -1044,11 +1244,18 @@ class Pipeline:
         def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, str, float, float]:
             if journal is not None:
                 journal.step_start(step.name, keys[step.name])
+            counter = counters[step.name]
             started = time.perf_counter()
-            counters[step.name]["started_at"] = started
+            counter["started_at"] = started
+            if tracer is not None:
+                counter["step_sid"] = tracer.begin(
+                    f"step:{step.name}", "step",
+                    step=step.name, key=keys[step.name],
+                    deps=list(step.depends_on),
+                )
             value, how = self._obtain(
-                step, inputs, keys, force, pool, fault_plan, counters[step.name],
-                resume,
+                step, inputs, keys, force, pool, fault_plan, counter,
+                resume, tracer, counter.get("step_sid"),
             )
             return value, how, started, time.perf_counter()
 
@@ -1063,7 +1270,8 @@ class Pipeline:
                     if dependent.name in outcomes:
                         continue
                     self._record_skip(
-                        dependent, keys, [parent.name], metrics, outcomes, journal
+                        dependent, keys, [parent.name], metrics, outcomes, journal,
+                        tracer,
                     )
                     stack.append(by_name[dependent.name])
 
@@ -1073,7 +1281,10 @@ class Pipeline:
 
                 def submit(step: PipelineStep) -> None:
                     inputs = {dep: results[dep] for dep in step.depends_on}
-                    counters[step.name] = {"attempts": 0}
+                    # A step is "ready" at submit time (all deps resolved);
+                    # the gap to its task starting is coordination-pool
+                    # queueing, charged to queue-wait in the trace.
+                    counters[step.name] = {"attempts": 0, "ready_at": time.perf_counter()}
                     inflight[coord.submit(task, step, inputs)] = step
 
                 for step in self.steps:
@@ -1089,10 +1300,14 @@ class Pipeline:
                         except BaseException as exc:
                             finished = time.perf_counter()
                             started = counter.get("started_at", finished)
+                            queue_seconds = max(
+                                0.0, started - counter.get("ready_at", started)
+                            ) + counter.get("pool_wait", 0.0)
                             self._record_failure(
                                 step, keys, exc, counter["attempts"],
                                 finished - started, started - t0, finished - t0,
                                 metrics, outcomes, journal,
+                                tracer, counter.get("step_sid"), queue_seconds,
                             )
                             if on_error == "raise" or not isinstance(exc, Exception):
                                 for other in inflight:
@@ -1103,16 +1318,33 @@ class Pipeline:
                         attempts = counter["attempts"]
                         outcome = self._classify(how, attempts)
                         cache_unavailable = bool(counter.get("cache_unavailable"))
-                        outcomes[step.name] = StepOutcome(
-                            step.name, outcome, attempts, "", finished - started,
-                            cache_unavailable,
+                        wall = finished - started
+                        pool_wait = counter.get("pool_wait", 0.0)
+                        queue_seconds = (
+                            max(0.0, started - counter.get("ready_at", started))
+                            + pool_wait
                         )
+                        compute_seconds = max(0.0, wall - pool_wait)
                         metrics.record(
                             step.name, keys[step.name], how == "cached",
-                            finished - started, started - t0, finished - t0,
+                            wall, started - t0, finished - t0,
                             outcome=outcome, attempts=attempts,
                             cache_unavailable=cache_unavailable,
+                            queue_seconds=queue_seconds,
+                            compute_seconds=compute_seconds,
                         )
+                        outcomes[step.name] = StepOutcome(
+                            step.name, outcome, attempts, "", wall,
+                            cache_unavailable,
+                        )
+                        if tracer is not None and "step_sid" in counter:
+                            tracer.end(
+                                counter["step_sid"], outcome=outcome,
+                                attempts=attempts,
+                                queue_wait=round(queue_seconds, 6),
+                                compute=round(compute_seconds, 6),
+                                wall=round(wall, 6),
+                            )
                         if journal is not None:
                             journal.step_done(
                                 step.name, keys[step.name], outcome, attempts,

@@ -40,6 +40,22 @@ __all__ = ["FileLock", "LockTimeout", "pid_alive"]
 
 _BACKENDS = ("auto", "fcntl", "pidfile")
 
+#: Lazily-bound ``repro.core.trace.instant`` (set on first use). A
+#: module-top import would be circular — ``repro.io`` can be imported
+#: before ``repro.core`` finishes initializing, and ``repro.core.pipeline``
+#: imports :class:`FileLock` from here.
+_trace_instant = None
+
+
+def _emit_acquire(path: Path, wait: float, reclaimed: bool) -> None:
+    global _trace_instant
+    if _trace_instant is None:
+        from repro.core.trace import instant as _trace_instant
+    _trace_instant(
+        "lock.acquire", "lock",
+        path=path.name, wait=round(wait, 6), reclaimed=reclaimed,
+    )
+
 
 class LockTimeout(TimeoutError):
     """Raised when a lock could not be acquired within ``timeout`` seconds."""
@@ -206,7 +222,9 @@ class FileLock:
         if self.locked:
             raise RuntimeError(f"lock {self.path} is already held by this instance")
         budget = timeout if timeout is not None else self.timeout
-        deadline = None if budget is None else time.monotonic() + budget
+        started = time.monotonic()
+        reclaimed_before = self.reclaimed_stale
+        deadline = None if budget is None else started + budget
         first_unreadable: list[float] = []
         while True:
             acquired = (
@@ -215,6 +233,11 @@ class FileLock:
                 else self._try_pidfile(first_unreadable)
             )
             if acquired:
+                _emit_acquire(
+                    self.path,
+                    time.monotonic() - started,
+                    self.reclaimed_stale > reclaimed_before,
+                )
                 return self
             if deadline is not None and time.monotonic() >= deadline:
                 raise LockTimeout(

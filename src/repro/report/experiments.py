@@ -571,6 +571,8 @@ def run_all_experiments_with_metrics(
 
     def run_one(eid: str) -> Artifact | None:
         """Run one experiment inline, recording its metric; None on failure."""
+        # Every experiment is ready at t0 (they all depend only on the
+        # study), so time spent before starting is pure queue wait.
         started = time.perf_counter()
         try:
             artifact = EXPERIMENTS[eid].fn(study)
@@ -581,10 +583,14 @@ def run_all_experiments_with_metrics(
             metrics.record(
                 eid, "", False, finished - started, started - t0, finished - t0,
                 outcome="failed", error=repr(exc),
+                queue_seconds=started - t0, compute_seconds=finished - started,
             )
             return None
         finished = time.perf_counter()
-        metrics.record(eid, "", False, finished - started, started - t0, finished - t0)
+        metrics.record(
+            eid, "", False, finished - started, started - t0, finished - t0,
+            queue_seconds=started - t0, compute_seconds=finished - started,
+        )
         return artifact
 
     if mode == "sequential":

@@ -9,6 +9,7 @@ from repro.core.bench import (
     check_journal_overhead,
     check_regression,
     check_retry_overhead,
+    check_trace_overhead,
     latest_run,
     load_runs,
 )
@@ -129,4 +130,35 @@ class TestCheckJournalOverhead:
 
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_journal_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+
+class TestCheckTraceOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_trace_overhead(
+            record(trace_overhead=overhead_entry(plain=0.02, wrapper=0.0004))
+        )
+        assert ok and "+2.0%" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_trace_overhead(
+            record(trace_overhead=overhead_entry(plain=0.02, wrapper=0.001))
+        )
+        assert not ok and "+5.0%" in msg and "limit +3%" in msg
+
+    def test_negative_overhead_passes(self):
+        ok, _ = check_trace_overhead(
+            record(trace_overhead=overhead_entry(plain=0.02, wrapper=-0.0001))
+        )
+        assert ok
+
+    def test_custom_limit(self):
+        entry = overhead_entry(plain=0.02, wrapper=0.001)
+        ok, _ = check_trace_overhead(record(trace_overhead=entry), max_overhead=0.10)
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_trace_overhead(record(trace_overhead=entry), max_overhead=-1.0)
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_trace_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg
