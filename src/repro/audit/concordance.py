@@ -1,0 +1,316 @@
+"""Cross-run concordance: the audit's structured comparison result.
+
+One audit runs the same study pipeline under a matrix of perturbations
+(:class:`Perturbation`) and compares every step's digest against the
+baseline leg. The comparison is assembled into a
+:class:`ConcordanceReport`:
+
+* a per-step digest matrix (:class:`StepConcordance`, topological order);
+* divergence *attribution* via cache keys: a declared drift scenario
+  changes the perturbed pipeline's step parameters, which changes the
+  affected steps' cache keys, which propagates to every downstream key —
+  so "key differs from baseline" marks exactly the subtree a declared
+  drift is allowed to touch. A digest difference on a key-identical step
+  has no declared cause and is flagged **unexplained**;
+* first-divergence localization: the earliest diverging step in
+  topological order, plus its downstream closure (the "affected
+  subtree") so a report card can say *where* reproduction broke, not
+  just that it did;
+* trace-derived per-step timing deltas (:class:`TimingDelta`) — timing
+  is never part of the pass/fail verdict, but a 10x compute delta under
+  one perturbation is exactly the kind of silent environment drift the
+  audit exists to surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "Perturbation",
+    "RunRecord",
+    "StepConcordance",
+    "TimingDelta",
+    "ConcordanceReport",
+    "build_concordance_report",
+]
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One leg of the audit matrix.
+
+    Attributes
+    ----------
+    name:
+        Unique leg label (``"baseline"``, ``"thread"``, ``"crash-resume"``
+        ...); the baseline leg is whichever the runner lists first.
+    executor:
+        Pipeline executor mode for the leg.
+    warm_cache:
+        Run the pipeline once untimed first, so the audited run replays
+        everything from a warm cache.
+    crash_resume:
+        SIGKILL the run at a seeded crash point and resume it from the
+        journal; the audited artifacts are the resumed run's.
+    fault_steps:
+        Steps given injected transient faults (first attempt fails, a
+        retry recovers).
+    drift:
+        Name of the declared drift scenario applied to this leg's study
+        (empty = none). Declared drift makes key-changed divergence
+        *expected*; it never excuses a key-identical digest change.
+    max_workers:
+        Worker bound for parallel executors (None = all cores).
+    """
+
+    name: str
+    executor: str = "sequential"
+    warm_cache: bool = False
+    crash_resume: bool = False
+    fault_steps: tuple[str, ...] = ()
+    drift: str = ""
+    max_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("perturbation needs a name")
+        if self.crash_resume and self.executor != "sequential":
+            raise ValueError(
+                "crash_resume legs must run sequentially: the crash point "
+                "is a (step, event) coordinate and parallel frontiers make "
+                "it nondeterministic"
+            )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """What one leg actually did: run metadata for the report card."""
+
+    perturbation: Perturbation
+    run_id: str = ""
+    wall_seconds: float = 0.0
+    outcome_counts: Mapping[str, int] = field(default_factory=dict)
+    crash_exitcode: int | None = None
+    resumed_steps: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.perturbation.name
+
+
+@dataclass(frozen=True)
+class StepConcordance:
+    """One step's digest row across every leg of the matrix.
+
+    ``digests``/``keys`` map leg name → value (baseline included). A leg
+    missing a digest (its step failed or was skipped) is recorded as
+    divergent-from-baseline unless the baseline is missing it too.
+    """
+
+    step: str
+    baseline_key: str
+    baseline_digest: str
+    keys: Mapping[str, str]
+    digests: Mapping[str, str]
+    expected: bool = False  # divergence attributable to declared drift
+
+    @property
+    def divergent_runs(self) -> tuple[str, ...]:
+        """Legs whose digest differs from the baseline's (sorted)."""
+        return tuple(
+            sorted(
+                name
+                for name, digest in self.digests.items()
+                if digest != self.baseline_digest
+            )
+        )
+
+    @property
+    def concordant(self) -> bool:
+        return not self.divergent_runs
+
+    @property
+    def unexplained(self) -> bool:
+        """Diverged without a declared drift touching this step's key."""
+        return bool(self.divergent_runs) and not self.expected
+
+
+@dataclass(frozen=True)
+class TimingDelta:
+    """Trace-derived compute seconds for one step across legs."""
+
+    step: str
+    baseline_seconds: float
+    seconds: Mapping[str, float]
+
+    def ratio(self, run: str) -> float | None:
+        value = self.seconds.get(run)
+        if value is None or self.baseline_seconds <= 0:
+            return None
+        return value / self.baseline_seconds
+
+
+@dataclass(frozen=True)
+class ConcordanceReport:
+    """The audit's full structured result.
+
+    ``steps`` is in pipeline (topological) order, so "first divergent
+    step" is well-defined and localization is a scan, not a search.
+    """
+
+    runs: tuple[RunRecord, ...]
+    steps: tuple[StepConcordance, ...]
+    drift: str = ""
+    drift_description: str = ""
+    drift_origin: tuple[str, ...] = ()
+    timings: tuple[TimingDelta, ...] = ()
+    #: step -> transitive downstream closure (the step's affected subtree),
+    #: from the pipeline definition.
+    subtrees: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> RunRecord:
+        return self.runs[0]
+
+    @property
+    def divergent_steps(self) -> tuple[str, ...]:
+        """Every step that differs from baseline anywhere (topo order)."""
+        return tuple(s.step for s in self.steps if not s.concordant)
+
+    @property
+    def expected_steps(self) -> tuple[str, ...]:
+        """Divergent steps attributed to the declared drift (topo order)."""
+        return tuple(
+            s.step for s in self.steps if not s.concordant and s.expected
+        )
+
+    @property
+    def unexplained_steps(self) -> tuple[str, ...]:
+        """Divergent steps with no declared cause (topo order)."""
+        return tuple(s.step for s in self.steps if s.unexplained)
+
+    @property
+    def divergent(self) -> bool:
+        return bool(self.divergent_steps)
+
+    @property
+    def concordant(self) -> bool:
+        return not self.divergent
+
+    @property
+    def first_divergence(self) -> str | None:
+        """Earliest diverging step in topological order, or None."""
+        divergent = self.divergent_steps
+        return divergent[0] if divergent else None
+
+    def affected_subtree(self) -> tuple[str, ...]:
+        """The first divergent step plus its downstream closure."""
+        first = self.first_divergence
+        if first is None:
+            return ()
+        return (first, *self.subtrees.get(first, ()))
+
+    def localized(self) -> bool:
+        """True when every divergence sits inside the first one's subtree.
+
+        Localized divergence is one root cause propagating through the
+        DAG; an unlocalized pattern (divergence outside the subtree)
+        means at least two independent causes.
+        """
+        subtree = set(self.affected_subtree())
+        return all(step in subtree for step in self.divergent_steps)
+
+    @property
+    def verdict(self) -> str:
+        """``"concordant"``, ``"drift"`` (all attributed), or ``"divergent"``."""
+        if self.concordant:
+            return "concordant"
+        return "drift" if not self.unexplained_steps else "divergent"
+
+
+def build_concordance_report(
+    *,
+    runs: list[RunRecord],
+    step_order: list[str],
+    keys_by_run: Mapping[str, Mapping[str, str]],
+    digests_by_run: Mapping[str, Mapping[str, str]],
+    dependents: Mapping[str, tuple[str, ...]],
+    drift: str = "",
+    drift_description: str = "",
+    drift_origin: tuple[str, ...] = (),
+    compute_by_run: Mapping[str, Mapping[str, float]] | None = None,
+) -> ConcordanceReport:
+    """Assemble the report from per-leg key/digest/timing maps.
+
+    The first entry of ``runs`` is the baseline. ``dependents`` maps each
+    step to its *direct* dependents; the transitive closure is computed
+    here. Attribution rule: a step is ``expected``-divergent when a drift
+    scenario was declared **and** some leg's cache key for the step
+    differs from the baseline key — parameters (or an upstream key)
+    changed, which is what a declared environment change does. A
+    key-identical digest mismatch is unexplained by construction.
+    """
+    if not runs:
+        raise ValueError("audit produced no runs")
+    baseline = runs[0].name
+
+    subtrees: dict[str, tuple[str, ...]] = {}
+    for step in reversed(step_order):
+        closure: set[str] = set()
+        for child in dependents.get(step, ()):
+            closure.add(child)
+            closure.update(subtrees.get(child, ()))
+        subtrees[step] = tuple(s for s in step_order if s in closure)
+
+    base_keys = keys_by_run[baseline]
+    base_digests = digests_by_run[baseline]
+    steps: list[StepConcordance] = []
+    for step in step_order:
+        keys = {
+            record.name: keys_by_run[record.name].get(step, "") for record in runs
+        }
+        digests = {
+            record.name: digests_by_run[record.name].get(step, "")
+            for record in runs
+        }
+        key_changed = any(k != base_keys.get(step, "") for k in keys.values())
+        steps.append(
+            StepConcordance(
+                step=step,
+                baseline_key=base_keys.get(step, ""),
+                baseline_digest=base_digests.get(step, ""),
+                keys=keys,
+                digests=digests,
+                expected=bool(drift) and key_changed,
+            )
+        )
+
+    timings: list[TimingDelta] = []
+    if compute_by_run:
+        base_compute = compute_by_run.get(baseline, {})
+        for step in step_order:
+            seconds = {
+                name: per_run[step]
+                for name, per_run in compute_by_run.items()
+                if step in per_run
+            }
+            if seconds:
+                timings.append(
+                    TimingDelta(
+                        step=step,
+                        baseline_seconds=base_compute.get(step, 0.0),
+                        seconds=seconds,
+                    )
+                )
+
+    return ConcordanceReport(
+        runs=tuple(runs),
+        steps=tuple(steps),
+        drift=drift,
+        drift_description=drift_description,
+        drift_origin=drift_origin,
+        timings=tuple(timings),
+        subtrees=subtrees,
+    )

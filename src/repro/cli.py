@@ -4,6 +4,8 @@ Subcommands mirror the workflows a research-computing group runs:
 
 * ``generate``   — synthesize the study's raw data (responses + accounting);
 * ``validate``   — QA a JSONL response export against the instrument;
+* ``audit``      — reproducibility audit (perturbation matrix + report
+  card), or QA a sacct accounting export when given a path;
 * ``codebook``   — print the instrument codebook;
 * ``experiment`` — regenerate one table/figure by id;
 * ``report``     — render the full markdown report;
@@ -69,13 +71,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip = tolerate malformed rows (skipped tally is reported)",
     )
 
-    aud = command("audit", help="audit a sacct accounting export")
-    aud.add_argument("path", type=Path)
+    aud = command(
+        "audit",
+        help=(
+            "audit reproducibility (re-run the study under a perturbation "
+            "matrix), or audit a sacct accounting export when PATH is given"
+        ),
+    )
+    aud.add_argument(
+        "path",
+        type=Path,
+        nargs="?",
+        default=None,
+        help="sacct export to audit (omit to run the reproducibility audit)",
+    )
     aud.add_argument(
         "--on-bad-rows",
         choices=("raise", "skip"),
         default="raise",
         help="skip = tolerate malformed accounting rows (skipped tally is reported)",
+    )
+    aud.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick study scale (CI smoke: small cohorts, 1-month telemetry)",
+    )
+    aud.add_argument("--seed", type=int, default=None)
+    aud.add_argument("--baseline", type=int, default=None, help="2011 cohort size")
+    aud.add_argument("--current", type=int, default=None, help="2024 cohort size")
+    aud.add_argument("--months", type=int, default=None, help="telemetry window")
+    aud.add_argument("--jobs-per-day", type=float, default=None)
+    aud.add_argument(
+        "--experiments",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to audit (default: all registered)",
+    )
+    aud.add_argument(
+        "--matrix",
+        default=None,
+        metavar="LEGS",
+        help=(
+            "comma-separated perturbation legs (baseline,thread,process,"
+            "crash-resume,faults,warm-cache); baseline is always included"
+        ),
+    )
+    aud.add_argument(
+        "--drift",
+        default="",
+        metavar="SCENARIO",
+        help=(
+            "declared drift scenario applied to every non-baseline leg "
+            "(see repro.synth.scenario.DRIFT_SCENARIOS); divergence it "
+            "causes is attributed instead of flagged unexplained"
+        ),
+    )
+    aud.add_argument(
+        "--durable",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "keep each leg's cache + journal sandbox under DIR instead of "
+            "a temporary directory (inspect artifacts after the audit)"
+        ),
+    )
+    aud.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "reuse a prior --durable audit's per-leg caches: completed "
+            "steps replay instead of recomputing (requires --durable DIR)"
+        ),
+    )
+    aud.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write each leg's Chrome/Perfetto trace_event JSON into DIR",
+    )
+    aud.add_argument(
+        "--normalize",
+        action="store_true",
+        help=(
+            "strip timing/host/run-dependent fields from the report card "
+            "and traces (byte-identical across executor modes)"
+        ),
+    )
+    aud.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the report card to FILE instead of stdout",
     )
 
     command("codebook", help="print the instrument codebook")
@@ -284,6 +373,16 @@ def build_parser() -> argparse.ArgumentParser:
             "tracing-disabled path)"
         ),
     )
+    ben.add_argument(
+        "--max-audit-overhead",
+        type=float,
+        default=0.05,
+        help=(
+            "allowed cost of the audit harness over a plain double "
+            "pipeline run before --check fails (0.05 = +5%%; intra-record, "
+            "no baseline needed)"
+        ),
+    )
 
     pwr = command("power", help="two-proportion power calculations")
     pwr.add_argument("--p1", type=float, required=True, help="baseline proportion")
@@ -358,6 +457,97 @@ def _cmd_validate(args, out) -> int:
 
 
 def _cmd_audit(args, out) -> int:
+    """Dispatch between the two audits sharing the subcommand.
+
+    With a positional PATH the historical behaviour — auditing a sacct
+    accounting export — is unchanged; without one the command runs the
+    reproducibility audit (``repro.audit.run_audit``).
+    """
+    if args.path is None:
+        return _cmd_audit_repro(args, out)
+    return _cmd_audit_sacct(args, out)
+
+
+def _cmd_audit_repro(args, out) -> int:
+    from repro.audit import QUICK_SCALE, default_matrix, run_audit, select_matrix
+    from repro.report import EXPERIMENTS
+    from repro.report.document import render_report_card
+    from repro.synth.scenario import DRIFT_SCENARIOS
+
+    if args.resume and args.durable is None:
+        print("error: --resume requires --durable DIR", file=out)
+        return 2
+    if args.drift and args.drift not in DRIFT_SCENARIOS:
+        print(
+            f"error: unknown drift scenario {args.drift!r}; known: "
+            f"{', '.join(sorted(DRIFT_SCENARIOS))}",
+            file=out,
+        )
+        return 2
+    if args.matrix is not None:
+        names = [n.strip() for n in args.matrix.split(",") if n.strip()]
+        try:
+            matrix = select_matrix(names)
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+    else:
+        matrix = default_matrix()
+    experiment_ids = None
+    if args.experiments is not None:
+        experiment_ids = sorted(
+            {e.strip().upper() for e in args.experiments.split(",") if e.strip()}
+        )
+        unknown = [eid for eid in experiment_ids if eid not in EXPERIMENTS]
+        if unknown:
+            print(
+                f"error: unknown experiments {unknown}; known: "
+                f"{', '.join(sorted(EXPERIMENTS))}",
+                file=out,
+            )
+            return 2
+    scale = dict(QUICK_SCALE) if args.quick else {}
+    for key, value in (
+        ("seed", args.seed),
+        ("n_baseline", args.baseline),
+        ("n_current", args.current),
+        ("months", args.months),
+        ("jobs_per_day", args.jobs_per_day),
+    ):
+        if value is not None:
+            scale[key] = value
+    report = run_audit(
+        root=args.durable,
+        matrix=matrix,
+        experiment_ids=experiment_ids,
+        drift=args.drift,
+        study_kwargs=scale or None,
+        reuse=args.resume,
+        trace_dir=args.trace,
+        normalize_traces=args.normalize,
+    )
+    card = render_report_card(report, normalize=args.normalize)
+    if args.out is not None:
+        Path(args.out).write_text(card, encoding="utf-8")
+        print(f"wrote report card to {args.out}", file=out)
+    else:
+        print(card, file=out, end="")
+    if args.trace is not None:
+        print(f"wrote per-leg Perfetto traces to {args.trace}", file=out)
+    if report.concordant:
+        print(f"audit ok: {len(report.runs)} runs concordant", file=out)
+        return 0
+    first = report.first_divergence
+    print(
+        f"audit DIVERGENT: {len(report.divergent_steps)} step(s), "
+        f"first at {first!r}"
+        + (f" (drift {report.drift!r} attributed)" if report.verdict == "drift" else ""),
+        file=out,
+    )
+    return EXIT_PARTIAL
+
+
+def _cmd_audit_sacct(args, out) -> int:
     from repro.cluster import audit_table, parse_sacct
     from repro.cluster.partitions import DEFAULT_CLUSTER
     from repro.cluster.sacct import SacctFormatError
@@ -657,6 +847,7 @@ def _cmd_trace(args, out) -> int:
 def _cmd_bench(args, out) -> int:
     from repro.core.bench import (
         append_run,
+        check_audit_overhead,
         check_journal_overhead,
         check_regression,
         check_retry_overhead,
@@ -692,6 +883,9 @@ def _cmd_bench(args, out) -> int:
             trace_ok, trace_message = check_trace_overhead(
                 record, max_overhead=args.max_trace_overhead
             )
+            audit_ok, audit_message = check_audit_overhead(
+                record, max_overhead=args.max_audit_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -703,7 +897,8 @@ def _cmd_bench(args, out) -> int:
             ("ok: " if journal_ok else "REGRESSION: ") + journal_message, file=out
         )
         print(("ok: " if trace_ok else "REGRESSION: ") + trace_message, file=out)
-        return 0 if ok and overhead_ok and journal_ok and trace_ok else 1
+        print(("ok: " if audit_ok else "REGRESSION: ") + audit_message, file=out)
+        return 0 if ok and overhead_ok and journal_ok and trace_ok and audit_ok else 1
     return 0
 
 
@@ -781,7 +976,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
     A Ctrl-C during the long-running commands (``report``, ``trace``,
-    ``bench``) exits ``130`` (128 + SIGINT) with a one-line notice
+    ``bench``, ``audit``) exits ``130`` (128 + SIGINT) with a one-line notice
     instead of a traceback; the ``--durable`` report path additionally
     flushes its journal and prints the ``--resume`` hint before this
     handler sees anything.
@@ -794,7 +989,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         return _COMMANDS[args.command](args, out)
     except KeyboardInterrupt:
-        if args.command in ("report", "trace", "bench"):
+        if args.command in ("report", "trace", "bench", "audit"):
             print("interrupted", file=out)
             return EXIT_INTERRUPTED
         raise

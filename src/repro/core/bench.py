@@ -31,6 +31,11 @@ Timed units (the substrates that dominate a reproduction run):
   path, so the differential proves disabling tracing costs nothing and
   prices what enabling it adds; :func:`check_trace_overhead` gates it at
   < 3% in CI.
+* ``audit_overhead``    — a minimal two-leg reproducibility audit
+  (baseline + identical sequential rerun) vs a plain double run of the
+  same pipeline. The differential prices the audit harness itself —
+  sandboxes, journaling, tracing, the digest walk, concordance assembly;
+  :func:`check_audit_overhead` gates it at < 5% in CI.
 
 Every unit is a pure function of a fixed seed, so run-to-run variance is
 scheduler noise only; ``min`` of ``repeats`` runs is the recorded number.
@@ -73,6 +78,7 @@ __all__ = [
     "check_retry_overhead",
     "check_journal_overhead",
     "check_trace_overhead",
+    "check_audit_overhead",
     "render_record",
 ]
 
@@ -418,6 +424,64 @@ def _bench_trace_overhead(jobs, k: int) -> dict:
     }
 
 
+def _bench_audit_overhead(sc: "BenchScale", k: int) -> dict:
+    """Time a two-leg reproducibility audit vs a plain double pipeline run.
+
+    The minimal audit matrix — baseline plus one identical sequential
+    rerun — does exactly the work of running the report pipeline twice,
+    plus the harness itself: per-leg cache/journal sandboxes, tracing,
+    the digest walk, and concordance assembly. A plain double run of the
+    same pipeline is therefore the natural baseline, and
+    ``detail["overhead"]`` is the fractional cost of auditing over merely
+    re-running — the number :func:`check_audit_overhead` gates at < 5%.
+
+    One experiment (T1) rides along so the audit covers an ``exp:`` step
+    (text digests) as well as the study stages (structural digests)
+    without the bench paying for the whole registry.
+    """
+    from repro.audit.concordance import Perturbation
+    from repro.audit.runner import run_audit
+    from repro.core.pipeline import ArtifactCache
+    from repro.report.experiments import report_pipeline
+
+    study_kwargs = {
+        "seed": 2024,
+        "n_baseline": min(sc.cohort_n, 120),
+        "n_current": sc.cohort_n,
+        "months": sc.months,
+        "jobs_per_day": min(sc.jobs_per_day, 200.0),
+    }
+    ids = ["T1"]
+
+    def plain_double() -> None:
+        for _ in range(2):
+            report_pipeline(
+                ArtifactCache(), experiment_ids=ids, **study_kwargs
+            ).run(executor="sequential")
+
+    plain_t = _time_min_of_k(plain_double, k, memory=False)
+
+    matrix = (Perturbation("baseline"), Perturbation("rerun"))
+
+    def audit() -> None:
+        run_audit(matrix=matrix, experiment_ids=ids, study_kwargs=study_kwargs)
+
+    audit_t = _time_min_of_k(audit, k, memory=False)
+    wrapper_seconds = audit_t["seconds"] - plain_t["seconds"]
+    overhead = (
+        wrapper_seconds / plain_t["seconds"] if plain_t["seconds"] > 0 else 0.0
+    )
+    return {
+        "seconds": audit_t["seconds"],
+        "runs": audit_t["runs"],
+        "detail": {
+            "plain_seconds": plain_t["seconds"],
+            "wrapper_seconds": round(wrapper_seconds, 9),
+            "overhead": round(overhead, 6),
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -499,6 +563,8 @@ def run_benchmarks(
     benchmarks["journal_overhead"] = _bench_journal_overhead(jobs, k)
 
     benchmarks["trace_overhead"] = _bench_trace_overhead(jobs, k)
+
+    benchmarks["audit_overhead"] = _bench_audit_overhead(sc, k)
 
     if end_to_end and sc.months >= 3:
         def report() -> None:
@@ -656,6 +722,29 @@ def check_trace_overhead(record: dict, max_overhead: float = 0.03) -> tuple[bool
     message = (
         f"trace_overhead: {entry['seconds']:.3f}s traced vs "
         f"{entry['detail']['plain_seconds']:.3f}s untraced "
+        f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
+    )
+    return overhead <= max_overhead, message
+
+
+def check_audit_overhead(record: dict, max_overhead: float = 0.05) -> tuple[bool, str]:
+    """Gate the audit harness's cost over a plain double run within ``record``.
+
+    Intra-record like the other overhead gates: the plain double pipeline
+    run timed in the same record is the baseline, so machine speed cancels
+    out and the gate prices exactly the harness — sandboxes, journaling,
+    tracing, digesting, concordance assembly. Returns ``(ok, message)``;
+    a record without the ``audit_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("audit_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "audit_overhead benchmark missing from run; skipping gate"
+    overhead = float(entry["detail"]["overhead"])
+    message = (
+        f"audit_overhead: {entry['seconds']:.3f}s audited vs "
+        f"{entry['detail']['plain_seconds']:.3f}s plain double run "
         f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
     )
     return overhead <= max_overhead, message

@@ -48,6 +48,7 @@ __all__ = [
     "JournalDiskFull",
     "crash_coordinates",
     "run_until_crash",
+    "resume_after_crash",
 ]
 
 #: Supported fault kinds: raise an exception, stall the attempt, corrupt
@@ -449,3 +450,29 @@ def run_until_crash(
     except (ProcessLookupError, PermissionError, OSError):
         pass
     return rid, proc.exitcode
+
+
+def resume_after_crash(
+    pipeline: "Pipeline",
+    journal_dir: str | os.PathLike,
+    run_id: str,
+    *,
+    run_kwargs: Mapping[str, Any] | None = None,
+) -> dict:
+    """Resume a crashed (journaled) run in the current process.
+
+    The standard second half of the :func:`run_until_crash` dance: load
+    the killed run's resume state, open a fresh journal segment under the
+    same run id, and re-run the pipeline with replay enabled. Returns the
+    pipeline's results dict. The pair of helpers keeps the crash-resume
+    protocol in one place so the chaos tests, the audit runner, and the
+    CLI cannot drift apart on journal/run-id plumbing.
+    """
+    from repro.core.journal import load_resume_state
+
+    resume = load_resume_state(journal_dir, run_id)
+    journal = RunJournal.open(journal_dir, run_id)
+    try:
+        return pipeline.run(journal=journal, resume=resume, **dict(run_kwargs or {}))
+    finally:
+        journal.close()

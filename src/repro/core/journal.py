@@ -68,6 +68,7 @@ __all__ = [
     "RunJournal",
     "ResumeState",
     "load_resume_state",
+    "latest_resume_state",
     "read_journal",
     "latest_run_id",
     "new_run_id",
@@ -492,3 +493,19 @@ def latest_run_id(directory: str | Path) -> str | None:
             if best is None or key > best:
                 best = key
     return best[1] if best is not None else None
+
+
+def latest_resume_state(directory: str | Path) -> ResumeState | None:
+    """Resume state for the most recent run under ``directory``, or None.
+
+    Convenience wrapper for resume-by-default flows (``repro audit``'s
+    crash-resume leg above all): find the latest run id, then load its
+    state. Returns None when the directory holds no journaled runs at
+    all; a run that exists but is unreadable still raises
+    :class:`JournalError` — silent fallback to "no resume" would quietly
+    recompute a run the caller believed it was resuming.
+    """
+    run_id = latest_run_id(directory)
+    if run_id is None:
+        return None
+    return load_resume_state(directory, run_id)

@@ -348,8 +348,14 @@ class ArtifactCache:
 
         Exists so the chaos suite and :class:`repro.core.faults.FaultPlan`
         can simulate disk damage through the public API. Returns True when
-        an entry existed and was corrupted.
+        an entry existed and was corrupted. ``key`` must be a bare cache
+        key: callers that derive keys from a naive directory listing would
+        otherwise smash the ``<key>.lock`` advisory files left behind by
+        :class:`repro.io.locks.FileLock` (or an in-flight ``.tmp``
+        publish) — those are never artifacts, so they are refused here.
         """
+        if key.endswith((".lock", ".tmp", ".pkl")):
+            return False
         if self.root is None:
             if key not in self._memory:
                 return False
@@ -360,6 +366,15 @@ class ArtifactCache:
             return False
         path.write_bytes(blob)
         return True
+
+    def entry_bytes(self, key: str) -> bytes | None:
+        """The published pickle blob for ``key``, or None when absent.
+
+        Read-only accessor for the reproducibility audit's digest walk:
+        the audit hashes stored bytes (not live values) so it observes
+        exactly what a resumed or separate process would unpickle.
+        """
+        return self._load(key)
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._locks_guard:

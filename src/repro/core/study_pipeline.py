@@ -22,17 +22,15 @@ from repro.core.study import Study
 __all__ = ["study_pipeline", "run_cached_study"]
 
 
-def _survey_step(context, seed, n_baseline, n_current):
+def _survey_step(context, seed, n_baseline, n_current, drift=""):
     from repro.synth.generator import generate_study
+    from repro.synth.scenario import apply_drift
 
-    return generate_study(
-        {
-            "2011": (profile_2011(), n_baseline),
-            "2024": (profile_2024(), n_current),
-        },
-        build_instrument(),
-        seed=seed,
-    )
+    profiles = {
+        "2011": (apply_drift(drift, "2011", profile_2011()), n_baseline),
+        "2024": (apply_drift(drift, "2024", profile_2024()), n_current),
+    }
+    return generate_study(profiles, build_instrument(), seed=seed)
 
 
 def _workload_step(context, seed, months, jobs_per_day, diurnal):
@@ -69,6 +67,7 @@ def study_pipeline(
     jobs_per_day: float = 200.0,
     backfill: bool = True,
     diurnal: bool = True,
+    drift: str = "",
     cache: ArtifactCache | None = None,
     retry: RetryPolicy | None = None,
     timeout: float | None = None,
@@ -78,15 +77,23 @@ def study_pipeline(
     Step/param layout is the cache contract: changing ``n_current`` reruns
     only the survey stage; changing ``backfill`` reruns only scheduling;
     changing ``months`` reruns workload + scheduling (its dependent).
+    ``drift`` names a declared :data:`~repro.synth.scenario.DRIFT_SCENARIOS`
+    entry applied to the cohort profiles; it is a survey-step *param*, so a
+    drifted run gets a new survey cache key (and, by key folding, new keys
+    for the whole downstream subtree) — that key change is how the
+    reproducibility audit attributes divergence to the declared scenario.
     ``retry``/``timeout`` become the pipeline's step defaults; neither
     enters any cache key, so enabling fault tolerance on site data never
     invalidates existing artifacts.
     """
+    survey_params = {"seed": seed, "n_baseline": n_baseline, "n_current": n_current}
+    if drift:
+        survey_params["drift"] = drift
     steps = [
         PipelineStep(
             name="survey",
             fn=_survey_step,
-            params={"seed": seed, "n_baseline": n_baseline, "n_current": n_current},
+            params=survey_params,
         ),
         PipelineStep(
             name="workload",

@@ -9,17 +9,35 @@ configuration. This module builds modified profiles for both:
 * :func:`null_revisit_profile` — a "2024 wave" that behaves exactly like the
   baseline (same trait distributions and question models, new cohort label):
   every trend the engine reports against it is a false positive.
+
+On top of the primitives sits the **environment-drift catalog**
+(:data:`DRIFT_SCENARIOS`): named, declared modifications of the study's
+cohort profiles that model the silent-drift failure modes the
+reproducibility audit exists to catch — package-version churn, partial
+data loss, schema evolution across cohort waves. A
+:class:`DriftScenario` is a pure transform ``(cohort, profile) ->
+profile``; declaring one to ``repro audit`` lets the concordance report
+attribute the resulting divergence to the scenario instead of flagging
+it as unexplained drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Mapping
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping
 
 from repro.synth.models import BernoulliYesNoModel, MultiChoiceModel
 from repro.synth.profile import CohortProfile
 
-__all__ = ["with_yes_rate", "with_multi_rates", "null_revisit_profile"]
+__all__ = [
+    "with_yes_rate",
+    "with_multi_rates",
+    "null_revisit_profile",
+    "DriftScenario",
+    "DRIFT_SCENARIOS",
+    "get_drift_scenario",
+    "apply_drift",
+]
 
 
 def with_yes_rate(profile: CohortProfile, key: str, rate: float) -> CohortProfile:
@@ -68,3 +86,142 @@ def null_revisit_profile(baseline: CohortProfile, cohort_label: str) -> CohortPr
     if cohort_label == baseline.cohort:
         raise ValueError("null revisit needs a distinct cohort label")
     return replace(baseline, cohort=cohort_label)
+
+
+# -- environment-drift catalog ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A named, declared modification of the study's cohort profiles.
+
+    ``transform(cohort, profile)`` is applied to every wave before
+    generation; it must be pure (same inputs → same profile) so a drifted
+    study is itself reproducible. ``origin`` names the pipeline steps the
+    drift enters through — for the survey-side catalog that is always
+    ``("survey",)``, and a concordance report uses it to check that the
+    observed divergence footprint matches the declared entry point.
+    """
+
+    name: str
+    description: str
+    transform: Callable[[str, CohortProfile], CohortProfile]
+    origin: tuple[str, ...] = ("survey",)
+
+    def apply(self, cohort: str, profile: CohortProfile) -> CohortProfile:
+        return self.transform(cohort, profile)
+
+
+def _package_version_churn(cohort: str, profile: CohortProfile) -> CohortProfile:
+    """Toolchain churn between runs: a new library release nudges behaviour.
+
+    Models the classic silent-environment-drift failure: nothing in the
+    protocol changed, but an upgraded dependency shifts a handful of
+    marginals by a few points. Applied to the revisit wave only — the
+    archived baseline wave is frozen data.
+    """
+    if cohort != "2024":
+        return profile
+    drifted = profile
+    for key, delta in (("uses_containers", 0.04), ("uses_ml", 0.03)):
+        model = drifted.question_models.get(key)
+        if isinstance(model, BernoulliYesNoModel):
+            drifted = with_yes_rate(
+                drifted, key, min(1.0, max(0.0, model.base + delta))
+            )
+    return drifted
+
+
+def _partial_data_loss(cohort: str, profile: CohortProfile) -> CohortProfile:
+    """A tranche of the revisit wave's responses is lost or unusable.
+
+    Modelled as sharply raised missingness (optional *and* required
+    fields) rather than a smaller n, so downstream completeness metrics
+    see the damage too.
+    """
+    if cohort != "2024":
+        return profile
+    return replace(
+        profile,
+        missing_rate=min(1.0, profile.missing_rate + 0.25),
+        required_missing_rate=min(1.0, profile.required_missing_rate + 0.10),
+    )
+
+
+def _schema_evolution(cohort: str, profile: CohortProfile) -> CohortProfile:
+    """The revisit instrument dropped a legacy option between waves.
+
+    The 2024 form no longer offers Fortran in the languages multi-select:
+    a schema change across cohort waves that silently zeroes one option's
+    share instead of erroring.
+    """
+    if cohort != "2024":
+        return profile
+    return with_multi_rates(profile, "languages", {"fortran": 0.0})
+
+
+def _planted_yes_rate(cohort: str, profile: CohortProfile) -> CohortProfile:
+    """Ground-truth planted effect: one yes/no marginal forced high.
+
+    The audit's positive control — a drift that *must* produce divergence
+    localized to the survey subtree, used by the chaos suite to verify
+    first-divergence localization end to end.
+    """
+    if cohort != "2024":
+        return profile
+    return with_yes_rate(profile, "uses_parallelism", 0.95)
+
+
+DRIFT_SCENARIOS: dict[str, DriftScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        DriftScenario(
+            name="package_version_churn",
+            description=(
+                "dependency upgrade between runs shifts container/ML "
+                "adoption marginals by a few points (2024 wave)"
+            ),
+            transform=_package_version_churn,
+        ),
+        DriftScenario(
+            name="partial_data_loss",
+            description=(
+                "a tranche of 2024 responses is lost: missingness rises "
+                "sharply on optional and required fields"
+            ),
+            transform=_partial_data_loss,
+        ),
+        DriftScenario(
+            name="schema_evolution",
+            description=(
+                "the 2024 instrument dropped the Fortran option from the "
+                "languages multi-select (schema change across waves)"
+            ),
+            transform=_schema_evolution,
+        ),
+        DriftScenario(
+            name="planted_yes_rate",
+            description=(
+                "positive control: uses_parallelism base rate forced to "
+                "0.95 in the 2024 wave"
+            ),
+            transform=_planted_yes_rate,
+        ),
+    )
+}
+
+
+def get_drift_scenario(name: str) -> DriftScenario:
+    """Look up a catalog scenario; raise with the catalog on a miss."""
+    try:
+        return DRIFT_SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(DRIFT_SCENARIOS))
+        raise KeyError(f"unknown drift scenario {name!r} (known: {known})") from None
+
+
+def apply_drift(name: str, cohort: str, profile: CohortProfile) -> CohortProfile:
+    """Apply one named scenario to one wave's profile (identity if ``name`` empty)."""
+    if not name:
+        return profile
+    return get_drift_scenario(name).apply(cohort, profile)

@@ -1,0 +1,134 @@
+"""``repro audit`` CLI: exit codes, report-card round-trip, back-compat.
+
+The subcommand is overloaded: with a positional PATH it is the historical
+sacct accounting audit; without one it runs the reproducibility audit.
+Both personalities are covered here (the sacct side also keeps its full
+suite in ``tests/report/test_document_cli.py``).
+"""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+TINY = (
+    "--seed", "2024", "--baseline", "24", "--current", "30",
+    "--months", "1", "--jobs-per-day", "40",
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def run_tiny_audit(*extra):
+    return run_cli(
+        "audit", *TINY, "--experiments", "T1,T3", "--matrix", "thread", *extra
+    )
+
+
+class TestExitCodes:
+    def test_clean_audit_exits_zero(self):
+        code, text = run_tiny_audit()
+        assert code == 0, text
+        assert "audit ok: 2 runs concordant" in text
+        assert "Verdict: CONCORDANT" in text
+
+    def test_planted_drift_exits_partial(self):
+        code, text = run_tiny_audit("--drift", "planted_yes_rate")
+        assert code == 3, text
+        assert "audit DIVERGENT" in text
+        assert "first at 'survey'" in text
+        assert "drift 'planted_yes_rate' attributed" in text
+
+    def test_resume_without_durable_is_usage_error(self):
+        code, text = run_cli("audit", "--resume")
+        assert code == 2
+        assert "--resume requires --durable" in text
+
+    def test_unknown_drift_is_usage_error(self):
+        code, text = run_cli("audit", "--drift", "cosmic_rays")
+        assert code == 2
+        assert "unknown drift scenario" in text
+        assert "planted_yes_rate" in text  # catalog listed for the user
+
+    def test_unknown_matrix_leg_is_usage_error(self):
+        code, text = run_cli("audit", "--matrix", "thread,quantum")
+        assert code == 2
+        assert "unknown audit legs" in text
+
+    def test_unknown_experiment_is_usage_error(self):
+        code, text = run_cli("audit", "--experiments", "T1,T99")
+        assert code == 2
+        assert "unknown experiments" in text
+
+
+class TestReportCard:
+    def test_card_round_trips_through_out_file(self, tmp_path):
+        out_file = tmp_path / "card.md"
+        code, text = run_tiny_audit("--normalize", "--out", str(out_file))
+        assert code == 0
+        assert f"wrote report card to {out_file}" in text
+        card = out_file.read_text(encoding="utf-8")
+        assert card.startswith("# Reproducibility report card")
+        assert "Verdict" in card and "baseline" in card and "thread" in card
+        # The normalized card is deterministic, so the written file is
+        # byte-for-byte what a fresh stdout-mode invocation prints.
+        code2, streamed = run_tiny_audit("--normalize")
+        assert card in streamed
+
+    def test_drift_card_shows_attribution(self, tmp_path):
+        out_file = tmp_path / "card.md"
+        code, _ = run_tiny_audit(
+            "--drift", "planted_yes_rate", "--out", str(out_file)
+        )
+        assert code == 3
+        card = out_file.read_text(encoding="utf-8")
+        assert "planted_yes_rate" in card
+        assert "expected" in card
+        assert "UNEXPLAINED" not in card
+
+    def test_durable_audit_keeps_sandboxes_and_resumes(self, tmp_path):
+        root = tmp_path / "audit-root"
+        code, _ = run_tiny_audit("--durable", str(root))
+        assert code == 0
+        assert (root / "baseline" / "cache").is_dir()
+        assert (root / "thread" / "journals").is_dir()
+        # Second pass over the same root reuses the caches: still exit 0.
+        code2, text2 = run_tiny_audit("--durable", str(root), "--resume")
+        assert code2 == 0, text2
+
+    def test_trace_dir_gets_per_leg_traces(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        code, text = run_tiny_audit("--trace", str(trace_dir))
+        assert code == 0
+        assert f"wrote per-leg Perfetto traces to {trace_dir}" in text
+        assert (trace_dir / "baseline.json").is_file()
+        assert (trace_dir / "thread.json").is_file()
+
+    def test_normalize_strips_run_ids(self, tmp_path):
+        out_file = tmp_path / "card.md"
+        code, _ = run_tiny_audit("--normalize", "--out", str(out_file))
+        assert code == 0
+        card = out_file.read_text(encoding="utf-8")
+        assert "wall (s)" not in card
+        assert "Timing deltas" not in card
+
+
+class TestSacctBackCompat:
+    @pytest.fixture()
+    def sacct_path(self, tmp_path):
+        code, _ = run_cli("generate", *TINY, "--out", str(tmp_path))
+        assert code == 0
+        return tmp_path / "accounting.sacct"
+
+    def test_positional_path_still_audits_accounting(self, sacct_path):
+        code, text = run_cli("audit", str(sacct_path))
+        assert code == 0
+        assert "jobs audited" in text
+        assert "accounting ok" in text
+        # None of the repro-audit machinery leaks into the sacct path.
+        assert "report card" not in text and "concordant" not in text

@@ -1,0 +1,136 @@
+"""Concordance-report assembly logic (synthetic digests, no pipelines)."""
+
+import pytest
+
+from repro.audit.concordance import (
+    Perturbation,
+    RunRecord,
+    build_concordance_report,
+)
+
+STEPS = ["survey", "workload", "schedule", "study", "exp:T1"]
+DEPENDENTS = {
+    "survey": ("study",),
+    "workload": ("schedule", "study"),
+    "schedule": ("study",),
+    "study": ("exp:T1",),
+    "exp:T1": (),
+}
+
+
+def runs(*names):
+    return [RunRecord(perturbation=Perturbation(name)) for name in names]
+
+
+def report(digest_overrides=None, key_overrides=None, drift=""):
+    """Two-leg report; overrides patch the second leg's maps."""
+    base_keys = {s: f"key-{s}" for s in STEPS}
+    base_digests = {s: f"dig-{s}" for s in STEPS}
+    other_keys = dict(base_keys, **(key_overrides or {}))
+    other_digests = dict(base_digests, **(digest_overrides or {}))
+    return build_concordance_report(
+        runs=runs("baseline", "other"),
+        step_order=STEPS,
+        keys_by_run={"baseline": base_keys, "other": other_keys},
+        digests_by_run={"baseline": base_digests, "other": other_digests},
+        dependents=DEPENDENTS,
+        drift=drift,
+    )
+
+
+class TestPerturbation:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Perturbation("")
+
+    def test_crash_resume_must_be_sequential(self):
+        with pytest.raises(ValueError, match="sequential"):
+            Perturbation("crash", executor="thread", crash_resume=True)
+
+
+class TestConcordantReport:
+    def test_clean_report(self):
+        rep = report()
+        assert rep.concordant and not rep.divergent
+        assert rep.verdict == "concordant"
+        assert rep.first_divergence is None
+        assert rep.affected_subtree() == ()
+        assert rep.localized()
+
+    def test_baseline_is_first_run(self):
+        assert report().baseline.name == "baseline"
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError, match="no runs"):
+            build_concordance_report(
+                runs=[],
+                step_order=STEPS,
+                keys_by_run={},
+                digests_by_run={},
+                dependents=DEPENDENTS,
+            )
+
+
+class TestDivergence:
+    def test_unexplained_without_drift(self):
+        rep = report(digest_overrides={"schedule": "dig-OTHER"})
+        assert rep.verdict == "divergent"
+        assert rep.divergent_steps == ("schedule",)
+        assert rep.unexplained_steps == ("schedule",)
+        assert rep.first_divergence == "schedule"
+
+    def test_subtree_closure_is_transitive(self):
+        rep = report(digest_overrides={"workload": "x"})
+        assert rep.affected_subtree() == ("workload", "schedule", "study", "exp:T1")
+
+    def test_localized_when_divergence_inside_subtree(self):
+        rep = report(digest_overrides={"workload": "x", "study": "y"})
+        assert rep.localized()
+
+    def test_not_localized_for_independent_causes(self):
+        # schedule diverges AND survey diverges: survey is not downstream
+        # of schedule's subtree-first step... actually survey comes first
+        # in topo order, and schedule is NOT in survey's subtree.
+        rep = report(digest_overrides={"survey": "x", "schedule": "y"})
+        assert rep.first_divergence == "survey"
+        assert not rep.localized()
+
+    def test_missing_digest_counts_as_divergent(self):
+        base_keys = {s: f"key-{s}" for s in STEPS}
+        base_digests = {s: f"dig-{s}" for s in STEPS}
+        other = dict(base_digests)
+        del other["exp:T1"]
+        rep = build_concordance_report(
+            runs=runs("baseline", "other"),
+            step_order=STEPS,
+            keys_by_run={"baseline": base_keys, "other": base_keys},
+            digests_by_run={"baseline": base_digests, "other": other},
+            dependents=DEPENDENTS,
+        )
+        assert rep.divergent_steps == ("exp:T1",)
+
+
+class TestDriftAttribution:
+    def test_key_changed_divergence_is_expected_under_drift(self):
+        rep = report(
+            digest_overrides={"survey": "x", "study": "y", "exp:T1": "z"},
+            key_overrides={"survey": "k", "study": "k2", "exp:T1": "k3"},
+            drift="planted",
+        )
+        assert rep.verdict == "drift"
+        assert rep.expected_steps == ("survey", "study", "exp:T1")
+        assert rep.unexplained_steps == ()
+
+    def test_same_key_divergence_stays_unexplained_under_drift(self):
+        # A declared drift never excuses a digest change on a step whose
+        # cache key did not move — that is by definition unexplained.
+        rep = report(digest_overrides={"schedule": "x"}, drift="planted")
+        assert rep.verdict == "divergent"
+        assert rep.unexplained_steps == ("schedule",)
+
+    def test_no_drift_means_nothing_expected(self):
+        rep = report(
+            digest_overrides={"survey": "x"}, key_overrides={"survey": "k"}
+        )
+        assert rep.expected_steps == ()
+        assert rep.unexplained_steps == ("survey",)

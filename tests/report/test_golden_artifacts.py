@@ -7,6 +7,11 @@ byte-for-byte. This pins the entire analysis stack — synthesis, scheduler
 simulation, statistics, rendering — to a known-good output, so the parallel
 executors (or any refactor) can never silently change results.
 
+The comparison itself lives in :mod:`repro.audit.digests`
+(``render_artifact``/``load_golden``/``compare_to_goldens``) and is shared
+with the ``repro audit`` CLI, so this suite and the user-facing audit can
+never disagree about what "byte-identical" means.
+
 The study build dominates the cost (~25s), so everything shares one
 module-scoped study; the artifact comparisons themselves are cheap.
 """
@@ -15,6 +20,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.audit.digests import compare_to_goldens, golden_ids, load_golden, render_artifact
 from repro.core import build_default_study
 from repro.report import EXPERIMENTS, run_all_experiments
 
@@ -23,7 +29,7 @@ ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "artifacts"
 # Must mirror examples/full_reproduction.py, which wrote the goldens.
 FULL_SCALE = dict(seed=888, n_baseline=120, n_current=300, months=24, jobs_per_day=450)
 
-GOLDEN_IDS = sorted(p.stem for p in ARTIFACT_DIR.glob("*.txt"))
+GOLDEN_IDS = golden_ids(ARTIFACT_DIR)
 
 
 @pytest.fixture(scope="module")
@@ -49,12 +55,18 @@ def test_no_orphan_goldens():
 
 @pytest.mark.parametrize("eid", GOLDEN_IDS)
 def test_golden_artifact_byte_identical(sequential_artifacts, eid):
-    golden = (ARTIFACT_DIR / f"{eid}.txt").read_text(encoding="utf-8")
-    regenerated = sequential_artifacts[eid].render_ascii() + "\n"
+    golden = load_golden(ARTIFACT_DIR, eid)
+    regenerated = render_artifact(sequential_artifacts[eid])
     assert regenerated == golden, (
         f"{eid} drifted from artifacts/{eid}.txt — if the change is "
         f"intentional, regenerate goldens with examples/full_reproduction.py"
     )
+
+
+def test_compare_to_goldens_matches_per_id_checks(sequential_artifacts):
+    results = compare_to_goldens(sequential_artifacts, ARTIFACT_DIR)
+    assert sorted(results) == GOLDEN_IDS
+    assert all(results.values()), [eid for eid, ok in results.items() if not ok]
 
 
 def _rendered(artifacts):

@@ -12,6 +12,11 @@ from repro.synth import (
     with_yes_rate,
 )
 from repro.synth.models import BernoulliYesNoModel
+from repro.synth.scenario import (
+    DRIFT_SCENARIOS,
+    apply_drift,
+    get_drift_scenario,
+)
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +57,78 @@ class TestScenarioConstruction:
         assert null.cohort == "2024"
         with pytest.raises(ValueError):
             null_revisit_profile(profile_2011(), "2011")
+
+
+class TestDriftScenarioCatalog:
+    EXPECTED = {
+        "package_version_churn",
+        "partial_data_loss",
+        "schema_evolution",
+        "planted_yes_rate",
+    }
+
+    def test_catalog_complete_and_self_named(self):
+        assert set(DRIFT_SCENARIOS) == self.EXPECTED
+        for name, scenario in DRIFT_SCENARIOS.items():
+            assert scenario.name == name
+            assert scenario.description
+            assert scenario.origin == ("survey",)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_baseline_wave_is_frozen(self, name):
+        """Every scenario models *revisit-time* drift: 2011 is archived data."""
+        original = profile_2011()
+        assert apply_drift(name, "2011", original) is original
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_revisit_wave_actually_changes(self, name):
+        # Profiles don't define value equality, so compare structurally —
+        # the same digest the audit uses to detect divergence.
+        from repro.audit.digests import structural_digest
+
+        drifted = apply_drift(name, "2024", profile_2024())
+        assert structural_digest(drifted) != structural_digest(profile_2024())
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_transforms_are_pure(self, name):
+        from repro.audit.digests import structural_digest
+
+        once = apply_drift(name, "2024", profile_2024())
+        again = apply_drift(name, "2024", profile_2024())
+        assert structural_digest(once) == structural_digest(again)
+
+    def test_package_version_churn_nudges_marginals(self):
+        base = profile_2024().question_models["uses_containers"].base
+        drifted = apply_drift("package_version_churn", "2024", profile_2024())
+        assert drifted.question_models["uses_containers"].base == pytest.approx(
+            min(1.0, base + 0.04)
+        )
+
+    def test_partial_data_loss_raises_missingness(self):
+        base = profile_2024()
+        drifted = apply_drift("partial_data_loss", "2024", base)
+        assert drifted.missing_rate == pytest.approx(base.missing_rate + 0.25)
+        assert drifted.required_missing_rate == pytest.approx(
+            base.required_missing_rate + 0.10
+        )
+
+    def test_schema_evolution_zeroes_dropped_option(self):
+        drifted = apply_drift("schema_evolution", "2024", profile_2024())
+        assert drifted.question_models["languages"].option_probs["fortran"] == 0.0
+
+    def test_planted_yes_rate_is_the_positive_control(self):
+        drifted = apply_drift("planted_yes_rate", "2024", profile_2024())
+        assert drifted.question_models["uses_parallelism"].base == 0.95
+
+    def test_unknown_scenario_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="unknown drift scenario"):
+            get_drift_scenario("cosmic_rays")
+        with pytest.raises(KeyError, match="planted_yes_rate"):
+            apply_drift("cosmic_rays", "2024", profile_2024())
+
+    def test_empty_name_is_identity(self):
+        original = profile_2024()
+        assert apply_drift("", "2024", original) is original
 
 
 class TestEffectRecovery:
