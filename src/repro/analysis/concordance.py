@@ -54,10 +54,14 @@ def gpu_concordance(study: Study, min_n: int = 5) -> ConcordanceResult:
         raise ValueError("no GPU jobs in telemetry")
     hours = gpu_jobs.gpu_hours
     total = float(hours.sum())
-    telemetry: dict[str, float] = {}
-    for field_name in gpu_jobs.fields():
-        mask = gpu_jobs.field == field_name
-        telemetry[field_name] = float(hours[mask].sum() / total)
+    # One bincount over the field dictionary codes replaces a mask pass
+    # per field; categories are sorted, matching the old fields() order.
+    block = gpu_jobs.cat("field")
+    per_field = np.bincount(block.codes, weights=hours, minlength=len(block.categories))
+    telemetry = {
+        field_name: float(per_field[code] / total)
+        for code, field_name in enumerate(block.categories)
+    }
 
     common = tuple(sorted(set(survey) & set(telemetry)))
     if len(common) < 3:

@@ -110,7 +110,7 @@ def crosstab(response_set: ResponseSet, row_key: str, col_key: str = COHORT) -> 
     """
     rows = _column_values(response_set, row_key)
     cols = _column_values(response_set, col_key)
-    present = np.array([r is not None and c is not None for r, c in zip(rows, cols)])
+    present = (rows != None) & (cols != None)  # noqa: E711 — element-wise over objects
     rows = rows[present].astype(str)
     cols = cols[present].astype(str)
     if rows.size == 0:

@@ -44,11 +44,13 @@ class FieldProfile:
 
 
 def _yes_share(subset: ResponseSet, key: str) -> float:
-    col = subset.column(key)
-    answered = [v for v in col if v is not None]
-    if not answered:
+    col = np.asarray(subset.column(key), dtype=object)
+    if col.size == 0:
         return float("nan")
-    return sum(1 for v in answered if v == "yes") / len(answered)
+    n_answered = int((col != None).sum())  # noqa: E711 — element-wise over objects
+    if n_answered == 0:
+        return float("nan")
+    return float((col == "yes").sum()) / n_answered
 
 
 def _language_shares(subset: ResponseSet) -> dict[str, float]:

@@ -78,15 +78,25 @@ def gpu_adoption_by_field(
     subset = responses.by_cohort(cohort)
     fields = subset.column("field")
     gpu = subset.column("uses_gpu")
+    # Factorize once and bincount, instead of one O(n) scan per field.
+    # np.unique returns labels sorted, matching the old sorted(set(...))
+    # iteration, so tie order after the stable adoption sort is unchanged.
+    valid = np.array([f is not None for f in fields], dtype=bool)
+    answered = np.array([g is not None for g in gpu], dtype=bool)[valid]
+    yes = np.array([g == "yes" for g in gpu], dtype=bool)[valid]
+    if not valid.any():
+        return []
+    labels, codes = np.unique(
+        np.asarray([f for f in fields if f is not None], dtype=str), return_inverse=True
+    )
+    ns = np.bincount(codes[answered], minlength=labels.size)
+    counts = np.bincount(codes[answered & yes], minlength=labels.size)
     out: list[FieldAdoption] = []
-    for field_name in sorted({f for f in fields if f is not None}):
-        mask = np.array(
-            [f == field_name and g is not None for f, g in zip(fields, gpu)]
-        )
-        n = int(mask.sum())
+    for code, field_name in enumerate(labels):
+        n = int(ns[code])
         if n < min_n:
             continue
-        count = int(sum(1 for f, g in zip(fields, gpu) if f == field_name and g == "yes"))
+        count = int(counts[code])
         out.append(
             FieldAdoption(
                 field=str(field_name),

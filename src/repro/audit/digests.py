@@ -107,12 +107,18 @@ def structural_digest(value: Any) -> str:
 
 
 def blob_digest(blob: bytes) -> str:
-    """Structural digest of a pickled cache blob (unpickle, then digest).
+    """Structural digest of a stored cache blob (decode, then digest).
 
-    Raises whatever :func:`pickle.loads` raises on a corrupt blob — the
-    caller decides whether a damaged entry is a finding or an error.
+    Understands both the protocol-5 out-of-band artifact container the
+    cache writes and legacy plain-pickle blobs. Raises whatever the
+    decoder raises on a corrupt blob — the caller decides whether a
+    damaged entry is a finding or an error.
     """
-    return structural_digest(pickle.loads(blob))
+    # The cache's container codec is the single source of truth for the
+    # stored format; the audit must observe exactly what a reader would.
+    from repro.core.pipeline import _decode_artifact
+
+    return structural_digest(_decode_artifact(blob))
 
 
 def cache_digests(root: str | Path) -> dict[str, str]:

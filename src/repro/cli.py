@@ -383,6 +383,49 @@ def build_parser() -> argparse.ArgumentParser:
             "no baseline needed)"
         ),
     )
+    ben.add_argument(
+        "--scale-sweep",
+        action="store_true",
+        help=(
+            "run the 1x/10x/100x job-volume scale sweep (simulate + "
+            "analysis wall and peak RSS per point) instead of the "
+            "standard benchmark battery; the fresh record is always "
+            "gated against the exponent limits (intra-record, no "
+            "baseline needed)"
+        ),
+    )
+    ben.add_argument(
+        "--sweep-factors",
+        default=None,
+        help="comma-separated job-volume multipliers (default per scale: full=1,10,100 quick=1,10)",
+    )
+    ben.add_argument(
+        "--check-scale-sweep",
+        type=Path,
+        default=None,
+        metavar="BENCH_JSON",
+        help=(
+            "gate scale-sweep complexity: check the fitted scaling "
+            "exponents of the latest committed sweep record in this "
+            "trajectory file (and of the fresh sweep when --scale-sweep "
+            "also ran); exit 1 on failure"
+        ),
+    )
+    ben.add_argument(
+        "--max-scale-exponent",
+        type=float,
+        default=1.35,
+        help=(
+            "allowed fitted wall-time scaling exponent for "
+            "--check-scale-sweep (1.0 = linear, 2.0 = quadratic)"
+        ),
+    )
+    ben.add_argument(
+        "--max-rss-exponent",
+        type=float,
+        default=1.2,
+        help="allowed fitted peak-RSS scaling exponent for --check-scale-sweep",
+    )
 
     pwr = command("power", help="two-proportion power calculations")
     pwr.add_argument("--p1", type=float, required=True, help="baseline proportion")
@@ -851,14 +894,26 @@ def _cmd_bench(args, out) -> int:
         check_journal_overhead,
         check_regression,
         check_retry_overhead,
+        check_scale_sweep,
         check_trace_overhead,
         render_record,
+        render_scale_sweep,
         run_benchmarks,
+        run_scale_sweep,
     )
 
     if args.repeats is not None and args.repeats < 1:
         print(f"error: --repeats must be >= 1, got {args.repeats}", file=out)
         return 2
+    if args.scale_sweep or args.check_scale_sweep is not None:
+        return _bench_scale_sweep(
+            args,
+            out,
+            append_run=append_run,
+            check_scale_sweep=check_scale_sweep,
+            render_scale_sweep=render_scale_sweep,
+            run_scale_sweep=run_scale_sweep,
+        )
     record = run_benchmarks(
         scale=args.scale,
         label=args.label,
@@ -900,6 +955,85 @@ def _cmd_bench(args, out) -> int:
         print(("ok: " if audit_ok else "REGRESSION: ") + audit_message, file=out)
         return 0 if ok and overhead_ok and journal_ok and trace_ok and audit_ok else 1
     return 0
+
+
+def _bench_scale_sweep(
+    args, out, *, append_run, check_scale_sweep, render_scale_sweep, run_scale_sweep
+) -> int:
+    """The ``bench --scale-sweep`` / ``--check-scale-sweep`` sub-path.
+
+    Runs the job-volume sweep when requested, then gates the fitted
+    scaling exponents of the fresh record and/or of the latest committed
+    sweep record in the trajectory file named by ``--check-scale-sweep``.
+    """
+    factors = None
+    if args.sweep_factors is not None:
+        try:
+            factors = tuple(
+                int(part) for part in args.sweep_factors.split(",") if part.strip()
+            )
+        except ValueError:
+            print(
+                f"error: --sweep-factors must be comma-separated integers, "
+                f"got {args.sweep_factors!r}",
+                file=out,
+            )
+            return 2
+
+    to_gate: list[tuple[str, dict]] = []
+    if args.scale_sweep:
+        try:
+            record = run_scale_sweep(
+                scale=args.scale,
+                label=args.label,
+                factors=factors,
+                repeats=args.repeats or 1,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(render_scale_sweep(record), file=out)
+        if args.json is not None:
+            append_run(args.json, record)
+            print(f"appended run to {args.json}", file=out)
+        to_gate.append(("fresh sweep", record))
+
+    if args.check_scale_sweep is not None:
+        committed = _latest_sweep_record(args.check_scale_sweep)
+        if committed is None:
+            if not args.scale_sweep:
+                print(
+                    f"error: no scale-sweep record in {args.check_scale_sweep}",
+                    file=out,
+                )
+                return 2
+        else:
+            to_gate.append((f"committed ({args.check_scale_sweep})", committed))
+
+    all_ok = True
+    for origin, rec in to_gate:
+        ok, message = check_scale_sweep(
+            rec,
+            max_exponent=args.max_scale_exponent,
+            max_rss_exponent=args.max_rss_exponent,
+        )
+        all_ok = all_ok and ok
+        print(("ok: " if ok else "REGRESSION: ") + f"{origin}: {message}", file=out)
+    return 0 if all_ok else 1
+
+
+def _latest_sweep_record(path) -> dict | None:
+    """Newest record in a bench trajectory file that carries sweep points."""
+    from repro.core.bench import load_runs
+
+    try:
+        runs = load_runs(path)
+    except (OSError, ValueError):
+        return None
+    for record in reversed(runs):
+        if "scale_sweep" in record.get("benchmarks", {}):
+            return record
+    return None
 
 
 def _cmd_robustness(args, out) -> int:

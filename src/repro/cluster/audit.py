@@ -75,15 +75,46 @@ def audit_table(
         Grace (seconds) before an end-past-limit counts as an overrun
         (schedulers grant a grace period on kill).
     """
-    issues: list[AuditIssue] = []
+    # Flags are computed columnar — one vectorized pass over the dictionary
+    # codes instead of a Python loop over every row — and issue objects are
+    # only materialized for the (normally rare) flagged rows. Per-category
+    # capacity lookups happen once per partition label, not once per job.
     runtime = table.runtime
-    for i in range(len(table)):
-        job_id = int(table.job_id[i])
-        partition_name = str(table.partition[i])
-        cores = int(table.cores[i])
-        gpus = int(table.gpus[i])
+    block = table.cat("partition")
+    codes = block.codes
+    cats = block.categories
+    known = np.array([name in cluster for name in cats], dtype=bool)
+    cap_cores = np.array(
+        [cluster[name].total_cores if ok else 0 for name, ok in zip(cats, known)],
+        dtype=np.int64,
+    )
+    cap_gpus = np.array(
+        [cluster[name].total_gpus if ok else 0 for name, ok in zip(cats, known)],
+        dtype=np.int64,
+    )
+    gpuless = np.array(
+        [ok and cluster[name].gpus_per_node == 0 for name, ok in zip(cats, known)],
+        dtype=bool,
+    )
 
-        if partition_name not in cluster:
+    cores = table.cores
+    gpus = table.gpus
+    limit = table.req_walltime
+    unknown = ~known[codes]
+    ok_rows = ~unknown  # capacity checks need a known partition
+    oversized = ok_rows & ~(
+        (cores >= 1) & (cores <= cap_cores[codes]) & (gpus >= 0) & (gpus <= cap_gpus[codes])
+    )
+    gpu_on_cpu = ok_rows & (gpus > 0) & gpuless[codes]
+    overrun = ok_rows & (limit > 0) & (runtime > limit + walltime_slack)
+    implausible = ok_rows & (runtime > max_reasonable_runtime)
+
+    issues: list[AuditIssue] = []
+    flagged = unknown | oversized | gpu_on_cpu | overrun | implausible
+    for i in np.flatnonzero(flagged):
+        job_id = int(table.job_id[i])
+        partition_name = cats[codes[i]]
+        if unknown[i]:
             issues.append(
                 AuditIssue(
                     job_id,
@@ -91,35 +122,34 @@ def audit_table(
                     f"partition {partition_name!r} not in cluster {cluster.name!r}",
                 )
             )
-            continue  # capacity checks below need a known partition
-        partition = cluster[partition_name]
-        if not partition.fits(cores, gpus):
+            continue
+        if oversized[i]:
             issues.append(
                 AuditIssue(
                     job_id,
                     AuditIssueKind.OVERSIZED_ALLOCATION,
-                    f"({cores} cores, {gpus} gpus) exceeds partition "
+                    f"({int(cores[i])} cores, {int(gpus[i])} gpus) exceeds partition "
                     f"{partition_name!r} capacity",
                 )
             )
-        if gpus > 0 and partition.gpus_per_node == 0:
+        if gpu_on_cpu[i]:
             issues.append(
                 AuditIssue(
                     job_id,
                     AuditIssueKind.GPU_ON_CPU_PARTITION,
-                    f"{gpus} gpus recorded on gpu-less partition {partition_name!r}",
+                    f"{int(gpus[i])} gpus recorded on gpu-less partition "
+                    f"{partition_name!r}",
                 )
             )
-        limit = float(table.req_walltime[i])
-        if limit > 0 and runtime[i] > limit + walltime_slack:
+        if overrun[i]:
             issues.append(
                 AuditIssue(
                     job_id,
                     AuditIssueKind.WALLTIME_OVERRUN,
-                    f"ran {runtime[i]:.0f}s against a {limit:.0f}s limit",
+                    f"ran {runtime[i]:.0f}s against a {float(limit[i]):.0f}s limit",
                 )
             )
-        if runtime[i] > max_reasonable_runtime:
+        if implausible[i]:
             issues.append(
                 AuditIssue(
                     job_id,

@@ -48,7 +48,7 @@ def waste_summary(table: JobTable) -> WasteSummary:
     total = float(hours.sum())
     wasted: dict[str, float] = {}
     for state in _BAD_STATES:
-        mask = table.state == state
+        mask = table.state_mask(state)
         if mask.any():
             wasted[state] = float(hours[mask].sum())
     waste_total = sum(wasted.values())
@@ -75,17 +75,21 @@ def failure_rates_by(
         raise ValueError(f"cannot group failures by {column!r}")
     if len(table) == 0:
         raise ValueError("empty job table")
-    values = getattr(table, column)
-    bad = (table.state == JobState.FAILED.value) | (
-        table.state == JobState.TIMEOUT.value
+    # Two bincounts over the dictionary codes replace one O(n) mask pass
+    # per group; categories are stored sorted, so iteration order matches
+    # the sorted(set(...)) of the per-row version.
+    block = table.cat(column)
+    bad = table.state_mask(JobState.FAILED.value) | table.state_mask(
+        JobState.TIMEOUT.value
     )
+    totals = np.bincount(block.codes, minlength=len(block.categories))
+    bad_counts = np.bincount(block.codes[bad], minlength=len(block.categories))
     out: dict[str, BinomialInterval] = {}
-    for group in sorted(set(values.tolist())):
-        mask = values == group
-        n = int(mask.sum())
+    for code, group in enumerate(block.categories):
+        n = int(totals[code])
         if n < min_jobs:
             continue
-        out[str(group)] = wilson_interval(int(bad[mask].sum()), n)
+        out[group] = wilson_interval(int(bad_counts[code]), n)
     return out
 
 
@@ -108,7 +112,7 @@ def failure_bursts(
         raise ValueError("window_seconds and threshold must be positive")
     if len(table) == 0:
         return []
-    failed_mask = table.state == JobState.FAILED.value
+    failed_mask = table.state_mask(JobState.FAILED.value)
     n_failed = int(failed_mask.sum())
     if n_failed == 0:
         return []

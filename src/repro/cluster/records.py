@@ -2,19 +2,34 @@
 
 Telemetry analyses aggregate over tens of thousands of jobs; iterating
 Python objects per job would dominate runtime. :class:`JobTable` therefore
-stores one contiguous numpy array per column (struct-of-arrays). Derived
-quantities (wait, runtime, CPU-hours) are computed vectorized and cached.
+stores one contiguous numpy array per column (struct-of-arrays). String
+columns (``user``, ``field``, ``partition``, ``state``) are dictionary
+encoded as :class:`Categorical` blocks: an ``int32`` code array plus a
+shared category table, so filtering and grouping are integer mask/bincount
+operations instead of object-dtype comparisons. Derived quantities (wait,
+runtime, CPU-hours) are computed vectorized and cached.
+
+Canonical-form invariant
+------------------------
+Every :class:`Categorical` stored in a table is *canonical*: its category
+tuple is sorted and contains exactly the labels present in the code array.
+This makes ``factorize``/``partitions``/``fields`` zero-cost reads of the
+stored block, keeps filtered tables' category tables minimal, and makes the
+pickled form of two value-equal tables byte-identical regardless of the
+construction path (``from_records`` vs. columnar).
 """
 
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from itertools import compress
 
 import numpy as np
 
-__all__ = ["JobState", "JobRecord", "JobTable"]
+__all__ = ["JobState", "JobRecord", "Categorical", "JobTable"]
 
 
 class JobState(enum.Enum):
@@ -97,12 +112,190 @@ class JobRecord:
         return self.gpus * self.runtime / 3600.0
 
 
+class Categorical:
+    """Dictionary-encoded string column: ``int32`` codes into a category tuple.
+
+    Canonical form (enforced by :meth:`canonical`) requires the category
+    tuple to be sorted and to contain exactly the labels referenced by the
+    code array. All block-returning methods preserve canonical form, so a
+    block obtained from a :class:`JobTable` can be sliced and merged without
+    revalidation.
+    """
+
+    __slots__ = ("codes", "categories", "_canonical")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        categories: Sequence[str],
+        *,
+        _trusted_canonical: bool = False,
+    ) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.int32)
+        codes.setflags(write=False)
+        self.codes = codes
+        self.categories = tuple(categories)
+        self._canonical = bool(_trusted_canonical)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Iterable[str] | np.ndarray) -> "Categorical":
+        """Factorize raw string values into canonical codes + categories."""
+        arr = np.asarray(values, dtype=object)
+        if arr.size == 0:
+            return cls(np.empty(0, dtype=np.int32), (), _trusted_canonical=True)
+        labels, codes = np.unique(arr.astype(str), return_inverse=True)
+        return cls(codes, tuple(labels.tolist()), _trusted_canonical=True)
+
+    # -- basics --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Categorical):
+            return NotImplemented
+        return self.categories == other.categories and np.array_equal(
+            self.codes, other.codes
+        )
+
+    def __hash__(self) -> int:  # immutable by convention, but arrays inside
+        return hash((self.categories, self.codes.tobytes()))
+
+    def __getstate__(self):
+        return {"codes": self.codes, "categories": self.categories}
+
+    def __setstate__(self, state) -> None:
+        codes = np.ascontiguousarray(state["codes"], dtype=np.int32)
+        codes.setflags(write=False)
+        self.codes = codes
+        self.categories = tuple(state["categories"])
+        # Stored tables only ever pickle canonical blocks.
+        self._canonical = True
+
+    # -- canonical form ------------------------------------------------------
+
+    def canonical(self) -> "Categorical":
+        """Equivalent block with sorted, present-only categories.
+
+        Returns ``self`` when already canonical (the common case for blocks
+        produced by this module).
+        """
+        if self._canonical:
+            return self
+        cats = self.categories
+        ncat = len(cats)
+        if self.codes.size:
+            lo = int(self.codes.min())
+            hi = int(self.codes.max())
+            if lo < 0 or hi >= ncat:
+                raise ValueError(
+                    f"categorical code out of range [0, {ncat}): {lo if lo < 0 else hi}"
+                )
+            presence = np.bincount(self.codes, minlength=ncat) > 0
+        else:
+            presence = np.zeros(ncat, dtype=bool)
+        present_idx = np.flatnonzero(presence)
+        present = [cats[i] for i in present_idx]
+        if len(set(present)) != len(present):
+            raise ValueError("duplicate labels in category table")
+        order = sorted(range(len(present)), key=present.__getitem__)
+        new_cats = tuple(present[k] for k in order)
+        if new_cats == cats:
+            self._canonical = True
+            return self
+        lut = np.full(ncat, -1, dtype=np.int32)
+        for rank, k in enumerate(order):
+            lut[present_idx[k]] = rank
+        return Categorical(lut[self.codes], new_cats, _trusted_canonical=True)
+
+    # -- transforms ----------------------------------------------------------
+
+    def take(self, indexer: np.ndarray) -> "Categorical":
+        """Rows selected by a boolean mask or integer indexer, re-compacted.
+
+        Requires ``self`` canonical; the result is canonical (labels that
+        vanish from the selection are dropped from the category table).
+        """
+        codes = self.codes[indexer]
+        ncat = len(self.categories)
+        if codes.size == 0:
+            return Categorical(codes, (), _trusted_canonical=True)
+        presence = np.bincount(codes, minlength=ncat) > 0
+        if presence.all():
+            return Categorical(codes, self.categories, _trusted_canonical=True)
+        lut = (np.cumsum(presence) - 1).astype(np.int32)
+        new_cats = tuple(compress(self.categories, presence))
+        return Categorical(lut[codes], new_cats, _trusted_canonical=True)
+
+    @classmethod
+    def merge(cls, blocks: Sequence["Categorical"]) -> "Categorical":
+        """Concatenate canonical blocks, unioning their category tables."""
+        blocks = [b.canonical() for b in blocks]
+        if not blocks:
+            return cls(np.empty(0, dtype=np.int32), (), _trusted_canonical=True)
+        first = blocks[0].categories
+        if all(b.categories == first for b in blocks):
+            codes = np.concatenate([b.codes for b in blocks])
+            return cls(codes, first, _trusted_canonical=True)
+        merged = sorted(set().union(*(b.categories for b in blocks)))
+        index = {label: i for i, label in enumerate(merged)}
+        parts = []
+        for b in blocks:
+            lut = np.array([index[c] for c in b.categories], dtype=np.int32)
+            parts.append(lut[b.codes] if b.categories else b.codes)
+        return cls(np.concatenate(parts), tuple(merged), _trusted_canonical=True)
+
+    # -- lookups -------------------------------------------------------------
+
+    def code_of(self, label: str) -> int:
+        """Code for ``label``, or -1 when absent (categories are sorted)."""
+        cats = self.categories
+        i = bisect_left(cats, label)
+        if i < len(cats) and cats[i] == label:
+            return i
+        return -1
+
+    def mask_eq(self, label: str) -> np.ndarray:
+        """Boolean mask of rows equal to ``label`` (all-False when absent)."""
+        code = self.code_of(label)
+        if code < 0:
+            return np.zeros(self.codes.size, dtype=bool)
+        return self.codes == code
+
+    def to_objects(self) -> np.ndarray:
+        """Materialize as an object-dtype array of strings."""
+        lut = np.array(self.categories, dtype=object)
+        if not self.categories:
+            return np.empty(self.codes.size, dtype=object)
+        return lut[self.codes]
+
+    def counts(self) -> np.ndarray:
+        """Occurrences per category (aligned with :attr:`categories`)."""
+        return np.bincount(self.codes, minlength=len(self.categories))
+
+
+def _as_categorical(values) -> Categorical:
+    if isinstance(values, Categorical):
+        return values.canonical()
+    return Categorical.from_values(values)
+
+
 class JobTable:
     """Columnar container of job records.
 
     Construct from records via :meth:`from_records` or directly from columns
-    (all arrays same length). Columns are read-only views; filtering returns
-    a new table sharing no mutable state.
+    (all arrays same length). String columns may be passed either as raw
+    string arrays or as :class:`Categorical` blocks; they are stored
+    dictionary-encoded either way. Columns are read-only views; filtering
+    returns a new table sharing no mutable state.
+
+    Columnar accessors: ``<col>_codes`` / ``<col>_categories`` expose the
+    int32 code array and sorted category tuple for each string column
+    (``user``, ``field``, ``partition``, ``state``); the plain column name
+    (``table.user``, …) lazily materializes an object-dtype string array for
+    backward compatibility.
     """
 
     _FLOAT_COLS = ("submit", "start", "end", "req_walltime")
@@ -112,40 +305,44 @@ class JobTable:
     def __init__(
         self,
         job_id: np.ndarray,
-        user: np.ndarray,
-        field: np.ndarray,
-        partition: np.ndarray,
+        user: np.ndarray | Categorical,
+        field: np.ndarray | Categorical,
+        partition: np.ndarray | Categorical,
         submit: np.ndarray,
         start: np.ndarray,
         end: np.ndarray,
         cores: np.ndarray,
         gpus: np.ndarray,
-        state: np.ndarray,
+        state: np.ndarray | Categorical,
         req_walltime: np.ndarray | None = None,
     ) -> None:
         self.job_id = np.ascontiguousarray(job_id, dtype=np.int64)
-        self.user = np.asarray(user, dtype=object)
-        self.field = np.asarray(field, dtype=object)
-        self.partition = np.asarray(partition, dtype=object)
+        self._user = _as_categorical(user)
+        self._field = _as_categorical(field)
+        self._partition = _as_categorical(partition)
         self.submit = np.ascontiguousarray(submit, dtype=float)
         self.start = np.ascontiguousarray(start, dtype=float)
         self.end = np.ascontiguousarray(end, dtype=float)
         self.cores = np.ascontiguousarray(cores, dtype=np.int64)
         self.gpus = np.ascontiguousarray(gpus, dtype=np.int64)
-        self.state = np.asarray(state, dtype=object)
+        self._state = _as_categorical(state)
         if req_walltime is None:
             req_walltime = np.zeros(self.job_id.size, dtype=float)
         self.req_walltime = np.ascontiguousarray(req_walltime, dtype=float)
-        # Lazily-computed derived columns, factorizations, and sub-tables.
+        # Lazily-computed derived columns, materializations, and sub-tables.
         # Tables are immutable by convention, so aggregation code can hit
         # the same derived column many times without recomputing it.
         self._cache: dict[object, object] = {}
 
         n = self.job_id.size
-        for name in self._FLOAT_COLS + self._INT_COLS + self._STR_COLS:
+        for name in self._FLOAT_COLS + self._INT_COLS:
             col = getattr(self, name)
             if col.size != n:
                 raise ValueError(f"column {name!r} length {col.size} != {n}")
+        for name in self._STR_COLS:
+            col = getattr(self, "_" + name)
+            if len(col) != n:
+                raise ValueError(f"column {name!r} length {len(col)} != {n}")
         if n:
             if (self.submit > self.start).any() or (self.start > self.end).any():
                 bad = int(np.argmax((self.submit > self.start) | (self.start > self.end)))
@@ -185,6 +382,18 @@ class JobTable:
     def empty(cls) -> "JobTable":
         return cls.from_records([])
 
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self):
+        # Drop derived/materialized caches: the pickled form is the canonical
+        # columnar payload, so two value-equal tables pickle byte-identically
+        # regardless of which derived columns were touched.
+        return {k: v for k, v in self.__dict__.items() if k != "_cache"}
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._cache = {}
+
     # -- basics ---------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -198,17 +407,83 @@ class JobTable:
         """Materialize row ``i`` as a :class:`JobRecord`."""
         return JobRecord(
             job_id=int(self.job_id[i]),
-            user=str(self.user[i]),
-            field=str(self.field[i]),
-            partition=str(self.partition[i]),
+            user=self._user.categories[self._user.codes[i]],
+            field=self._field.categories[self._field.codes[i]],
+            partition=self._partition.categories[self._partition.codes[i]],
             submit=float(self.submit[i]),
             start=float(self.start[i]),
             end=float(self.end[i]),
             cores=int(self.cores[i]),
             gpus=int(self.gpus[i]),
-            state=JobState(self.state[i]),
+            state=JobState(self._state.categories[self._state.codes[i]]),
             req_walltime=float(self.req_walltime[i]),
         )
+
+    # -- columnar accessors ----------------------------------------------------
+
+    def cat(self, column: str) -> Categorical:
+        """The :class:`Categorical` block backing a string column."""
+        if column not in self._STR_COLS:
+            raise ValueError(f"expected one of {self._STR_COLS}, got {column!r}")
+        return getattr(self, "_" + column)
+
+    def _objects(self, column: str) -> np.ndarray:
+        key = ("objects", column)
+        out = self._cache.get(key)
+        if out is None:
+            out = self.cat(column).to_objects()
+            out.setflags(write=False)
+            self._cache[key] = out
+        return out
+
+    @property
+    def user(self) -> np.ndarray:
+        """User labels as an object array (lazily materialized, cached)."""
+        return self._objects("user")
+
+    @property
+    def field(self) -> np.ndarray:
+        return self._objects("field")
+
+    @property
+    def partition(self) -> np.ndarray:
+        return self._objects("partition")
+
+    @property
+    def state(self) -> np.ndarray:
+        return self._objects("state")
+
+    @property
+    def user_codes(self) -> np.ndarray:
+        return self._user.codes
+
+    @property
+    def user_categories(self) -> tuple[str, ...]:
+        return self._user.categories
+
+    @property
+    def field_codes(self) -> np.ndarray:
+        return self._field.codes
+
+    @property
+    def field_categories(self) -> tuple[str, ...]:
+        return self._field.categories
+
+    @property
+    def partition_codes(self) -> np.ndarray:
+        return self._partition.codes
+
+    @property
+    def partition_categories(self) -> tuple[str, ...]:
+        return self._partition.categories
+
+    @property
+    def state_codes(self) -> np.ndarray:
+        return self._state.codes
+
+    @property
+    def state_categories(self) -> tuple[str, ...]:
+        return self._state.categories
 
     # -- derived columns --------------------------------------------------------
 
@@ -241,21 +516,12 @@ class JobTable:
     def factorize(self, column: str) -> tuple[np.ndarray, list[str]]:
         """Integer codes plus sorted unique labels for a string column.
 
-        Cached per column: aggregation functions factorize the same group
-        keys (field, user, partition) repeatedly over one table.
+        With dictionary-encoded columns this is a zero-copy read of the
+        stored block: the canonical-form invariant guarantees the category
+        table is exactly the sorted distinct labels present.
         """
-        if column not in self._STR_COLS:
-            raise ValueError(f"factorize expects one of {self._STR_COLS}, got {column!r}")
-        cached = self._cache.get(("factorize", column))
-        if cached is None:
-            labels, codes = np.unique(
-                getattr(self, column).astype(str), return_inverse=True
-            )
-            codes.setflags(write=False)
-            cached = (codes, tuple(labels.tolist()))
-            self._cache[("factorize", column)] = cached
-        codes, labels = cached
-        return codes, list(labels)
+        block = self.cat(column)
+        return block.codes, list(block.categories)
 
     # -- filtering ---------------------------------------------------------------
 
@@ -266,15 +532,15 @@ class JobTable:
             raise ValueError(f"mask shape {m.shape} != ({len(self)},)")
         return JobTable(
             job_id=self.job_id[m],
-            user=self.user[m],
-            field=self.field[m],
-            partition=self.partition[m],
+            user=self._user.take(m),
+            field=self._field.take(m),
+            partition=self._partition.take(m),
             submit=self.submit[m],
             start=self.start[m],
             end=self.end[m],
             cores=self.cores[m],
             gpus=self.gpus[m],
-            state=self.state[m],
+            state=self._state.take(m),
             req_walltime=self.req_walltime[m],
         )
 
@@ -283,46 +549,43 @@ class JobTable:
         over and over; treat the result as read-only)."""
         cached = self._cache.get(("by_partition", name))
         if cached is None:
-            cached = self.mask(self.partition == name)
+            cached = self.mask(self._partition.mask_eq(name))
             self._cache[("by_partition", name)] = cached
         return cached
 
     def by_field(self, name: str) -> "JobTable":
-        return self.mask(self.field == name)
+        return self.mask(self._field.mask_eq(name))
 
     def gpu_jobs(self) -> "JobTable":
         return self.mask(self.gpus > 0)
 
     def completed(self) -> "JobTable":
-        return self.mask(self.state == JobState.COMPLETED.value)
+        return self.mask(self._state.mask_eq(JobState.COMPLETED.value))
+
+    def state_mask(self, state: "JobState | str") -> np.ndarray:
+        """Boolean mask of rows in a terminal state (code comparison)."""
+        label = state.value if isinstance(state, JobState) else state
+        return self._state.mask_eq(label)
 
     def partitions(self) -> tuple[str, ...]:
-        """Distinct partition names, sorted (cached)."""
-        cached = self._cache.get("partitions")
-        if cached is None:
-            cached = tuple(sorted(set(self.partition.tolist())))
-            self._cache["partitions"] = cached
-        return cached
+        """Distinct partition names, sorted (the stored category table)."""
+        return self._partition.categories
 
     def fields(self) -> tuple[str, ...]:
-        cached = self._cache.get("fields")
-        if cached is None:
-            cached = tuple(sorted(set(self.field.tolist())))
-            self._cache["fields"] = cached
-        return cached
+        return self._field.categories
 
     def concat(self, other: "JobTable") -> "JobTable":
         """Row-wise concatenation (job ids must stay unique)."""
         return JobTable(
             job_id=np.concatenate([self.job_id, other.job_id]),
-            user=np.concatenate([self.user, other.user]),
-            field=np.concatenate([self.field, other.field]),
-            partition=np.concatenate([self.partition, other.partition]),
+            user=Categorical.merge([self._user, other._user]),
+            field=Categorical.merge([self._field, other._field]),
+            partition=Categorical.merge([self._partition, other._partition]),
             submit=np.concatenate([self.submit, other.submit]),
             start=np.concatenate([self.start, other.start]),
             end=np.concatenate([self.end, other.end]),
             cores=np.concatenate([self.cores, other.cores]),
             gpus=np.concatenate([self.gpus, other.gpus]),
-            state=np.concatenate([self.state, other.state]),
+            state=Categorical.merge([self._state, other._state]),
             req_walltime=np.concatenate([self.req_walltime, other.req_walltime]),
         )

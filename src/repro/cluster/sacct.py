@@ -42,34 +42,47 @@ class SacctFormatError(ValueError):
     """Raised on malformed accounting input."""
 
 
-def _format_row(r: JobRecord) -> str:
-    tres = f"cpu={r.cores}" + (f",gres/gpu={r.gpus}" if r.gpus else "")
-    return "|".join(
-        [
-            str(r.job_id),
-            r.user,
-            r.field,
-            r.partition,
-            f"{r.submit:.3f}",
-            f"{r.start:.3f}",
-            f"{r.end:.3f}",
-            str(r.cores),
-            tres,
-            f"{r.req_walltime:.0f}",
-            r.state.value,
-        ]
-    )
-
-
 def write_sacct(table: JobTable, destination: str | Path | TextIO) -> None:
-    """Write a job table in sacct-parsable2 format."""
+    """Write a job table in sacct-parsable2 format.
+
+    Rows are rendered straight from the table's column blocks — string
+    columns resolve through their dictionary codes, so no per-row
+    :class:`JobRecord` is ever materialized. Output is byte-identical to
+    the per-record writer this replaced.
+    """
     if isinstance(destination, (str, Path)):
         with _open_text(destination, "w") as fh:
             write_sacct(table, fh)
         return
     destination.write(_HEADER + "\n")
-    for record in table:
-        destination.write(_format_row(record) + "\n")
+    users, fields, parts = table.cat("user"), table.cat("field"), table.cat("partition")
+    states = table.cat("state")
+    job_id, cores, gpus = table.job_id, table.cores, table.gpus
+    submit, start, end, walltime = table.submit, table.start, table.end, table.req_walltime
+    out: list[str] = []
+    for i in range(len(table)):
+        n_gpus = int(gpus[i])
+        n_cores = int(cores[i])
+        tres = f"cpu={n_cores}" + (f",gres/gpu={n_gpus}" if n_gpus else "")
+        out.append(
+            "|".join(
+                [
+                    str(int(job_id[i])),
+                    users.categories[users.codes[i]],
+                    fields.categories[fields.codes[i]],
+                    parts.categories[parts.codes[i]],
+                    f"{submit[i]:.3f}",
+                    f"{start[i]:.3f}",
+                    f"{end[i]:.3f}",
+                    str(n_cores),
+                    tres,
+                    f"{walltime[i]:.0f}",
+                    states.categories[states.codes[i]],
+                ]
+            )
+            + "\n"
+        )
+    destination.write("".join(out))
 
 
 def _parse_gpus(tres: str, job_id: str) -> int:

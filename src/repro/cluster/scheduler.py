@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.cluster.allocation import NodeGranularAllocator, PooledAllocator
 from repro.cluster.partitions import ClusterConfig, DEFAULT_CLUSTER, Partition
-from repro.cluster.records import JobState, JobTable
+from repro.cluster.records import Categorical, JobState, JobTable
 from repro.cluster.workload import SubmittedJob
 
 __all__ = ["SchedulerResult", "simulate_schedule"]
@@ -65,29 +65,35 @@ class SchedulerResult:
 # once at validation time so the per-event code never chases SubmittedJob
 # attributes (or pays a dataclass __init__) again. Layout:
 #   (job_id, user, field, submit, cores, gpus, req_walltime, duration, state)
-# where duration is the actual occupancy decided by terminal state and state
-# is the pre-resolved JobState.value string.
+# where user/field are int codes factorized during the validation pass,
+# duration is the actual occupancy decided by terminal state, and state is a
+# pre-resolved int code into _STATE_CATEGORIES.
 _Q_ID, _Q_USER, _Q_SUBMIT, _Q_CORES, _Q_GPUS, _Q_WALL = 0, 1, 3, 4, 5, 6
 
 
 class _FairshareLedger:
-    """Per-user usage with exponential decay (shared across partitions)."""
+    """Per-user usage with exponential decay (shared across partitions).
+
+    Users are identified by the int codes assigned in the validation pass;
+    the code <-> label mapping is a bijection, so decayed-usage ordering is
+    unchanged from the string-keyed form.
+    """
 
     def __init__(self, halflife: float) -> None:
         if halflife <= 0:
             raise ValueError("fairshare halflife must be positive")
         self.halflife = halflife
-        self._usage: dict[str, float] = {}
-        self._stamp: dict[str, float] = {}
+        self._usage: dict[int, float] = {}
+        self._stamp: dict[int, float] = {}
 
-    def usage(self, user: str, now: float) -> float:
+    def usage(self, user: int, now: float) -> float:
         raw = self._usage.get(user, 0.0)
         if raw == 0.0:
             return 0.0
         age = now - self._stamp.get(user, now)
         return raw * 0.5 ** (max(age, 0.0) / self.halflife)
 
-    def charge(self, user: str, core_seconds: float, now: float) -> None:
+    def charge(self, user: int, core_seconds: float, now: float) -> None:
         current = self.usage(user, now)
         self._usage[user] = current + core_seconds
         self._stamp[user] = now
@@ -263,12 +269,14 @@ class _PartitionSim:
             i += 1
 
 
-# Enum member and .value lookups both go through descriptors; hoisting the
-# terminal-state strings keeps that cost out of the per-job loop.
-_FAILED = JobState.FAILED.value
-_CANCELLED = JobState.CANCELLED.value
-_TIMEOUT = JobState.TIMEOUT.value
-_COMPLETED = JobState.COMPLETED.value
+# Terminal states as small int codes into a sorted category table: the
+# per-job loop and the result rows never touch state strings, and the final
+# assembly hands the codes straight to a Categorical block.
+_STATE_CATEGORIES: tuple[str, ...] = tuple(sorted(s.value for s in JobState))
+_CANCELLED = _STATE_CATEGORIES.index(JobState.CANCELLED.value)
+_COMPLETED = _STATE_CATEGORIES.index(JobState.COMPLETED.value)
+_FAILED = _STATE_CATEGORIES.index(JobState.FAILED.value)
+_TIMEOUT = _STATE_CATEGORIES.index(JobState.TIMEOUT.value)
 
 _INF = float("inf")
 
@@ -364,6 +372,15 @@ def simulate_schedule(
     # every record keeps submit <= start <= end.
     rng_random = rng.random
     rng_uniform = rng.uniform
+    # Factorize user/field inline: codes are assigned in first-seen order
+    # and remapped to sorted category tables at assembly time. The event
+    # loop, fairshare ledger, and result rows only ever touch small ints.
+    user_index: dict[str, int] = {}
+    field_index: dict[str, int] = {}
+    user_setdefault = user_index.setdefault
+    field_setdefault = field_index.setdefault
+    user_len = user_index.__len__
+    field_len = field_index.__len__
     for partition, cores, gpus, runtime, req_wall, job_id, user, field, submit in map(
         _EXTRACT, ordered
     ):
@@ -389,7 +406,19 @@ def simulate_schedule(
         else:
             state = _COMPLETED
             duration = runtime
-        append((job_id, user, field, submit, cores, gpus, req_wall, duration, state))
+        append(
+            (
+                job_id,
+                user_setdefault(user, user_len()),
+                field_setdefault(field, field_len()),
+                submit,
+                cores,
+                gpus,
+                req_wall,
+                duration,
+                state,
+            )
+        )
 
     track_dirty = ledger is not None
     for name, queue in per_partition.items():
@@ -408,7 +437,24 @@ def simulate_schedule(
         # submission so completions at the same instant free resources first
         # (release_until) and the new arrival schedules against them.
         while True:
-            if running:
+            if not pending:
+                # Fast-forward: with nothing queued, completions cannot
+                # trigger scheduling decisions, so every completion up to
+                # the next arrival is released as one batch — and once the
+                # stream is exhausted the remaining drain is pure token
+                # bookkeeping that affects no accounting row, so stop.
+                if idx >= n:
+                    break
+                now = submits[idx]
+                release_until(now)
+                append_pending(queue[idx])
+                idx += 1
+                while submits[idx] <= now:
+                    append_pending(queue[idx])
+                    idx += 1
+                if track_dirty:
+                    sim._dirty = True
+            elif running:
                 next_done = running[0][0]
                 now = submits[idx]
                 if now <= next_done:
@@ -444,12 +490,20 @@ def simulate_schedule(
             if pending:
                 try_schedule(now)
 
+    # Columnar assembly: rows already carry int codes, so the result columns
+    # are built as numpy blocks directly — no object arrays, no per-row
+    # JobRecord materialization, and the string columns land in JobTable as
+    # ready-made Categorical blocks.
     rows: list[tuple] = []
     backfilled = 0
-    partition_col: list[str] = []
+    part_labels = sorted(sims)
+    part_code_of = {name: code for code, name in enumerate(part_labels)}
+    part_code_chunks: list[np.ndarray] = []
     for name, sim in sims.items():
         rows.extend(sim.rows)
-        partition_col.extend([name] * len(sim.rows))
+        part_code_chunks.append(
+            np.full(len(sim.rows), part_code_of[name], dtype=np.int32)
+        )
         backfilled += sim.backfilled
     if len(rows) != len(ordered):
         raise RuntimeError(
@@ -460,17 +514,36 @@ def simulate_schedule(
     (job_id, user, field, submit, start, end, cores, gpus, state, req_wall) = zip(*rows)
     id_col = np.array(job_id, dtype=np.int64)
     order = np.argsort(id_col)
+
+    def _remap_sorted(index: dict[str, int]) -> tuple[np.ndarray, tuple[str, ...]]:
+        # First-seen codes -> codes into the sorted category table.
+        labels = list(index)
+        rank_order = sorted(range(len(labels)), key=labels.__getitem__)
+        lut = np.empty(len(labels), dtype=np.int32)
+        for rank, first_seen in enumerate(rank_order):
+            lut[first_seen] = rank
+        return lut, tuple(labels[i] for i in rank_order)
+
+    user_lut, user_cats = _remap_sorted(user_index)
+    field_lut, field_cats = _remap_sorted(field_index)
+    user_codes = user_lut[np.array(user, dtype=np.int32)][order]
+    field_codes = field_lut[np.array(field, dtype=np.int32)][order]
+    part_codes = np.concatenate(part_code_chunks)[order]
+    state_codes = np.array(state, dtype=np.int32)[order]
     table = JobTable(
         job_id=id_col[order],
-        user=np.array(user, dtype=object)[order],
-        field=np.array(field, dtype=object)[order],
-        partition=np.array(partition_col, dtype=object)[order],
+        # Every user/field in the index started a job, so those blocks are
+        # canonical by construction; partition/state tables may contain
+        # absent labels and get compacted by Categorical.canonical().
+        user=Categorical(user_codes, user_cats, _trusted_canonical=True),
+        field=Categorical(field_codes, field_cats, _trusted_canonical=True),
+        partition=Categorical(part_codes, tuple(part_labels)),
         submit=np.array(submit, dtype=float)[order],
         start=np.array(start, dtype=float)[order],
         end=np.array(end, dtype=float)[order],
         cores=np.array(cores, dtype=np.int64)[order],
         gpus=np.array(gpus, dtype=np.int64)[order],
-        state=np.array(state, dtype=object)[order],
+        state=Categorical(state_codes, _STATE_CATEGORIES),
         req_walltime=np.array(req_wall, dtype=float)[order],
     )
     return SchedulerResult(table=table, backfilled=backfilled)

@@ -70,16 +70,22 @@ import numpy as np
 __all__ = [
     "BenchScale",
     "SCALES",
+    "SWEEP_FACTORS",
     "run_benchmarks",
+    "run_scale_sweep",
     "append_run",
     "load_runs",
     "latest_run",
+    "record_scale_factor",
+    "fit_scaling_exponent",
     "check_regression",
     "check_retry_overhead",
     "check_journal_overhead",
     "check_trace_overhead",
     "check_audit_overhead",
+    "check_scale_sweep",
     "render_record",
+    "render_scale_sweep",
 ]
 
 SCHEMA_VERSION = 1
@@ -101,6 +107,7 @@ class BenchScale:
     jobs_per_day: float
     cohort_n: int
     repeats: int
+    scale_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.months < 1:
@@ -111,11 +118,27 @@ class BenchScale:
             raise ValueError("cohort_n must be >= 1")
         if self.repeats < 1:
             raise ValueError("repeats must be >= 1")
+        if self.scale_factor <= 0:
+            raise ValueError("scale_factor must be positive")
 
 
 SCALES: dict[str, BenchScale] = {
-    "full": BenchScale(months=3, jobs_per_day=400.0, cohort_n=200, repeats=3),
-    "quick": BenchScale(months=1, jobs_per_day=120.0, cohort_n=60, repeats=2),
+    "full": BenchScale(
+        months=3, jobs_per_day=400.0, cohort_n=200, repeats=3, scale_factor=1.0
+    ),
+    # quick runs 1/10th of full's nominal job volume (1 month x 120/day vs
+    # 3 months x 400/day).
+    "quick": BenchScale(
+        months=1, jobs_per_day=120.0, cohort_n=60, repeats=2, scale_factor=0.1
+    ),
+}
+
+#: Default job-volume multipliers per scale for :func:`run_scale_sweep`.
+#: ``full`` covers the tentpole 1x/10x/100x complexity curve; ``quick``
+#: stops at 10x so the CI smoke sweep finishes in seconds.
+SWEEP_FACTORS: dict[str, tuple[int, ...]] = {
+    "full": (1, 10, 100),
+    "quick": (1, 10),
 }
 
 
@@ -584,10 +607,184 @@ def run_benchmarks(
     return {
         "label": label,
         "scale": scale,
+        "scale_factor": sc.scale_factor,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
         "machine": _machine_metadata(),
         "repeats": k,
         "benchmarks": benchmarks,
+    }
+
+
+# -- scale sweep --------------------------------------------------------------
+
+
+def _tiled_jobs(base_jobs: list, tiles: int, window_seconds: float) -> list:
+    """Replay the base submission stream ``tiles`` times end to end.
+
+    Volume scaling by trace replay: each tile shifts submit times by one
+    whole window and renumbers job ids past the previous tile, so a
+    ``tiles``-fold sweep point has *exactly* ``tiles``-times the jobs with
+    the same arrival-rate regime, user population, and partition mix.
+    Scaling the arrival rate instead would saturate the fixed-capacity
+    cluster and measure backlog pathology, not the event core; scaling the
+    window length would compound the workload model's monthly GPU growth
+    into a qualitatively different (and eventually saturating) workload.
+    """
+    from repro.cluster.workload import SubmittedJob
+
+    if tiles <= 1:
+        return list(base_jobs)
+    id_stride = max(j.job_id for j in base_jobs) + 1
+    out = list(base_jobs)
+    for tile in range(1, tiles):
+        id_shift = tile * id_stride
+        t_shift = tile * window_seconds
+        out.extend(
+            SubmittedJob(
+                job_id=j.job_id + id_shift,
+                user=j.user,
+                field=j.field,
+                partition=j.partition,
+                submit=j.submit + t_shift,
+                cores=j.cores,
+                gpus=j.gpus,
+                runtime=j.runtime,
+                requested_walltime=j.requested_walltime,
+            )
+            for j in base_jobs
+        )
+    return out
+
+
+def fit_scaling_exponent(sizes, walls) -> float:
+    """Least-squares slope of log(wall) vs log(size).
+
+    1.0 is perfectly linear scaling; 2.0 quadratic. Needs at least two
+    points. Wall times are clamped to 1 microsecond so a sub-resolution
+    point cannot produce ``log(0)``.
+    """
+    xs = np.log(np.asarray(sizes, dtype=float))
+    ys = np.log(np.maximum(np.asarray(walls, dtype=float), 1e-6))
+    if xs.size < 2:
+        raise ValueError("fitting a scaling exponent needs >= 2 points")
+    if xs.size != ys.size:
+        raise ValueError("sizes and walls differ in length")
+    return float(np.polyfit(xs, ys, 1)[0])
+
+
+def run_scale_sweep(
+    scale: str = "full",
+    label: str = "dev",
+    factors: tuple[int, ...] | None = None,
+    repeats: int = 1,
+) -> dict:
+    """Measure simulate+analysis wall and peak RSS across job volumes.
+
+    Runs the scheduler simulation plus the standard aggregation bundle
+    (CPU-hours by field/month, GPU-hours, width distribution, wait stats,
+    user concentration) at each volume multiple of the scale's base
+    workload (see :func:`_tiled_jobs` for how volume is scaled), in
+    ascending order so each point's ``max_rss_kb`` RSS high-watermark
+    reflects that point. The record's ``detail`` carries one entry per
+    point with an explicit ``scale_factor`` plus fitted scaling exponents
+    (:func:`fit_scaling_exponent`) for simulate, analysis, total, and RSS
+    — the numbers :func:`check_scale_sweep` gates.
+    """
+    from repro.cluster import WorkloadModel, WorkloadParams, simulate_schedule
+    from repro.cluster.usage import (
+        cpu_hours_by_field_month,
+        gpu_hours_monthly,
+        job_width_distribution,
+        user_concentration,
+        wait_stats_by_partition,
+    )
+
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {sorted(SCALES)}")
+    sc = SCALES[scale]
+    chosen = tuple(sorted({int(f) for f in (factors or SWEEP_FACTORS[scale])}))
+    if len(chosen) < 2:
+        raise ValueError("scale sweep needs >= 2 distinct factors")
+    if chosen[0] < 1:
+        raise ValueError("sweep factors must be >= 1")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+
+    params = WorkloadParams(months=sc.months, jobs_per_day=sc.jobs_per_day)
+    base_jobs = WorkloadModel(params).generate(np.random.default_rng(0))
+    window = params.window_seconds
+
+    points: list[dict] = []
+    for factor in chosen:
+        jobs = _tiled_jobs(base_jobs, factor, window)
+        captured: dict[str, object] = {}
+
+        def run_sim() -> None:
+            captured["table"] = simulate_schedule(
+                jobs, rng=np.random.default_rng(0)
+            ).table
+
+        sim = _time_min_of_k(run_sim, repeats, memory=False)
+        table = captured["table"]
+
+        def run_analysis() -> None:
+            cpu_hours_by_field_month(table)
+            gpu_hours_monthly(table)
+            job_width_distribution(table)
+            wait_stats_by_partition(table)
+            user_concentration(table)
+
+        analysis = _time_min_of_k(run_analysis, repeats, memory=False)
+        point = {
+            "scale_factor": factor,
+            "jobs": len(jobs),
+            "simulate_seconds": sim["seconds"],
+            "analysis_seconds": analysis["seconds"],
+            "total_seconds": round(sim["seconds"] + analysis["seconds"], 6),
+        }
+        # The watermark after the analysis pass covers the whole point
+        # (workload list + simulation + aggregation buffers).
+        if "max_rss_kb" in analysis:
+            point["max_rss_kb"] = analysis["max_rss_kb"]
+        points.append(point)
+        del jobs, table, captured
+
+    jobs_counts = [p["jobs"] for p in points]
+    fit = {
+        "simulate_exponent": round(
+            fit_scaling_exponent(jobs_counts, [p["simulate_seconds"] for p in points]), 4
+        ),
+        "analysis_exponent": round(
+            fit_scaling_exponent(jobs_counts, [p["analysis_seconds"] for p in points]), 4
+        ),
+        "total_exponent": round(
+            fit_scaling_exponent(jobs_counts, [p["total_seconds"] for p in points]), 4
+        ),
+    }
+    if all("max_rss_kb" in p for p in points):
+        fit["rss_exponent"] = round(
+            fit_scaling_exponent(jobs_counts, [p["max_rss_kb"] for p in points]), 4
+        )
+    totals = [p["total_seconds"] for p in points]
+    entry = {
+        "seconds": round(sum(totals), 6),
+        "runs": totals,
+        "detail": {
+            "base_months": sc.months,
+            "base_jobs_per_day": sc.jobs_per_day,
+            "factors": list(chosen),
+            "points": points,
+            "fit": fit,
+        },
+    }
+    return {
+        "label": label,
+        "scale": f"{scale}-sweep",
+        "scale_factor": sc.scale_factor,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()) + "Z",
+        "machine": _machine_metadata(),
+        "repeats": repeats,
+        "benchmarks": {"scale_sweep": entry},
     }
 
 
@@ -622,6 +819,24 @@ def latest_run(runs: list[dict], scale: str, label: str | None = None) -> dict |
             continue
         return record
     return None
+
+
+def record_scale_factor(record: dict) -> float:
+    """Job-volume scale factor of a record, with back-compat inference.
+
+    Records written from this version on carry an explicit
+    ``scale_factor`` field; older records are inferred from their scale
+    name via :data:`SCALES` (``full`` -> 1.0, ``quick`` -> 0.1). Unknown
+    legacy scales default to 1.0 — the safe reading for trajectory
+    analysis, which only needs factors to be comparable *within* a scale.
+    """
+    value = record.get("scale_factor")
+    if value is not None:
+        return float(value)
+    sc = SCALES.get(str(record.get("scale", "")))
+    if sc is not None:
+        return sc.scale_factor
+    return 1.0
 
 
 def check_regression(
@@ -748,6 +963,70 @@ def check_audit_overhead(record: dict, max_overhead: float = 0.05) -> tuple[bool
         f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
     )
     return overhead <= max_overhead, message
+
+
+def check_scale_sweep(
+    record: dict,
+    max_exponent: float = 1.35,
+    max_rss_exponent: float = 1.2,
+) -> tuple[bool, str]:
+    """Gate the fitted complexity of the simulate+analysis scale sweep.
+
+    Intra-record like the overhead gates: the sweep's own points are the
+    evidence, so machine speed cancels out of the fitted exponents. The
+    gate fails when the total (simulate + analysis) wall-time exponent
+    exceeds ``max_exponent`` — 1.0 is linear, 2.0 quadratic, so the
+    default 1.35 demands clearly sub-quadratic scaling — or when the peak
+    RSS exponent exceeds ``max_rss_exponent`` (memory must stay near
+    linear in job volume). Returns ``(ok, message)``; a record without
+    the ``scale_sweep`` benchmark passes vacuously.
+    """
+    if max_exponent <= 0 or max_rss_exponent <= 0:
+        raise ValueError("exponent limits must be positive")
+    entry = record.get("benchmarks", {}).get("scale_sweep")
+    if entry is None or "detail" not in entry:
+        return True, "scale_sweep benchmark missing from run; skipping gate"
+    detail = entry["detail"]
+    fit = detail["fit"]
+    points = detail["points"]
+    total_e = float(fit["total_exponent"])
+    rss_e = fit.get("rss_exponent")
+    lo, hi = points[0], points[-1]
+    span = (
+        f"{hi['scale_factor']}x/{lo['scale_factor']}x wall ratio "
+        f"{hi['total_seconds'] / max(lo['total_seconds'], 1e-6):.1f}x "
+        f"for {hi['jobs'] / max(lo['jobs'], 1):.0f}x jobs"
+    )
+    message = (
+        f"scale_sweep: total exponent {total_e:.3f} (limit {max_exponent}), "
+        + (f"rss exponent {float(rss_e):.3f} (limit {max_rss_exponent}), " if rss_e is not None else "")
+        + span
+    )
+    ok = total_e <= max_exponent and (rss_e is None or float(rss_e) <= max_rss_exponent)
+    return ok, message
+
+
+def render_scale_sweep(record: dict) -> str:
+    """Human-readable per-point table for a scale-sweep record."""
+    entry = record["benchmarks"]["scale_sweep"]
+    detail = entry["detail"]
+    lines = [
+        f"scale sweep [{record['label']}] scale={record['scale']} "
+        f"base={detail['base_months']}mo x {detail['base_jobs_per_day']:g}/day "
+        f"({record['machine']['platform']})"
+    ]
+    for p in detail["points"]:
+        rss = f"  rss={p['max_rss_kb'] / 1024:8.1f}MB" if "max_rss_kb" in p else ""
+        lines.append(
+            f"  {p['scale_factor']:>4}x  jobs={p['jobs']:>9}  "
+            f"simulate={p['simulate_seconds']:8.3f}s  "
+            f"analysis={p['analysis_seconds']:8.3f}s  "
+            f"total={p['total_seconds']:8.3f}s{rss}"
+        )
+    fit = detail["fit"]
+    fitted = "  ".join(f"{k.removesuffix('_exponent')}={v:.3f}" for k, v in fit.items())
+    lines.append(f"  fitted exponents: {fitted}")
+    return "\n".join(lines)
 
 
 def render_record(record: dict) -> str:

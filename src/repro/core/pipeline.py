@@ -50,6 +50,7 @@ import hashlib
 import multiprocessing
 import os
 import pickle
+import struct
 import threading
 import time
 import types
@@ -64,6 +65,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Mapping
 
+from repro.core import shm
 from repro.core.logging import get_logger, kv, set_run_id
 from repro.core.metrics import ExecutorMetrics, RunReport, StepOutcome
 from repro.core.trace import Tracer, activate as _activate_trace, instant as _trace_instant
@@ -194,6 +196,81 @@ def fingerprint_callable(fn: Callable[..., Any]) -> str:
     return h.hexdigest()[:16]
 
 
+# On-disk artifact container: protocol-5 pickle stream with the array
+# bodies appended as raw out-of-band frames. Writing streams each frame
+# straight from the source buffer (no joined in-memory blob, no in-band
+# copy of array payloads inside the pickle stream); reading rebuilds the
+# frames as writable bytearrays so rehydrated arrays behave exactly like
+# an in-band unpickle. Entries written by older versions are plain pickle
+# streams — _decode_artifact falls back to pickle.loads for those.
+_ARTIFACT_MAGIC = b"RPA5\x00"
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+
+def _write_artifact(fh, value: Any) -> None:
+    """Stream ``value`` into ``fh`` as a protocol-5 out-of-band container."""
+    buffers: list[pickle.PickleBuffer] = []
+    stream = pickle.dumps(value, protocol=5, buffer_callback=buffers.append)
+    try:
+        fh.write(_ARTIFACT_MAGIC)
+        fh.write(_U64.pack(len(stream)))
+        fh.write(stream)
+        fh.write(_U32.pack(len(buffers)))
+        for buf in buffers:
+            raw = buf.raw()
+            fh.write(_U64.pack(raw.nbytes))
+            fh.write(raw)
+    finally:
+        for buf in buffers:
+            buf.release()
+
+
+def _encode_artifact(value: Any) -> bytes:
+    """Container bytes for in-memory caches (joined; copies frames)."""
+    buffers: list[pickle.PickleBuffer] = []
+    stream = pickle.dumps(value, protocol=5, buffer_callback=buffers.append)
+    parts = [_ARTIFACT_MAGIC, _U64.pack(len(stream)), stream, _U32.pack(len(buffers))]
+    for buf in buffers:
+        raw = buf.raw()
+        parts.append(_U64.pack(raw.nbytes))
+        parts.append(raw.tobytes())
+        buf.release()
+    return b"".join(parts)
+
+
+def _decode_artifact(blob: bytes) -> Any:
+    """Value from container (or legacy plain-pickle) bytes.
+
+    Raises on any truncation or length mismatch so callers treat the
+    entry as corrupt and evict it.
+    """
+    if not blob.startswith(_ARTIFACT_MAGIC):
+        return pickle.loads(blob)
+    view = memoryview(blob)
+    offset = len(_ARTIFACT_MAGIC)
+    (stream_len,) = _U64.unpack_from(view, offset)
+    offset += _U64.size
+    stream = bytes(view[offset : offset + stream_len])
+    if len(stream) != stream_len:
+        raise ValueError("truncated artifact container (pickle stream)")
+    offset += stream_len
+    (n_frames,) = _U32.unpack_from(view, offset)
+    offset += _U32.size
+    frames: list[bytearray] = []
+    for _ in range(n_frames):
+        (frame_len,) = _U64.unpack_from(view, offset)
+        offset += _U64.size
+        frame = bytearray(view[offset : offset + frame_len])
+        if len(frame) != frame_len:
+            raise ValueError("truncated artifact container (frame)")
+        offset += frame_len
+        frames.append(frame)
+    if offset != len(blob):
+        raise ValueError("trailing garbage in artifact container")
+    return pickle.loads(stream, buffers=frames)
+
+
 class ArtifactCache:
     """Pickle-based content-addressed artifact store.
 
@@ -259,7 +336,7 @@ class ArtifactCache:
         if blob is None:
             return None
         try:
-            return pickle.loads(blob)
+            return _decode_artifact(blob)
         except Exception:
             # Corrupt/truncated entry (killed writer on a non-atomic FS,
             # disk damage): treat as a miss and drop the bad artifact.
@@ -295,14 +372,19 @@ class ArtifactCache:
         ``last_put_error``, and the caller keeps its in-memory value.
         Pickling errors still raise — those are programming errors, not
         environmental ones.
+
+        Serialization is pickle protocol 5 with out-of-band buffers: the
+        pickle stream stays small and each array body is streamed to the
+        file straight from its source buffer, so publishing a large
+        columnar artifact never materializes a second in-memory copy of
+        its payload.
         """
-        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
             if key in self._fail_put_keys:
                 self._fail_put_keys.discard(key)
                 raise OSError(28, "injected: no space left on device")  # ENOSPC
             if self.root is None:
-                self._memory[key] = blob
+                self._memory[key] = _encode_artifact(value)
                 _trace_instant("cache.put", "cache", key=key, stored=True)
                 return True
             self.root.mkdir(parents=True, exist_ok=True)
@@ -310,7 +392,7 @@ class ArtifactCache:
             tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
             try:
                 with open(tmp, "wb") as fh:
-                    fh.write(blob)
+                    _write_artifact(fh, value)
                     fh.flush()
                     # Durable before visible: without this fsync a power
                     # loss after the rename can expose a zero-length
@@ -562,6 +644,39 @@ def _call_step_traced(
     return value, payload
 
 
+def _call_step_shm(
+    fn: Callable[..., Any],
+    inputs: dict[str, Any],
+    params: dict[str, Any],
+    shm_prefix: str,
+) -> tuple[str, Any]:
+    """Process-pool worker body with zero-copy result transport.
+
+    The step value is pickled once (protocol 5, out-of-band buffers) and
+    returned as a transport envelope: large numpy-backed payloads go
+    through a shared-memory segment named under ``shm_prefix``, small or
+    buffer-free payloads ride inline. See :mod:`repro.core.shm` for the
+    handle protocol and ownership rules.
+    """
+    from repro.core import shm
+
+    return shm.encode_result(_call_step(fn, inputs, params), shm_prefix)
+
+
+def _call_step_traced_shm(
+    fn: Callable[..., Any],
+    inputs: dict[str, Any],
+    params: dict[str, Any],
+    resources: bool,
+    shm_prefix: str,
+) -> tuple[tuple[str, Any], dict[str, Any]]:
+    """:func:`_call_step_traced` with the value in a transport envelope."""
+    from repro.core import shm
+
+    value, payload = _call_step_traced(fn, inputs, params, resources)
+    return shm.encode_result(value, shm_prefix), payload
+
+
 def _killable_target(conn, fn, inputs, params) -> None:  # pragma: no cover - child process
     try:
         value = _call_step(fn, inputs, params)
@@ -668,6 +783,10 @@ class Pipeline:
         self.last_metrics: ExecutorMetrics | None = None
         self.last_report: RunReport | None = None
         self.last_trace: Tracer | None = None
+        # Per-run shared-memory namespace for process-mode result transport;
+        # set by _run_dag while a process pool is live, swept and cleared in
+        # its finally (see repro.core.shm).
+        self._shm_prefix: str | None = None
 
     def _policy_for(self, step: PipelineStep) -> RetryPolicy:
         if step.retry is not None:
@@ -901,14 +1020,30 @@ class Pipeline:
         """
         payload: dict[str, Any] | None = None
         if pool is not None:
+            shm_prefix = self._shm_prefix
             if remaining is not None:
                 # Hard timeout: dedicated killable worker (see _run_killable).
+                # Its dedicated Pipe is torn down with the process, so the
+                # result stays inline — shm ownership could not be handed
+                # off safely across a terminate().
                 value = _run_killable(step, inputs, remaining)
             elif tracer is not None:
-                value, payload = pool.submit(
-                    _call_step_traced, step.fn, inputs, dict(step.params),
-                    tracer.resources,
+                if shm_prefix is not None:
+                    envelope, payload = pool.submit(
+                        _call_step_traced_shm, step.fn, inputs, dict(step.params),
+                        tracer.resources, shm_prefix,
+                    ).result()
+                    value = shm.decode_result(envelope)
+                else:
+                    value, payload = pool.submit(
+                        _call_step_traced, step.fn, inputs, dict(step.params),
+                        tracer.resources,
+                    ).result()
+            elif shm_prefix is not None:
+                envelope = pool.submit(
+                    _call_step_shm, step.fn, inputs, dict(step.params), shm_prefix
                 ).result()
+                value = shm.decode_result(envelope)
             else:
                 value = pool.submit(_call_step, step.fn, inputs, dict(step.params)).result()
         else:
@@ -1255,6 +1390,10 @@ class Pipeline:
         # pool to ``workers`` cannot deadlock this run against itself.
         coord_size = workers if mode == "thread" else len(self.steps)
         pool = ProcessPoolExecutor(max_workers=workers) if mode == "process" else None
+        # Zero-copy result transport is a process-mode concern only:
+        # sequential and thread executors pass values in-process and must
+        # never pay for (or depend on) a shm backend.
+        self._shm_prefix = shm.run_prefix() if pool is not None else None
 
         def task(step: PipelineStep, inputs: dict[str, Any]) -> tuple[Any, str, float, float]:
             if journal is not None:
@@ -1373,4 +1512,16 @@ class Pipeline:
         finally:
             if pool is not None:
                 pool.shutdown(wait=True, cancel_futures=True)
+                # Any segment still alive under this run's prefix was
+                # orphaned by a killed/crashed worker whose handle never
+                # reached a decode_result; reclaim it.
+                prefix = self._shm_prefix
+                self._shm_prefix = None
+                if prefix is not None:
+                    leaked = shm.sweep(prefix)
+                    if leaked:
+                        _log.warning(
+                            "swept %d leaked shm segment(s) %s",
+                            len(leaked), kv(prefix=prefix),
+                        )
         return results

@@ -1,0 +1,237 @@
+"""Zero-copy result transport for process-pool workers.
+
+Large numpy-backed artifacts returned by process-mode steps would
+otherwise be serialized into the pool's pipe-based result channel,
+copied through the OS pipe buffer in 64KB chunks, and reassembled on
+the coordinator. This module moves those payloads through POSIX shared
+memory instead: the worker pickles the value once with protocol 5,
+keeps the array bodies as out-of-band :class:`pickle.PickleBuffer`
+frames, writes stream + frames into one ``multiprocessing.shared_memory``
+segment, and ships only a tiny *handle* (segment name + frame layout)
+through the pool channel. The coordinator attaches, rebuilds the value,
+and releases the segment.
+
+Handle protocol and ownership rules
+-----------------------------------
+* The **worker** creates the segment, writes it, closes its mapping and
+  *unregisters* it from its ``resource_tracker`` — from that point the
+  segment is owned by whoever holds the handle.
+* The **coordinator** (the only consumer) attaches via the handle and
+  is responsible for ``close()`` + ``unlink()`` — performed in
+  :func:`decode_result` under ``finally``, so a failed unpickle cannot
+  leak the segment.
+* If the handle never arrives (worker SIGKILLed mid-transfer, pool torn
+  down), the segment is an orphan. Every segment name is prefixed with
+  a per-run token (:func:`run_prefix`), and the run end calls
+  :func:`sweep` with that token to remove any survivors; a crashed
+  *coordinator* leaves segments for :func:`sweep_stale`, which removes
+  segments whose embedded creator pid is dead.
+
+Fallbacks
+---------
+Payloads whose out-of-band frames total less than ``SHM_MIN_BYTES``,
+payloads with no buffer-exporting objects at all (plain dicts, lists,
+dataclasses), and environments where segment creation fails (no
+``/dev/shm``, permissions, exhaustion) all fall back to an *inline*
+envelope carrying the pickle stream itself — never to a second
+serialization of the original object. Sequential and thread executors
+never touch this module: values stay in-process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import uuid
+from typing import Any
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "run_prefix",
+    "encode_result",
+    "decode_result",
+    "sweep",
+    "sweep_stale",
+]
+
+# Frames below this total stay inline: a segment + handle round-trip
+# costs two syscalls and a mmap, which only pays for itself on payloads
+# well past the pipe-chunking regime.
+SHM_MIN_BYTES = 1 << 20
+
+_PREFIX_BASE = "repro-shm"
+_SHM_DIR = "/dev/shm"
+
+_INLINE = "inline"
+_SEGMENT = "shm"
+
+
+def run_prefix() -> str:
+    """A fresh per-run segment-name prefix embedding the creator pid.
+
+    The pid makes :func:`sweep_stale` possible (liveness check); the
+    random suffix keeps concurrent runs from the same pid distinct.
+    """
+    return f"{_PREFIX_BASE}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _dumps_oob(value: Any) -> tuple[bytes, list[pickle.PickleBuffer]]:
+    buffers: list[pickle.PickleBuffer] = []
+    stream = pickle.dumps(value, protocol=5, buffer_callback=buffers.append)
+    return stream, buffers
+
+
+def _loads_oob(stream: bytes, frames: list[bytearray]) -> Any:
+    # bytearray frames keep rehydrated arrays writable, matching what an
+    # in-band unpickle would have produced.
+    return pickle.loads(stream, buffers=frames)
+
+
+def encode_result(
+    value: Any, prefix: str, threshold: int | None = None
+) -> tuple[str, Any]:
+    """Worker-side: pickle ``value`` once and pick a transport.
+
+    Returns an envelope tuple — ``("shm", handle)`` where ``handle`` is
+    ``(name, pickle_len, frame_lens)``, or ``("inline", stream, frames)``
+    with the frames copied to bytes. The envelope itself is small and
+    crosses the pool's normal result channel.
+    """
+    from multiprocessing import shared_memory
+
+    limit = SHM_MIN_BYTES if threshold is None else threshold
+    stream, buffers = _dumps_oob(value)
+    raws = [buf.raw() for buf in buffers]
+    total = len(stream) + sum(r.nbytes for r in raws)
+    if not raws or total < limit:
+        return (_INLINE, stream, tuple(bytes(r) for r in raws))
+    name = f"{prefix}-{uuid.uuid4().hex[:8]}"
+    try:
+        seg = shared_memory.SharedMemory(name=name, create=True, size=total)
+    except OSError:
+        # No usable shm backend (or it is full): degrade to inline.
+        return (_INLINE, stream, tuple(bytes(r) for r in raws))
+    try:
+        view = seg.buf
+        view[: len(stream)] = stream
+        offset = len(stream)
+        frame_lens = []
+        for raw in raws:
+            n = raw.nbytes
+            view[offset : offset + n] = raw  # raw() is already a flat "B" view
+            offset += n
+            frame_lens.append(n)
+        handle = (seg.name, len(stream), tuple(frame_lens))
+    except BaseException:
+        seg.close()
+        try:
+            seg.unlink()
+        except OSError:
+            pass
+        raise
+    finally:
+        for buf in buffers:
+            buf.release()
+    # Hand ownership to the handle holder: without this, the worker's
+    # resource tracker would unlink the segment when the worker exits.
+    _untrack(seg.name)
+    seg.close()
+    return (_SEGMENT, handle)
+
+
+def _untrack(name: str) -> None:
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name.lstrip("/"), "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def decode_result(envelope: tuple[str, Any] | Any) -> Any:
+    """Coordinator-side: rebuild the value and release its segment."""
+    from multiprocessing import shared_memory
+
+    if not (isinstance(envelope, tuple) and envelope and envelope[0] in (_INLINE, _SEGMENT)):
+        raise ValueError("malformed shm transport envelope")
+    if envelope[0] == _INLINE:
+        _, stream, frames = envelope
+        return _loads_oob(stream, [bytearray(f) for f in frames])
+    _, (name, pickle_len, frame_lens) = envelope
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        view = seg.buf
+        stream = bytes(view[:pickle_len])
+        frames: list[bytearray] = []
+        offset = pickle_len
+        for n in frame_lens:
+            frames.append(bytearray(view[offset : offset + n]))
+            offset += n
+        return _loads_oob(stream, frames)
+    finally:
+        seg.close()
+        try:
+            seg.unlink()
+        except OSError:
+            # Already gone (swept, or a duplicate delivery): releasing is
+            # idempotent.
+            pass
+
+
+def _segment_names(glob_prefix: str) -> list[str]:
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - shm dir vanished
+        return []
+    return sorted(e for e in entries if e.startswith(glob_prefix))
+
+
+def sweep(prefix: str) -> list[str]:
+    """Remove every surviving segment of one run; returns removed names.
+
+    Called at run end: any segment still carrying the run's prefix was
+    orphaned by a crashed or killed worker (the coordinator unlinks the
+    ones it consumes).
+    """
+    removed = []
+    for name in _segment_names(prefix):
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed
+
+
+def sweep_stale() -> list[str]:
+    """Remove segments left by *dead* processes (crashed coordinators).
+
+    A segment name embeds its creating pid (``repro-shm-<pid>-…``); a
+    segment whose pid no longer exists can never be consumed and is
+    removed. Live pids — concurrent runs — are left alone.
+    """
+    removed = []
+    for name in _segment_names(_PREFIX_BASE + "-"):
+        parts = name.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            continue
+        try:
+            os.kill(pid, 0)
+            alive = True
+        except ProcessLookupError:
+            alive = False
+        except PermissionError:  # pragma: no cover - other-user process
+            alive = True
+        if alive:
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            removed.append(name)
+        except OSError:
+            pass
+    return removed

@@ -133,8 +133,12 @@ class TestCorruptEntryLockGuard:
         assert cache.corrupt_entry("aaa")
 
     def test_entry_bytes_round_trips(self, tmp_path):
+        from repro.core.pipeline import _decode_artifact
+
         for cache in (ArtifactCache(), ArtifactCache(tmp_path)):
             cache.put("aaa", {"v": 7})
             blob = cache.entry_bytes("aaa")
-            assert blob is not None and pickle.loads(blob) == {"v": 7}
+            assert blob is not None and _decode_artifact(blob) == {"v": 7}
+            # blob_digest consumes exactly these stored bytes.
+            assert blob_digest(blob) == structural_digest({"v": 7})
             assert cache.entry_bytes("missing") is None

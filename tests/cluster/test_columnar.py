@@ -1,0 +1,215 @@
+"""Dtype and invariant tests for the dictionary-encoded column blocks.
+
+The columnar tentpole's contract: every :class:`Categorical` stored in a
+:class:`JobTable` is *canonical* — int32 codes into a sorted category
+tuple containing exactly the labels present — and that form is preserved
+by every transform (filter, merge, pickle round trip). Canonical form is
+what makes two value-equal tables pickle byte-identically regardless of
+how they were built, which the audit subsystem's structural digests rely
+on.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.audit.digests import structural_digest
+from repro.cluster.records import Categorical, JobRecord, JobState, JobTable
+
+
+def make_records(n=12):
+    users = ["u2", "u0", "u1"]
+    fields = ["physics", "biology"]
+    parts = ["gpu", "cpu"]
+    states = [JobState.COMPLETED, JobState.FAILED, JobState.COMPLETED, JobState.TIMEOUT]
+    return [
+        JobRecord(
+            job_id=i,
+            user=users[i % len(users)],
+            field=fields[i % len(fields)],
+            partition=parts[i % len(parts)],
+            submit=float(i),
+            start=float(i) + 1.0,
+            end=float(i) + 10.0,
+            cores=1 + i % 4,
+            gpus=i % 2,
+            state=states[i % len(states)],
+            req_walltime=100.0,
+        )
+        for i in range(n)
+    ]
+
+
+class TestCategoricalInvariants:
+    def test_codes_dtype_and_immutability(self):
+        block = Categorical.from_values(["b", "a", "b"])
+        assert block.codes.dtype == np.int32
+        assert not block.codes.flags.writeable
+        with pytest.raises(ValueError):
+            block.codes[0] = 1
+
+    def test_codes_round_trip(self):
+        values = ["gpu", "cpu", "gpu", "serial", "cpu"]
+        block = Categorical.from_values(values)
+        assert block.categories == ("cpu", "gpu", "serial")
+        assert block.to_objects().tolist() == values
+        assert [block.categories[c] for c in block.codes] == values
+
+    def test_canonical_sorts_and_drops_unused_labels(self):
+        # Unsorted table with an unreferenced label: canonical() must
+        # remap to sorted present-only categories without changing values.
+        raw = Categorical(np.array([2, 0, 2], dtype=np.int32), ("zeta", "unused", "alpha"))
+        canon = raw.canonical()
+        assert canon.categories == ("alpha", "zeta")
+        assert canon.to_objects().tolist() == ["alpha", "zeta", "alpha"]
+        assert canon.canonical() is canon
+
+    def test_canonical_rejects_out_of_range_codes(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Categorical(np.array([0, 3], dtype=np.int32), ("a", "b")).canonical()
+
+    def test_canonical_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Categorical(np.array([0, 1], dtype=np.int32), ("a", "a")).canonical()
+
+    def test_take_compacts_categories(self):
+        block = Categorical.from_values(["cpu", "gpu", "serial", "gpu"])
+        picked = block.take(np.array([True, True, False, True]))
+        assert picked.categories == ("cpu", "gpu")
+        assert picked.to_objects().tolist() == ["cpu", "gpu", "gpu"]
+        # All-kept selections reuse the category table untouched.
+        kept = block.take(np.arange(4))
+        assert kept.categories == block.categories
+
+    def test_take_empty_selection(self):
+        block = Categorical.from_values(["a", "b"])
+        empty = block.take(np.zeros(2, dtype=bool))
+        assert len(empty) == 0 and empty.categories == ()
+
+    def test_merge_unions_categories(self):
+        a = Categorical.from_values(["cpu", "gpu"])
+        b = Categorical.from_values(["serial", "cpu"])
+        merged = Categorical.merge([a, b])
+        assert merged.categories == ("cpu", "gpu", "serial")
+        assert merged.to_objects().tolist() == ["cpu", "gpu", "serial", "cpu"]
+
+    def test_lookup_helpers(self):
+        block = Categorical.from_values(["cpu", "gpu", "cpu"])
+        assert block.code_of("cpu") == 0
+        assert block.code_of("nope") == -1
+        assert block.mask_eq("cpu").tolist() == [True, False, True]
+        assert block.mask_eq("nope").tolist() == [False, False, False]
+        assert block.counts().tolist() == [2, 1]
+
+    def test_pickle_round_trip_is_canonical_and_equal(self):
+        block = Categorical.from_values(["b", "a", "b"])
+        clone = pickle.loads(pickle.dumps(block))
+        assert clone == block
+        assert clone.codes.dtype == np.int32
+        assert not clone.codes.flags.writeable
+        assert clone.canonical() is clone
+
+
+class TestJobTableColumnBlocks:
+    def test_from_records_and_columnar_constructors_agree(self):
+        records = make_records()
+        from_records = JobTable.from_records(records)
+        columnar = JobTable(
+            job_id=from_records.job_id,
+            user=from_records.cat("user"),
+            field=from_records.cat("field"),
+            partition=from_records.cat("partition"),
+            submit=from_records.submit,
+            start=from_records.start,
+            end=from_records.end,
+            cores=from_records.cores,
+            gpus=from_records.gpus,
+            state=from_records.cat("state"),
+            req_walltime=from_records.req_walltime,
+        )
+        for column in ("user", "field", "partition", "state"):
+            assert columnar.cat(column) == from_records.cat(column)
+        assert [r for r in columnar] == records
+
+    def test_object_properties_match_codes(self):
+        table = JobTable.from_records(make_records())
+        for column in ("user", "field", "partition", "state"):
+            block = table.cat(column)
+            objects = getattr(table, column)
+            assert objects.dtype == object
+            assert objects.tolist() == [block.categories[c] for c in block.codes]
+
+    def test_factorize_reads_the_stored_block(self):
+        table = JobTable.from_records(make_records())
+        codes, labels = table.factorize("field")
+        assert codes is table.field_codes
+        assert labels == sorted(set(table.field.tolist()))
+
+    def test_filtering_preserves_canonical_category_tables(self):
+        table = JobTable.from_records(make_records())
+        gpu_only = table.mask(table.partition_codes == table.cat("partition").code_of("gpu"))
+        assert gpu_only.partitions() == ("gpu",)
+        for column in ("user", "field", "state"):
+            block = gpu_only.cat(column)
+            assert block.categories == tuple(sorted(set(block.to_objects().tolist())))
+            assert block.canonical() is block
+
+    def test_state_mask_matches_object_comparison(self):
+        table = JobTable.from_records(make_records())
+        for state in JobState:
+            np.testing.assert_array_equal(
+                table.state_mask(state), table.state == state.value
+            )
+
+    def test_concat_unions_category_tables(self):
+        records = make_records()
+        left = JobTable.from_records(records[:6])
+        right = JobTable.from_records(
+            [
+                JobRecord(
+                    job_id=100 + i,
+                    user="extra-user",
+                    field="geology",
+                    partition="bigmem",
+                    submit=0.0,
+                    start=1.0,
+                    end=2.0,
+                    cores=1,
+                    gpus=0,
+                    state=JobState.COMPLETED,
+                )
+                for i in range(3)
+            ]
+        )
+        both = left.concat(right)
+        assert len(both) == 9
+        assert "bigmem" in both.partitions()
+        assert both.user.tolist() == left.user.tolist() + right.user.tolist()
+
+
+class TestPickleByteIdentity:
+    def test_construction_path_does_not_change_pickled_bytes(self):
+        records = make_records()
+        from_records = JobTable.from_records(records)
+        # A sliced table takes a completely different construction path
+        # (take() compaction); rebuilt over the same rows it must pickle
+        # to the same bytes as a direct from_records build.
+        everything = from_records.mask(np.ones(len(from_records), dtype=bool))
+        assert pickle.dumps(from_records) == pickle.dumps(everything)
+
+    def test_pickled_tables_rehydrate_to_identical_digests(self):
+        table = JobTable.from_records(make_records())
+        clone = pickle.loads(pickle.dumps(table))
+        assert structural_digest(clone) == structural_digest(table)
+        # Touching caches (derived columns, object materializations) on
+        # one copy must not perturb its digest.
+        _ = clone.cpu_hours, clone.user, clone.by_partition("gpu")
+        assert structural_digest(clone) == structural_digest(table)
+
+    def test_digest_unchanged_by_filter_then_rebuild(self):
+        table = JobTable.from_records(make_records())
+        half = table.mask(table.job_id < 6)
+        rebuilt = JobTable.from_records([table.record(i) for i in range(6)])
+        assert structural_digest(half) == structural_digest(rebuilt)
+        assert pickle.dumps(half) == pickle.dumps(rebuilt)

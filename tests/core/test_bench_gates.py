@@ -194,3 +194,156 @@ class TestCheckAuditOverhead:
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_audit_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg
+
+
+def sweep_record(points, fit, label="run"):
+    return record(
+        scale="full-sweep",
+        label=label,
+        scale_sweep={
+            "seconds": sum(p["total_seconds"] for p in points),
+            "runs": [p["total_seconds"] for p in points],
+            "detail": {
+                "base_months": 3,
+                "base_jobs_per_day": 400.0,
+                "factors": [p["scale_factor"] for p in points],
+                "points": points,
+                "fit": fit,
+            },
+        },
+    )
+
+
+def sweep_point(factor, total, rss):
+    return {
+        "scale_factor": factor,
+        "jobs": 1000 * factor,
+        "simulate_seconds": total * 0.9,
+        "analysis_seconds": total * 0.1,
+        "total_seconds": total,
+        "max_rss_kb": rss,
+    }
+
+
+class TestFitScalingExponent:
+    def test_linear_fits_one(self):
+        from repro.core.bench import fit_scaling_exponent
+
+        assert fit_scaling_exponent([1, 10, 100], [0.1, 1.0, 10.0]) == pytest.approx(1.0)
+
+    def test_quadratic_fits_two(self):
+        from repro.core.bench import fit_scaling_exponent
+
+        assert fit_scaling_exponent([1, 10, 100], [0.1, 10.0, 1000.0]) == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        from repro.core.bench import fit_scaling_exponent
+
+        with pytest.raises(ValueError, match=">= 2"):
+            fit_scaling_exponent([1], [0.1])
+
+    def test_zero_wall_clamped_not_crashing(self):
+        from repro.core.bench import fit_scaling_exponent
+
+        exponent = fit_scaling_exponent([1, 10], [0.0, 1.0])
+        assert exponent > 0
+
+
+class TestCheckScaleSweep:
+    def test_sublinear_sweep_passes(self):
+        from repro.core.bench import check_scale_sweep
+
+        points = [sweep_point(1, 0.2, 100_000), sweep_point(10, 2.2, 300_000)]
+        fit = {"total_exponent": 1.04, "rss_exponent": 0.48}
+        ok, msg = check_scale_sweep(sweep_record(points, fit))
+        assert ok and "1.040" in msg and "wall ratio" in msg
+
+    def test_superlinear_wall_fails(self):
+        from repro.core.bench import check_scale_sweep
+
+        points = [sweep_point(1, 0.2, 100_000), sweep_point(10, 6.0, 300_000)]
+        ok, msg = check_scale_sweep(sweep_record(points, {"total_exponent": 1.48, "rss_exponent": 0.4}))
+        assert not ok and "1.480" in msg
+
+    def test_rss_blowup_fails_even_with_linear_wall(self):
+        from repro.core.bench import check_scale_sweep
+
+        points = [sweep_point(1, 0.2, 100_000), sweep_point(10, 2.0, 3_000_000)]
+        ok, _ = check_scale_sweep(sweep_record(points, {"total_exponent": 1.0, "rss_exponent": 1.48}))
+        assert not ok
+
+    def test_custom_limits(self):
+        from repro.core.bench import check_scale_sweep
+
+        rec = sweep_record(
+            [sweep_point(1, 0.2, 100_000), sweep_point(10, 6.0, 300_000)],
+            {"total_exponent": 1.48, "rss_exponent": 0.4},
+        )
+        ok, _ = check_scale_sweep(rec, max_exponent=1.6)
+        assert ok
+        with pytest.raises(ValueError, match="positive"):
+            check_scale_sweep(rec, max_exponent=-1.0)
+
+    def test_missing_sweep_passes_vacuously(self):
+        from repro.core.bench import check_scale_sweep
+
+        ok, msg = check_scale_sweep(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+    def test_missing_rss_gate_is_skipped(self):
+        from repro.core.bench import check_scale_sweep
+
+        points = [sweep_point(1, 0.2, 0), sweep_point(10, 2.0, 0)]
+        for p in points:
+            del p["max_rss_kb"]
+        ok, msg = check_scale_sweep(sweep_record(points, {"total_exponent": 1.0}))
+        assert ok and "rss" not in msg
+
+
+class TestRecordScaleFactor:
+    def test_explicit_field_wins(self):
+        from repro.core.bench import record_scale_factor
+
+        rec = record(simulate_schedule=sim(1.0))
+        rec["scale_factor"] = 2.5
+        assert record_scale_factor(rec) == 2.5
+
+    def test_legacy_records_resolve_via_scale_name(self):
+        from repro.core.bench import record_scale_factor
+
+        assert record_scale_factor(record(scale="full")) == 1.0
+        assert record_scale_factor(record(scale="quick")) == 0.1
+
+    def test_unknown_scale_defaults_to_one(self):
+        from repro.core.bench import record_scale_factor
+
+        assert record_scale_factor(record(scale="mystery")) == 1.0
+
+
+class TestTiledJobs:
+    def test_tiling_multiplies_volume_with_unique_ids(self):
+        from repro.cluster import WorkloadModel, WorkloadParams
+        from repro.core.bench import _tiled_jobs
+
+        import numpy as np
+
+        params = WorkloadParams(months=1, jobs_per_day=30.0)
+        base = WorkloadModel(params).generate(np.random.default_rng(0))
+        tiled = _tiled_jobs(base, 3, params.window_seconds)
+        assert len(tiled) == 3 * len(base)
+        ids = [j.job_id for j in tiled]
+        assert len(set(ids)) == len(ids)
+        # Tile 2 replays tile 1's dynamics exactly one window later.
+        offset = tiled[len(base)].submit - tiled[0].submit
+        assert offset == pytest.approx(params.window_seconds)
+        assert tiled[len(base)].runtime == tiled[0].runtime
+
+    def test_single_tile_is_identity(self):
+        from repro.cluster import WorkloadModel, WorkloadParams
+        from repro.core.bench import _tiled_jobs
+
+        import numpy as np
+
+        params = WorkloadParams(months=1, jobs_per_day=30.0)
+        base = WorkloadModel(params).generate(np.random.default_rng(0))
+        assert _tiled_jobs(base, 1, params.window_seconds) == base

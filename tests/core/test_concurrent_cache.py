@@ -85,12 +85,13 @@ def test_concurrent_processes_share_one_cache(tmp_path):
     assert set(computed_a) | set(computed_b) == all_steps
 
     # No torn artifacts: no stranded temp files, and every published
-    # entry unpickles cleanly.
+    # entry decodes cleanly from its protocol-5 container.
     assert not list(cache_dir.glob("*.tmp"))
     entries = list(cache_dir.glob("*.pkl"))
     assert len(entries) == len(all_steps)
+    reader = ArtifactCache(cache_dir, locking=False)
     for path in entries:
-        pickle.loads(path.read_bytes())
+        assert reader.peek(path.name.removesuffix(".pkl")) is not None
         # Each published entry is byte-identical to the isolated run's:
         # fsync-then-rename publication is all-or-nothing even with two
         # writers racing on the directory.
