@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 
 __all__ = ["main", "build_parser"]
@@ -197,6 +198,22 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "sequential", "thread", "process"),
         default="auto",
         help="how to fan experiments out (auto = process pool when possible)",
+    )
+    rep.add_argument(
+        "--backend",
+        choices=("auto", "dist"),
+        default="auto",
+        help=(
+            "execution backend: auto keeps the in-process executors; dist "
+            "runs the report DAG on a coordinator/worker fleet over the "
+            "shared cache directory (fault-tolerant, multi-process)"
+        ),
+    )
+    rep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fleet size for --backend dist (default: min(4, cores))",
     )
     rep.add_argument(
         "--timings",
@@ -384,6 +401,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ben.add_argument(
+        "--max-dist-overhead",
+        type=float,
+        default=0.25,
+        help=(
+            "allowed per-step overhead in seconds of the dist backend over "
+            "a sequential run of the same DAG before --check fails "
+            "(absolute, not a ratio: fleet spawn cost is fixed, so tiny "
+            "steps would always fail a ratio gate; intra-record, no "
+            "baseline needed)"
+        ),
+    )
+    ben.add_argument(
         "--scale-sweep",
         action="store_true",
         help=(
@@ -425,6 +454,34 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.2,
         help="allowed fitted peak-RSS scaling exponent for --check-scale-sweep",
+    )
+
+    wkr = command(
+        "worker", help="join a fleet-mode run as an external worker process"
+    )
+    wkr.add_argument(
+        "--dir",
+        dest="run_dir",
+        type=Path,
+        required=True,
+        metavar="RUN_DIR",
+        help=(
+            "the run directory to join: <cache_root>/.dist/<run_id>, on a "
+            "filesystem shared with the coordinator"
+        ),
+    )
+    wkr.add_argument(
+        "--id",
+        dest="worker_id",
+        required=True,
+        metavar="WORKER_ID",
+        help="unique worker name within the run (e.g. hostA-1)",
+    )
+    wkr.add_argument(
+        "--join-timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the coordinator to publish the run spec",
     )
 
     pwr = command("power", help="two-proportion power calculations")
@@ -670,9 +727,13 @@ def _pipeline_report(args, out) -> int:
 
     Taken when the invocation needs the DAG runner rather than the plain
     in-process build: ``--durable DIR`` (journaled + cache-addressed,
-    resumable) and/or ``--trace FILE`` (span-traced with a Perfetto
-    export and critical-path summary). The two compose: a traced durable
-    run correlates its root span with the journal run id.
+    resumable), ``--trace FILE`` (span-traced with a Perfetto export and
+    critical-path summary), and/or ``--backend dist`` (coordinator/worker
+    fleet over the shared cache directory). All three compose: a traced
+    durable dist run correlates its root span with the journal run id and
+    renders per-worker lanes in the Perfetto export. Fleet mode needs a
+    disk cache, so without ``--durable`` it runs against a throwaway
+    cache directory.
     """
     from repro.core.pipeline import ArtifactCache
     from repro.core.trace import Tracer, analyze_perfetto
@@ -705,8 +766,18 @@ def _pipeline_report(args, out) -> int:
                 return 2
         cache = ArtifactCache(durable / "cache")
         journal = RunJournal.open(journal_dir)
+        scratch = None
+    elif args.backend == "dist":
+        # Fleet workers coordinate through the cache filesystem, so the
+        # in-memory default is not an option; a throwaway directory gives
+        # ad-hoc dist runs somewhere to meet.
+        scratch = tempfile.TemporaryDirectory(prefix="repro-dist-")
+        cache = ArtifactCache(Path(scratch.name) / "cache")
     else:
         cache = ArtifactCache()
+        scratch = None
+    executor = "dist" if args.backend == "dist" else args.executor
+    max_workers = args.workers if args.backend == "dist" else args.jobs
     tracer = Tracer() if args.trace is not None else None
     pipeline = report_pipeline(
         cache,
@@ -719,14 +790,17 @@ def _pipeline_report(args, out) -> int:
     try:
         try:
             results, report = pipeline.run_with_report(
-                max_workers=args.jobs,
-                executor=args.executor,
+                max_workers=max_workers,
+                executor=executor,
                 on_error="keep_going" if args.keep_going else "raise",
                 journal=journal,
                 resume=resume_state,
                 trace=tracer,
             )
         except KeyboardInterrupt:
+            # The dist coordinator has already released its leases,
+            # stopped the fleet, and swept the run directory on its way
+            # out (its cleanup runs in a finally before this propagates).
             if journal is not None:
                 journal.flush()
                 print(
@@ -739,6 +813,8 @@ def _pipeline_report(args, out) -> int:
     finally:
         if journal is not None:
             journal.close()
+        if scratch is not None:
+            scratch.cleanup()
     if tracer is not None:
         tracer.write_perfetto(args.trace)
         print(f"wrote Perfetto trace to {args.trace}", file=out)
@@ -786,10 +862,16 @@ def _cmd_report(args, out) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=out)
         return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=out)
+        return 2
+    if args.workers is not None and args.backend != "dist":
+        print("error: --workers requires --backend dist", file=out)
+        return 2
     if args.resume is not None and args.durable is None:
         print("error: --resume requires --durable DIR", file=out)
         return 2
-    if args.durable is not None or args.trace is not None:
+    if args.durable is not None or args.trace is not None or args.backend == "dist":
         return _pipeline_report(args, out)
     study = _build_study(args)
     metrics_sink = []
@@ -891,6 +973,7 @@ def _cmd_bench(args, out) -> int:
     from repro.core.bench import (
         append_run,
         check_audit_overhead,
+        check_dist_overhead,
         check_journal_overhead,
         check_regression,
         check_retry_overhead,
@@ -941,6 +1024,9 @@ def _cmd_bench(args, out) -> int:
             audit_ok, audit_message = check_audit_overhead(
                 record, max_overhead=args.max_audit_overhead
             )
+            dist_ok, dist_message = check_dist_overhead(
+                record, max_overhead=args.max_dist_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -953,7 +1039,12 @@ def _cmd_bench(args, out) -> int:
         )
         print(("ok: " if trace_ok else "REGRESSION: ") + trace_message, file=out)
         print(("ok: " if audit_ok else "REGRESSION: ") + audit_message, file=out)
-        return 0 if ok and overhead_ok and journal_ok and trace_ok and audit_ok else 1
+        print(("ok: " if dist_ok else "REGRESSION: ") + dist_message, file=out)
+        return (
+            0
+            if ok and overhead_ok and journal_ok and trace_ok and audit_ok and dist_ok
+            else 1
+        )
     return 0
 
 
@@ -1091,6 +1182,23 @@ def _cmd_power(args, out) -> int:
     return 0
 
 
+def _cmd_worker(args, out) -> int:
+    from repro.dist.worker import worker_main
+
+    code = worker_main(
+        args.run_dir, args.worker_id, join_timeout=args.join_timeout
+    )
+    if code == 2:
+        print(
+            f"error: no run spec under {args.run_dir} after "
+            f"{args.join_timeout:.0f}s — is the coordinator running?",
+            file=out,
+        )
+    elif code == EXIT_INTERRUPTED:
+        print("interrupted — leases released, coordinator will reassign", file=out)
+    return code
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -1102,6 +1210,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "worker": _cmd_worker,
     "power": _cmd_power,
 }
 
@@ -1110,10 +1219,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
     A Ctrl-C during the long-running commands (``report``, ``trace``,
-    ``bench``, ``audit``) exits ``130`` (128 + SIGINT) with a one-line notice
-    instead of a traceback; the ``--durable`` report path additionally
-    flushes its journal and prints the ``--resume`` hint before this
-    handler sees anything.
+    ``bench``, ``audit``, ``worker``) exits ``130`` (128 + SIGINT) with a
+    one-line notice instead of a traceback; the ``--durable`` report path
+    additionally flushes its journal and prints the ``--resume`` hint, and
+    a fleet worker releases its leases and lets the coordinator reassign,
+    before this handler sees anything.
     """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -1123,7 +1233,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         return _COMMANDS[args.command](args, out)
     except KeyboardInterrupt:
-        if args.command in ("report", "trace", "bench", "audit"):
+        if args.command in ("report", "trace", "bench", "audit", "worker"):
             print("interrupted", file=out)
             return EXIT_INTERRUPTED
         raise

@@ -34,7 +34,17 @@ from repro.core.calibration import (
 from repro.core.study import Study, StudyError, build_default_study
 from repro.core.trends import TrendEngine, TrendRow, TrendTable
 from repro.core.weighting import WeightedTrendEngine, make_cohort_weights
-from repro.core.faults import CrashPoint, FaultPlan, FaultSpec, InjectedFault
+from repro.core.faults import (
+    CrashPoint,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    WorkerFaultPlan,
+    WorkerHang,
+    WorkerKill,
+    WorkerPartition,
+    worker_crash_coordinates,
+)
 from repro.core.journal import (
     JournalError,
     ResumeState,
@@ -92,6 +102,11 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "CrashPoint",
+    "WorkerKill",
+    "WorkerHang",
+    "WorkerPartition",
+    "WorkerFaultPlan",
+    "worker_crash_coordinates",
     "RunJournal",
     "ResumeState",
     "JournalError",

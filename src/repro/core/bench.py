@@ -83,6 +83,7 @@ __all__ = [
     "check_journal_overhead",
     "check_trace_overhead",
     "check_audit_overhead",
+    "check_dist_overhead",
     "check_scale_sweep",
     "render_record",
     "render_scale_sweep",
@@ -505,6 +506,85 @@ def _bench_audit_overhead(sc: "BenchScale", k: int) -> dict:
     }
 
 
+# Module level so the dist run spec can pickle them into worker processes.
+def _dist_bench_source(inputs):
+    return list(range(500))
+
+
+def _dist_bench_band(inputs):
+    return sum(inputs["source"])
+
+
+def _dist_bench_sink(inputs):
+    return inputs["band-0"] + inputs["band-1"] + inputs["band-2"]
+
+
+def _bench_dist_overhead(k: int) -> dict:
+    """Time a small DAG on the dist backend vs a sequential run.
+
+    Fleet mode pays for fork-per-worker, heartbeat threads, lease files
+    and assignment polling; on a 5-step diamond of trivial steps that
+    coordination cost *is* the wall time, making this the worst case. The
+    gate therefore prices it in absolute per-step seconds —
+    ``(dist_wall - seq_wall) / steps`` — rather than as a ratio: the
+    fleet-spawn cost is fixed, so any ratio against near-zero step
+    compute would diverge as steps shrink and say nothing about real
+    runs. :func:`check_dist_overhead` gates ``detail["overhead_per_step"]``.
+    """
+    import tempfile
+
+    from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+
+    steps = [
+        PipelineStep("source", _dist_bench_source),
+        PipelineStep("band-0", _dist_bench_band, depends_on=("source",)),
+        PipelineStep("band-1", _dist_bench_band, depends_on=("source",)),
+        PipelineStep("band-2", _dist_bench_band, depends_on=("source",)),
+        PipelineStep("sink", _dist_bench_sink, depends_on=("band-0", "band-1", "band-2")),
+    ]
+    workers = 2
+    dist_options = {
+        "workers": workers,
+        "heartbeat_interval": 0.05,
+        "lease_ttl": 1.0,
+        "poll_interval": 0.005,
+        "tick_interval": 0.005,
+    }
+    repeats = min(k, 3)  # each dist repeat forks a fresh fleet
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dist-") as tmpname:
+        tmp = Path(tmpname)
+        counter = [0]
+
+        def fresh_pipeline() -> Pipeline:
+            counter[0] += 1
+            return Pipeline(list(steps), ArtifactCache(tmp / f"c{counter[0]}"))
+
+        seq_t = _time_min_of_k(
+            lambda: fresh_pipeline().run(executor="sequential"),
+            repeats,
+            memory=False,
+        )
+        dist_t = _time_min_of_k(
+            lambda: fresh_pipeline().run(
+                executor="dist", backend_options=dict(dist_options)
+            ),
+            repeats,
+            memory=False,
+        )
+    overhead_per_step = max(0.0, dist_t["seconds"] - seq_t["seconds"]) / len(steps)
+    return {
+        "seconds": dist_t["seconds"],
+        "runs": dist_t["runs"],
+        "detail": {
+            "seq_seconds": seq_t["seconds"],
+            "steps": len(steps),
+            "workers": workers,
+            "overhead_per_step": round(overhead_per_step, 6),
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -588,6 +668,8 @@ def run_benchmarks(
     benchmarks["trace_overhead"] = _bench_trace_overhead(jobs, k)
 
     benchmarks["audit_overhead"] = _bench_audit_overhead(sc, k)
+
+    benchmarks["dist_overhead"] = _bench_dist_overhead(k)
 
     if end_to_end and sc.months >= 3:
         def report() -> None:
@@ -961,6 +1043,32 @@ def check_audit_overhead(record: dict, max_overhead: float = 0.05) -> tuple[bool
         f"audit_overhead: {entry['seconds']:.3f}s audited vs "
         f"{entry['detail']['plain_seconds']:.3f}s plain double run "
         f"({overhead:+.1%} overhead, limit {max_overhead:+.0%})"
+    )
+    return overhead <= max_overhead, message
+
+
+def check_dist_overhead(record: dict, max_overhead: float = 0.25) -> tuple[bool, str]:
+    """Gate the dist backend's coordination cost within ``record``.
+
+    Intra-record like the other overhead gates, but in **absolute
+    per-step seconds** rather than a fraction: the sequential run of the
+    same trivial DAG timed in the same record is the baseline, and the
+    fixed fleet cost (fork, heartbeats, lease/assignment file traffic)
+    divided across the DAG's steps must stay under ``max_overhead``
+    seconds. Returns ``(ok, message)``; a record without the
+    ``dist_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("dist_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "dist_overhead benchmark missing from run; skipping gate"
+    overhead = float(entry["detail"]["overhead_per_step"])
+    message = (
+        f"dist_overhead: {entry['seconds']:.3f}s fleet vs "
+        f"{entry['detail']['seq_seconds']:.3f}s sequential over "
+        f"{entry['detail']['steps']} steps "
+        f"({overhead:.3f}s/step, limit {max_overhead:.3f}s/step)"
     )
     return overhead <= max_overhead, message
 

@@ -49,6 +49,11 @@ __all__ = [
     "crash_coordinates",
     "run_until_crash",
     "resume_after_crash",
+    "WorkerKill",
+    "WorkerHang",
+    "WorkerPartition",
+    "WorkerFaultPlan",
+    "worker_crash_coordinates",
 ]
 
 #: Supported fault kinds: raise an exception, stall the attempt, corrupt
@@ -476,3 +481,178 @@ def resume_after_crash(
         return pipeline.run(journal=journal, resume=resume, **dict(run_kwargs or {}))
     finally:
         journal.close()
+
+
+# -- worker-level chaos (fleet mode) -------------------------------------------
+#
+# The coordinator-side FaultPlan above cannot reach a dist run: faults must
+# fire *inside a worker process*, possibly on another host, and the whole
+# point of the fleet chaos matrix is killing whole workers rather than
+# failing attempts. Worker chaos therefore follows the CrashPoint pattern
+# (SIGKILL at a (step, event) coordinate) but rides the run directory: a
+# WorkerFaultPlan is pickled into the run spec, bound per worker at start,
+# and claims cross-process firing slots via O_CREAT|O_EXCL marker files so
+# "kill N distinct workers on this step" needs no shared memory.
+
+#: Worker-side fault coordinates, mirroring repro.dist.worker.WORKER_EVENTS.
+WorkerEvent = ("task_start", "before_publish", "after_publish", "after_result")
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """SIGKILL the executing worker at a (step, event) coordinate.
+
+    ``count`` bounds total firings across the whole fleet (claimed via
+    marker files): ``count=1`` is the kill-matrix case (one worker dies,
+    the lease expires, a survivor takes over), while ``count >=
+    poison_threshold`` drives the same step through enough distinct
+    workers to get it quarantined as poisoned.
+    """
+
+    step: str
+    event: str = "task_start"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in WorkerEvent:
+            raise ValueError(f"unknown worker event {self.event!r}; expected one of {WorkerEvent}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def fire(self, bound: "BoundWorkerChaos") -> None:  # pragma: no cover - SIGKILL
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class WorkerHang:
+    """Stall the executing worker while its heartbeats keep flowing.
+
+    The classic straggler: the lease never expires (the worker is alive
+    and beating), so only the speculation deadline can rescue the step —
+    a speculative twin computes it, publishes first, and the woken
+    straggler observes the published value and stands down.
+    """
+
+    step: str
+    seconds: float = 1.0
+    event: str = "task_start"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in WorkerEvent:
+            raise ValueError(f"unknown worker event {self.event!r}; expected one of {WorkerEvent}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be non-negative, got {self.seconds}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def fire(self, bound: "BoundWorkerChaos") -> None:
+        time.sleep(self.seconds)
+
+
+@dataclass(frozen=True)
+class WorkerPartition:
+    """Stop heartbeating but keep computing — the split-brain case.
+
+    The coordinator sees a dead worker (counter frozen past the lease
+    ttl), expires the lease, and reassigns the step under a bumped epoch
+    — while the partitioned worker, alive and oblivious, races its own
+    replacement to the publish. Lease fencing must win: the stale worker's
+    pre-publish fence check observes the bumped epoch and discards its
+    value. ``delay`` holds the compute back long enough for the ttl to
+    actually expire (set it above the fleet's ``lease_ttl``).
+    """
+
+    step: str
+    delay: float = 0.0
+    event: str = "task_start"
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in WorkerEvent:
+            raise ValueError(f"unknown worker event {self.event!r}; expected one of {WorkerEvent}")
+        if self.delay < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+    def fire(self, bound: "BoundWorkerChaos") -> None:
+        if bound.heartbeat is not None:
+            bound.heartbeat.pause()
+        if self.delay:
+            time.sleep(self.delay)
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """Declarative worker chaos for one dist run.
+
+    Pickled into the run spec by the coordinator and bound per worker
+    process at startup (:meth:`bind`). Firing slots are claimed through
+    ``chaos/<spec>.<slot>`` marker files created ``O_CREAT|O_EXCL`` in the
+    run directory, so each spec fires exactly ``count`` times fleet-wide
+    no matter how many workers race for the coordinate — deterministic
+    chaos without any cross-process channel beyond the shared filesystem.
+    """
+
+    specs: tuple = ()
+
+    def __init__(self, specs: Iterable[Any] = ()) -> None:
+        object.__setattr__(self, "specs", tuple(specs))
+
+    def bind(self, run_dir: Any, worker_id: str, heartbeat: Any = None) -> "BoundWorkerChaos":
+        return BoundWorkerChaos(self, run_dir, worker_id, heartbeat)
+
+
+class BoundWorkerChaos:
+    """One worker's live view of a :class:`WorkerFaultPlan`."""
+
+    def __init__(self, plan: WorkerFaultPlan, run_dir: Any, worker_id: str, heartbeat: Any) -> None:
+        self.plan = plan
+        self.run_dir = run_dir
+        self.worker_id = worker_id
+        self.heartbeat = heartbeat
+
+    def _claim(self, index: int, count: int) -> bool:
+        """Claim one fleet-wide firing slot for spec ``index``; False when
+        all ``count`` slots are spent."""
+        chaos_dir = os.path.join(str(self.run_dir), "chaos")
+        os.makedirs(chaos_dir, exist_ok=True)
+        for slot in range(count):
+            try:
+                fd = os.open(
+                    os.path.join(chaos_dir, f"{index}.{slot}"),
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    0o644,
+                )
+            except FileExistsError:
+                continue
+            os.write(fd, f"{self.worker_id}\n".encode())
+            os.close(fd)
+            return True
+        return False
+
+    def fire(self, step: str, event: str) -> None:
+        for index, spec in enumerate(self.plan.specs):
+            if spec.step != step or spec.event != event:
+                continue
+            if not self._claim(index, spec.count):
+                continue
+            trace_instant(
+                "fault.fired", "fault", step=step, kind=type(spec).__name__,
+                worker=self.worker_id,
+            )
+            spec.fire(self)
+
+
+def worker_crash_coordinates(
+    step_names: Sequence[str],
+    events: Sequence[str] = WorkerEvent,
+) -> list[WorkerKill]:
+    """The dist kill matrix: SIGKILL one worker at every (step, event)
+    coordinate, in deterministic order (mirrors :func:`crash_coordinates`)."""
+    return [
+        WorkerKill(step=name, event=event)
+        for name in step_names
+        for event in events
+    ]

@@ -261,6 +261,15 @@ class RunJournal:
             rec["error"] = error
         return self.record("step_done", step=name, **rec)
 
+    def step_reassign(self, name: str, key: str, *, worker: str, epoch: int) -> bool:
+        """A dist coordinator moved an in-flight step to a new worker.
+
+        Purely informational for readers (``load_resume_state`` ignores
+        unknown events); the record preserves which worker lost the lease
+        and the fencing epoch the replacement runs under.
+        """
+        return self.record("step_reassign", step=name, key=key, worker=worker, epoch=epoch)
+
     def run_end(self, counts: Mapping[str, int], wall_seconds: float) -> bool:
         return self.record(
             "run_end", counts=dict(counts), wall_seconds=round(wall_seconds, 6)

@@ -11,6 +11,7 @@ these metrics are the only observable difference between the two modes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "StepMetric",
@@ -216,6 +217,10 @@ class ExecutorMetrics:
     resumed_from: str | None = None
     journal_path: str | None = None
     journal_unavailable: bool = False
+    #: Backend-specific counters (dist: reassignments, speculations,
+    #: quarantined steps, dead workers, publish audit). None for the
+    #: in-process executors.
+    backend_stats: dict[str, Any] | None = None
 
     def record(
         self,
@@ -327,6 +332,17 @@ class ExecutorMetrics:
             lines.append(f"  resumed from run {self.resumed_from}")
         if self.journal_unavailable:
             lines.append("  journal unavailable (writes disabled mid-run)")
+        if self.backend_stats:
+            interesting = {
+                k: v
+                for k, v in sorted(self.backend_stats.items())
+                if v and k not in ("backend", "workers", "publishes")
+            }
+            if interesting:
+                lines.append(
+                    "  fleet: "
+                    + ", ".join(f"{k}={v}" for k, v in interesting.items())
+                )
         if self.steps_cache_unavailable:
             lines.append(
                 f"  {self.steps_cache_unavailable} step(s) ran uncached "

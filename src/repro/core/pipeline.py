@@ -78,14 +78,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ArtifactCache",
+    "BackendContext",
+    "ExecutorBackend",
     "PipelineStep",
     "Pipeline",
     "PipelineError",
     "RetryPolicy",
     "StepTimeout",
+    "register_backend",
 ]
 
-_EXECUTORS = ("auto", "sequential", "thread", "process")
+_EXECUTORS = ("auto", "sequential", "thread", "process", "dist")
 _ON_ERROR = ("raise", "keep_going")
 
 
@@ -99,6 +102,117 @@ class StepTimeout(PipelineError):
     Subclasses :class:`PipelineError` (and therefore ``Exception``), so the
     default retry filter treats timeouts as retryable.
     """
+
+
+# -- executor backends ---------------------------------------------------------
+
+
+@dataclass
+class BackendContext:
+    """Everything :meth:`Pipeline.run` hands an :class:`ExecutorBackend`.
+
+    One bundle instead of a dozen positional arguments, so third-party
+    backends (and :mod:`repro.dist`) survive signature growth. The
+    backend's contract: execute the DAG, populate ``outcomes`` /
+    ``metrics`` / ``journal`` / ``tracer`` exactly the way the built-in
+    executors do, and return ``{step name: value}`` for every step that
+    produced one. ``run()`` owns the run-level envelope — ``run_start`` /
+    ``run_end``, the :class:`~repro.core.metrics.RunReport`, root span —
+    for every backend equally.
+    """
+
+    keys: Mapping[str, str]
+    force: bool
+    metrics: ExecutorMetrics
+    mode: str
+    workers: int
+    t0: float
+    on_error: str
+    fault_plan: Any | None
+    outcomes: dict[str, StepOutcome]
+    journal: "RunJournal | None"
+    resume: "ResumeState | None"
+    tracer: Tracer | None
+    options: Mapping[str, Any] | None = None
+    #: ``max_workers`` exactly as the caller passed it (None = unspecified),
+    #: so backends with their own sizing defaults can tell "defaulted" from
+    #: "explicitly requested".
+    requested_workers: int | None = None
+
+
+class ExecutorBackend:
+    """Strategy interface behind ``Pipeline.run(executor=...)``.
+
+    Built-in backends cover ``sequential``, ``thread``, ``process``, and
+    ``dist``; :func:`register_backend` adds new names. Backends are
+    stateless singletons — per-run state rides in the
+    :class:`BackendContext`.
+    """
+
+    name: str = "?"
+
+    def execute(self, pipeline: "Pipeline", ctx: BackendContext) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class _SequentialBackend(ExecutorBackend):
+    name = "sequential"
+
+    def execute(self, pipeline: "Pipeline", ctx: BackendContext) -> dict[str, Any]:
+        return pipeline._run_sequential(
+            ctx.keys, ctx.force, ctx.metrics, ctx.t0, ctx.on_error,
+            ctx.fault_plan, ctx.outcomes, ctx.journal, ctx.resume, ctx.tracer,
+        )
+
+
+class _PoolBackend(ExecutorBackend):
+    """Thread- and process-pool DAG execution (one class, two names)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def execute(self, pipeline: "Pipeline", ctx: BackendContext) -> dict[str, Any]:
+        return pipeline._run_dag(
+            ctx.keys, ctx.force, ctx.metrics, self.name, ctx.workers, ctx.t0,
+            ctx.on_error, ctx.fault_plan, ctx.outcomes, ctx.journal,
+            ctx.resume, ctx.tracer,
+        )
+
+
+class _DistBackend(ExecutorBackend):
+    """Coordinator/worker fleet (:mod:`repro.dist`); imported lazily so the
+    core pipeline stays importable without the dist package loaded."""
+
+    name = "dist"
+
+    def execute(self, pipeline: "Pipeline", ctx: BackendContext) -> dict[str, Any]:
+        from repro.dist.coordinator import run_coordinator
+
+        return run_coordinator(pipeline, ctx)
+
+
+_BACKENDS: dict[str, ExecutorBackend] = {
+    "sequential": _SequentialBackend(),
+    "thread": _PoolBackend("thread"),
+    "process": _PoolBackend("process"),
+    "dist": _DistBackend(),
+}
+
+
+def register_backend(name: str, backend: ExecutorBackend) -> None:
+    """Register (or replace) an executor backend under ``name``.
+
+    The name becomes a valid ``Pipeline.run(executor=...)`` value. Names
+    shadowing built-ins are allowed — that is the seam the test suite and
+    future remote backends use — but ``"auto"`` stays reserved for the
+    picklability-based choice between thread and process pools.
+    """
+    if name == "auto":
+        raise ValueError("'auto' is resolved by Pipeline.run, not a backend name")
+    _BACKENDS[name] = backend
+    global _EXECUTORS
+    if name not in _EXECUTORS:
+        _EXECUTORS = _EXECUTORS + (name,)
 
 
 @dataclass(frozen=True)
@@ -824,13 +938,23 @@ class Pipeline:
         return True
 
     def _resolve_executor(self, executor: str, max_workers: int | None) -> tuple[str, int]:
-        if executor not in _EXECUTORS:
+        if executor != "auto" and executor not in _BACKENDS:
             raise PipelineError(
                 f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
             )
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         if workers < 1:
             raise PipelineError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("auto", "sequential", "thread", "process"):
+            # Registered backends (dist included) own their worker model —
+            # a one-step DAG on a one-worker fleet is still a fleet run,
+            # never silently collapsed to the in-process fast path. An
+            # unspecified max_workers defaults to a small fleet rather than
+            # cpu_count: fleet workers are whole processes with their own
+            # polling loops, not pool threads.
+            if max_workers is None:
+                workers = min(4, os.cpu_count() or 1)
+            return executor, workers
         if executor == "sequential" or workers == 1 or len(self.steps) == 1:
             return "sequential", 1
         if executor == "auto":
@@ -850,6 +974,7 @@ class Pipeline:
         journal: "RunJournal | None" = None,
         resume: "ResumeState | str | Path | None" = None,
         trace: "Tracer | bool | None" = None,
+        backend_options: Mapping[str, Any] | None = None,
     ) -> dict[str, Any]:
         """Execute all steps, returning {step name: output} in step order.
 
@@ -859,10 +984,14 @@ class Pipeline:
             Bypass cache reads (values are still written back).
         max_workers:
             Pool size; defaults to ``os.cpu_count()``. ``1`` forces the
-            sequential fast path.
+            sequential fast path (except for registered backends such as
+            ``dist``, which own their worker model).
         executor:
             ``"auto"`` (processes when every step pickles, else threads),
-            ``"sequential"``, ``"thread"``, or ``"process"``.
+            ``"sequential"``, ``"thread"``, ``"process"``, ``"dist"``
+            (coordinator/worker fleet over the shared cache directory —
+            see :mod:`repro.dist`), or any name added via
+            :func:`register_backend`.
         on_error:
             ``"raise"`` (default) propagates the first terminal step
             failure, as before. ``"keep_going"`` isolates it: the failed
@@ -899,6 +1028,12 @@ class Pipeline:
             the cache, locks, retry backoffs, and fault injections. The
             tracer lands on :attr:`last_trace`. Like retry/timeout and
             journal config, tracing never touches cache keys.
+        backend_options:
+            Backend-specific knobs, passed through untouched on the
+            :class:`BackendContext`. The ``dist`` backend accepts either
+            ``{"config": DistConfig(...)}`` or loose
+            :class:`~repro.dist.worker.DistConfig` field names. Never part
+            of cache keys.
 
         The returned dict — values and iteration order — is identical
         across executor modes; only :attr:`last_metrics` differs. After
@@ -958,16 +1093,14 @@ class Pipeline:
         t0 = time.perf_counter()
         try:
             with _activate_trace(tracer):
-                if mode == "sequential":
-                    results = self._run_sequential(
-                        keys, force, metrics, t0, on_error, fault_plan, outcomes,
-                        journal, resume, tracer,
-                    )
-                else:
-                    results = self._run_dag(
-                        keys, force, metrics, mode, workers, t0, on_error, fault_plan,
-                        outcomes, journal, resume, tracer,
-                    )
+                ctx = BackendContext(
+                    keys=keys, force=force, metrics=metrics, mode=mode,
+                    workers=workers, t0=t0, on_error=on_error,
+                    fault_plan=fault_plan, outcomes=outcomes, journal=journal,
+                    resume=resume, tracer=tracer, options=backend_options,
+                    requested_workers=max_workers,
+                )
+                results = _BACKENDS[mode].execute(self, ctx)
         finally:
             metrics.wall_seconds = time.perf_counter() - t0
             report = RunReport(

@@ -114,6 +114,12 @@ _TIMING_ARGS = frozenset(
     }
 )
 
+#: Instant-event categories whose *presence* is nondeterministic — dist
+#: scheduling events (lease expiries, heartbeat gaps, reassignments,
+#: speculation) depend on OS timing, so normalized exports drop the
+#: category wholesale rather than just scrubbing its args.
+_EPHEMERAL_CATS = frozenset({"dist"})
+
 
 class TraceError(RuntimeError):
     """Raised for malformed traces and analysis inputs."""
@@ -341,6 +347,8 @@ class Tracer:
                 event["args"]["parent"] = by_sid_name[s.parent]
             events.append(event)
         for i in self.instants:
+            if normalize and (i.cat or "trace") in _EPHEMERAL_CATS:
+                continue
             events.append(
                 {
                     "name": i.name,

@@ -21,6 +21,14 @@ Two backends:
   an unreadable/torn lock file is reclaimed after ``stale_grace`` seconds
   without change.
 
+Lock metadata is a fixed-width **pid + hostname** record
+(:func:`owner_record`). The hostname matters on shared filesystems: pid
+liveness can only be probed on the *local* host, and pid namespaces are
+per-host, so a lock recorded by another machine must never be reclaimed by
+signal-0 probing — the same pid number there may belong to a live holder
+here-invisible process. Waiters therefore treat remote-host locks as held
+until their owner releases them (or an operator removes the file).
+
 Both backends are advisory: they only exclude other ``FileLock`` users,
 which is exactly the contract the cache needs.
 """
@@ -28,6 +36,7 @@ which is exactly the contract the cache needs.
 from __future__ import annotations
 
 import os
+import socket
 import time
 from pathlib import Path
 
@@ -36,9 +45,72 @@ try:  # pragma: no cover - import guard exercised implicitly everywhere
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
-__all__ = ["FileLock", "LockTimeout", "pid_alive"]
+__all__ = [
+    "FileLock",
+    "LockTimeout",
+    "OWNER_RECORD_WIDTH",
+    "local_host",
+    "owner_record",
+    "parse_owner_record",
+    "pid_alive",
+]
 
 _BACKENDS = ("auto", "fcntl", "pidfile")
+
+#: Fixed byte width of an :func:`owner_record`, pread/pwrite-friendly so a
+#: record overwrite never leaves a longer stale tail behind it.
+OWNER_RECORD_WIDTH = 64
+
+_HOST_WIDTH = OWNER_RECORD_WIDTH - 21  # pid(19) + space + trailing newline
+
+_local_host: str | None = None
+
+
+def local_host() -> str:
+    """This machine's hostname, truncated to the record's host field width.
+
+    Cached after the first call: the hostname is effectively immutable for
+    the life of a run, and lock acquisition sits on hot paths.
+    """
+    global _local_host
+    if _local_host is None:
+        host = socket.gethostname() or "localhost"
+        _local_host = host[:_HOST_WIDTH]
+    return _local_host
+
+
+def owner_record(pid: int | None = None, host: str | None = None) -> bytes:
+    """Fixed-width ``pid host`` metadata record (:data:`OWNER_RECORD_WIDTH`).
+
+    Shared by lock files and the dist backend's heartbeat files so every
+    on-disk ownership claim carries enough identity to be judged safely
+    from any host. Defaults to the calling process on this host.
+    """
+    if pid is None:
+        pid = os.getpid()
+    if host is None:
+        host = local_host()
+    body = f"{pid:>19} {host[:_HOST_WIDTH]}"
+    return body.ljust(OWNER_RECORD_WIDTH - 1).encode() + b"\n"
+
+
+def parse_owner_record(data: bytes) -> tuple[int, str] | None:
+    """Parse an :func:`owner_record` → ``(pid, host)``, or None when torn.
+
+    Accepts the pre-hostname legacy format (a bare pid line) for locks
+    written by older builds; those report an empty host, which callers
+    treat as "this host" — exactly the assumption the legacy code baked in.
+    """
+    fields = data.split(b"\n")[0].split(None, 1)
+    if not fields or not fields[0].isdigit():
+        return None
+    host = fields[1].decode("utf-8", "replace").strip() if len(fields) > 1 else ""
+    return int(fields[0]), host
+
+
+def _same_host(host: str) -> bool:
+    """Whether a recorded host names this machine (legacy "" counts)."""
+    return host == "" or host == local_host()
 
 #: Lazily-bound ``repro.core.trace.instant`` (set on first use). A
 #: module-top import would be circular — ``repro.io`` can be imported
@@ -147,33 +219,35 @@ class FileLock:
         except OSError:
             os.close(fd)
             return False
-        # Held. Record our pid as diagnostic metadata (never unlinked on
-        # release: an unlinked-but-flocked inode would be invisible to the
-        # next waiter, silently breaking mutual exclusion). The record is
-        # fixed-width so a plain pwrite fully overwrites the previous
+        # Held. Record our pid+host as diagnostic metadata (never unlinked
+        # on release: an unlinked-but-flocked inode would be invisible to
+        # the next waiter, silently breaking mutual exclusion). The record
+        # is fixed-width so a plain pwrite fully overwrites the previous
         # holder — no ftruncate, which is painfully slow on some
-        # filesystems — and re-acquisitions by the same pid skip the
+        # filesystems — and re-acquisitions by the same process skip the
         # write entirely (the metadata is already correct).
         try:
-            previous = os.pread(fd, 32, 0).split(b"\n")[0].strip()
-            if previous.isdigit() and not pid_alive(int(previous)):
+            mine = owner_record()
+            previous = os.pread(fd, OWNER_RECORD_WIDTH, 0)
+            owner = parse_owner_record(previous)
+            # Stale accounting is local-host only: a remote pid cannot be
+            # probed, so a record from another host never counts as stale.
+            if owner is not None and _same_host(owner[1]) and not pid_alive(owner[0]):
                 self.reclaimed_stale += 1
-            if previous != str(os.getpid()).encode():
-                os.pwrite(fd, f"{os.getpid():>19}\n".encode(), 0)
+            if previous != mine:
+                os.pwrite(fd, mine, 0)
         except OSError:
             pass  # metadata only; the flock itself is what excludes
         self._fd = fd
         return True
 
-    def _read_holder(self) -> int | None:
-        """Pid recorded in the lock file, or None when unreadable/torn."""
+    def _read_holder(self) -> tuple[int, str] | None:
+        """(pid, host) recorded in the lock file, or None when torn."""
         try:
-            text = self.path.read_bytes().split(b"\n")[0].strip()
+            data = self.path.read_bytes()
         except OSError:
             return None
-        if not text.isdigit():
-            return None
-        return int(text)
+        return parse_owner_record(data)
 
     def _try_pidfile(self, first_unreadable: list[float]) -> bool:
         try:
@@ -191,19 +265,24 @@ class FileLock:
                     self._reclaim(expected=None)
                 return False
             first_unreadable.clear()
-            if holder != os.getpid() and not pid_alive(holder):
+            pid, host = holder
+            # Pid-liveness reclaim is only sound for locks recorded on this
+            # host: pid numbers are per-host, so "dead here" says nothing
+            # about a holder on another machine — a pid collision across
+            # hosts must never free a live remote holder's lock.
+            if _same_host(host) and pid != os.getpid() and not pid_alive(pid):
                 self._reclaim(expected=holder)
             return False
-        os.write(fd, f"{os.getpid()}\n".encode())
+        os.write(fd, owner_record())
         os.close(fd)
         self._fd = -1  # pidfile backend holds by existence, not by fd
         return True
 
-    def _reclaim(self, expected: int | None) -> None:
+    def _reclaim(self, expected: tuple[int, str] | None) -> None:
         """Unlink a stale lock file so the next attempt can race for it.
 
         Guarded re-read: only unlink while the content still names the dead
-        pid we observed (or is still unreadable, for ``expected=None``).
+        owner we observed (or is still unreadable, for ``expected=None``).
         A new holder appearing between the re-read and the unlink is a
         race this protocol cannot close without ``flock``; the window is
         microseconds and the consequence is one duplicated (deterministic,
@@ -240,9 +319,15 @@ class FileLock:
                 )
                 return self
             if deadline is not None and time.monotonic() >= deadline:
+                holder = self._read_holder()
+                described = (
+                    f"pid {holder[0]} on {holder[1] or local_host()}"
+                    if holder
+                    else "unreadable"
+                )
                 raise LockTimeout(
                     f"could not acquire {self.path} within {budget:.3f}s "
-                    f"(holder pid: {self._read_holder()})"
+                    f"(holder: {described})"
                 )
             time.sleep(self.poll_interval)
 

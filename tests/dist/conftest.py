@@ -1,0 +1,95 @@
+"""Shared fixtures for the fleet-mode (dist backend) suite.
+
+Every test drives the same 4-step diamond DAG used by the crash-resume
+suite, once sequentially (the oracle) and once on a worker fleet, and
+asserts the two runs are indistinguishable artifact-for-artifact. Fleet
+timings are tuned hard for test speed: SIGKILL'd workers are detected via
+the same-host pid probe (next coordinator tick), so only genuinely
+partition-shaped tests need to wait out a full ``lease_ttl``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.pipeline import ArtifactCache, Pipeline, PipelineStep
+
+STEP_NAMES = ("gen", "double", "stats", "merge")
+
+#: Fleet knobs for tests: fast heartbeats, short lease, tight polling.
+FAST = {
+    "workers": 4,
+    "heartbeat_interval": 0.02,
+    "lease_ttl": 0.3,
+    "poll_interval": 0.005,
+    "tick_interval": 0.005,
+}
+
+
+# Module-level step functions so the run spec pickles into worker processes.
+def _gen(inputs):
+    return {"rows": list(range(8))}
+
+
+def _double(inputs, **params):
+    return [r * 2 for r in inputs["gen"]["rows"]]
+
+
+def _stats(inputs, **params):
+    return {"total": sum(inputs["gen"]["rows"])}
+
+
+def _merge(inputs, **params):
+    return {"doubled": inputs["double"], "total": inputs["stats"]["total"]}
+
+
+def make_pipeline(root) -> Pipeline:
+    """The diamond DAG over a disk cache rooted at ``root``."""
+    return Pipeline(
+        [
+            PipelineStep("gen", _gen),
+            PipelineStep("double", _double, depends_on=("gen",)),
+            PipelineStep("stats", _stats, depends_on=("gen",)),
+            PipelineStep("merge", _merge, depends_on=("double", "stats")),
+        ],
+        ArtifactCache(root / "cache"),
+    )
+
+
+def artifact_bytes(results) -> dict[str, bytes]:
+    """Per-step pickle bytes — the unit of "byte-identical" assertions.
+
+    The aggregate dict is a fresh object graph in every run (worker
+    values round-trip through the cache), so cross-step memoization would
+    differ even for identical values; per-artifact pickles do not.
+    """
+    return {name: pickle.dumps(value) for name, value in results.items()}
+
+
+@pytest.fixture()
+def sequential_artifacts(tmp_path):
+    """Oracle artifacts from an uninterrupted sequential run."""
+    pipeline = make_pipeline(tmp_path / "baseline")
+    return artifact_bytes(pipeline.run(executor="sequential"))
+
+
+def assert_no_residue(root) -> None:
+    """After a dist run ends, the cache dir holds only artifacts.
+
+    No ``.dist`` run directory (leases, heartbeats, assignments), and no
+    stranded ``*.tmp`` publish files from killed workers.
+    """
+    cache = root / "cache"
+    leftovers = sorted(p.name for p in cache.glob(".dist/**/*"))
+    assert leftovers == [], f"run directory not cleaned up: {leftovers}"
+    assert not (cache / ".dist").exists()
+    tmps = sorted(p.name for p in cache.glob("*.tmp"))
+    assert tmps == [], f"stranded publish temp files: {tmps}"
+
+
+def assert_single_publishes(metrics) -> None:
+    """Every artifact was published exactly once, fleet-wide."""
+    stats = metrics.backend_stats
+    assert stats is not None
+    duplicates = {k: n for k, n in stats["publishes"].items() if n > 1}
+    assert duplicates == {}, f"duplicate cache publishes: {duplicates}"

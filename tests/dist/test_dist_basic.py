@@ -1,0 +1,207 @@
+"""Fleet-mode basics: clean runs match sequential, and the backend's
+contract (validation, error isolation, resume, determinism) holds without
+any chaos in play."""
+
+import pytest
+
+from repro.core.journal import RunJournal, load_resume_state
+from repro.core.pipeline import ArtifactCache, Pipeline, PipelineError, PipelineStep
+from repro.core.trace import Tracer
+
+from tests.dist.conftest import (
+    FAST,
+    STEP_NAMES,
+    _gen,
+    artifact_bytes,
+    assert_no_residue,
+    assert_single_publishes,
+    make_pipeline,
+)
+
+
+class TestCleanRun:
+    def test_matches_sequential_byte_for_byte(self, tmp_path, sequential_artifacts):
+        pipeline = make_pipeline(tmp_path / "fleet")
+        results = pipeline.run(executor="dist", backend_options=dict(FAST))
+        assert artifact_bytes(results) == sequential_artifacts
+        report = pipeline.last_report
+        assert {o.name: o.status for o in report.outcomes} == {
+            name: "ok" for name in STEP_NAMES
+        }
+        assert_no_residue(tmp_path / "fleet")
+        assert_single_publishes(pipeline.last_metrics)
+
+    def test_backend_stats_recorded(self, tmp_path):
+        pipeline = make_pipeline(tmp_path)
+        pipeline.run(executor="dist", backend_options=dict(FAST))
+        stats = pipeline.last_metrics.backend_stats
+        assert stats["backend"] == "dist"
+        assert stats["workers"] == FAST["workers"]
+        assert stats["dead_workers"] == []
+        assert stats["reassignments"] == 0
+        assert stats["quarantined"] == []
+        assert stats["degraded_all_lost"] is False
+        assert pipeline.last_metrics.max_workers == FAST["workers"]
+
+    def test_default_worker_count_is_bounded(self, tmp_path):
+        import os
+
+        pipeline = make_pipeline(tmp_path)
+        pipeline.run(
+            executor="dist",
+            backend_options={
+                k: v for k, v in FAST.items() if k != "workers"
+            },
+        )
+        assert pipeline.last_metrics.max_workers == min(4, os.cpu_count() or 1)
+
+    def test_second_run_fully_cached(self, tmp_path):
+        pipeline = make_pipeline(tmp_path)
+        first = pipeline.run(executor="dist", backend_options=dict(FAST))
+        again = pipeline.run(executor="dist", backend_options=dict(FAST))
+        assert artifact_bytes(first) == artifact_bytes(again)
+        assert pipeline.last_metrics.steps_cached == len(STEP_NAMES)
+        assert pipeline.last_metrics.steps_run == 0
+
+
+class TestValidation:
+    def test_requires_disk_cache(self, tmp_path):
+        pipeline = Pipeline([PipelineStep("gen", _gen)], ArtifactCache())
+        with pytest.raises(PipelineError, match="disk"):
+            pipeline.run(executor="dist", backend_options=dict(FAST))
+
+    def test_requires_picklable_steps(self, tmp_path):
+        pipeline = Pipeline(
+            [PipelineStep("gen", lambda inputs: 1)],
+            ArtifactCache(tmp_path / "cache"),
+        )
+        with pytest.raises(PipelineError, match="pickl"):
+            pipeline.run(executor="dist", backend_options=dict(FAST))
+
+    def test_rejects_coordinator_side_fault_plan(self, tmp_path):
+        from repro.core.faults import FaultPlan
+
+        pipeline = make_pipeline(tmp_path)
+        with pytest.raises(PipelineError, match="WorkerFaultPlan"):
+            pipeline.run(
+                executor="dist",
+                backend_options=dict(FAST),
+                fault_plan=FaultPlan.transient_errors(["gen"]),
+            )
+
+    def test_rejects_mixed_backend_options(self, tmp_path):
+        from repro.dist import DistConfig
+
+        pipeline = make_pipeline(tmp_path)
+        with pytest.raises((PipelineError, ValueError)):
+            pipeline.run(
+                executor="dist",
+                backend_options={"config": DistConfig(), "workers": 2},
+            )
+
+    def test_unknown_executor_still_rejected(self, tmp_path):
+        pipeline = make_pipeline(tmp_path)
+        with pytest.raises(PipelineError, match="executor"):
+            pipeline.run(executor="warp")
+
+
+def _boom(inputs, **params):
+    raise RuntimeError("injected terminal failure")
+
+
+def _downstream(inputs, **params):
+    return inputs["boom"]
+
+
+class TestErrorPaths:
+    def _failing_pipeline(self, root):
+        return Pipeline(
+            [
+                PipelineStep("gen", _gen),
+                PipelineStep("boom", _boom, depends_on=("gen",)),
+                PipelineStep("downstream", _downstream, depends_on=("boom",)),
+                PipelineStep("stats", _stats_indep, depends_on=("gen",)),
+            ],
+            ArtifactCache(root / "cache"),
+        )
+
+    def test_on_error_raise_propagates(self, tmp_path):
+        pipeline = self._failing_pipeline(tmp_path)
+        with pytest.raises(PipelineError, match="boom"):
+            pipeline.run(executor="dist", backend_options=dict(FAST))
+        assert_no_residue(tmp_path)
+
+    def test_keep_going_isolates_subtree(self, tmp_path):
+        pipeline = self._failing_pipeline(tmp_path)
+        results = pipeline.run(
+            executor="dist",
+            backend_options=dict(FAST),
+            on_error="keep_going",
+        )
+        assert set(results) == {"gen", "stats"}
+        status = {o.name: o.status for o in pipeline.last_report.outcomes}
+        assert status["boom"] == "failed"
+        assert status["downstream"] == "skipped_upstream"
+        assert status["stats"] == "ok"
+        assert_no_residue(tmp_path)
+
+
+def _stats_indep(inputs, **params):
+    return {"total": sum(inputs["gen"]["rows"])}
+
+
+class TestJournalAndResume:
+    def test_journaled_run_resumes_as_replay(self, tmp_path, sequential_artifacts):
+        journal_dir = tmp_path / "journals"
+        pipeline = make_pipeline(tmp_path)
+        with RunJournal.open(journal_dir) as journal:
+            run_id = journal.run_id
+            first = pipeline.run(
+                executor="dist", backend_options=dict(FAST), journal=journal
+            )
+        assert artifact_bytes(first) == sequential_artifacts
+
+        resume = load_resume_state(journal_dir, run_id)
+        fresh = make_pipeline(tmp_path)
+        with RunJournal.open(journal_dir) as journal:
+            replayed = fresh.run(
+                executor="dist",
+                backend_options=dict(FAST),
+                journal=journal,
+                resume=resume,
+            )
+        assert artifact_bytes(replayed) == sequential_artifacts
+        assert fresh.last_metrics.steps_replayed == len(STEP_NAMES)
+        assert fresh.last_metrics.steps_run == 0
+
+
+class TestTraceDeterminism:
+    def _normalized(self, tmp_path, name):
+        tracer = Tracer()
+        pipeline = make_pipeline(tmp_path / name)
+        pipeline.run(executor="dist", backend_options=dict(FAST), trace=tracer)
+        return tracer.to_perfetto(normalize=True)
+
+    def test_normalized_export_is_deterministic(self, tmp_path):
+        import json
+
+        a = self._normalized(tmp_path, "a")
+        b = self._normalized(tmp_path, "b")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_normalized_export_drops_dist_instants(self, tmp_path):
+        a = self._normalized(tmp_path, "c")
+        cats = {e.get("cat") for e in a["traceEvents"]}
+        assert "dist" not in cats
+
+    def test_raw_export_has_per_worker_lanes(self, tmp_path):
+        tracer = Tracer()
+        pipeline = make_pipeline(tmp_path)
+        pipeline.run(executor="dist", backend_options=dict(FAST), trace=tracer)
+        raw = tracer.to_perfetto()
+        tids = {
+            e["tid"]
+            for e in raw["traceEvents"]
+            if e.get("cat") == "step" and str(e["tid"]).startswith("dist:")
+        }
+        assert tids, "step spans should land on dist:<worker> lanes"

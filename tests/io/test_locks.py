@@ -7,7 +7,15 @@ import time
 
 import pytest
 
-from repro.io.locks import FileLock, LockTimeout, pid_alive
+from repro.io.locks import (
+    OWNER_RECORD_WIDTH,
+    FileLock,
+    LockTimeout,
+    local_host,
+    owner_record,
+    parse_owner_record,
+    pid_alive,
+)
 
 mp = multiprocessing.get_context("fork")
 
@@ -117,3 +125,67 @@ class TestPidfileStaleness:
     def test_backend_validation(self, tmp_path):
         with pytest.raises(ValueError, match="backend"):
             FileLock(tmp_path / "x.lock", backend="hope")
+
+
+class TestOwnerRecord:
+    def test_fixed_width_and_round_trip(self):
+        rec = owner_record()
+        assert len(rec) == OWNER_RECORD_WIDTH
+        assert rec.endswith(b"\n")
+        assert parse_owner_record(rec) == (os.getpid(), local_host())
+
+    def test_legacy_bare_pid_parses_with_empty_host(self):
+        assert parse_owner_record(b"12345\n") == (12345, "")
+        assert parse_owner_record(f"{12345:>19}\n".encode()) == (12345, "")
+
+    def test_torn_record_is_none(self):
+        assert parse_owner_record(b"") is None
+        assert parse_owner_record(b"garbage host\n") is None
+
+
+class TestHostGuardedReclaim:
+    """Pid collisions across hosts must never free a live remote holder."""
+
+    def test_remote_host_lock_with_dead_local_pid_not_reclaimed(self, tmp_path):
+        # A pid that is dead *here* but recorded by another host: liveness
+        # cannot be probed remotely, so the lock must be treated as held.
+        child = multiprocessing.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join()
+        assert not pid_alive(child.pid)
+        path = tmp_path / "x.lock"
+        path.write_bytes(owner_record(pid=child.pid, host="other-host.example"))
+        lock = FileLock(path, backend="pidfile", poll_interval=0.005)
+        with pytest.raises(LockTimeout, match="other-host.example"):
+            lock.acquire(timeout=0.15)
+        assert lock.reclaimed_stale == 0
+        assert path.exists()
+
+    def test_remote_host_lock_with_colliding_live_pid_not_reclaimed(self, tmp_path):
+        # The reverse collision: the remote holder's pid happens to name a
+        # live process here. Still held — host identity decides, not pid.
+        path = tmp_path / "x.lock"
+        path.write_bytes(owner_record(pid=os.getpid(), host="other-host.example"))
+        lock = FileLock(path, backend="pidfile", poll_interval=0.005)
+        with pytest.raises(LockTimeout):
+            lock.acquire(timeout=0.1)
+        assert lock.reclaimed_stale == 0
+
+    def test_local_host_dead_pid_still_reclaimed(self, tmp_path):
+        child = multiprocessing.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join()
+        path = tmp_path / "x.lock"
+        path.write_bytes(owner_record(pid=child.pid, host=local_host()))
+        lock = FileLock(path, backend="pidfile", poll_interval=0.005)
+        lock.acquire(timeout=5)
+        lock.release()
+        assert lock.reclaimed_stale == 1
+
+    def test_fcntl_metadata_records_host(self, tmp_path):
+        path = tmp_path / "x.lock"
+        with FileLock(path, backend="fcntl"):
+            assert parse_owner_record(path.read_bytes()) == (
+                os.getpid(),
+                local_host(),
+            )
