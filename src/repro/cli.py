@@ -11,6 +11,8 @@ Subcommands mirror the workflows a research-computing group runs:
 * ``report``     — render the full markdown report;
 * ``trace``      — run (or load) a traced report build and analyze it;
 * ``bench``      — wall-clock substrate benchmarks (perf trajectory);
+* ``serve``      — study-as-a-service: durable row ingestion + incremental
+  recompute + admission-controlled artifact serving (see docs/API.md);
 * ``power``      — design-stage power calculations.
 
 All randomness flows from ``--seed``; every command is deterministic.
@@ -413,6 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ben.add_argument(
+        "--max-serve-overhead",
+        type=float,
+        default=0.10,
+        help=(
+            "allowed durability cost of WAL ingestion, as a fraction of "
+            "the cold serve refresh the ingest unlocks, before --check "
+            "fails (0.10 = +10%%; intra-record, no baseline needed)"
+        ),
+    )
+    ben.add_argument(
         "--scale-sweep",
         action="store_true",
         help=(
@@ -482,6 +494,103 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=30.0,
         help="seconds to wait for the coordinator to publish the run spec",
+    )
+
+    srv = command(
+        "serve",
+        help=(
+            "study-as-a-service: ingest rows into the durable WAL, refresh "
+            "only the dirty DAG subtree, serve warm artifacts"
+        ),
+    )
+    srv.add_argument(
+        "--root",
+        type=Path,
+        required=True,
+        metavar="DIR",
+        help="service root (holds wal/, cache/, journals/, state.json)",
+    )
+    srv.add_argument("--months", type=int, default=3, help="study telemetry window")
+    srv.add_argument(
+        "--experiments",
+        default=None,
+        metavar="IDS",
+        help="comma-separated experiment ids to serve (default: all registered)",
+    )
+    srv.add_argument(
+        "--ingest-responses",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="append a JSONL response export to the ingest WAL (repeatable)",
+    )
+    srv.add_argument(
+        "--ingest-sacct",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="append a sacct accounting export to the ingest WAL (repeatable)",
+    )
+    srv.add_argument(
+        "--batch",
+        default=None,
+        metavar="ID",
+        help=(
+            "idempotency key for this ingest (default: the file path); "
+            "re-sending the same batch after a lost ack never duplicates rows"
+        ),
+    )
+    srv.add_argument(
+        "--refresh",
+        action="store_true",
+        help="run one incremental refresh cycle (only dirty subtrees recompute)",
+    )
+    srv.add_argument(
+        "--force", action="store_true", help="refresh ignoring cache and quarantine"
+    )
+    srv.add_argument(
+        "--request",
+        default=None,
+        metavar="ID",
+        help="request one experiment artifact (admission-controlled)",
+    )
+    srv.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "patience for --request: a recompute estimated to take longer "
+            "is shed and the last-good artifact served STALE"
+        ),
+    )
+    srv.add_argument(
+        "--loop",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "resident mode: run N refresh cycles, sleeping --interval "
+            "between; SIGTERM drains (flush WAL + state) and exits 0"
+        ),
+    )
+    srv.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="sleep between --loop cycles",
+    )
+    srv.add_argument("--queue-size", type=int, default=8, help="admission queue bound")
+    srv.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "probe the service root's status.json (no service is started): "
+            "exit 0 serving, 3 degraded (read-only/draining), 2 no status"
+        ),
     )
 
     pwr = command("power", help="two-proportion power calculations")
@@ -978,6 +1087,7 @@ def _cmd_bench(args, out) -> int:
         check_regression,
         check_retry_overhead,
         check_scale_sweep,
+        check_serve_overhead,
         check_trace_overhead,
         render_record,
         render_scale_sweep,
@@ -1027,6 +1137,9 @@ def _cmd_bench(args, out) -> int:
             dist_ok, dist_message = check_dist_overhead(
                 record, max_overhead=args.max_dist_overhead
             )
+            serve_ok, serve_message = check_serve_overhead(
+                record, max_overhead=args.max_serve_overhead
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -1040,9 +1153,16 @@ def _cmd_bench(args, out) -> int:
         print(("ok: " if trace_ok else "REGRESSION: ") + trace_message, file=out)
         print(("ok: " if audit_ok else "REGRESSION: ") + audit_message, file=out)
         print(("ok: " if dist_ok else "REGRESSION: ") + dist_message, file=out)
+        print(("ok: " if serve_ok else "REGRESSION: ") + serve_message, file=out)
         return (
             0
-            if ok and overhead_ok and journal_ok and trace_ok and audit_ok and dist_ok
+            if ok
+            and overhead_ok
+            and journal_ok
+            and trace_ok
+            and audit_ok
+            and dist_ok
+            and serve_ok
             else 1
         )
     return 0
@@ -1199,6 +1319,127 @@ def _cmd_worker(args, out) -> int:
     return code
 
 
+def _cmd_serve(args, out) -> int:
+    """``repro serve``: one-shot or resident study serving.
+
+    Exit-code contract (documented in README/docs/API.md): ``0`` clean —
+    including a SIGTERM-initiated drain; ``3`` degraded — the service is
+    read-only, a refresh left failed/quarantined subtrees, or a requested
+    artifact could only be answered STALE/UNAVAILABLE; ``2`` usage errors;
+    ``130`` SIGINT. ``--status`` probes without starting a service.
+    """
+    import json
+    import signal
+    import time
+
+    from repro.serve import (
+        ServeConfig,
+        ServiceDraining,
+        ServiceReadOnly,
+        StudyService,
+        read_status,
+    )
+
+    if args.status:
+        status = read_status(args.root)
+        if status is None:
+            print(f"error: no service status under {args.root}", file=out)
+            return 2
+        print(json.dumps(status, indent=2, sort_keys=True), file=out)
+        return 0 if status.get("mode") in ("serving", "empty") else EXIT_PARTIAL
+
+    experiments = None
+    if args.experiments:
+        experiments = tuple(
+            s.strip().upper() for s in args.experiments.split(",") if s.strip()
+        )
+    try:
+        config = ServeConfig(
+            months=args.months,
+            experiments=experiments,
+            queue_size=args.queue_size,
+            default_deadline=args.deadline,
+        )
+        service = StudyService(args.root, config)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    class _Drain(Exception):
+        pass
+
+    def _on_term(signum, frame):  # pragma: no cover - delivered via os.kill in tests
+        raise _Drain()
+
+    previous = signal.signal(signal.SIGTERM, _on_term)
+    degraded = False
+    try:
+        try:
+            for kind, paths in (
+                ("responses", args.ingest_responses or []),
+                ("sacct", args.ingest_sacct or []),
+            ):
+                for path in paths:
+                    try:
+                        lines = Path(path).read_text(encoding="utf-8").splitlines()
+                    except OSError as exc:
+                        print(f"error: {exc}", file=out)
+                        return 2
+                    batch = args.batch if args.batch is not None else str(path)
+                    try:
+                        receipt = service.ingest(kind, lines, batch=batch)
+                    except (ServiceReadOnly, ServiceDraining) as exc:
+                        print(f"ingest refused: {exc}", file=out)
+                        degraded = True
+                        continue
+                    print(
+                        f"ingested {receipt.accepted} {kind} row(s) "
+                        f"({receipt.deduped} deduped) from {path}",
+                        file=out,
+                    )
+            cycles = args.loop if args.loop is not None else (1 if args.refresh else 0)
+            for i in range(cycles):
+                result = service.refresh(force=args.force)
+                if result.ran:
+                    statuses: dict[str, int] = {}
+                    if result.report is not None:
+                        for o in result.report.outcomes:
+                            statuses[o.status] = statuses.get(o.status, 0) + 1
+                    summary = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+                    print(f"refreshed in {result.seconds:.2f}s ({summary})", file=out)
+                else:
+                    print(f"refresh skipped: {result.reason}", file=out)
+                if result.failed or result.excluded or result.reason == "read_only":
+                    degraded = True
+                if args.loop is not None and i < cycles - 1:
+                    time.sleep(args.interval)
+            if args.request is not None:
+                try:
+                    res = service.request(args.request.upper(), deadline=args.deadline)
+                except KeyError as exc:
+                    print(f"error: {exc.args[0]}", file=out)
+                    return 2
+                tag = res.status.upper()
+                note = f" ({res.reason})" if res.reason else ""
+                behind = f", {res.behind} row(s) behind" if res.behind else ""
+                print(f"[{tag}]{note}{behind}", file=out)
+                if res.artifact is not None:
+                    print(res.artifact.render_ascii(), file=out)
+                if res.status != "fresh":
+                    degraded = True
+        except _Drain:
+            service.drain()
+            print("drained: WAL flushed, state saved", file=out)
+            return 0
+        if service.read_only:
+            degraded = True
+        print(json.dumps(service.status(), indent=2, sort_keys=True), file=out)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        service.close()
+    return EXIT_PARTIAL if degraded else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "validate": _cmd_validate,
@@ -1211,6 +1452,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
     "power": _cmd_power,
 }
 
@@ -1219,11 +1461,13 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
     A Ctrl-C during the long-running commands (``report``, ``trace``,
-    ``bench``, ``audit``, ``worker``) exits ``130`` (128 + SIGINT) with a
-    one-line notice instead of a traceback; the ``--durable`` report path
-    additionally flushes its journal and prints the ``--resume`` hint, and
-    a fleet worker releases its leases and lets the coordinator reassign,
-    before this handler sees anything.
+    ``bench``, ``audit``, ``worker``, ``serve``) exits ``130`` (128 +
+    SIGINT) with a one-line notice instead of a traceback; the
+    ``--durable`` report path additionally flushes its journal and prints
+    the ``--resume`` hint, and a fleet worker releases its leases and lets
+    the coordinator reassign, before this handler sees anything. A
+    SIGTERM to ``repro serve`` is the graceful-drain path instead: the
+    WAL and state are flushed and the exit code is ``0``.
     """
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
@@ -1233,7 +1477,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         return _COMMANDS[args.command](args, out)
     except KeyboardInterrupt:
-        if args.command in ("report", "trace", "bench", "audit", "worker"):
+        if args.command in ("report", "trace", "bench", "audit", "worker", "serve"):
             print("interrupted", file=out)
             return EXIT_INTERRUPTED
         raise

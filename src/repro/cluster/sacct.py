@@ -37,6 +37,19 @@ _HEADER = (
     "JobID|User|Account|Partition|Submit|Start|End|AllocCPUS|AllocTRES|Timelimit|State"
 )
 
+#: Lazily-bound ``repro.core.trace.instant`` (set on first use); imported
+#: at module top this would be circular via ``repro.core`` → pipeline →
+#: ``repro.io`` (see the same pattern in ``repro.io.locks``).
+_trace_instant = None
+
+
+def _emit_skips(reader: str, count: int) -> None:
+    """Surface a skipped-row tally on the trace bus (see ``repro.io.jsonl``)."""
+    global _trace_instant
+    if _trace_instant is None:
+        from repro.core.trace import instant as _trace_instant
+    _trace_instant("ingest.skipped_rows", "ingest", reader=reader, count=count)
+
 
 class SacctFormatError(ValueError):
     """Raised on malformed accounting input."""
@@ -211,6 +224,7 @@ def parse_sacct(
             ", ".join(str(s.lineno) for s in skips[:10])
             + (", ..." if len(skips) > 10 else ""),
         )
+        _emit_skips("parse_sacct", len(skips))
         if skipped is not None:
             skipped.extend(skips)
     return JobTable.from_records(records)

@@ -84,6 +84,7 @@ __all__ = [
     "check_trace_overhead",
     "check_audit_overhead",
     "check_dist_overhead",
+    "check_serve_overhead",
     "check_scale_sweep",
     "render_record",
     "render_scale_sweep",
@@ -585,6 +586,107 @@ def _bench_dist_overhead(k: int) -> dict:
     }
 
 
+def _bench_serve_ingest_overhead(sc: "BenchScale", k: int) -> dict:
+    """Time durable WAL ingestion vs a plain flat-file append.
+
+    The serve loop's write path pays for record framing, batch-dedupe
+    bookkeeping, chunk hashing, and an fsync that a bare ``write()`` of
+    the same export lines would skip. That durability cost only matters
+    relative to the recompute one ingest unlocks, so
+    ``detail["overhead"]`` is the *extra* ingest seconds as a fraction of
+    one cold serve refresh over the same rows — the number
+    :func:`check_serve_overhead` gates at < 10%.
+    """
+    import io
+    import tempfile
+
+    from repro.cluster import write_sacct
+    from repro.core import build_default_study
+    from repro.core.pipeline import ArtifactCache
+    from repro.io import write_responses_jsonl
+    from repro.serve.pipeline import serve_pipeline
+    from repro.serve.wal import IngestWAL
+
+    study = build_default_study(
+        seed=2024,
+        n_baseline=min(sc.cohort_n, 120),
+        n_current=sc.cohort_n,
+        months=3,  # the registry's F5 growth figure needs >= 3 months
+        jobs_per_day=min(sc.jobs_per_day, 60.0),
+    )
+    buf = io.StringIO()
+    write_responses_jsonl(study.responses, buf)
+    responses = buf.getvalue().splitlines()
+    buf = io.StringIO()
+    write_sacct(study.telemetry, buf)
+    sacct = buf.getvalue().splitlines()[1:]  # WAL rows carry data, not the header
+    n_rows = len(responses) + len(sacct)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as tmpname:
+        tmp = Path(tmpname)
+        counter = [0]
+
+        # Steady-state append path: the live service keeps its WAL open,
+        # so the open/replay cost stays outside the timed region. Fresh
+        # batch ids each round keep the dedupe from short-circuiting.
+        ingest_wal = IngestWAL(tmp / "ingest-wal")
+
+        def wal_ingest() -> None:
+            counter[0] += 1
+            ingest_wal.append("responses", responses, batch=f"r{counter[0]}")
+            ingest_wal.append("sacct", sacct, batch=f"s{counter[0]}")
+
+        wal_t = _time_min_of_k(wal_ingest, k, memory=False)
+        ingest_wal.close()
+
+        plain_fh = open(tmp / "plain.log", "a", encoding="utf-8")
+
+        def plain_append() -> None:
+            plain_fh.write("\n".join(responses) + "\n")
+            plain_fh.write("\n".join(sacct) + "\n")
+            plain_fh.flush()
+
+        plain_t = _time_min_of_k(plain_append, k, memory=False)
+        plain_fh.close()
+
+        wal_dir = tmp / "refresh-wal"
+        with IngestWAL(wal_dir) as wal:
+            wal.append("responses", responses, batch="r0")
+            wal.append("sacct", sacct, batch="s0")
+            chunks = {
+                "responses": wal.chunk("responses"),
+                "sacct": wal.chunk("sacct"),
+            }
+
+        def cold_refresh() -> None:
+            counter[0] += 1
+            serve_pipeline(
+                wal_dir,
+                chunks,
+                window_seconds=90.0 * 86400.0,
+                experiment_ids=None,  # the default service serves the whole registry
+                cache=ArtifactCache(tmp / f"c{counter[0]}"),
+            ).run(executor="sequential")
+
+        refresh_t = _time_min_of_k(cold_refresh, min(k, 3), memory=False)
+
+    wrapper_seconds = max(0.0, wal_t["seconds"] - plain_t["seconds"])
+    overhead = (
+        wrapper_seconds / refresh_t["seconds"] if refresh_t["seconds"] > 0 else 0.0
+    )
+    return {
+        "seconds": wal_t["seconds"],
+        "runs": wal_t["runs"],
+        "detail": {
+            "plain_seconds": plain_t["seconds"],
+            "refresh_seconds": refresh_t["seconds"],
+            "rows": n_rows,
+            "wrapper_seconds": round(wrapper_seconds, 9),
+            "overhead": round(overhead, 6),
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -670,6 +772,8 @@ def run_benchmarks(
     benchmarks["audit_overhead"] = _bench_audit_overhead(sc, k)
 
     benchmarks["dist_overhead"] = _bench_dist_overhead(k)
+
+    benchmarks["serve_ingest_overhead"] = _bench_serve_ingest_overhead(sc, k)
 
     if end_to_end and sc.months >= 3:
         def report() -> None:
@@ -1069,6 +1173,32 @@ def check_dist_overhead(record: dict, max_overhead: float = 0.25) -> tuple[bool,
         f"{entry['detail']['seq_seconds']:.3f}s sequential over "
         f"{entry['detail']['steps']} steps "
         f"({overhead:.3f}s/step, limit {max_overhead:.3f}s/step)"
+    )
+    return overhead <= max_overhead, message
+
+
+def check_serve_overhead(record: dict, max_overhead: float = 0.10) -> tuple[bool, str]:
+    """Gate the WAL ingest path's durability cost within ``record``.
+
+    Intra-record like the other overhead gates: the plain flat-file
+    append and the cold serve refresh timed in the same record are the
+    baselines, so machine speed cancels out and the gate prices exactly
+    the durability harness — record framing, dedupe bookkeeping, chunk
+    hashing, fsync — as a fraction of the recompute one ingest unlocks.
+    Returns ``(ok, message)``; a record without the
+    ``serve_ingest_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("serve_ingest_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "serve_ingest_overhead benchmark missing from run; skipping gate"
+    overhead = float(entry["detail"]["overhead"])
+    message = (
+        f"serve_ingest_overhead: {entry['seconds']:.3f}s WAL ingest vs "
+        f"{entry['detail']['plain_seconds']:.3f}s plain append "
+        f"over a {entry['detail']['refresh_seconds']:.3f}s refresh "
+        f"({overhead:+.1%} of refresh, limit {max_overhead:+.0%})"
     )
     return overhead <= max_overhead, message
 

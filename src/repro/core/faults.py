@@ -54,6 +54,13 @@ __all__ = [
     "WorkerPartition",
     "WorkerFaultPlan",
     "worker_crash_coordinates",
+    "IngestCrashPoint",
+    "WALKillSwitch",
+    "WALDiskFull",
+    "PoisonRows",
+    "SkewedClock",
+    "ingest_crash_coordinates",
+    "serve_crash_coordinates",
 ]
 
 #: Supported fault kinds: raise an exception, stall the attempt, corrupt
@@ -656,3 +663,181 @@ def worker_crash_coordinates(
         for name in step_names
         for event in events
     ]
+
+
+# -- serve-side chaos: kill-mid-ingest, poison rows, clock skew ----------------
+#
+# The serve chaos matrix has two process-death surfaces the batch matrix
+# does not: dying while *appending to the ingest WAL* (the row may be
+# unwritten, torn, or fully durable-but-unacked) and dying while
+# *recomputing* (covered by the existing CrashPoint/JournalKillSwitch —
+# the service's refresh journals through the same RunJournal). The hooks
+# below cover the first surface plus the two non-crash serve coordinates
+# from the issue: poison rows and clock skew.
+
+
+@dataclass(frozen=True)
+class IngestCrashPoint:
+    """One (kind, row, mode) kill-mid-ingest coordinate.
+
+    Attributes
+    ----------
+    kind:
+        WAL feed the crash rides (``"responses"`` / ``"sacct"``); ``None``
+        matches any feed.
+    row:
+        0-based index of the matching record write to crash on, counted
+        across the WAL's lifetime in the crashing process.
+    mode:
+        ``"before"`` (the row never reaches the log), ``"torn"`` (half its
+        bytes land — the healed tail on restart), ``"after"`` (the row is
+        durable but the ack never made it back to the client — the batch
+        dedupe must absorb the re-send).
+    """
+
+    kind: str | None = None
+    row: int = 0
+    mode: str = "after"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("before", "torn", "after"):
+            raise ValueError(f"unknown crash mode {self.mode!r}")
+        if self.row < 0:
+            raise ValueError(f"row must be >= 0, got {self.row}")
+
+
+class WALKillSwitch:
+    """An :attr:`IngestWAL.chaos` hook that SIGKILLs at an :class:`IngestCrashPoint`.
+
+    The ingest-side twin of :class:`JournalKillSwitch`: on the matching
+    record write it leaves zero, half, or all of the record's bytes in
+    the segment (fsynced, so the file state is exactly what power loss
+    would leave) and SIGKILLs its own process. The serve chaos tests
+    restart the service afterwards and assert it converges to artifacts
+    byte-identical to a clean rebuild of the same rows.
+    """
+
+    def __init__(self, point: IngestCrashPoint) -> None:
+        self.point = point
+        self.seen = 0
+
+    def __call__(
+        self, kind: str, data: bytes, fd: int
+    ) -> bool:  # pragma: no cover - ends in SIGKILL, untraceable by coverage
+        p = self.point
+        if p.kind is not None and kind != p.kind:
+            return False
+        matched = self.seen == p.row
+        self.seen += 1
+        if not matched:
+            return False
+        if p.mode == "torn":
+            os.write(fd, data[: max(1, len(data) // 2)])
+            os.fsync(fd)
+        elif p.mode == "after":
+            os.write(fd, data)
+            os.fsync(fd)
+        os.kill(os.getpid(), signal.SIGKILL)
+        return True  # unreachable
+
+
+class WALDiskFull:
+    """An :attr:`IngestWAL.chaos` hook simulating ingest disk exhaustion.
+
+    Raises an injected ``ENOSPC`` once ``after_records`` record writes
+    have happened; the WAL must disable itself and the service must
+    degrade to read-only serving (rows refused, requests answered STALE)
+    instead of dying — the satellite-3 ENOSPC ladder.
+    """
+
+    def __init__(self, after_records: int = 0) -> None:
+        self.after_records = after_records
+        self.seen = 0
+
+    def __call__(self, kind: str, data: bytes, fd: int) -> bool:
+        if self.seen >= self.after_records:
+            raise OSError(28, "injected: no space left on device (ingest WAL)")
+        self.seen += 1
+        return False
+
+
+@dataclass(frozen=True)
+class PoisonRows:
+    """Deterministic malformed rows for the poison-row coordinate.
+
+    Not a hook — a tiny factory for the garbage the serve chaos tests
+    append: syntactically broken (torn JSON / wrong column count) rows
+    that the tolerant readers must *skip* (surfacing ``SkippedRow``
+    instants), never letting them fail the feed subtree.
+    """
+
+    count: int = 3
+    seed: int = 0
+
+    def rows(self, kind: str) -> list[str]:
+        rng = random.Random(f"{self.seed}:{kind}")
+        out = []
+        for i in range(self.count):
+            if kind == "responses":
+                out.append('{"respondent_id": "poison-%d", "truncated' % i)
+            else:
+                out.append("|".join(str(rng.randrange(10)) for _ in range(3)))
+        return out
+
+
+class SkewedClock:
+    """A monotonic-ish clock whose readings jump at chosen call counts.
+
+    ``StudyService`` takes an injectable ``clock`` for exactly this
+    coordinate: staleness/uptime numbers must stay finite and
+    non-negative, and breaker cooldowns must be unaffected (they count
+    refresh *cycles*, not seconds), even when the clock leaps forward or
+    *backwards* mid-flight. ``jumps`` maps the 0-based call number to an
+    offset (seconds, may be negative) applied from that call on.
+    """
+
+    def __init__(
+        self,
+        base: Callable[[], float] = time.monotonic,
+        jumps: Mapping[int, float] | None = None,
+    ) -> None:
+        self.base = base
+        self.jumps = dict(jumps or {})
+        self.calls = 0
+        self._offset = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            if self.calls in self.jumps:
+                self._offset += self.jumps[self.calls]
+            self.calls += 1
+            return self.base() + self._offset
+
+
+def ingest_crash_coordinates(
+    kinds: Sequence[str] = ("responses", "sacct"),
+    rows: Sequence[int] = (0,),
+    modes: Sequence[str] = ("before", "torn", "after"),
+) -> list[IngestCrashPoint]:
+    """The kill-mid-ingest matrix: every (kind, row, mode) coordinate."""
+    return [
+        IngestCrashPoint(kind=kind, row=row, mode=mode)
+        for kind in kinds
+        for row in rows
+        for mode in modes
+    ]
+
+
+def serve_crash_coordinates(
+    step_names: Sequence[str],
+    events: Sequence[str] = ("step_start", "step_done"),
+    modes: Sequence[str] = ("before", "torn", "after"),
+) -> list[CrashPoint]:
+    """The kill-mid-recompute matrix for a serve refresh.
+
+    Identical to :func:`crash_coordinates` (the refresh journals through
+    the same :class:`~repro.core.journal.RunJournal`); aliased so the
+    serve chaos suite names its half of the matrix explicitly.
+    """
+    return crash_coordinates(step_names, events, modes)

@@ -50,11 +50,28 @@ Failure containment: journal I/O errors (``ENOSPC``, permissions, a
 vanished directory) disable the journal and set :attr:`RunJournal.error`;
 the run itself continues unjournaled. A run must never die because its
 progress log could not be written.
+
+Resident processes: rotation and compaction
+-------------------------------------------
+A batch run writes a few dozen records and exits; a resident process
+(``repro serve``) appends records for every refresh cycle, forever, so
+the per-writer segment grows without bound. Two bounded-space tools:
+
+* ``rotate_bytes=`` caps the active segment: when an append would push it
+  past the threshold the segment is renamed to ``w<pid>-<n>.journal``
+  (still matched by readers' ``*.journal`` glob) and a fresh segment is
+  started. Rotation only ever happens on a record boundary, so archived
+  segments are never torn mid-record.
+* :func:`compact` rewrites a quiescent journal directory down to just the
+  records of the latest resumable run — everything older can never be
+  resumed again and is dead weight. Must not run concurrently with a live
+  writer.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import secrets
 import threading
@@ -72,6 +89,7 @@ __all__ = [
     "read_journal",
     "latest_run_id",
     "new_run_id",
+    "compact",
 ]
 
 JOURNAL_SUFFIX = ".journal"
@@ -93,6 +111,31 @@ def new_run_id() -> str:
     """Fresh run id: sortable timestamp + pid + random suffix."""
     stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
     return f"{stamp}-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+_START_TS_LOCK = threading.Lock()
+_LAST_START_TS = 0.0
+
+
+def _run_start_ts() -> float:
+    """Wall-clock stamp for a ``run_start`` record, strictly increasing
+    within this process.
+
+    :func:`latest_run_id` orders runs by this stamp with the run id as
+    tie-break — but within one second the run id differs only in its
+    *random* suffix, so a ts tie between two runs of one process would
+    make "latest" a coin flip (and :func:`compact` would then drop the
+    wrong run). Bumping a tied or backwards clock reading by one ulp
+    keeps same-process starts totally ordered; cross-process ties remain
+    astronomically unlikely at full float resolution.
+    """
+    global _LAST_START_TS
+    with _START_TS_LOCK:
+        now = time.time()
+        if now <= _LAST_START_TS:
+            now = math.nextafter(_LAST_START_TS, math.inf)
+        _LAST_START_TS = now
+        return now
 
 
 class RunJournal:
@@ -119,20 +162,26 @@ class RunJournal:
         *,
         fsync: str = "interval",
         fsync_interval: float = 0.25,
+        rotate_bytes: int | None = None,
     ) -> None:
         if fsync not in _FSYNC_MODES:
             raise ValueError(f"unknown fsync mode {fsync!r}; expected one of {_FSYNC_MODES}")
         if fsync_interval < 0:
             raise ValueError(f"fsync_interval must be non-negative, got {fsync_interval}")
+        if rotate_bytes is not None and rotate_bytes <= 0:
+            raise ValueError(f"rotate_bytes must be positive, got {rotate_bytes}")
         self.path = Path(path)
         self.run_id = run_id
         self.fsync = fsync
         self.fsync_interval = fsync_interval
+        self.rotate_bytes = rotate_bytes
+        self.rotations = 0
         self.chaos: Callable[[str, str | None, bytes, int], bool] | None = None
         self.error: str | None = None
         self.records_written = 0
         self._lock = threading.Lock()
         self._last_sync = time.monotonic()
+        self._size = 0
         self._fd: int | None = None
         try:
             self._fd = os.open(
@@ -145,6 +194,8 @@ class RunJournal:
             size = os.fstat(self._fd).st_size
             if size and os.pread(self._fd, 1, size - 1) != b"\n":
                 os.write(self._fd, b"\n")
+                size += 1
+            self._size = size
         except OSError as exc:
             self._disable(exc)
 
@@ -185,6 +236,29 @@ class RunJournal:
             except OSError:
                 pass
 
+    def _rotate(self) -> None:
+        """Archive the active segment and start a fresh one (lock held).
+
+        The full segment becomes ``w<pid>-<n>.journal`` beside the active
+        path — the suffix keeps it visible to every reader's
+        ``*.journal`` glob, and the rename preserves its mtime so segment
+        ordering (oldest-modified first) still reads archives before the
+        live tail. Failures disable the journal like any other I/O error.
+        """
+        assert self._fd is not None
+        os.fsync(self._fd)  # archives must be complete before they are renamed
+        n = self.rotations + 1
+        archive = self.path.with_name(f"{self.path.stem}-{n}{JOURNAL_SUFFIX}")
+        while archive.exists():  # pid reuse: never clobber an older archive
+            n += 1
+            archive = self.path.with_name(f"{self.path.stem}-{n}{JOURNAL_SUFFIX}")
+        os.close(self._fd)
+        self._fd = None  # _disable must not double-close if rename fails
+        os.rename(self.path, archive)
+        self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+        self._size = 0
+        self.rotations = n
+
     def record(self, event: str, step: str | None = None, **fields: Any) -> bool:
         """Append one record; returns False when the journal is unavailable.
 
@@ -201,9 +275,16 @@ class RunJournal:
             if self._fd is None:
                 return False
             try:
+                if (
+                    self.rotate_bytes is not None
+                    and self._size > 0
+                    and self._size + len(data) > self.rotate_bytes
+                ):
+                    self._rotate()
                 if self.chaos is not None and self.chaos(event, step, data, self._fd):
                     return True
                 os.write(self._fd, data)
+                self._size += len(data)
                 self.records_written += 1
                 now = time.monotonic()
                 if self.fsync == "always" or (
@@ -234,7 +315,7 @@ class RunJournal:
             executor=executor,
             resumed_from=resumed_from,
             pid=os.getpid(),
-            ts=round(time.time(), 3),
+            ts=_run_start_ts(),
         )
 
     def step_start(self, name: str, key: str) -> bool:
@@ -518,3 +599,74 @@ def latest_resume_state(directory: str | Path) -> ResumeState | None:
     if run_id is None:
         return None
     return load_resume_state(directory, run_id)
+
+
+def compact(directory: str | Path, *, keep_run_id: str | None = None) -> dict[str, Any]:
+    """Drop journal records for runs older than the latest resumable state.
+
+    Only the most recently started run can ever be resumed
+    (:func:`latest_resume_state` resumes exactly that one), so in a
+    resident process every older run's records are dead weight that
+    rotation alone never reclaims. Each segment is rewritten atomically
+    (temp file + ``os.replace``, original mtime preserved so segment
+    ordering is stable) keeping only the surviving run's records; segments
+    left empty are deleted.
+
+    Must not run concurrently with a live writer — the writer's appends
+    would race the rewrite. ``repro serve`` calls it between refresh
+    cycles while no journal is open. ``keep_run_id`` overrides which run
+    survives (defaults to :func:`latest_run_id`).
+
+    Returns stats: ``{"kept_run", "segments", "removed_segments",
+    "dropped_records", "kept_records"}``.
+    """
+    directory = Path(directory)
+    keep = keep_run_id if keep_run_id is not None else latest_run_id(directory)
+    stats: dict[str, Any] = {
+        "kept_run": keep,
+        "segments": 0,
+        "removed_segments": 0,
+        "dropped_records": 0,
+        "kept_records": 0,
+    }
+    for segment in _segments(directory):
+        try:
+            records, torn = read_journal(segment)
+            st = segment.stat()
+        except OSError:
+            continue  # vanished or unreadable: nothing to reclaim here
+        stats["segments"] += 1
+        kept = [r for r in records if keep is not None and r.get("run") == keep]
+        stats["kept_records"] += len(kept)
+        dropped = len(records) - len(kept)
+        if dropped == 0 and not torn:
+            continue  # nothing to reclaim; keep the segment byte-identical
+        stats["dropped_records"] += dropped
+        if not kept:
+            try:
+                segment.unlink()
+                stats["removed_segments"] += 1
+            except OSError:
+                pass
+            continue
+        tmp = segment.with_name(segment.name + ".tmp")
+        data = b"".join(
+            json.dumps(r, separators=(",", ":")).encode() + b"\n" for r in kept
+        )
+        try:
+            fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+            try:
+                os.write(fd, data)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+            os.replace(tmp, segment)
+            # Preserve the original mtime: _segments orders by it, and a
+            # rewrite must not shuffle archives ahead of the live tail.
+            os.utime(segment, (st.st_atime, st.st_mtime))
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+    return stats

@@ -417,6 +417,10 @@ class Tracer:
           ``_compute_seconds`` / ``repro_step_attempts_total{step=}``
         * ``repro_events_total{event=}`` — every instant family
           (cache hits, lock acquisitions, backoff sleeps, fault firings).
+        * ``repro_skipped_rows_total{reader=}`` — rows the tolerant
+          readers dropped, summed from ``ingest.skipped_rows`` instants
+          (the event count alone would count reader *invocations*, not
+          rows).
         """
 
         def esc(value: str) -> str:
@@ -481,6 +485,21 @@ class Tracer:
         ]
         for event in sorted(event_counts):
             lines.append(f'repro_events_total{{event="{esc(event)}"}} {event_counts[event]}')
+        skipped_rows: dict[str, int] = {}
+        for i in self.instants:
+            if i.name == "ingest.skipped_rows":
+                reader = str(i.args.get("reader", "unknown"))
+                skipped_rows[reader] = skipped_rows.get(reader, 0) + int(
+                    i.args.get("count", 0) or 0
+                )
+        lines += [
+            "# HELP repro_skipped_rows_total Rows dropped by tolerant readers.",
+            "# TYPE repro_skipped_rows_total counter",
+        ]
+        for reader in sorted(skipped_rows):
+            lines.append(
+                f'repro_skipped_rows_total{{reader="{esc(reader)}"}} {skipped_rows[reader]}'
+            )
         return "\n".join(lines) + "\n"
 
 

@@ -25,6 +25,24 @@ from repro.survey.schema import Questionnaire
 
 __all__ = ["write_responses_jsonl", "read_responses_jsonl"]
 
+#: Lazily-bound ``repro.core.trace.instant`` (set on first use); a
+#: module-top import would be circular — ``repro.io`` initializes before
+#: ``repro.core`` (see the same pattern in ``repro.io.locks``).
+_trace_instant = None
+
+
+def _emit_skips(reader: str, count: int) -> None:
+    """Surface a skipped-row tally on the trace bus.
+
+    Bad rows used to be visible only in logs and the optional ``skipped``
+    out-param; monitoring (``repro serve --status``, the Prometheus
+    snapshot's ``repro_skipped_rows_total``) watches this instant instead.
+    """
+    global _trace_instant
+    if _trace_instant is None:
+        from repro.core.trace import instant as _trace_instant
+    _trace_instant("ingest.skipped_rows", "ingest", reader=reader, count=count)
+
 
 def write_responses_jsonl(
     response_set: ResponseSet, destination: str | Path | TextIO
@@ -175,6 +193,7 @@ def read_responses_jsonl(
             ", ".join(str(s.lineno) for s in skips[:10])
             + (", ..." if len(skips) > 10 else ""),
         )
+        _emit_skips("read_responses_jsonl", len(skips))
         if skipped is not None:
             skipped.extend(skips)
     return ResponseSet(questionnaire, responses)

@@ -1,0 +1,147 @@
+"""Per-subtree circuit breaker for the serve refresh loop.
+
+A resident service cannot treat a failing step the way a batch run does
+(fail the run, page a human): the same poisoned input would fail every
+refresh forever and starve the healthy rest of the study. The breaker
+reuses the fleet scheduler's poison-quarantine ladder: ``threshold``
+consecutive failures open the breaker for a *cooldown* measured in
+refresh cycles; once the cooldown elapses the step runs one trial —
+success closes the breaker, another failure re-opens it with the cooldown
+doubled (capped), so a permanently-poisoned subtree backs off
+geometrically instead of burning every cycle.
+
+What quarantine *means* depends on the step (decided by the service, not
+here): an open ``exp:<id>`` breaker drops that experiment from the DAG
+(its last-good artifact serves STALE); an open feed breaker
+(``responses``/``telemetry``) pins that feed's chunk to the last-good
+token so the rest of the study keeps refreshing on its other, healthy
+inputs. Queries are pure — a status probe never advances a trial — and
+state round-trips through :meth:`to_dict`/:meth:`load` so quarantine
+survives a service restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+@dataclass
+class BreakerState:
+    """One step's position on the quarantine ladder."""
+
+    failures: int = 0          # consecutive failures since the last success
+    opened_at: int = -1        # refresh cycle the breaker last opened on (-1: closed)
+    cooldown: int = 0          # cycles to hold open before the trial
+    trips: int = 0             # times this breaker has opened (drives backoff)
+    last_error: str = ""
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at >= 0
+
+    def phase(self, cycle: int) -> str:
+        """Display label: ``closed`` / ``open`` / ``trial``."""
+        if not self.open:
+            return "closed"
+        return "open" if cycle - self.opened_at < self.cooldown else "trial"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "failures": self.failures,
+            "opened_at": self.opened_at,
+            "cooldown": self.cooldown,
+            "trips": self.trips,
+            "last_error": self.last_error,
+        }
+
+
+class CircuitBreaker:
+    """Tracks failure ladders for every step the refresh loop reports on."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: int = 2,
+        max_cooldown: int = 32,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.max_cooldown = max_cooldown
+        self._steps: dict[str, BreakerState] = {}
+
+    # -- recording refresh outcomes -------------------------------------------
+
+    def record_success(self, step: str) -> None:
+        """A step computed (or replayed) cleanly: reset its ladder."""
+        state = self._steps.get(step)
+        if state is None:
+            return
+        state.failures = 0
+        state.opened_at = -1
+        state.last_error = ""
+
+    def record_failure(self, step: str, cycle: int, error: str = "") -> bool:
+        """A step failed this cycle; returns True when the breaker opened.
+
+        While the breaker is open the step never runs, so a failure
+        arriving with ``failures`` already at the threshold *is* the
+        post-cooldown trial failing — it re-opens with the cooldown
+        doubled (the ladder). A closed breaker opens only after
+        ``threshold`` consecutive failures.
+        """
+        state = self._steps.setdefault(step, BreakerState())
+        state.failures += 1
+        state.last_error = error
+        if state.failures >= self.threshold:
+            state.trips += 1
+            state.opened_at = cycle
+            state.cooldown = min(
+                self.cooldown * (2 ** (state.trips - 1)), self.max_cooldown
+            )
+            return True
+        return False
+
+    # -- quarantine queries (pure) --------------------------------------------
+
+    def quarantined(self, step: str, cycle: int) -> bool:
+        """Whether ``step`` must be skipped at ``cycle``.
+
+        False once the cooldown has elapsed — that cycle is the step's
+        trial run (its outcome either closes or re-opens the breaker).
+        """
+        state = self._steps.get(step)
+        if state is None or not state.open:
+            return False
+        return cycle - state.opened_at < state.cooldown
+
+    def open_steps(self, cycle: int) -> list[str]:
+        """Every step quarantined at ``cycle`` (stable order)."""
+        return [s for s in sorted(self._steps) if self.quarantined(s, cycle)]
+
+    def items(self) -> Iterator[tuple[str, BreakerState]]:
+        return iter(sorted(self._steps.items()))
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {step: state.to_dict() for step, state in self._steps.items()}
+
+    def load(self, data: dict[str, Any]) -> None:
+        """Restore ladder state saved by :meth:`to_dict` (restart path)."""
+        for step, raw in (data or {}).items():
+            if not isinstance(raw, dict):
+                continue
+            self._steps[str(step)] = BreakerState(
+                failures=int(raw.get("failures", 0)),
+                opened_at=int(raw.get("opened_at", -1)),
+                cooldown=int(raw.get("cooldown", 0)),
+                trips=int(raw.get("trips", 0)),
+                last_error=str(raw.get("last_error", "")),
+            )

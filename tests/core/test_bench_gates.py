@@ -10,6 +10,7 @@ from repro.core.bench import (
     check_journal_overhead,
     check_regression,
     check_retry_overhead,
+    check_serve_overhead,
     check_trace_overhead,
     latest_run,
     load_runs,
@@ -193,6 +194,50 @@ class TestCheckAuditOverhead:
 
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_audit_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+
+def serve_entry(plain, wrapper, refresh):
+    ingest = plain + wrapper
+    return {
+        "seconds": ingest,
+        "runs": [ingest],
+        "detail": {
+            "plain_seconds": plain,
+            "refresh_seconds": refresh,
+            "rows": 1000,
+            "wrapper_seconds": wrapper,
+            "overhead": wrapper / refresh,
+        },
+    }
+
+
+class TestCheckServeOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_serve_overhead(
+            record(serve_ingest_overhead=serve_entry(0.002, 0.004, refresh=0.4))
+        )
+        assert ok and "+1.0%" in msg and "of refresh" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_serve_overhead(
+            record(serve_ingest_overhead=serve_entry(0.002, 0.08, refresh=0.4))
+        )
+        assert not ok and "+20.0%" in msg and "limit +10%" in msg
+
+    def test_custom_limit(self):
+        entry = serve_entry(0.002, 0.08, refresh=0.4)
+        ok, _ = check_serve_overhead(
+            record(serve_ingest_overhead=entry), max_overhead=0.30
+        )
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_serve_overhead(
+                record(serve_ingest_overhead=entry), max_overhead=-1.0
+            )
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_serve_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg
 
 

@@ -9,6 +9,7 @@ from repro.core.journal import (
     JOURNAL_SUFFIX,
     JournalError,
     RunJournal,
+    compact,
     latest_run_id,
     load_resume_state,
     new_run_id,
@@ -160,3 +161,94 @@ class TestLatestRunId:
     def test_empty_directory(self, tmp_path):
         assert latest_run_id(tmp_path) is None
         assert latest_run_id(tmp_path / "missing") is None
+
+
+class TestRotation:
+    def test_size_threshold_rotates_to_archive_segments(self, tmp_path):
+        with RunJournal.open(tmp_path, rotate_bytes=256) as journal:
+            journal.run_start({f"s{i}": f"key-{i}" for i in range(20)})
+            for i in range(20):
+                journal.step_start(f"s{i}", f"key-{i}")
+                journal.step_done(f"s{i}", f"key-{i}", "ok", 1)
+            journal.run_end({"ok": 20}, 0.01)
+            rid = journal.run_id
+            assert journal.rotations >= 1
+        segments = list(tmp_path.glob(f"*{JOURNAL_SUFFIX}"))
+        assert len(segments) == journal.rotations + 1  # archives + live tail
+        # Every record survives across the rotation boundary...
+        events = []
+        for segment in sorted(segments):
+            records, torn = read_journal(segment)
+            assert not torn
+            events.extend(r["event"] for r in records)
+        assert events.count("step_done") == 20
+        # ...and resume sees the run whole.
+        assert load_resume_state(tmp_path, rid).finished
+
+    def test_invalid_rotate_bytes(self, tmp_path):
+        with pytest.raises(ValueError, match="rotate_bytes"):
+            RunJournal(tmp_path / "x.journal", new_run_id(), rotate_bytes=0)
+
+    def test_no_rotation_below_threshold(self, tmp_path):
+        with RunJournal.open(tmp_path, rotate_bytes=1 << 20) as journal:
+            journal.run_start({"a": "k"})
+            journal.step_done("a", "k", "ok", 1)
+            journal.run_end({"ok": 1}, 0.01)
+        assert journal.rotations == 0
+        assert len(list(tmp_path.glob(f"*{JOURNAL_SUFFIX}"))) == 1
+
+
+class TestCompact:
+    def test_drops_older_runs_keeps_latest(self, tmp_path):
+        old = write_run(tmp_path)
+        latest = write_run(tmp_path)
+        stats = compact(tmp_path)
+        assert stats["kept_run"] == latest
+        assert stats["dropped_records"] > 0
+        segment = tmp_path / f"w{os.getpid()}{JOURNAL_SUFFIX}"
+        records, torn = read_journal(segment)
+        assert not torn
+        assert all(r["run"] == latest for r in records)
+        assert old not in {r["run"] for r in records}
+
+    def test_resume_after_compaction_unaffected(self, tmp_path):
+        write_run(tmp_path)  # an old, finished run to drop
+        rid = write_run(
+            tmp_path, outcomes=(("a", "ok"), ("b", "cached")), end=False
+        )
+        before = load_resume_state(tmp_path, rid)
+        compact(tmp_path)
+        after = load_resume_state(tmp_path, rid)
+        assert after.run_id == before.run_id == rid
+        assert after.completed == before.completed == {"a": "key-a", "b": "key-b"}
+        assert after.interrupted and not after.finished
+        assert latest_run_id(tmp_path) == rid
+
+    def test_removes_segments_with_only_stale_runs(self, tmp_path):
+        # Archive segments full of an old run's records disappear entirely.
+        with RunJournal.open(tmp_path, rotate_bytes=200) as journal:
+            journal.run_start({f"s{i}": f"k{i}" for i in range(15)})
+            for i in range(15):
+                journal.step_done(f"s{i}", f"k{i}", "ok", 1)
+            journal.run_end({"ok": 15}, 0.01)
+        latest = write_run(tmp_path)
+        n_before = len(list(tmp_path.glob(f"*{JOURNAL_SUFFIX}")))
+        stats = compact(tmp_path)
+        n_after = len(list(tmp_path.glob(f"*{JOURNAL_SUFFIX}")))
+        assert n_before > 1
+        assert stats["removed_segments"] >= 1
+        assert n_after < n_before
+        assert load_resume_state(tmp_path, latest).finished
+
+    def test_explicit_keep_run(self, tmp_path):
+        keep = write_run(tmp_path)
+        write_run(tmp_path)
+        compact(tmp_path, keep_run_id=keep)
+        segment = tmp_path / f"w{os.getpid()}{JOURNAL_SUFFIX}"
+        records, _ = read_journal(segment)
+        assert {r["run"] for r in records} == {keep}
+
+    def test_empty_directory_is_a_noop(self, tmp_path):
+        stats = compact(tmp_path)
+        assert stats["segments"] == 0
+        assert stats["dropped_records"] == 0

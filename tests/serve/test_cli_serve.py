@@ -1,0 +1,151 @@
+"""``repro serve`` CLI: exit-code contract, probes, and graceful drain."""
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cli import EXIT_PARTIAL, main
+from repro.serve import read_status
+
+
+@pytest.fixture()
+def data_dir(tmp_path, study_lines):
+    responses, sacct = study_lines
+    d = tmp_path / "data"
+    d.mkdir()
+    (d / "responses.jsonl").write_text("\n".join(responses) + "\n")
+    (d / "accounting.sacct").write_text("\n".join(sacct) + "\n")
+    return d
+
+
+def serve(*argv):
+    out = io.StringIO()
+    code = main(["serve", *argv], out=out)
+    return code, out.getvalue()
+
+
+class TestExitCodes:
+    def test_status_without_a_service_is_2(self, tmp_path):
+        code, text = serve("--root", str(tmp_path / "nope"), "--status")
+        assert code == 2 and "no service status" in text
+
+    def test_ingest_refresh_request_is_clean(self, tmp_path, data_dir):
+        root = tmp_path / "svc"
+        code, text = serve(
+            "--root", str(root), "--months", "1", "--experiments", "X1",
+            "--ingest-responses", str(data_dir / "responses.jsonl"),
+            "--ingest-sacct", str(data_dir / "accounting.sacct"),
+            "--refresh", "--request", "X1",
+        )
+        assert code == 0, text
+        assert "ingested" in text and "refreshed" in text
+        assert "[FRESH]" in text
+
+    def test_status_probe_after_serving_is_clean(self, tmp_path, data_dir):
+        root = tmp_path / "svc"
+        serve(
+            "--root", str(root), "--months", "1", "--experiments", "X1",
+            "--ingest-responses", str(data_dir / "responses.jsonl"),
+            "--ingest-sacct", str(data_dir / "accounting.sacct"), "--refresh",
+        )
+        code, text = serve("--root", str(root), "--status")
+        assert code == 0
+        assert json.loads(text)["mode"] == "serving"
+
+    def test_request_before_any_build_is_degraded(self, tmp_path):
+        code, text = serve(
+            "--root", str(tmp_path / "svc"), "--months", "1",
+            "--experiments", "X1", "--request", "X1",
+        )
+        assert code == EXIT_PARTIAL
+        assert "[UNAVAILABLE]" in text
+
+    def test_unknown_experiment_is_usage_error(self, tmp_path):
+        code, text = serve(
+            "--root", str(tmp_path / "svc"), "--months", "1", "--request", "ZZ9"
+        )
+        assert code == 2 and "unknown experiment" in text
+
+    def test_missing_ingest_file_is_usage_error(self, tmp_path):
+        code, text = serve(
+            "--root", str(tmp_path / "svc"), "--months", "1",
+            "--ingest-responses", str(tmp_path / "missing.jsonl"),
+        )
+        assert code == 2
+
+    def test_reingest_same_files_dedupes(self, tmp_path, data_dir):
+        root = tmp_path / "svc"
+        args = (
+            "--root", str(root), "--months", "1", "--experiments", "X1",
+            "--ingest-responses", str(data_dir / "responses.jsonl"),
+        )
+        serve(*args)
+        code, text = serve(*args)  # the default batch id is the file path
+        assert code == 0
+        assert "ingested 0 responses row(s)" in text
+
+
+class TestDrain:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path, data_dir):
+        root = tmp_path / "svc"
+        serve(  # warm the root first so the loop has artifacts to hold
+            "--root", str(root), "--months", "1", "--experiments", "X1",
+            "--ingest-responses", str(data_dir / "responses.jsonl"),
+            "--ingest-sacct", str(data_dir / "accounting.sacct"), "--refresh",
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "--root", str(root),
+                "--months", "1", "--experiments", "X1",
+                "--loop", "60", "--interval", "0.2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        # Wait until the child's refresh loop has republished the status
+        # snapshot: its pid with nonzero uptime proves a loop cycle ran, and
+        # the SIGTERM handler is installed before the first cycle. A fixed
+        # sleep flakes on loaded machines — the signal lands during
+        # interpreter startup and kills via the default disposition (-15).
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            status = read_status(root)
+            if (
+                status is not None
+                and status.get("pid") == proc.pid
+                and status.get("uptime_seconds", 0.0) > 0.5
+            ):
+                break
+            assert proc.poll() is None, proc.communicate()[0]
+            time.sleep(0.05)
+        else:  # pragma: no cover - safety net
+            proc.kill()
+            pytest.fail("loop process never republished its status snapshot")
+        proc.send_signal(signal.SIGTERM)
+        try:
+            stdout, _ = proc.communicate(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+            proc.kill()
+            raise
+        assert proc.returncode == 0, stdout
+        assert "drained" in stdout
+        status = json.loads((root / "status.json").read_text())
+        assert status["mode"] == "draining"
+        # The drained root restarts clean and serves immediately.
+        code, text = serve(
+            "--root", str(root), "--months", "1", "--experiments", "X1",
+            "--request", "X1",
+        )
+        assert code == 0 and "[FRESH]" in text
