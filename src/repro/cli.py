@@ -425,6 +425,27 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ben.add_argument(
+        "--max-metrics-overhead",
+        type=float,
+        default=0.03,
+        help=(
+            "allowed cost of the serve metrics plane (registry + SLO + "
+            "ring) over a metrics-disabled serve cycle before --check "
+            "fails (0.03 = +3%%; intra-record, no baseline needed)"
+        ),
+    )
+    ben.add_argument(
+        "--max-serve-p99",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help=(
+            "allowed p99 admission-to-answer latency in the serve_latency "
+            "bench before --check fails (absolute: under load shedding "
+            "every answer must stay on the warm fast path)"
+        ),
+    )
+    ben.add_argument(
         "--scale-sweep",
         action="store_true",
         help=(
@@ -589,8 +610,54 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "probe the service root's status.json (no service is started): "
-            "exit 0 serving, 3 degraded (read-only/draining), 2 no status"
+            "exit 0 serving, 3 degraded (read-only/draining, SLO breached, "
+            "or the probe file is stale vs its refresh interval), 2 no status"
         ),
+    )
+
+    top = command(
+        "top",
+        help=(
+            "live text dashboard over a serve root and/or a fleet run dir "
+            "(reads only on-disk observability files; never touches the "
+            "live processes)"
+        ),
+    )
+    top.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="serve root to watch (status.json + slo.json + metrics/)",
+    )
+    top.add_argument(
+        "--dist-dir",
+        type=Path,
+        default=None,
+        metavar="RUN_DIR",
+        help=(
+            "fleet run dir to watch (<cache_root>/.dist/<run_id>; "
+            "heartbeats, assignments, spine segments)"
+        ),
+    )
+    top.add_argument(
+        "--cache-root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="watch the most recent run dir under this cache root's .dist/",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (the CI / scripting mode)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh cadence in watch mode",
     )
 
     pwr = command("power", help="two-proportion power calculations")
@@ -1084,9 +1151,11 @@ def _cmd_bench(args, out) -> int:
         check_audit_overhead,
         check_dist_overhead,
         check_journal_overhead,
+        check_metrics_overhead,
         check_regression,
         check_retry_overhead,
         check_scale_sweep,
+        check_serve_latency,
         check_serve_overhead,
         check_trace_overhead,
         render_record,
@@ -1140,6 +1209,12 @@ def _cmd_bench(args, out) -> int:
             serve_ok, serve_message = check_serve_overhead(
                 record, max_overhead=args.max_serve_overhead
             )
+            metrics_ok, metrics_message = check_metrics_overhead(
+                record, max_overhead=args.max_metrics_overhead
+            )
+            latency_ok, latency_message = check_serve_latency(
+                record, max_p99=args.max_serve_p99
+            )
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=out)
             return 2
@@ -1154,6 +1229,8 @@ def _cmd_bench(args, out) -> int:
         print(("ok: " if audit_ok else "REGRESSION: ") + audit_message, file=out)
         print(("ok: " if dist_ok else "REGRESSION: ") + dist_message, file=out)
         print(("ok: " if serve_ok else "REGRESSION: ") + serve_message, file=out)
+        print(("ok: " if metrics_ok else "REGRESSION: ") + metrics_message, file=out)
+        print(("ok: " if latency_ok else "REGRESSION: ") + latency_message, file=out)
         return (
             0
             if ok
@@ -1163,6 +1240,8 @@ def _cmd_bench(args, out) -> int:
             and audit_ok
             and dist_ok
             and serve_ok
+            and metrics_ok
+            and latency_ok
             else 1
         )
     return 0
@@ -1346,7 +1425,31 @@ def _cmd_serve(args, out) -> int:
             print(f"error: no service status under {args.root}", file=out)
             return 2
         print(json.dumps(status, indent=2, sort_keys=True), file=out)
-        return 0 if status.get("mode") in ("serving", "empty") else EXIT_PARTIAL
+        code = 0 if status.get("mode") in ("serving", "empty") else EXIT_PARTIAL
+        if status.get("slo") == "breached":
+            detail = status.get("slo_detail") or {}
+            broken = sorted(k for k, c in detail.items() if not c.get("ok"))
+            print("slo: breached" + (f" ({', '.join(broken)})" if broken else ""), file=out)
+            code = EXIT_PARTIAL
+        # Stale-probe detection: a resident service promises a status
+        # write every cycle; a probe file much older than the declared
+        # interval means the service is wedged, not merely quiet.
+        interval = status.get("refresh_interval_seconds")
+        if interval:
+            try:
+                mtime = (Path(args.root) / "status.json").stat().st_mtime
+            except OSError:
+                mtime = None
+            if mtime is not None:
+                age = time.time() - mtime
+                if age > max(3.0 * float(interval), float(interval) + 2.0):
+                    print(
+                        f"stale probe: status.json is {age:.1f}s old against a "
+                        f"{float(interval):.1f}s refresh interval — service wedged?",
+                        file=out,
+                    )
+                    code = EXIT_PARTIAL
+        return code
 
     experiments = None
     if args.experiments:
@@ -1359,6 +1462,7 @@ def _cmd_serve(args, out) -> int:
             experiments=experiments,
             queue_size=args.queue_size,
             default_deadline=args.deadline,
+            status_interval=args.interval if args.loop is not None else None,
         )
         service = StudyService(args.root, config)
     except (KeyError, ValueError) as exc:
@@ -1433,11 +1537,34 @@ def _cmd_serve(args, out) -> int:
             return 0
         if service.read_only:
             degraded = True
-        print(json.dumps(service.status(), indent=2, sort_keys=True), file=out)
+        print(
+            json.dumps(service.publish_status(), indent=2, sort_keys=True), file=out
+        )
     finally:
         signal.signal(signal.SIGTERM, previous)
         service.close()
     return EXIT_PARTIAL if degraded else 0
+
+
+def _cmd_top(args, out) -> int:
+    """``repro top``: live text dashboard (disk-state only; see repro.obs.top)."""
+    import time
+
+    from repro.obs.top import latest_run_dir, render_top
+
+    dist_dir = args.dist_dir
+    if dist_dir is None and args.cache_root is not None:
+        dist_dir = latest_run_dir(args.cache_root)
+        if dist_dir is None:
+            print(f"error: no .dist run dirs under {args.cache_root}", file=out)
+            return 2
+    if args.once:
+        print(render_top(args.root, dist_dir), end="", file=out)
+        return 0
+    while True:
+        frame = render_top(args.root, dist_dir)
+        print("\x1b[2J\x1b[H" + frame, end="", file=out, flush=True)
+        time.sleep(args.interval)
 
 
 _COMMANDS = {
@@ -1453,6 +1580,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "worker": _cmd_worker,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "power": _cmd_power,
 }
 
@@ -1461,7 +1589,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code.
 
     A Ctrl-C during the long-running commands (``report``, ``trace``,
-    ``bench``, ``audit``, ``worker``, ``serve``) exits ``130`` (128 +
+    ``bench``, ``audit``, ``worker``, ``serve``, ``top``) exits ``130`` (128 +
     SIGINT) with a one-line notice instead of a traceback; the
     ``--durable`` report path additionally flushes its journal and prints
     the ``--resume`` hint, and a fleet worker releases its leases and lets
@@ -1477,7 +1605,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         return _COMMANDS[args.command](args, out)
     except KeyboardInterrupt:
-        if args.command in ("report", "trace", "bench", "audit", "worker", "serve"):
+        if args.command in ("report", "trace", "bench", "audit", "worker", "serve", "top"):
             print("interrupted", file=out)
             return EXIT_INTERRUPTED
         raise

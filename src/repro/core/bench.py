@@ -687,6 +687,183 @@ def _bench_serve_ingest_overhead(sc: "BenchScale", k: int) -> dict:
     }
 
 
+def _serve_study_lines(
+    seed: int, *, cohort_n: int = 10, jobs_per_day: float = 2.0
+) -> tuple[list[str], list[str]]:
+    """(response JSONL lines, sacct lines incl. header) for a small study."""
+    import io
+
+    from repro.cluster import write_sacct
+    from repro.core import build_default_study
+    from repro.io import write_responses_jsonl
+
+    study = build_default_study(
+        seed=seed,
+        n_baseline=min(cohort_n, 120),
+        n_current=cohort_n,
+        months=1,
+        jobs_per_day=jobs_per_day,
+    )
+    buf = io.StringIO()
+    write_responses_jsonl(study.responses, buf)
+    responses = buf.getvalue().splitlines()
+    buf = io.StringIO()
+    write_sacct(study.telemetry, buf)
+    return responses, buf.getvalue().splitlines()
+
+
+def _bench_metrics_overhead(sc: "BenchScale", k: int) -> dict:
+    """Cost of the serve observability plane against one serve cycle.
+
+    The plane adds two things to a resident service: registry updates on
+    every request (a counter bump + one histogram observation) and a
+    per-cycle publish on every status write (staleness/queue gauges, SLO
+    load + evaluation, ring snapshot + exposition render + two file
+    writes). Both are timed *directly* — they are stable µs-scale
+    operations — and priced as a fraction of one measured serve cycle
+    (forced refresh + request burst). A subtractive with/without wall
+    clock cannot resolve this: the signal is sub-millisecond while a
+    refresh carries ms-scale I/O jitter, so the differential would be
+    gate noise, not measurement. :func:`check_metrics_overhead` gates the
+    fraction at < 3% — the same always-on argument as the trace gate.
+    """
+    import tempfile
+
+    from repro.obs.slo import evaluate_slo, load_slo
+    from repro.serve.service import ServeConfig, StudyService
+
+    # A realistically sized cycle: the plane's fixed per-cycle cost must
+    # amortize against a real refresh, not a toy one.
+    responses, sacct = _serve_study_lines(
+        seed=11, cohort_n=sc.cohort_n, jobs_per_day=min(sc.jobs_per_day, 60.0)
+    )
+    requests_per_cycle = 50
+    with tempfile.TemporaryDirectory(prefix="repro-bench-metrics-") as tmpname:
+        svc = StudyService(
+            Path(tmpname),
+            ServeConfig(months=1, experiments=("X1",), fsync="never"),
+        )
+        svc.ingest("responses", responses, batch="r0")
+        svc.ingest("sacct", sacct, batch="s0")
+        svc.refresh()
+
+        def cycle() -> None:
+            # refresh() persists status + ring on its way out — one
+            # publish per cycle, the same shape as a --loop cycle.
+            svc.refresh(force=True)
+            for _ in range(requests_per_cycle):
+                svc.request("X1")
+
+        cycle()  # warmup: the first forced refresh pays one-time costs
+        cycle_t = _time_min_of_k(cycle, max(k, 3), memory=False)
+
+        registry, ring, root = svc.registry, svc._ring, svc.root
+        reps = 1000
+
+        def request_side() -> None:
+            # What request() adds per call when the plane is on.
+            for _ in range(reps):
+                registry.inc("repro_requests_total")
+                registry.observe("repro_request_seconds", 1e-3)
+
+        request_t = _time_min_of_k(request_side, max(k, 3), memory=False)
+        request_unit = request_t["seconds"] / reps
+
+        def publish_side() -> None:
+            # What _write_status() adds per cycle when the plane is on.
+            registry.set_gauge("repro_staleness_rows_behind", 0)
+            registry.set_gauge("repro_queue_depth", 0)
+            policy = load_slo(root)
+            if policy is not None:
+                evaluate_slo(policy, registry)
+            ring.publish(registry.snapshot(), registry.to_text())
+
+        publish_t = _time_min_of_k(
+            lambda: [publish_side() for _ in range(20)], max(k, 3), memory=False
+        )
+        publish_unit = publish_t["seconds"] / 20
+        svc.close()
+
+    instrument = requests_per_cycle * request_unit + publish_unit
+    overhead = instrument / cycle_t["seconds"] if cycle_t["seconds"] > 0 else 0.0
+    return {
+        "seconds": cycle_t["seconds"],
+        "runs": cycle_t["runs"],
+        "detail": {
+            "requests": requests_per_cycle,
+            "request_us": round(request_unit * 1e6, 3),
+            "publish_us": round(publish_unit * 1e6, 3),
+            "instrument_seconds": round(instrument, 9),
+            "overhead": round(overhead, 6),
+        },
+    }
+
+
+def _bench_serve_latency(sc: "BenchScale", k: int) -> dict:
+    """Request percentiles under concurrent load with shedding active.
+
+    Drives N client threads, each firing a stream of tiny-deadline
+    requests at a warm-but-dirty service: every request must be answered
+    from the last-good artifact via deadline shedding (a recompute the
+    client will not wait for never starts). p50/p95/p99 come from the
+    service's own ``repro_request_seconds`` histogram — the numbers the
+    SLO policy would judge — and :func:`check_serve_latency` gates the
+    p99 absolutely: under load shedding there is no slow path left to
+    hide in.
+    """
+    import tempfile
+    import threading
+
+    from repro.serve.service import ServeConfig, StudyService
+
+    responses, sacct = _serve_study_lines(seed=12)
+    n_threads, per_thread = 4, 50
+    with tempfile.TemporaryDirectory(prefix="repro-bench-latency-") as tmpname:
+        svc = StudyService(
+            Path(tmpname), ServeConfig(months=1, experiments=("X1",))
+        )
+        svc.ingest("responses", responses, batch="r0")
+        svc.ingest("sacct", sacct, batch="s0")
+        svc.refresh()  # warm artifact + refresh-cost estimate
+        # Fresh rows leave the service dirty: without a deadline each
+        # request would trigger a recompute, with one it must shed.
+        svc.ingest("responses", responses, batch="r1")
+
+        def storm() -> None:
+            def client() -> None:
+                for _ in range(per_thread):
+                    svc.request("X1", deadline=1e-4)
+
+            threads = [threading.Thread(target=client) for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        timing = _time_min_of_k(storm, min(k, 3), memory=False)
+        registry = svc.registry
+        pct = registry.percentiles("repro_request_seconds")
+        count = registry.histogram_count("repro_request_seconds")
+        requests = registry.value("repro_requests_total")
+        shed = registry.value("repro_shed_total", reason="deadline") + registry.value(
+            "repro_shed_total", reason="queue_full"
+        )
+        svc.close()
+    return {
+        "seconds": timing["seconds"],
+        "runs": timing["runs"],
+        "detail": {
+            "threads": n_threads,
+            "requests": int(requests),
+            "observations": count,
+            "p50": None if pct["p50"] is None else round(pct["p50"], 6),
+            "p95": None if pct["p95"] is None else round(pct["p95"], 6),
+            "p99": None if pct["p99"] is None else round(pct["p99"], 6),
+            "shed_rate": round(shed / requests, 6) if requests else 0.0,
+        },
+    }
+
+
 def run_benchmarks(
     scale: str = "full",
     label: str = "run",
@@ -774,6 +951,10 @@ def run_benchmarks(
     benchmarks["dist_overhead"] = _bench_dist_overhead(k)
 
     benchmarks["serve_ingest_overhead"] = _bench_serve_ingest_overhead(sc, k)
+
+    benchmarks["metrics_overhead"] = _bench_metrics_overhead(sc, k)
+
+    benchmarks["serve_latency"] = _bench_serve_latency(sc, k)
 
     if end_to_end and sc.months >= 3:
         def report() -> None:
@@ -1201,6 +1382,60 @@ def check_serve_overhead(record: dict, max_overhead: float = 0.10) -> tuple[bool
         f"({overhead:+.1%} of refresh, limit {max_overhead:+.0%})"
     )
     return overhead <= max_overhead, message
+
+
+def check_metrics_overhead(record: dict, max_overhead: float = 0.03) -> tuple[bool, str]:
+    """Gate the serve metrics plane's cost within ``record``.
+
+    Intra-record like the trace-overhead gate it mirrors: the serve
+    cycle timed in the same record is the denominator, and the plane's
+    directly-timed per-request and per-publish instrumentation is the
+    numerator — registry updates on every request, SLO evaluation and
+    ring publish on every status write. Returns ``(ok, message)``; a
+    record without the ``metrics_overhead`` benchmark passes vacuously.
+    """
+    if max_overhead < 0:
+        raise ValueError("max_overhead must be non-negative")
+    entry = record.get("benchmarks", {}).get("metrics_overhead")
+    if entry is None or "detail" not in entry:
+        return True, "metrics_overhead benchmark missing from run; skipping gate"
+    detail = entry["detail"]
+    overhead = float(detail["overhead"])
+    message = (
+        f"metrics_overhead: {float(detail['instrument_seconds']) * 1e3:.2f}ms "
+        f"instrumentation per {entry['seconds'] * 1e3:.1f}ms serve cycle "
+        f"({detail['request_us']}us/request, {detail['publish_us']}us/publish; "
+        f"{overhead:+.1%} overhead, limit {max_overhead:+.0%})"
+    )
+    return overhead <= max_overhead, message
+
+
+def check_serve_latency(record: dict, max_p99: float = 0.5) -> tuple[bool, str]:
+    """Gate the p99 admission-to-answer latency under concurrent load.
+
+    Absolute rather than relative, like the dist gate: under deadline
+    shedding every answer must come off the warm fast path, so the p99
+    is bounded by lock handoff and bookkeeping, not by recompute cost.
+    Returns ``(ok, message)``; a record without the ``serve_latency``
+    benchmark (or one that saw no requests) passes vacuously.
+    """
+    if max_p99 <= 0:
+        raise ValueError("max_p99 must be positive")
+    entry = record.get("benchmarks", {}).get("serve_latency")
+    if entry is None or "detail" not in entry:
+        return True, "serve_latency benchmark missing from run; skipping gate"
+    detail = entry["detail"]
+    p99 = detail.get("p99")
+    if p99 is None:
+        return True, "serve_latency recorded no requests; skipping gate"
+    message = (
+        f"serve_latency: p50 {float(detail.get('p50') or 0.0) * 1e3:.2f}ms / "
+        f"p95 {float(detail.get('p95') or 0.0) * 1e3:.2f}ms / "
+        f"p99 {float(p99) * 1e3:.2f}ms over {detail.get('requests', 0)} "
+        f"request(s) (shed rate {float(detail.get('shed_rate', 0.0)):.0%}, "
+        f"p99 limit {max_p99 * 1e3:.0f}ms)"
+    )
+    return float(p99) <= max_p99, message
 
 
 def check_scale_sweep(

@@ -336,7 +336,9 @@ class ExecutorMetrics:
             interesting = {
                 k: v
                 for k, v in sorted(self.backend_stats.items())
-                if v and k not in ("backend", "workers", "publishes")
+                if v
+                and k
+                not in ("backend", "workers", "publishes", "worker_pids", "registry")
             }
             if interesting:
                 lines.append(

@@ -114,11 +114,15 @@ _TIMING_ARGS = frozenset(
     }
 )
 
-#: Instant-event categories whose *presence* is nondeterministic — dist
+#: Event categories whose *presence* is nondeterministic — dist
 #: scheduling events (lease expiries, heartbeat gaps, reassignments,
 #: speculation) depend on OS timing, so normalized exports drop the
-#: category wholesale rather than just scrubbing its args.
-_EPHEMERAL_CATS = frozenset({"dist"})
+#: category wholesale rather than just scrubbing its args. The spine's
+#: worker-side spans (``wtask`` task spans, ``worker`` lifecycle spans —
+#: see :mod:`repro.obs.spine`) are ephemeral for the same reason: which
+#: worker ran a step, and whether a killed worker's final flush survived,
+#: is OS timing, not seed + DAG.
+_EPHEMERAL_CATS = frozenset({"dist", "wtask", "worker"})
 
 
 class TraceError(RuntimeError):
@@ -332,6 +336,8 @@ class Tracer:
         by_sid_name = {s.sid: s.name for s in self.spans}
         events: list[dict[str, Any]] = []
         for s in self.spans:
+            if normalize and (s.cat or "trace") in _EPHEMERAL_CATS:
+                continue
             end = s.end if s.end is not None else s.start
             event: dict[str, Any] = {
                 "name": s.name,
@@ -421,11 +427,16 @@ class Tracer:
           readers dropped, summed from ``ingest.skipped_rows`` instants
           (the event count alone would count reader *invocations*, not
           rows).
+
+        Rendering goes through the repo's one exposition writer
+        (:class:`repro.obs.promfmt.PromWriter`), so label escaping and
+        ``# HELP``/``# TYPE`` layout are shared — and validated by one
+        shared validator — with the :class:`repro.obs.registry.MetricsRegistry`
+        renderings.
         """
+        from repro.obs.promfmt import PromWriter
 
-        def esc(value: str) -> str:
-            return value.replace("\\", "\\\\").replace('"', '\\"')
-
+        writer = PromWriter()
         steps = sorted(
             (s for s in self.spans if s.cat == "step"), key=lambda s: s.name
         )
@@ -436,31 +447,27 @@ class Tracer:
         event_counts: dict[str, int] = {}
         for i in self.instants:
             event_counts[i.name] = event_counts.get(i.name, 0) + 1
-        roots = [s for s in self.spans if s.cat == "run"]
-        lines = [
-            "# HELP repro_run_wall_seconds Wall-clock of the traced run.",
-            "# TYPE repro_run_wall_seconds gauge",
-        ]
-        for root in roots:
+        writer.family(
+            "repro_run_wall_seconds", "gauge", "Wall-clock of the traced run."
+        )
+        for root in (s for s in self.spans if s.cat == "run"):
             wall = (root.end if root.end is not None else root.start) - root.start
-            lines.append(
-                f'repro_run_wall_seconds{{run="{esc(str(root.args.get("run_id", "")))}"}}'
-                f" {wall:.6f}"
+            writer.sample(
+                "repro_run_wall_seconds",
+                {"run": str(root.args.get("run_id", ""))},
+                f"{wall:.6f}",
             )
-        lines += [
-            "# HELP repro_run_steps_total Steps by outcome.",
-            "# TYPE repro_run_steps_total counter",
-        ]
+        writer.family("repro_run_steps_total", "counter", "Steps by outcome.")
         for outcome in sorted(outcome_counts):
-            lines.append(
-                f'repro_run_steps_total{{outcome="{esc(outcome)}"}} {outcome_counts[outcome]}'
+            writer.sample(
+                "repro_run_steps_total", {"outcome": outcome}, str(outcome_counts[outcome])
             )
         for metric, key, help_text in (
             ("repro_step_wall_seconds", "wall", "Per-step wall time (obtain)."),
             ("repro_step_queue_seconds", "queue_wait", "Per-step queue wait."),
             ("repro_step_compute_seconds", "compute", "Per-step compute time."),
         ):
-            lines += [f"# HELP {metric} {help_text}", f"# TYPE {metric} gauge"]
+            writer.family(metric, "gauge", help_text)
             for s in steps:
                 name = str(s.args.get("step", s.name))
                 if key == "wall":
@@ -468,23 +475,21 @@ class Tracer:
                     value = float(end - s.start)
                 else:
                     value = float(s.args.get(key, 0.0) or 0.0)
-                lines.append(f'{metric}{{step="{esc(name)}"}} {value:.6f}')
-        lines += [
-            "# HELP repro_step_attempts_total Compute attempts per step.",
-            "# TYPE repro_step_attempts_total counter",
-        ]
+                writer.sample(metric, {"step": name}, f"{value:.6f}")
+        writer.family(
+            "repro_step_attempts_total", "counter", "Compute attempts per step."
+        )
         for s in steps:
-            name = str(s.args.get("step", s.name))
-            lines.append(
-                f'repro_step_attempts_total{{step="{esc(name)}"}} '
-                f"{int(s.args.get('attempts', 0) or 0)}"
+            writer.sample(
+                "repro_step_attempts_total",
+                {"step": str(s.args.get("step", s.name))},
+                str(int(s.args.get("attempts", 0) or 0)),
             )
-        lines += [
-            "# HELP repro_events_total Instant events by family.",
-            "# TYPE repro_events_total counter",
-        ]
+        writer.family("repro_events_total", "counter", "Instant events by family.")
         for event in sorted(event_counts):
-            lines.append(f'repro_events_total{{event="{esc(event)}"}} {event_counts[event]}')
+            writer.sample(
+                "repro_events_total", {"event": event}, str(event_counts[event])
+            )
         skipped_rows: dict[str, int] = {}
         for i in self.instants:
             if i.name == "ingest.skipped_rows":
@@ -492,15 +497,14 @@ class Tracer:
                 skipped_rows[reader] = skipped_rows.get(reader, 0) + int(
                     i.args.get("count", 0) or 0
                 )
-        lines += [
-            "# HELP repro_skipped_rows_total Rows dropped by tolerant readers.",
-            "# TYPE repro_skipped_rows_total counter",
-        ]
+        writer.family(
+            "repro_skipped_rows_total", "counter", "Rows dropped by tolerant readers."
+        )
         for reader in sorted(skipped_rows):
-            lines.append(
-                f'repro_skipped_rows_total{{reader="{esc(reader)}"}} {skipped_rows[reader]}'
+            writer.sample(
+                "repro_skipped_rows_total", {"reader": reader}, str(skipped_rows[reader])
             )
-        return "\n".join(lines) + "\n"
+        return writer.render()
 
 
 # -- the ambient tracer --------------------------------------------------------

@@ -47,6 +47,7 @@ from repro.core.metrics import StepOutcome
 from repro.dist import leases as lease_io
 from repro.dist.heartbeats import FleetMonitor
 from repro.dist.worker import DistConfig, RunSpec, _forked_worker, write_spec
+from repro.obs.spine import merge_segments
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pipeline import BackendContext, Pipeline
@@ -161,6 +162,9 @@ def run_coordinator(pipeline: "Pipeline", ctx: "BackendContext") -> dict[str, An
         lease_io.signal_stop(run_dir)
         _stop_workers(procs, config.worker_grace)
         stats = sched.fleet_stats()
+        spine = merge_segments(run_dir, tracer=ctx.tracer)
+        stats["worker_pids"] = spine["workers"]
+        stats["registry"] = spine["registry"]
         ctx.metrics.backend_stats = stats
         lease_io.sweep_dead_tmp(cache.root)
         lease_io.cleanup_run_dir(run_dir)

@@ -65,6 +65,7 @@ from repro.dist.leases import (
 )
 from repro.dist.heartbeats import HeartbeatWriter
 from repro.io.locks import FileLock, LockTimeout
+from repro.obs.spine import WorkerObs
 
 __all__ = ["DistConfig", "RunSpec", "worker_main", "load_spec", "write_spec"]
 
@@ -198,6 +199,7 @@ class _WorkerState:
     cache: ArtifactCache
     heartbeat: HeartbeatWriter
     chaos: Any | None = None
+    obs: Any | None = None
     handled: set[tuple[str, int]] = field(default_factory=set)
 
 
@@ -270,6 +272,7 @@ def _execute_task(state: _WorkerState, step_name: str, epoch: int) -> None:
     step = spec.step(step_name)
     key = spec.keys[step_name]
     t0 = time.perf_counter()
+    t0_wall = time.time()
     log_event(run_dir, worker, "task_start", step=step_name, epoch=epoch)
     _fire_chaos(state, step_name, "task_start")
 
@@ -310,6 +313,9 @@ def _execute_task(state: _WorkerState, step_name: str, epoch: int) -> None:
             wall=wall, error=error,
         ),
     )
+    if state.obs is not None:
+        state.obs.record_task(step_name, epoch, outcome, attempts, t0_wall, time.time())
+        state.obs.flush()
     _fire_chaos(state, step_name, "after_result")
 
 
@@ -378,6 +384,8 @@ def worker_main(
     )
     if spec.chaos is not None:
         state.chaos = spec.chaos.bind(run_dir, worker_id, heartbeat)
+    state.obs = WorkerObs(run_dir, worker_id)
+    state.obs.flush()  # visible in the spine even before the first task
     heartbeat.start()
     try:
         # A vanished run directory is as final as the stop sentinel: the
@@ -401,6 +409,7 @@ def worker_main(
     except KeyboardInterrupt:
         return 130
     finally:
+        state.obs.flush()
         heartbeat.stop()
 
 

@@ -1,0 +1,126 @@
+"""Size-rotated on-disk metrics ring for the serve tier.
+
+The resident service persists its observability on every cycle so that
+out-of-process tools (``repro top``, scrapers, post-mortems) can read it
+without touching the live process:
+
+* ``metrics/registry.json`` — the current registry snapshot (pure data,
+  atomically replaced); the machine surface :func:`read_ring_snapshot`
+  and ``repro top`` consume;
+* ``metrics/current.prom`` — appended Prometheus exposition frames, one
+  per cycle, each introduced by a ``# frame <seq>`` comment; when the
+  file exceeds ``rotate_bytes`` it rotates to ``ring-<n>.prom`` and the
+  oldest rotated files are pruned down to ``keep`` — a bounded window of
+  recent history, WAL-rotation style, never an unbounded log.
+
+Every write is fail-open: a full disk degrades to stale metrics files,
+never to a dead service (the same contract as ``status.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any
+
+__all__ = ["MetricsRing", "read_ring_snapshot"]
+
+_RING_RE = re.compile(r"^ring-(\d+)\.prom$")
+
+
+class MetricsRing:
+    """One service's ``metrics/`` directory (see module docstring)."""
+
+    def __init__(
+        self, directory: str | Path, rotate_bytes: int = 64 << 10, keep: int = 4
+    ) -> None:
+        if rotate_bytes < 1:
+            raise ValueError(f"rotate_bytes must be >= 1, got {rotate_bytes}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.rotate_bytes = rotate_bytes
+        self.keep = keep
+        self.current = self.directory / "current.prom"
+        self.snapshot_path = self.directory / "registry.json"
+        self._seq = 0
+
+    # -- writing ---------------------------------------------------------------
+
+    def publish(self, snapshot: dict[str, Any], text: str) -> bool:
+        """Persist one cycle's registry: snapshot (replace) + frame (append).
+
+        Returns False (never raises) when the disk refused either write.
+        """
+        ok = self._write_snapshot(snapshot)
+        return self._append_frame(text) and ok
+
+    def _write_snapshot(self, snapshot: dict[str, Any]) -> bool:
+        tmp = self.snapshot_path.with_name(
+            f"{self.snapshot_path.name}.{os.getpid()}.tmp"
+        )
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(snapshot, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, self.snapshot_path)
+            return True
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+
+    def _append_frame(self, text: str) -> bool:
+        self._seq += 1
+        frame = f"# frame {self._seq}\n{text}"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.current, "a", encoding="utf-8") as fh:
+                fh.write(frame)
+            if self.current.stat().st_size > self.rotate_bytes:
+                self._rotate()
+            return True
+        except OSError:
+            return False
+
+    def _rotate(self) -> None:
+        rotated = self.rotated_files()
+        next_n = 1
+        if rotated:
+            next_n = int(_RING_RE.match(rotated[-1].name).group(1)) + 1
+        os.replace(self.current, self.directory / f"ring-{next_n:06d}.prom")
+        for stale in self.rotated_files()[: -self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    # -- reading ---------------------------------------------------------------
+
+    def rotated_files(self) -> list[Path]:
+        try:
+            entries = [
+                p for p in self.directory.iterdir() if _RING_RE.match(p.name)
+            ]
+        except OSError:
+            return []
+        return sorted(entries, key=lambda p: int(_RING_RE.match(p.name).group(1)))
+
+
+def read_ring_snapshot(root: str | Path) -> dict[str, Any] | None:
+    """A service root's latest registry snapshot (None when absent/torn).
+
+    Out-of-process like ``read_status``: reads only the atomically
+    replaced ``metrics/registry.json``, so probing never interferes with
+    a live (or crashed) service.
+    """
+    try:
+        raw = json.loads(
+            (Path(root) / "metrics" / "registry.json").read_text(encoding="utf-8")
+        )
+    except (OSError, json.JSONDecodeError):
+        return None
+    return raw if isinstance(raw, dict) else None

@@ -1,0 +1,123 @@
+"""Declarative serve-tier SLOs: load ``slo.json``, judge the registry.
+
+A service root may carry an ``slo.json`` next to ``status.json``::
+
+    {
+      "p99_latency_seconds": 0.25,
+      "max_behind_rows": 500,
+      "max_shed_rate": 0.2
+    }
+
+Each key is optional; an absent key (or an absent file) means that
+objective is simply not declared. :class:`StudyService` evaluates the
+policy on every cycle against its own metrics registry and folds the
+verdict into ``status.json`` (``"slo": "ok" | "breached"`` plus the
+per-objective numbers), which is what makes the SLO *operational*: the
+out-of-process ``repro serve --status`` probe exits 3 on a breach without
+ever touching the live process.
+
+The three objectives map onto the serve registry like so:
+
+* ``p99_latency_seconds`` — the exact p99 of the
+  ``repro_request_seconds`` admission→answer histogram;
+* ``max_behind_rows`` — the ``repro_staleness_rows_behind`` gauge
+  (worst WAL-rows-behind across warm artifacts);
+* ``max_shed_rate`` — shed requests over total requests, from
+  ``repro_requests_total`` / ``repro_shed_total``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["SLOPolicy", "load_slo", "evaluate_slo", "SLO_FILENAME"]
+
+SLO_FILENAME = "slo.json"
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """The declared objectives; ``None`` = objective not declared."""
+
+    p99_latency_seconds: float | None = None
+    max_behind_rows: float | None = None
+    max_shed_rate: float | None = None
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.p99_latency_seconds is None
+            and self.max_behind_rows is None
+            and self.max_shed_rate is None
+        )
+
+
+def load_slo(root: str | Path) -> SLOPolicy | None:
+    """The root's declared SLO policy, or None when absent/unreadable.
+
+    Malformed policy files degrade to "no SLO" rather than taking the
+    service down — an operator typo must not turn into an outage.
+    """
+    path = Path(root) / SLO_FILENAME
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+
+    def _num(key: str) -> float | None:
+        value = raw.get(key)
+        return float(value) if isinstance(value, (int, float)) else None
+
+    policy = SLOPolicy(
+        p99_latency_seconds=_num("p99_latency_seconds"),
+        max_behind_rows=_num("max_behind_rows"),
+        max_shed_rate=_num("max_shed_rate"),
+    )
+    return None if policy.empty else policy
+
+
+def evaluate_slo(
+    policy: SLOPolicy, registry: MetricsRegistry
+) -> dict[str, Any]:
+    """Judge the registry against the policy.
+
+    Returns ``{"ok": bool, "checks": {objective: {limit, actual, ok}}}``
+    with one entry per *declared* objective. Objectives with no data yet
+    (no requests served) pass vacuously — an idle service is not in
+    breach.
+    """
+    checks: dict[str, dict[str, Any]] = {}
+
+    if policy.p99_latency_seconds is not None:
+        p99 = registry.percentile("repro_request_seconds", 99)
+        checks["p99_latency_seconds"] = {
+            "limit": policy.p99_latency_seconds,
+            "actual": p99,
+            "ok": p99 is None or p99 <= policy.p99_latency_seconds,
+        }
+    if policy.max_behind_rows is not None:
+        behind = registry.value("repro_staleness_rows_behind")
+        checks["max_behind_rows"] = {
+            "limit": policy.max_behind_rows,
+            "actual": behind,
+            "ok": behind <= policy.max_behind_rows,
+        }
+    if policy.max_shed_rate is not None:
+        requests = registry.value("repro_requests_total")
+        shed = registry.value("repro_shed_total", reason="queue_full") + registry.value(
+            "repro_shed_total", reason="deadline"
+        )
+        rate = (shed / requests) if requests > 0 else 0.0
+        checks["max_shed_rate"] = {
+            "limit": policy.max_shed_rate,
+            "actual": round(rate, 6),
+            "ok": rate <= policy.max_shed_rate,
+        }
+    return {"ok": all(c["ok"] for c in checks.values()), "checks": checks}

@@ -1,0 +1,214 @@
+"""The cross-process trace/metrics spine for fleet-mode runs.
+
+PR 5's tracer collects spans losslessly from threads and pool processes,
+but dist workers are strangers: forked *or* externally joined via ``repro
+worker``, possibly on another host, sharing nothing with the coordinator
+but the run directory. The spine closes that gap with files:
+
+* every worker owns ``<run_dir>/obs/<worker_id>.segment.json`` and
+  atomically **replaces** it after each task and once more at exit. The
+  segment is cumulative — the whole span list plus the current registry
+  snapshot — so a reader never has to stitch increments and a torn or
+  missed flush costs nothing but recency;
+* the coordinator calls :func:`merge_segments` on its way out (after the
+  fleet has drained, before the run dir is swept): worker spans land on
+  the run tracer as true per-worker lanes (``tid="dist:<worker>"``) with
+  the worker's real pid tagged on, and the registry snapshots fold into
+  one fleet-level registry published on ``ExecutorMetrics.backend_stats``.
+
+Clocks: workers timestamp spans with wall-clock (``time.time()``), the
+one clock every host shares approximately; the merge rebases onto the
+tracer's own epoch. Span categories are ``wtask``/``worker`` — ephemeral
+under normalized export (like the ``dist`` scheduling events), because
+which worker ran what, and whether a killed worker's last flush survived,
+is OS-timing, not seed + DAG.
+
+Everything here is fail-open: a flush that cannot write, or a segment
+that cannot parse, degrades to missing observability — never to a failed
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["WorkerObs", "obs_dir", "load_segments", "merge_segments"]
+
+SEGMENT_SCHEMA = 1
+
+
+def obs_dir(run_dir: str | Path) -> Path:
+    return Path(run_dir) / "obs"
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> bool:
+    """tmp + replace; False (never raises) on I/O failure — losing one
+    observability flush must not kill a worker mid-task.
+
+    Deliberately does NOT create parent directories: after the
+    coordinator sweeps the run dir a straggler's final flush must fail
+    open, not resurrect ``.dist/<run_id>/`` as residue in the cache.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return True
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+
+
+class WorkerObs:
+    """One worker's spine endpoint: span buffer + registry + flusher.
+
+    Records one ``wtask`` span per executed task (and one ``worker``
+    lifecycle span covering join → last flush, so even a worker that
+    never won an assignment is visible in the merged timeline), counts
+    the same families the in-process executors derive from their
+    ``ExecutorMetrics`` (``repro_steps_total{outcome=}``, the
+    ``repro_step_wall_seconds`` histogram), and keeps fleet-only facts in
+    gauges — normalization drops gauges, so per-worker identity never
+    leaks into determinism-diffed renderings.
+    """
+
+    def __init__(self, run_dir: str | Path, worker_id: str) -> None:
+        self.worker_id = worker_id
+        self.pid = os.getpid()
+        self.path = obs_dir(run_dir) / f"{worker_id}.segment.json"
+        try:
+            # Eager: the run dir is alive at join time. flush() never
+            # mkdirs, so a post-sweep straggler cannot resurrect it.
+            self.path.parent.mkdir(exist_ok=True)
+        except OSError:
+            pass
+        self.started_ts = time.time()
+        self.registry = MetricsRegistry()
+        self.registry.set_gauge("repro_worker_up", self.pid, worker=worker_id)
+        self._spans: list[dict[str, Any]] = []
+        self._tasks = 0
+
+    def record_task(
+        self,
+        step: str,
+        epoch: int,
+        outcome: str,
+        attempts: int,
+        start_ts: float,
+        end_ts: float,
+    ) -> None:
+        self._tasks += 1
+        self._spans.append(
+            {
+                "name": f"task:{step}",
+                "cat": "wtask",
+                "start_ts": start_ts,
+                "end_ts": end_ts,
+                "args": {
+                    "step": step,
+                    "epoch": epoch,
+                    "outcome": outcome,
+                    "attempts": attempts,
+                },
+            }
+        )
+        self.registry.inc("repro_steps_total", outcome=outcome)
+        self.registry.observe("repro_step_wall_seconds", max(end_ts - start_ts, 0.0))
+        self.registry.set_gauge("repro_worker_tasks", self._tasks, worker=self.worker_id)
+
+    def flush(self) -> bool:
+        """Atomically replace this worker's segment file (fail-open)."""
+        now = time.time()
+        spans = list(self._spans)
+        spans.append(
+            {
+                "name": f"worker:{self.worker_id}",
+                "cat": "worker",
+                "start_ts": self.started_ts,
+                "end_ts": now,
+                "args": {"tasks": self._tasks},
+            }
+        )
+        return _atomic_write_json(
+            self.path,
+            {
+                "schema": SEGMENT_SCHEMA,
+                "worker": self.worker_id,
+                "pid": self.pid,
+                "spans": spans,
+                "registry": self.registry.snapshot(),
+            },
+        )
+
+
+def load_segments(run_dir: str | Path) -> list[dict[str, Any]]:
+    """Every readable worker segment under the run dir, sorted by worker.
+
+    Torn, vanished, or malformed files are skipped — each segment is
+    replaced atomically, so a bad read means a writer died mid-era and
+    the previous (or no) era is the truth we have.
+    """
+    directory = obs_dir(run_dir)
+    segments: list[dict[str, Any]] = []
+    try:
+        paths = sorted(directory.glob("*.segment.json"))
+    except OSError:
+        return segments
+    for path in paths:
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(raw, dict) and raw.get("worker"):
+            segments.append(raw)
+    return segments
+
+
+def merge_segments(
+    run_dir: str | Path, tracer: Any | None = None
+) -> dict[str, Any]:
+    """Fold every worker segment into the tracer + one fleet registry.
+
+    Returns ``{"workers": {worker_id: pid}, "registry": snapshot}`` for
+    ``ExecutorMetrics.backend_stats``. Span timestamps rebase from wall
+    clock onto the tracer's epoch (clamped non-negative: a skewed worker
+    clock may not push events before the run started).
+    """
+    merged = MetricsRegistry()
+    workers: dict[str, int] = {}
+    for segment in load_segments(run_dir):
+        worker = str(segment["worker"])
+        pid = int(segment.get("pid", 0) or 0)
+        workers[worker] = pid
+        registry = segment.get("registry")
+        if isinstance(registry, dict):
+            merged.merge(registry)
+        if tracer is None:
+            continue
+        for span in segment.get("spans") or []:
+            try:
+                start = max(float(span["start_ts"]) - tracer.epoch, 0.0)
+                end = max(float(span["end_ts"]) - tracer.epoch, start)
+                args = dict(span.get("args") or {})
+            except (KeyError, TypeError, ValueError):
+                continue
+            tracer.add_span(
+                str(span.get("name", "task")),
+                str(span.get("cat", "wtask")),
+                start,
+                end,
+                tid=f"dist:{worker}",
+                worker=worker,
+                worker_pid=pid,
+                **args,
+            )
+    return {"workers": workers, "registry": merged.snapshot()}

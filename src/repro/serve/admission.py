@@ -75,6 +75,7 @@ class AdmissionController:
         self.queue_size = queue_size
         self._lock = threading.Lock()
         self._waiting = 0
+        self._peak_waiting = 0
         self._counters: dict[str, int] = {
             "requests": 0,
             "admitted": 0,
@@ -103,6 +104,8 @@ class AdmissionController:
                     f"(queue_size={self.queue_size})"
                 )
             self._waiting += 1
+            if self._waiting > self._peak_waiting:
+                self._peak_waiting = self._waiting
             self._counters["admitted"] += 1
         return _Admission(self)
 
@@ -131,7 +134,11 @@ class AdmissionController:
 
     def stats(self) -> dict[str, int]:
         with self._lock:
-            return dict(self._counters, waiting=self._waiting)
+            return dict(
+                self._counters,
+                waiting=self._waiting,
+                peak_waiting=self._peak_waiting,
+            )
 
 
 class _Admission:

@@ -66,6 +66,9 @@ from repro.core.journal import (
 from repro.core.metrics import SUCCESS_OUTCOMES, RunReport
 from repro.core.pipeline import ArtifactCache
 from repro.core.trace import Tracer
+from repro.obs.registry import MetricsRegistry
+from repro.obs.ring import MetricsRing
+from repro.obs.slo import evaluate_slo, load_slo
 from repro.report.experiments import EXPERIMENTS
 from repro.serve.admission import AdmissionController, QueueFull, ServeResult
 from repro.serve.breaker import CircuitBreaker
@@ -108,6 +111,11 @@ class ServeConfig:
     journal_rotate_bytes: int = 256 << 10
     compact_every: int = 8
     fsync: str = "interval"
+    metrics: bool = True  # False: no registry/ring (the overhead bench baseline)
+    metrics_rotate_bytes: int = 64 << 10
+    #: The ``--loop`` refresh cadence, recorded into status.json so the
+    #: out-of-process probe can spot a wedged service by mtime age.
+    status_interval: float | None = None
 
     @property
     def window_seconds(self) -> float:
@@ -171,6 +179,22 @@ class StudyService:
         self._lock = threading.RLock()
         self.tracer = Tracer()
         self.admission = AdmissionController(self.config.queue_size)
+        #: The SLO-facing observability plane: per-request latency
+        #: histogram + shed/degraded counters in a mergeable registry,
+        #: persisted through the size-rotated ``metrics/`` ring every
+        #: status write. ``config.metrics=False`` disables the whole
+        #: plane (the differential-overhead bench baseline).
+        self.registry: MetricsRegistry | None = (
+            MetricsRegistry() if self.config.metrics else None
+        )
+        self._ring: MetricsRing | None = (
+            MetricsRing(
+                self.root / "metrics",
+                rotate_bytes=self.config.metrics_rotate_bytes,
+            )
+            if self.config.metrics
+            else None
+        )
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown=self.config.breaker_cooldown,
@@ -534,7 +558,29 @@ class StudyService:
         matches the WAL frontier, STALE (with a reason) when load
         shedding, quarantine, or degradation got in the way, UNAVAILABLE
         only when nothing has ever been built.
+
+        Every request is observed end to end (admission decision through
+        answer) into ``repro_request_seconds``; sheds and degraded
+        answers are counted by reason. That is the data the SLO policy
+        judges, so instrumentation wraps the *whole* path, including the
+        recompute a FRESH answer may have waited for.
         """
+        t0 = time.perf_counter()
+        result = self._request(experiment_id, deadline)
+        if self.registry is not None:
+            self.registry.inc("repro_requests_total")
+            self.registry.observe("repro_request_seconds", time.perf_counter() - t0)
+            if result.reason in ("queue_full", "deadline"):
+                self.registry.inc("repro_shed_total", reason=result.reason)
+            elif result.status != "fresh":
+                self.registry.inc(
+                    "repro_degraded_total", reason=result.reason or result.status
+                )
+        return result
+
+    def _request(
+        self, experiment_id: str, deadline: float | None = None
+    ) -> ServeResult:
         if experiment_id not in EXPERIMENTS:
             raise KeyError(
                 f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
@@ -625,7 +671,7 @@ class StudyService:
                 else None
             )
             chunks, pinned = self._target_chunks(self._cycle)
-            return {
+            payload = {
                 "mode": self.mode,
                 "ready": bool(self._artifacts),
                 "read_only_reason": self.read_only_reason,
@@ -651,12 +697,47 @@ class StudyService:
                 "admission": self.admission.stats(),
                 "events": events,
                 "skipped_rows": skipped,
+                "refresh_interval_seconds": self.config.status_interval,
+                "slo": None,
             }
+            if self.registry is not None:
+                behind = max(
+                    (int(m["behind"]) for m in payload["artifacts"].values()),
+                    default=0,
+                )
+                self.registry.set_gauge("repro_staleness_rows_behind", behind)
+                self.registry.set_gauge(
+                    "repro_queue_depth", payload["admission"]["waiting"]
+                )
+                # Reloaded on every probe so a redeclared slo.json takes
+                # effect without a restart (it's one tiny file).
+                policy = load_slo(self.root)
+                if policy is not None:
+                    verdict = evaluate_slo(policy, self.registry)
+                    payload["slo"] = "ok" if verdict["ok"] else "breached"
+                    payload["slo_detail"] = verdict["checks"]
+            return payload
 
-    def _write_status(self) -> None:
+    def publish_status(self) -> dict[str, Any]:
+        """Persist the current probe snapshot + metrics ring; return it.
+
+        The CLI's one-shot path ends here rather than at :meth:`status`
+        so that the printed status, the on-disk ``status.json``, and the
+        metrics ring all agree — including requests answered *after* the
+        last refresh (refresh persists mid-cycle, so without this final
+        publish the SLO verdict would never see one-shot request
+        latencies).
+        """
+        return self._write_status()
+
+    def _write_status(self) -> dict[str, Any]:
+        payload = self.status()
         self._atomic_write(
-            self.status_path, json.dumps(self.status(), sort_keys=True) + "\n"
+            self.status_path, json.dumps(payload, sort_keys=True) + "\n"
         )
+        if self.registry is not None and self._ring is not None:
+            self._ring.publish(self.registry.snapshot(), self.registry.to_text())
+        return payload
 
     # -- shutdown --------------------------------------------------------------
 

@@ -8,8 +8,10 @@ from repro.core.bench import (
     append_run,
     check_audit_overhead,
     check_journal_overhead,
+    check_metrics_overhead,
     check_regression,
     check_retry_overhead,
+    check_serve_latency,
     check_serve_overhead,
     check_trace_overhead,
     latest_run,
@@ -239,6 +241,95 @@ class TestCheckServeOverhead:
     def test_missing_benchmark_passes_vacuously(self):
         ok, msg = check_serve_overhead(record(simulate_schedule=sim(1.0)))
         assert ok and "skipping" in msg
+
+
+def metrics_entry(cycle, instrument, request_us=20, publish_us=700):
+    return {
+        "seconds": cycle,
+        "runs": [cycle],
+        "detail": {
+            "requests": 50,
+            "request_us": request_us,
+            "publish_us": publish_us,
+            "instrument_seconds": instrument,
+            "overhead": instrument / cycle,
+        },
+    }
+
+
+class TestCheckMetricsOverhead:
+    def test_small_overhead_passes(self):
+        ok, msg = check_metrics_overhead(
+            record(metrics_overhead=metrics_entry(0.1, 0.001))
+        )
+        assert ok and "+1.0%" in msg and "us/request" in msg
+
+    def test_large_overhead_fails(self):
+        ok, msg = check_metrics_overhead(
+            record(metrics_overhead=metrics_entry(0.1, 0.01))
+        )
+        assert not ok and "+10.0%" in msg and "limit +3%" in msg
+
+    def test_custom_limit(self):
+        entry = metrics_entry(0.1, 0.01)
+        ok, _ = check_metrics_overhead(
+            record(metrics_overhead=entry), max_overhead=0.15
+        )
+        assert ok
+        with pytest.raises(ValueError, match="max_overhead"):
+            check_metrics_overhead(
+                record(metrics_overhead=entry), max_overhead=-1.0
+            )
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_metrics_overhead(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+
+def latency_entry(p50, p95, p99, requests=400, shed_rate=1.0):
+    return {
+        "seconds": 0.01,
+        "runs": [0.01],
+        "detail": {
+            "threads": 4,
+            "requests": requests,
+            "p50": p50,
+            "p95": p95,
+            "p99": p99,
+            "shed_rate": shed_rate,
+        },
+    }
+
+
+class TestCheckServeLatency:
+    def test_fast_p99_passes(self):
+        ok, msg = check_serve_latency(
+            record(serve_latency=latency_entry(0.0001, 0.0005, 0.002))
+        )
+        assert ok and "p99 2.00ms" in msg and "limit 500ms" in msg
+
+    def test_slow_p99_fails(self):
+        ok, msg = check_serve_latency(
+            record(serve_latency=latency_entry(0.01, 0.2, 0.9))
+        )
+        assert not ok and "p99 900.00ms" in msg
+
+    def test_custom_limit(self):
+        entry = latency_entry(0.01, 0.2, 0.9)
+        ok, _ = check_serve_latency(record(serve_latency=entry), max_p99=1.0)
+        assert ok
+        with pytest.raises(ValueError, match="max_p99"):
+            check_serve_latency(record(serve_latency=entry), max_p99=0.0)
+
+    def test_missing_benchmark_passes_vacuously(self):
+        ok, msg = check_serve_latency(record(simulate_schedule=sim(1.0)))
+        assert ok and "skipping" in msg
+
+    def test_no_requests_passes_vacuously(self):
+        ok, msg = check_serve_latency(
+            record(serve_latency=latency_entry(None, None, None))
+        )
+        assert ok and "no requests" in msg
 
 
 def sweep_record(points, fit, label="run"):

@@ -1,0 +1,24 @@
+"""Shared fixtures for the observability suite."""
+
+import io
+
+import pytest
+
+from repro.cluster import write_sacct
+from repro.core import build_default_study
+from repro.io import write_responses_jsonl
+
+
+@pytest.fixture(scope="session")
+def study_lines():
+    """(response JSONL lines, sacct export lines incl. header) for a tiny study."""
+    study = build_default_study(
+        seed=7, n_baseline=10, n_current=10, months=1, jobs_per_day=2.0
+    )
+    buf = io.StringIO()
+    write_responses_jsonl(study.responses, buf)
+    responses = buf.getvalue().splitlines()
+    buf = io.StringIO()
+    write_sacct(study.telemetry, buf)
+    sacct = buf.getvalue().splitlines()
+    return responses, sacct

@@ -1,0 +1,131 @@
+"""``repro top``: the disk-state dashboard and its CLI round-trip."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.dist.heartbeats import HeartbeatWriter
+from repro.obs.spine import WorkerObs, obs_dir
+from repro.obs.top import latest_run_dir, render_top
+from repro.serve import ServeConfig, StudyService
+
+
+def make_service(root, lines, **config):
+    config.setdefault("months", 1)
+    config.setdefault("experiments", ("X1",))
+    svc = StudyService(root, ServeConfig(**config))
+    responses, sacct = lines
+    svc.ingest("responses", responses, batch="r0")
+    svc.ingest("sacct", sacct, batch="s0")
+    return svc
+
+
+class TestRenderTop:
+    def test_nothing_to_watch(self):
+        frame = render_top()
+        assert "nothing to watch" in frame
+        assert frame.endswith("\n")
+
+    def test_serve_section_without_status(self, tmp_path):
+        frame = render_top(serve_root=tmp_path)
+        assert "== serve:" in frame
+        assert "no status.json" in frame
+
+    def test_serve_section_full(self, tmp_path, study_lines):
+        (tmp_path / "slo.json").write_text(
+            json.dumps({"p99_latency_seconds": 60.0})
+        )
+        svc = make_service(tmp_path, study_lines)
+        svc.refresh()
+        for _ in range(3):
+            svc.request("X1")
+        svc._write_status()
+        svc.close()
+        frame = render_top(serve_root=tmp_path)
+        assert "mode serving" in frame
+        assert "admission: waiting 0" in frame
+        assert "breaker open: none" in frame
+        # The latency line comes from the metrics ring, out of process.
+        assert "latency: p50" in frame and "(n=3)" in frame
+        assert "slo: ok" in frame
+
+    def test_serve_section_slo_none_declared(self, tmp_path, study_lines):
+        svc = make_service(tmp_path, study_lines)
+        svc.refresh()
+        svc._write_status()
+        svc.close()
+        assert "slo: none declared" in render_top(serve_root=tmp_path)
+
+    def test_fleet_section_from_disk_state(self, tmp_path):
+        run_dir = tmp_path / "run"
+        run_dir.mkdir()
+        obs_dir(run_dir).mkdir()
+        hb = HeartbeatWriter(run_dir / "heartbeats" / "w0.hb", interval=60.0)
+        hb.beat()
+        hb.stop()
+        obs = WorkerObs(run_dir, "w0")
+        obs.record_task("gen", 1, "ok", 1, 10.0, 10.5)
+        obs.flush()
+        frame = render_top(dist_dir=run_dir)
+        assert "== fleet:" in frame
+        assert "w0 pid" in frame
+        assert "assignments: none" in frame
+        assert "spine: w0 1 task(s)" in frame
+        assert "step wall: p50" in frame and "(n=1)" in frame
+
+    def test_fleet_section_swept_run_dir(self, tmp_path):
+        frame = render_top(dist_dir=tmp_path / "gone")
+        assert "run dir gone" in frame
+
+
+class TestLatestRunDir:
+    def test_none_without_runs(self, tmp_path):
+        assert latest_run_dir(tmp_path) is None
+        (tmp_path / ".dist").mkdir()
+        assert latest_run_dir(tmp_path) is None
+
+    def test_picks_most_recent(self, tmp_path):
+        import os
+
+        dist = tmp_path / ".dist"
+        for name, age in (("older", 100.0), ("newer", 0.0)):
+            d = dist / name
+            d.mkdir(parents=True)
+            import time
+
+            stamp = time.time() - age
+            os.utime(d, (stamp, stamp))
+        assert latest_run_dir(tmp_path).name == "newer"
+
+
+class TestTopCLI:
+    def test_once_round_trip(self, tmp_path, study_lines):
+        svc = make_service(tmp_path, study_lines)
+        svc.refresh()
+        svc._write_status()
+        svc.close()
+        out = io.StringIO()
+        code = main(["top", "--once", "--root", str(tmp_path)], out=out)
+        assert code == 0
+        assert "repro top —" in out.getvalue()
+        assert "mode serving" in out.getvalue()
+
+    def test_cache_root_without_runs_is_usage_error(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["top", "--once", "--cache-root", str(tmp_path)], out=out
+        )
+        assert code == 2
+        assert "no .dist run dirs" in out.getvalue()
+
+    def test_cache_root_resolves_latest_run(self, tmp_path):
+        run_dir = tmp_path / ".dist" / "r1"
+        run_dir.mkdir(parents=True)
+        obs_dir(run_dir).mkdir()
+        obs = WorkerObs(run_dir, "w0")
+        obs.flush()
+        out = io.StringIO()
+        code = main(["top", "--once", "--cache-root", str(tmp_path)], out=out)
+        assert code == 0
+        assert "== fleet:" in out.getvalue()
+        assert "spine: w0 0 task(s)" in out.getvalue()
